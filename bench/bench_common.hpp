@@ -1,0 +1,56 @@
+// Shared formatting helpers for the table/figure reproduction binaries.
+//
+// Every bench prints (a) the regenerated table/figure rows in the thesis's
+// layout and (b) the paper's qualitative expectation, so a reader can judge
+// the reproduction without opening EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/experiments.hpp"
+#include "util/string_utils.hpp"
+#include "util/table_printer.hpp"
+
+namespace apt::bench {
+
+inline void heading(const std::string& title) {
+  std::cout << "\n==================================================\n"
+            << title << "\n"
+            << "==================================================\n";
+}
+
+inline void note(const std::string& text) { std::cout << text << "\n"; }
+
+/// Prints a grid as the thesis prints Tables 8-12: one row per experiment,
+/// one column per policy, a separator, then the per-column average. The
+/// value accessor selects makespan or λ.
+inline void print_grid(const core::Grid& grid,
+                       double core::Cell::*value,
+                       const std::string& unit) {
+  std::vector<std::string> header = {"Graph"};
+  for (const auto& name : grid.policy_names) header.push_back(name);
+  util::TablePrinter table(header);
+  for (std::size_t g = 0; g < grid.experiment_count(); ++g) {
+    std::vector<std::string> row = {std::to_string(g + 1)};
+    for (std::size_t p = 0; p < grid.policy_count(); ++p)
+      row.push_back(util::format_double(grid.cells[g][p].*value, 0));
+    table.add_row(std::move(row));
+  }
+  table.add_separator();
+  std::vector<std::string> avg = {"avg"};
+  for (std::size_t p = 0; p < grid.policy_count(); ++p) {
+    double sum = 0.0;
+    for (std::size_t g = 0; g < grid.experiment_count(); ++g)
+      sum += grid.cells[g][p].*value;
+    avg.push_back(util::format_double(
+        sum / static_cast<double>(grid.experiment_count()), 0));
+  }
+  table.add_row(std::move(avg));
+  std::cout << table.to_string();
+  std::cout << "(all values in " << unit << ")\n";
+}
+
+}  // namespace apt::bench

@@ -1,0 +1,47 @@
+// Reproduces Table 7 (kernel execution-time spotlight) and Table 14 (the
+// complete lookup table, Appendix A) along with the per-row heterogeneity
+// ratio and best processor that drive the whole study.
+#include "bench_common.hpp"
+
+#include "lut/paper_data.hpp"
+
+int main() {
+  using namespace apt;
+
+  const lut::LookupTable table = lut::paper_lookup_table();
+
+  bench::heading("Table 7 — Execution time of the Figure-5 kernels");
+  {
+    util::TablePrinter t({"Kernel", "CPU (ms)", "GPU (ms)", "FPGA (ms)"});
+    for (const char* kernel : {"nw", "bfs", "cd"}) {
+      const std::uint64_t size =
+          std::string(kernel) == "cd" ? 250000 : lut::paper_dwarf_size(kernel);
+      const auto& e = table.at(kernel, size);
+      t.add_row({kernel, util::format_double(e.time(lut::ProcType::CPU), 4),
+                 util::format_double(e.time(lut::ProcType::GPU), 4),
+                 util::format_double(e.time(lut::ProcType::FPGA), 4)});
+    }
+    std::cout << t.to_string();
+  }
+
+  bench::heading("Table 14 — Complete lookup table (Appendix A)");
+  {
+    util::TablePrinter t({"Kernel", "Data Size", "CPU (ms)", "GPU (ms)",
+                          "FPGA (ms)", "Best", "Heterogeneity"});
+    for (const auto& e : table.entries()) {
+      t.add_row({e.kernel, std::to_string(e.data_size),
+                 util::format_double(e.time(lut::ProcType::CPU), 3),
+                 util::format_double(e.time(lut::ProcType::GPU), 3),
+                 util::format_double(e.time(lut::ProcType::FPGA), 3),
+                 lut::to_string(table.best_processor(e.kernel, e.data_size)),
+                 util::format_double(table.heterogeneity(e.kernel, e.data_size),
+                                     1)});
+    }
+    std::cout << t.to_string();
+  }
+  bench::note(
+      "Paper reference: values are the thesis's own measurements "
+      "(Skalicky et al. / Krommydas et al.) and must match digit for digit "
+      "— they are embedded as lut::paper_lookup_table().");
+  return 0;
+}

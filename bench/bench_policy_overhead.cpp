@@ -1,0 +1,96 @@
+// Micro-benchmarks (google-benchmark): the wall-clock cost of running each
+// scheduling policy end-to-end over the paper workloads — the practical
+// side of the thesis's "dynamic policies avoid the intensive
+// pre-computation phase of HEFT/PEFT" argument (§1.2), plus the cost of
+// the static ranking phases in isolation.
+#include <benchmark/benchmark.h>
+
+#include "core/policy_factory.hpp"
+#include "dag/generator.hpp"
+#include "lut/paper_data.hpp"
+#include "policies/heft.hpp"
+#include "policies/peft.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace apt;
+
+const dag::Dag& big_graph(dag::DfgType type) {
+  static const dag::Dag t1 = dag::paper_graph(dag::DfgType::Type1, 9);
+  static const dag::Dag t2 = dag::paper_graph(dag::DfgType::Type2, 9);
+  return type == dag::DfgType::Type1 ? t1 : t2;
+}
+
+const sim::System& paper_system() {
+  static const sim::System system(sim::SystemConfig::paper_default(4.0));
+  return system;
+}
+
+const sim::LutCostModel& paper_cost() {
+  static const sim::LutCostModel cost(lut::paper_lookup_table(),
+                                      paper_system());
+  return cost;
+}
+
+void run_policy_benchmark(benchmark::State& state, const std::string& spec,
+                          dag::DfgType type) {
+  const dag::Dag& graph = big_graph(type);
+  for (auto _ : state) {
+    const auto policy = core::make_policy(spec);
+    sim::Engine engine(graph, paper_system(), paper_cost());
+    benchmark::DoNotOptimize(engine.run(*policy).makespan);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(graph.node_count()));
+}
+
+#define APT_POLICY_BENCH(name, spec)                                   \
+  void BM_##name##_Type1(benchmark::State& state) {                   \
+    run_policy_benchmark(state, spec, dag::DfgType::Type1);            \
+  }                                                                    \
+  BENCHMARK(BM_##name##_Type1);                                        \
+  void BM_##name##_Type2(benchmark::State& state) {                   \
+    run_policy_benchmark(state, spec, dag::DfgType::Type2);            \
+  }                                                                    \
+  BENCHMARK(BM_##name##_Type2)
+
+APT_POLICY_BENCH(APT4, "apt:4");
+APT_POLICY_BENCH(MET, "met");
+APT_POLICY_BENCH(SPN, "spn");
+APT_POLICY_BENCH(SS, "ss");
+APT_POLICY_BENCH(AG, "ag");
+APT_POLICY_BENCH(HEFT, "heft");
+APT_POLICY_BENCH(PEFT, "peft");
+
+// Static pre-computation phases in isolation (the thesis's argument for
+// dynamic policies is precisely the cost of this step).
+void BM_HeftRanking(benchmark::State& state) {
+  const dag::Dag& graph = big_graph(dag::DfgType::Type2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        policies::heft_upward_ranks(graph, paper_system(), paper_cost()));
+  }
+}
+BENCHMARK(BM_HeftRanking);
+
+void BM_PeftOctTable(benchmark::State& state) {
+  const dag::Dag& graph = big_graph(dag::DfgType::Type2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        policies::peft_oct(graph, paper_system(), paper_cost()));
+  }
+}
+BENCHMARK(BM_PeftOctTable);
+
+// Workload generation (deterministic, but worth tracking).
+void BM_GenerateType2(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dag::generate(dag::DfgType::Type2, 157, 42,
+                      dag::KernelPool::paper_pool()));
+  }
+}
+BENCHMARK(BM_GenerateType2);
+
+}  // namespace

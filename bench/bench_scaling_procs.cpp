@@ -1,0 +1,75 @@
+// Beyond-the-paper platform-scaling study: the thesis fixes one CPU + one
+// GPU + one FPGA. This bench grows the GPU count (the processor the
+// lookup table favours most) and watches when APT's flexibility stops
+// mattering — with enough best-processors to go around, MET never waits
+// and the threshold never fires.
+#include "bench_common.hpp"
+
+#include "core/policy_factory.hpp"
+#include "dag/generator.hpp"
+#include "lut/paper_data.hpp"
+#include "sim/engine.hpp"
+#include "sim/metrics.hpp"
+
+namespace {
+
+struct Point {
+  double makespan_ms = 0.0;
+  std::size_t alternatives = 0;
+};
+
+Point avg_over_workload(const std::string& spec, std::size_t gpus) {
+  using namespace apt;
+  sim::SystemConfig cfg = sim::SystemConfig::paper_default(4.0);
+  cfg.processors = {lut::ProcType::CPU};
+  for (std::size_t i = 0; i < gpus; ++i)
+    cfg.processors.push_back(lut::ProcType::GPU);
+  cfg.processors.push_back(lut::ProcType::FPGA);
+  const sim::System system(cfg);
+  const sim::LutCostModel cost(lut::paper_lookup_table(), system);
+
+  Point point;
+  for (std::size_t i = 0; i < 10; ++i) {
+    const dag::Dag graph = dag::paper_graph(dag::DfgType::Type1, i);
+    const auto policy = core::make_policy(spec);
+    sim::Engine engine(graph, system, cost);
+    const auto result = engine.run(*policy);
+    point.makespan_ms += result.makespan;
+    const auto metrics = sim::compute_metrics(graph, system, result);
+    point.alternatives += metrics.alternative_count;
+  }
+  point.makespan_ms /= 10.0;
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  using namespace apt;
+
+  bench::heading(
+      "Processor scaling — avg makespan (s) vs GPU count, DFG Type-1");
+  util::TablePrinter t({"GPUs", "APT(4) (s)", "MET (s)", "APT gain %",
+                        "APT alternatives"});
+  for (std::size_t gpus : {std::size_t{1}, std::size_t{2}, std::size_t{3},
+                           std::size_t{4}}) {
+    const Point apt = avg_over_workload("apt:4", gpus);
+    const Point met = avg_over_workload("met", gpus);
+    t.add_row({std::to_string(gpus),
+               util::format_double(apt.makespan_ms / 1000.0, 2),
+               util::format_double(met.makespan_ms / 1000.0, 2),
+               util::format_double(
+                   (met.makespan_ms - apt.makespan_ms) / met.makespan_ms *
+                       100.0,
+                   1),
+               std::to_string(apt.alternatives)});
+  }
+  std::cout << t.to_string();
+  bench::note(
+      "Reading: duplicating the dominant processor shrinks both the "
+      "APT-vs-MET gap and the number of threshold-triggered alternative "
+      "assignments — flexibility pays exactly when best processors are "
+      "scarce, the thesis's 'degree of heterogeneity' argument from the "
+      "capacity side.");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Beyond-the-paper streaming study: the thesis frames workloads as "an
+// incoming stream of applications" but submits everything at time zero.
+// This bench drives the same ten Type-1 graphs through Poisson arrivals at
+// several intensities and reports how each policy degrades as the stream
+// thins out (arrival gaps approach kernel durations).
+#include "bench_common.hpp"
+
+#include "core/policy_factory.hpp"
+#include "dag/generator.hpp"
+#include "lut/paper_data.hpp"
+#include "sim/engine.hpp"
+#include "sim/metrics.hpp"
+
+namespace {
+
+double avg_makespan(const std::string& spec, double mean_gap_ms) {
+  using namespace apt;
+  const sim::System system(sim::SystemConfig::paper_default(4.0));
+  const sim::LutCostModel cost(lut::paper_lookup_table(), system);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < 10; ++i) {
+    dag::Dag graph = dag::paper_graph(dag::DfgType::Type1, i);
+    if (mean_gap_ms > 0.0)
+      dag::apply_poisson_arrivals(graph, mean_gap_ms, 0xFEED + i);
+    const auto policy = core::make_policy(spec);
+    sim::Engine engine(graph, system, cost);
+    sum += engine.run(*policy).makespan;
+  }
+  return sum / 10.0;
+}
+
+}  // namespace
+
+int main() {
+  using namespace apt;
+
+  bench::heading(
+      "Streaming arrivals — avg makespan (s) vs mean inter-arrival gap, "
+      "DFG Type-1");
+  const std::vector<double> gaps = {0.0, 10.0, 100.0, 500.0, 2000.0};
+  util::TablePrinter t({"Policy", "batch (0)", "10 ms", "100 ms", "500 ms",
+                        "2000 ms"});
+  for (const char* spec : {"apt:4", "met", "spn", "ag", "heft"}) {
+    std::vector<std::string> row = {spec};
+    for (double gap : gaps)
+      row.push_back(util::format_double(avg_makespan(spec, gap) / 1000.0, 2));
+    t.add_row(std::move(row));
+  }
+  std::cout << t.to_string();
+  bench::note(
+      "Reading: with dense arrivals the stream behaves like the batch "
+      "experiments (APT's advantage persists); as gaps grow the makespan "
+      "becomes arrival-dominated and the policies converge — contention, "
+      "not policy choice, is what APT exploits. Static HEFT plans with "
+      "full knowledge of the DAG but not of arrival times, so its relative "
+      "standing degrades under sparse streams.");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Reproduces Table 12 (total λ delay for DFG Type-2 by all policies,
+// APT at α = 4) and Figure 12 (avg λ vs α and transfer rate, Type-2).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace apt;
+
+  const core::Grid grid = core::run_paper_grid(
+      dag::DfgType::Type2, core::paper_policy_specs(4.0), 4.0);
+
+  bench::heading("Table 12 — Total lambda delay (ms), DFG Type-2, alpha=4");
+  bench::print_grid(grid, &core::Cell::lambda_total_ms, "milliseconds");
+  bench::note(
+      "Paper reference (shape): APT(4)'s lambda is below every other "
+      "policy's on all 10 graphs. Deviation: the thesis also reports huge "
+      "lambda for SPN; under our ready-queue-wait definition SPN's lambda "
+      "is small because SPN never leaves a kernel unassigned — its damage "
+      "appears as makespan instead (see EXPERIMENTS.md).");
+  std::size_t apt_below_met = 0;
+  for (std::size_t g = 0; g < grid.experiment_count(); ++g) {
+    if (grid.cells[g][0].lambda_total_ms < grid.cells[g][1].lambda_total_ms)
+      ++apt_below_met;
+  }
+  bench::note("Measured: APT(4) lambda below MET's on " +
+              std::to_string(apt_below_met) + "/10 graphs.");
+
+  bench::heading("Figure 12 — Avg. APT lambda vs alpha, DFG Type-2");
+  const auto points = core::apt_alpha_sweep(
+      dag::DfgType::Type2, core::paper_alphas(), {4.0, 8.0});
+  util::TablePrinter t({"alpha", "4 GB/s (s)", "8 GB/s (s)"});
+  for (std::size_t i = 0; i < points.size(); i += 2) {
+    t.add_row({util::format_double(points[i].alpha, 1),
+               util::format_double(points[i].avg_lambda_ms / 1000.0, 1),
+               util::format_double(points[i + 1].avg_lambda_ms / 1000.0, 1)});
+  }
+  std::cout << t.to_string();
+  bench::note("Paper reference: threshold_brk for both transfer rates sits "
+              "at alpha = 4.");
+  return apt_below_met >= 8 ? 0 : 1;
+}

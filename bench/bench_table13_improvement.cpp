@@ -1,0 +1,46 @@
+// Reproduces Table 13: percentage improvement of APT over the second-best
+// dynamic policy (Eq. 13 for execution time, Eq. 14 for λ delay), for
+// α ∈ {1.5, 2, 4, 8, 16} on both DFG types at 4 GB/s.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace apt;
+
+  bench::heading("Table 13 — Improvement metrics for APT (percent)");
+  util::TablePrinter t({"alpha", "T1 exec %", "T1 lambda %", "T2 exec %",
+                        "T2 lambda %"});
+  double t1_at_4 = 0.0;
+  double t2_at_4 = 0.0;
+  for (double alpha : core::paper_alphas()) {
+    const core::Grid t1 = core::run_paper_grid(
+        dag::DfgType::Type1, core::paper_policy_specs(alpha), 4.0);
+    const core::Grid t2 = core::run_paper_grid(
+        dag::DfgType::Type2, core::paper_policy_specs(alpha), 4.0);
+    const double t1e = core::improvement_exec_pct(t1, 0);
+    const double t1l = core::improvement_lambda_pct(t1, 0);
+    const double t2e = core::improvement_exec_pct(t2, 0);
+    const double t2l = core::improvement_lambda_pct(t2, 0);
+    if (alpha == 4.0) {
+      t1_at_4 = t1e;
+      t2_at_4 = t2e;
+    }
+    t.add_row({util::format_double(alpha, 1), util::format_double(t1e, 3),
+               util::format_double(t1l, 3), util::format_double(t2e, 3),
+               util::format_double(t2l, 3)});
+  }
+  std::cout << t.to_string();
+  bench::note(
+      "Paper reference (Table 13): alpha=1.5/2 hover at ~0 (slightly "
+      "negative); alpha=4 peaks at 18.223/20.455 (Type-1) and "
+      "15.771/20.778 (Type-2); alpha=8/16 fall back (negative on Type-2).");
+  bench::note("Measured peak at alpha=4: Type-1 " +
+              util::format_double(t1_at_4, 2) + "%, Type-2 " +
+              util::format_double(t2_at_4, 2) + "%.");
+  bench::note(
+      "Headline claim check — 'reduces execution time by 16% and 18% vs "
+      "the second-best policy': " +
+      std::string((t1_at_4 > 10.0 && t2_at_4 > 10.0) ? "REPRODUCED (within "
+                                                       "workload noise)."
+                                                     : "NOT reproduced."));
+  return (t1_at_4 > 10.0 && t2_at_4 > 10.0) ? 0 : 1;
+}

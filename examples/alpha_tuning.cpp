@@ -1,0 +1,89 @@
+// Alpha tuning: how a practitioner picks the APT threshold for *their*
+// system. Sweeps alpha over a user-shaped workload, prints the valley, and
+// recommends the empirical threshold_brk — plus a sensitivity view showing
+// how the valley moves when the system's degree of heterogeneity changes
+// (the thesis's key observation: "the degree of heterogeneity and alpha
+// values go hand-in-hand").
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "core/apt.hpp"
+#include "core/runner.hpp"
+#include "dag/generator.hpp"
+#include "lut/paper_data.hpp"
+#include "util/string_utils.hpp"
+#include "util/table_printer.hpp"
+
+namespace {
+
+using namespace apt;
+
+/// Average APT makespan over a small workload suite at one alpha, using an
+/// arbitrary lookup table (so we can re-scale heterogeneity).
+double avg_makespan(double alpha, const lut::LookupTable& table) {
+  const sim::System system(sim::SystemConfig::paper_default(4.0));
+  const dag::KernelPool pool = dag::KernelPool::from_lookup_table(table);
+  double sum = 0.0;
+  constexpr int kGraphs = 6;
+  for (int g = 0; g < kGraphs; ++g) {
+    const dag::Dag graph =
+        dag::generate(dag::DfgType::Type2, 60, 1000 + g, pool);
+    core::Apt apt(alpha);
+    sum += core::run_policy(apt, graph, system, table).metrics.makespan;
+  }
+  return sum / kGraphs;
+}
+
+/// Compresses the table's heterogeneity: every non-optimal time is pulled
+/// toward the optimal one by `factor` in log-space (factor 1 = unchanged,
+/// 0 = fully homogeneous).
+lut::LookupTable compress_heterogeneity(const lut::LookupTable& table,
+                                        double factor) {
+  lut::LookupTable out;
+  for (const auto& e : table.entries()) {
+    lut::Entry scaled = e;
+    const double best = *std::min_element(e.time_ms.begin(), e.time_ms.end());
+    for (double& t : scaled.time_ms)
+      t = best * std::pow(t / best, factor);
+    out.add(scaled);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const lut::LookupTable paper = lut::paper_lookup_table();
+  const std::vector<double> alphas = {1.0, 1.5, 2, 3, 4, 6, 8, 12, 16, 32};
+
+  std::cout << "Sweeping APT's alpha on a 60-kernel Type-2 suite...\n\n";
+  util::TablePrinter table({"alpha", "paper system (ms)",
+                            "compressed x0.75 (ms)", "compressed x0.5 (ms)"});
+  const lut::LookupTable mild = compress_heterogeneity(paper, 0.75);
+  const lut::LookupTable flat = compress_heterogeneity(paper, 0.5);
+  double best_alpha = alphas.front();
+  double best_value = 1e300;
+  for (double alpha : alphas) {
+    const double on_paper = avg_makespan(alpha, paper);
+    if (on_paper < best_value) {
+      best_value = on_paper;
+      best_alpha = alpha;
+    }
+    table.add_row({util::format_double(alpha, 1),
+                   util::format_double(on_paper, 0),
+                   util::format_double(avg_makespan(alpha, mild), 0),
+                   util::format_double(avg_makespan(alpha, flat), 0)});
+  }
+  std::cout << table.to_string();
+
+  std::cout << "\nRecommended threshold for the paper system: alpha = "
+            << util::format_double(best_alpha, 1) << "\n";
+  std::cout <<
+      "\nNote how compressing the system's heterogeneity (columns 3-4)\n"
+      "flattens the valley and shifts its bottom: on a nearly homogeneous\n"
+      "system any idle processor is almost as good as the best one, so\n"
+      "large alphas stop hurting — exactly the thesis's conclusion that\n"
+      "the threshold must be tuned to the degree of heterogeneity.\n";
+  return 0;
+}

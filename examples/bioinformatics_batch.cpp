@@ -1,0 +1,61 @@
+// Bioinformatics batch: a dependency-light throughput workload built from
+// the thesis's dwarf kernels — Needleman-Wunsch sequence alignments, BFS
+// over interaction graphs, and GEM electrostatic-potential evaluations —
+// submitted as one large batch (DFG Type-1 shape: everything parallel,
+// one summary kernel at the end).
+//
+// Demonstrates: building workloads with the generator utilities, per-
+// processor utilisation reporting, and how the alpha threshold changes
+// which kernels accept an alternative processor.
+#include <iostream>
+
+#include "core/runner.hpp"
+#include "dag/generator.hpp"
+#include "lut/paper_data.hpp"
+#include "util/string_utils.hpp"
+#include "util/table_printer.hpp"
+
+int main() {
+  using namespace apt;
+
+  // 30 alignments, 20 graph traversals, 6 potential evaluations, one
+  // summary reduction (a big matrix product).
+  std::vector<dag::Node> series;
+  for (int i = 0; i < 30; ++i) series.push_back({"nw", 16777216});
+  for (int i = 0; i < 20; ++i) series.push_back({"bfs", 2034736});
+  for (int i = 0; i < 6; ++i) series.push_back({"gem", 2070376});
+  series.push_back({"mm", 16000000});  // the Type-1 sink
+  const dag::Dag graph = dag::make_type1(series);
+
+  std::cout << "Batch: " << graph.node_count() << " kernels (";
+  for (const auto& [kernel, count] : graph.kernel_histogram())
+    std::cout << count << "x" << kernel << " ";
+  std::cout << ")\n\n";
+
+  util::TablePrinter table({"Policy", "Makespan (s)", "CPU util %",
+                            "GPU util %", "FPGA util %", "Alternatives"});
+  for (const char* spec : {"met", "apt:1.5", "apt:4", "apt:8", "spn"}) {
+    const core::RunOutcome outcome = core::run_paper_system(spec, graph, 4.0);
+    auto util_pct = [&](std::size_t p) {
+      return util::format_double(outcome.metrics.per_proc[p].compute_ms /
+                                     outcome.metrics.makespan * 100.0,
+                                 1);
+    };
+    table.add_row({outcome.policy_name,
+                   util::format_double(outcome.metrics.makespan / 1000.0, 2),
+                   util_pct(0), util_pct(1), util_pct(2),
+                   std::to_string(outcome.metrics.alternative_count)});
+  }
+  std::cout << table.to_string();
+
+  // Show which kernels accepted an alternative at the threshold break.
+  const core::RunOutcome apt4 = core::run_paper_system("apt:4", graph, 4.0);
+  std::cout << "\nAPT(4) alternative assignments by kernel:\n";
+  for (const auto& [kernel, count] : apt4.metrics.alternative_by_kernel)
+    std::cout << "  " << count << "-" << kernel << "\n";
+  std::cout <<
+      "\nnw (CPU best, GPU within 1.31x) and bfs (FPGA best, GPU within\n"
+      "1.63x) spill freely at alpha=4; gem (GPU best, CPU 5.4x) must wait\n"
+      "for alpha >= 8 — compare Appendix B of the thesis.\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Medical-imaging pipeline: a realistic heterogeneous workload modelled on
+// the thesis's motivating application (Skalicky et al., distributed
+// transmural electrophysiological imaging on CPU+GPU+FPGA).
+//
+// Each frame: SRAD despeckling of the ultrasound input, then a linear-
+// algebra reconstruction chain (matrix product -> Cholesky factorisation ->
+// inverse), with frames streaming in parallel. Compares MET's
+// wait-for-the-best strategy against APT's threshold flexibility on the
+// same stream.
+#include <iostream>
+
+#include "core/policy_factory.hpp"
+#include "core/runner.hpp"
+#include "dag/graph.hpp"
+#include "lut/paper_data.hpp"
+#include "util/string_utils.hpp"
+#include "util/table_printer.hpp"
+
+namespace {
+
+/// Builds a `frames`-frame imaging stream. Frames are independent of each
+/// other; a final aggregation kernel (matrix product of the stacked
+/// results) joins them.
+apt::dag::Dag imaging_stream(std::size_t frames) {
+  using namespace apt;
+  dag::Dag graph;
+  std::vector<dag::NodeId> frame_outputs;
+  for (std::size_t f = 0; f < frames; ++f) {
+    const auto despeckle = graph.add_node("srad", 134217728);
+    const auto reconstruct = graph.add_node("mm", 4000000);
+    const auto factorise = graph.add_node("cd", 4000000);
+    const auto solve = graph.add_node("mi", 4000000);
+    graph.add_edge(despeckle, reconstruct);
+    graph.add_edge(reconstruct, factorise);
+    graph.add_edge(factorise, solve);
+    frame_outputs.push_back(solve);
+  }
+  const auto aggregate = graph.add_node("mm", 16000000);
+  for (const auto out : frame_outputs) graph.add_edge(out, aggregate);
+  return graph;
+}
+
+}  // namespace
+
+int main() {
+  using namespace apt;
+
+  constexpr std::size_t kFrames = 6;
+  const dag::Dag graph = imaging_stream(kFrames);
+  std::cout << "Imaging stream: " << kFrames << " frames, "
+            << graph.node_count() << " kernels, " << graph.edge_count()
+            << " dependencies, depth " << graph.depth() << "\n\n";
+
+  util::TablePrinter table(
+      {"Policy", "Makespan (ms)", "Lambda total (ms)", "GPU busy (ms)",
+       "FPGA busy (ms)", "Alternatives"});
+  for (const char* spec : {"met", "apt:2", "apt:4", "apt:8", "heft"}) {
+    const core::RunOutcome outcome = core::run_paper_system(spec, graph, 8.0);
+    table.add_row(
+        {outcome.policy_name,
+         util::format_double(outcome.metrics.makespan, 0),
+         util::format_double(outcome.metrics.lambda.total_ms, 0),
+         util::format_double(outcome.metrics.per_proc[1].compute_ms, 0),
+         util::format_double(outcome.metrics.per_proc[2].compute_ms, 0),
+         std::to_string(outcome.metrics.alternative_count)});
+  }
+  std::cout << table.to_string();
+
+  std::cout <<
+      "\nReading the table: every frame's SRAD and reconstruction kernels\n"
+      "prefer the GPU, so MET serialises frames behind a single processor\n"
+      "while the CPU and FPGA idle. APT's threshold lets the Cholesky and\n"
+      "inverse stages spill to the FPGA/CPU when the GPU is saturated,\n"
+      "compressing the stream's makespan — the paper's core argument, on a\n"
+      "workload shaped like its motivating application.\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Policy comparison: run the thesis's full seven-policy line-up over any
+// generated workload and print the Table-8-style comparison, including
+// per-policy win counts ("number of occurrences of better solutions").
+//
+//   $ ./policy_comparison [type] [alpha]       (defaults: 2 4.0)
+#include <cstdlib>
+#include <iostream>
+
+#include "core/experiments.hpp"
+#include "util/string_utils.hpp"
+#include "util/table_printer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace apt;
+
+  const int type_arg = argc > 1 ? std::atoi(argv[1]) : 2;
+  const double alpha = argc > 2 ? std::atof(argv[2]) : 4.0;
+  const dag::DfgType type =
+      type_arg == 1 ? dag::DfgType::Type1 : dag::DfgType::Type2;
+
+  std::cout << "Running the seven-policy comparison on the ten paper "
+            << dag::to_string(type) << " graphs (alpha = " << alpha
+            << ", 4 GB/s)...\n\n";
+  const core::Grid grid =
+      core::run_paper_grid(type, core::paper_policy_specs(alpha), 4.0);
+
+  std::vector<std::string> header = {"Graph"};
+  for (const auto& name : grid.policy_names) header.push_back(name);
+  util::TablePrinter table(header);
+  for (std::size_t g = 0; g < grid.experiment_count(); ++g) {
+    std::vector<std::string> row = {std::to_string(g + 1)};
+    for (std::size_t p = 0; p < grid.policy_count(); ++p)
+      row.push_back(util::format_double(grid.cells[g][p].makespan_ms, 0));
+    table.add_row(std::move(row));
+  }
+  table.add_separator();
+  std::vector<std::string> avg = {"avg"};
+  std::vector<std::string> wins = {"wins"};
+  for (std::size_t p = 0; p < grid.policy_count(); ++p) {
+    avg.push_back(util::format_double(grid.avg_makespan_ms(p), 0));
+    wins.push_back(std::to_string(grid.wins(p)));
+  }
+  table.add_row(std::move(avg));
+  table.add_row(std::move(wins));
+  std::cout << table.to_string();
+
+  std::cout << "\nAPT improvement over the second-best dynamic policy "
+               "(Eq. 13/14): "
+            << util::format_double(core::improvement_exec_pct(grid, 0), 2)
+            << "% execution time, "
+            << util::format_double(core::improvement_lambda_pct(grid, 0), 2)
+            << "% lambda delay\n";
+  return 0;
+}

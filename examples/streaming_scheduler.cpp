@@ -1,0 +1,65 @@
+// Streaming scheduler: applications arriving over time (Poisson process)
+// rather than as one batch — the thesis's "incoming stream of
+// applications" made literal. Shows release times, the Gantt view, and
+// per-policy behaviour as the stream density changes.
+#include <iostream>
+
+#include "core/policy_factory.hpp"
+#include "core/runner.hpp"
+#include "dag/generator.hpp"
+#include "lut/paper_data.hpp"
+#include "sim/analysis.hpp"
+#include "sim/gantt.hpp"
+#include "util/string_utils.hpp"
+#include "util/table_printer.hpp"
+
+int main() {
+  using namespace apt;
+
+  // A 24-kernel Type-1 batch whose level-1 kernels arrive as a stream.
+  constexpr std::uint64_t kSeed = 2026;
+  const sim::System system(sim::SystemConfig::paper_default(4.0));
+  const lut::LookupTable table = lut::paper_lookup_table();
+
+  std::cout << "One stream, three densities, two policies\n"
+            << "=========================================\n\n";
+  util::TablePrinter summary({"Mean gap (ms)", "Policy", "Makespan (s)",
+                              "Lambda (s)", "Utilisation %"});
+  for (double gap : {50.0, 500.0, 5000.0}) {
+    for (const char* spec : {"apt:4", "met"}) {
+      dag::Dag graph =
+          dag::generate(dag::DfgType::Type1, 24, kSeed,
+                        dag::KernelPool::paper_pool());
+      dag::apply_poisson_arrivals(graph, gap, kSeed);
+      const auto policy = core::make_policy(spec);
+      const core::RunOutcome outcome =
+          core::run_policy(*policy, graph, system, table);
+      const sim::LutCostModel cost(table, system);
+      const auto analysis =
+          sim::analyze_schedule(graph, system, cost, outcome.result);
+      summary.add_row(
+          {util::format_double(gap, 0), outcome.policy_name,
+           util::format_double(outcome.metrics.makespan / 1000.0, 2),
+           util::format_double(outcome.metrics.lambda.total_ms / 1000.0, 2),
+           util::format_double(analysis.avg_utilization * 100.0, 1)});
+    }
+  }
+  std::cout << summary.to_string();
+
+  // Visualise the densest stream under APT.
+  dag::Dag graph = dag::generate(dag::DfgType::Type1, 24, kSeed,
+                                 dag::KernelPool::paper_pool());
+  dag::apply_poisson_arrivals(graph, 50.0, kSeed);
+  const auto apt = core::make_policy("apt:4");
+  const core::RunOutcome outcome =
+      core::run_policy(*apt, graph, system, table);
+  std::cout << "\nAPT(4) Gantt view of the dense stream (50 ms mean gap):\n"
+            << sim::ascii_gantt(graph, system, outcome.result, 72);
+
+  std::cout <<
+      "\nReading: with 50 ms gaps the stream saturates the platform and\n"
+      "APT's threshold assignments compress the makespan; at 5000 ms gaps\n"
+      "kernels arrive into an empty system, everyone gets their best\n"
+      "processor, and the two policies converge.\n";
+  return 0;
+}

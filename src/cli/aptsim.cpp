@@ -1,0 +1,307 @@
+// aptsim — command-line front end for the APT scheduling library.
+//
+//   aptsim generate --type 1|2 --kernels N --seed S [--out FILE] [--dot FILE]
+//   aptsim run --policy SPEC [--graph FILE | --type T --kernels N --seed S]
+//              [--rate GBPS] [--trace] [--csv FILE]
+//   aptsim compare [--type T] [--alpha A] [--rate GBPS]
+//   aptsim sweep [--type T] [--rates 4,8]
+//   aptsim lut [--csv FILE]
+//   aptsim policies
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/experiments.hpp"
+#include "core/policy_factory.hpp"
+#include "core/report.hpp"
+#include "core/runner.hpp"
+#include "dag/generator.hpp"
+#include "dag/serialize.hpp"
+#include "lut/paper_data.hpp"
+#include "sim/analysis.hpp"
+#include "sim/gantt.hpp"
+#include "sim/trace.hpp"
+#include "util/csv.hpp"
+#include "util/string_utils.hpp"
+#include "util/table_printer.hpp"
+
+namespace {
+
+using namespace apt;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  bool has(const std::string& key) const { return options.count(key) != 0; }
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string token = argv[i];
+    if (!util::starts_with(token, "--")) {
+      throw std::invalid_argument("expected --option, got '" + token + "'");
+    }
+    const std::string key = token.substr(2);
+    // Flags without values.
+    if (key == "trace" || key == "gantt" || key == "analyze") {
+      args.options[key] = "1";
+      continue;
+    }
+    if (i + 1 >= argc)
+      throw std::invalid_argument("option --" + key + " needs a value");
+    args.options[key] = argv[++i];
+  }
+  return args;
+}
+
+dag::Dag graph_from_args(const Args& args) {
+  dag::Dag graph = [&] {
+    if (args.has("graph")) return dag::load_text_file(args.get("graph", ""));
+    const int type = static_cast<int>(util::parse_int(args.get("type", "1")));
+    if (type != 1 && type != 2)
+      throw std::invalid_argument("--type must be 1 or 2");
+    const auto dfg = type == 1 ? dag::DfgType::Type1 : dag::DfgType::Type2;
+    const std::size_t n =
+        static_cast<std::size_t>(util::parse_uint(args.get("kernels", "46")));
+    const std::uint64_t seed = util::parse_uint(args.get("seed", "1"));
+    return dag::generate(dfg, n, seed, dag::KernelPool::paper_pool());
+  }();
+  if (args.has("arrivals")) {
+    // --arrivals <mean-gap-ms>: stream the entry kernels in with Poisson
+    // inter-arrival gaps instead of submitting everything at time zero.
+    dag::apply_poisson_arrivals(graph,
+                                util::parse_double(args.get("arrivals", "")),
+                                util::parse_uint(args.get("seed", "1")));
+  }
+  return graph;
+}
+
+int cmd_generate(const Args& args) {
+  const dag::Dag graph = graph_from_args(args);
+  if (args.has("out")) dag::save_text_file(graph, args.get("out", ""));
+  if (args.has("dot")) {
+    util::CsvTable unused;  // (keep includes honest)
+    (void)unused;
+    std::ofstream(args.get("dot", "")) << dag::to_dot(graph);
+  }
+  std::cout << "generated graph: " << graph.node_count() << " kernels, "
+            << graph.edge_count() << " edges, depth " << graph.depth() << "\n";
+  for (const auto& [kernel, count] : graph.kernel_histogram())
+    std::cout << "  " << kernel << ": " << count << "\n";
+  if (!args.has("out") && !args.has("dot")) std::cout << dag::to_text(graph);
+  return 0;
+}
+
+int cmd_run(const Args& args) {
+  const dag::Dag graph = graph_from_args(args);
+  const std::string spec = args.get("policy", "apt:4");
+  const double rate = util::parse_double(args.get("rate", "4"));
+  const auto outcome = core::run_paper_system(spec, graph, rate);
+
+  std::cout << "policy:    " << outcome.policy_name << "\n";
+  std::cout << "kernels:   " << graph.node_count() << "\n";
+  std::cout << "makespan:  " << util::format_double(outcome.metrics.makespan, 3)
+            << " ms\n";
+  std::cout << "lambda:    total "
+            << util::format_double(outcome.metrics.lambda.total_ms, 3)
+            << " ms, avg "
+            << util::format_double(outcome.metrics.lambda.avg_ms, 3)
+            << " ms, stddev "
+            << util::format_double(outcome.metrics.lambda.stddev_ms, 3)
+            << " ms over " << outcome.metrics.lambda.occurrences
+            << " occurrences\n";
+  for (const auto& proc : outcome.metrics.per_proc) {
+    std::cout << "  " << proc.name << ": compute "
+              << util::format_double(proc.compute_ms, 3) << " ms, transfer "
+              << util::format_double(proc.transfer_ms, 3) << " ms, idle "
+              << util::format_double(proc.idle_ms, 3) << " ms ("
+              << proc.kernel_count << " kernels)\n";
+  }
+  if (outcome.metrics.alternative_count > 0) {
+    std::cout << "alternative assignments: "
+              << outcome.metrics.alternative_count << "\n";
+    for (const auto& [kernel, count] :
+         outcome.metrics.alternative_by_kernel)
+      std::cout << "  " << count << "-" << kernel << "\n";
+  }
+  std::cout << "energy:    "
+            << util::format_double(outcome.metrics.total_energy_j, 1)
+            << " J\n";
+  if (args.has("trace")) {
+    const sim::System system(sim::SystemConfig::paper_default(rate));
+    std::cout << "\n"
+              << sim::format_trace(system,
+                                   sim::build_trace(graph, system,
+                                                    outcome.result));
+  }
+  if (args.has("gantt")) {
+    const sim::System system(sim::SystemConfig::paper_default(rate));
+    std::cout << "\n" << sim::ascii_gantt(graph, system, outcome.result);
+  }
+  if (args.has("analyze")) {
+    const sim::System system(sim::SystemConfig::paper_default(rate));
+    const sim::LutCostModel cost(lut::paper_lookup_table(), system);
+    std::cout << "\n"
+              << sim::format_analysis(sim::analyze_schedule(
+                     graph, system, cost, outcome.result));
+  }
+  if (args.has("csv")) {
+    util::CsvTable csv({"node", "kernel", "data_size", "proc", "ready_ms",
+                        "assign_ms", "exec_start_ms", "finish_ms",
+                        "alternative"});
+    const sim::System system(sim::SystemConfig::paper_default(rate));
+    for (const auto& k : outcome.result.schedule) {
+      csv.add_row({std::to_string(k.node), graph.node(k.node).kernel,
+                   std::to_string(graph.node(k.node).data_size),
+                   system.processor(k.proc).name,
+                   util::format_double(k.ready_time, 6),
+                   util::format_double(k.assign_time, 6),
+                   util::format_double(k.exec_start, 6),
+                   util::format_double(k.finish_time, 6),
+                   k.alternative ? "1" : "0"});
+    }
+    util::write_csv_file(csv, args.get("csv", ""));
+    std::cout << "schedule written to " << args.get("csv", "") << "\n";
+  }
+  return 0;
+}
+
+int cmd_compare(const Args& args) {
+  const int type = static_cast<int>(util::parse_int(args.get("type", "1")));
+  const auto dfg = type == 1 ? dag::DfgType::Type1 : dag::DfgType::Type2;
+  const double alpha = util::parse_double(args.get("alpha", "4"));
+  const double rate = util::parse_double(args.get("rate", "4"));
+
+  const core::Grid grid =
+      core::run_paper_grid(dfg, core::paper_policy_specs(alpha), rate);
+
+  std::vector<std::string> header = {"Graph"};
+  for (const auto& name : grid.policy_names) header.push_back(name);
+  util::TablePrinter table(header);
+  for (std::size_t g = 0; g < grid.experiment_count(); ++g) {
+    std::vector<std::string> row = {std::to_string(g + 1)};
+    for (std::size_t p = 0; p < grid.policy_count(); ++p)
+      row.push_back(util::format_double(grid.cells[g][p].makespan_ms, 0));
+    table.add_row(row);
+  }
+  table.add_separator();
+  std::vector<std::string> avg = {"avg"};
+  for (std::size_t p = 0; p < grid.policy_count(); ++p)
+    avg.push_back(util::format_double(grid.avg_makespan_ms(p), 0));
+  table.add_row(avg);
+  std::cout << "Total computation time (ms), " << dag::to_string(dfg)
+            << ", rate " << rate << " GB/s\n"
+            << table.to_string();
+  std::cout << "APT improvement vs best other dynamic policy: "
+            << util::format_double(core::improvement_exec_pct(grid, 0), 2)
+            << "% exec, "
+            << util::format_double(core::improvement_lambda_pct(grid, 0), 2)
+            << "% lambda\n";
+  return 0;
+}
+
+int cmd_sweep(const Args& args) {
+  const int type = static_cast<int>(util::parse_int(args.get("type", "1")));
+  const auto dfg = type == 1 ? dag::DfgType::Type1 : dag::DfgType::Type2;
+  std::vector<double> rates;
+  for (const auto& r : util::split(args.get("rates", "4,8"), ','))
+    rates.push_back(util::parse_double(r));
+
+  const auto points = core::apt_alpha_sweep(dfg, core::paper_alphas(), rates);
+  util::TablePrinter table({"alpha", "rate GB/s", "avg makespan ms",
+                            "avg lambda ms"});
+  for (const auto& p : points) {
+    table.add_row({util::format_double(p.alpha, 1),
+                   util::format_double(p.rate_gbps, 0),
+                   util::format_double(p.avg_makespan_ms, 1),
+                   util::format_double(p.avg_lambda_ms, 1)});
+  }
+  std::cout << "APT alpha sweep, " << dag::to_string(dfg) << "\n"
+            << table.to_string();
+  return 0;
+}
+
+int cmd_lut(const Args& args) {
+  const lut::LookupTable table = lut::paper_lookup_table();
+  if (args.has("csv")) {
+    table.save_csv_file(args.get("csv", ""));
+    std::cout << "lookup table written to " << args.get("csv", "") << "\n";
+    return 0;
+  }
+  util::TablePrinter printer({"Kernel", "Data Size", "CPU (ms)", "GPU (ms)",
+                              "FPGA (ms)"});
+  for (const auto& e : table.entries()) {
+    printer.add_row({e.kernel, std::to_string(e.data_size),
+                     util::format_double(e.time(lut::ProcType::CPU), 3),
+                     util::format_double(e.time(lut::ProcType::GPU), 3),
+                     util::format_double(e.time(lut::ProcType::FPGA), 3)});
+  }
+  std::cout << printer.to_string();
+  return 0;
+}
+
+int cmd_report(const Args& args) {
+  const std::string dir = args.get("out-dir", "report");
+  const double alpha = util::parse_double(args.get("alpha", "4"));
+  std::filesystem::create_directories(dir);
+  std::cout << "Regenerating the reproduction bundle (alpha = " << alpha
+            << ") into " << dir << "/ ...\n";
+  for (const auto& name : core::write_report_bundle(dir, alpha))
+    std::cout << "  " << name << "\n";
+  return 0;
+}
+
+int cmd_policies() {
+  std::cout << "known policy specs:\n";
+  for (const auto& spec : core::known_policy_specs())
+    std::cout << "  " << spec << "\n";
+  return 0;
+}
+
+void usage() {
+  std::cout <<
+      "aptsim — heterogeneous-scheduling simulator (APT reproduction)\n"
+      "\n"
+      "usage:\n"
+      "  aptsim generate --type 1|2 --kernels N --seed S [--out F] [--dot F]\n"
+      "  aptsim run --policy SPEC [--graph F | --type T --kernels N --seed S]\n"
+      "             [--rate GBPS] [--arrivals MEAN_MS] [--trace] [--gantt]\n"
+      "             [--analyze] [--csv F]\n"
+      "  aptsim compare [--type T] [--alpha A] [--rate GBPS]\n"
+      "  aptsim sweep [--type T] [--rates 4,8]\n"
+      "  aptsim lut [--csv F]\n"
+      "  aptsim report [--out-dir D] [--alpha A]\n"
+      "  aptsim policies\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse_args(argc, argv);
+    if (args.command == "generate") return cmd_generate(args);
+    if (args.command == "run") return cmd_run(args);
+    if (args.command == "compare") return cmd_compare(args);
+    if (args.command == "sweep") return cmd_sweep(args);
+    if (args.command == "lut") return cmd_lut(args);
+    if (args.command == "report") return cmd_report(args);
+    if (args.command == "policies") return cmd_policies();
+    usage();
+    return args.command.empty() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "aptsim: error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,62 @@
+#include "core/apt.hpp"
+
+#include <limits>
+#include <optional>
+#include <stdexcept>
+
+#include "policies/selection.hpp"
+#include "util/string_utils.hpp"
+
+namespace apt::core {
+
+Apt::Apt(AptOptions options) : options_(options) {
+  if (!(options_.alpha >= 1.0))
+    throw std::invalid_argument("Apt: alpha must be >= 1 (Eq. 8)");
+}
+
+std::string Apt::name() const {
+  std::string n = "APT(alpha=" + util::format_double(options_.alpha, 2) + ")";
+  if (!options_.transfer_aware) n += "[no-transfer]";
+  if (options_.consider_remaining_time) n += "[remaining]";
+  return n;
+}
+
+void Apt::on_event(sim::SchedulerContext& ctx) {
+  // Snapshot: assign() mutates the ready list; one pass suffices because
+  // assignments never free a processor.
+  const std::vector<dag::NodeId> ready = ctx.ready();
+  for (dag::NodeId node : ready) {
+    // Line 5-8 of Algorithm 1: the best processor, taken when available.
+    if (const auto pmin = policies::idle_optimal_proc(ctx, node)) {
+      ctx.assign(node, *pmin);
+      continue;
+    }
+
+    // Line 10-14: the alternative processor within the threshold.
+    const sim::TimeMs x = policies::min_exec_time_ms(ctx, node);
+    const sim::TimeMs threshold = options_.alpha * x;
+
+    std::optional<sim::ProcId> alt;
+    sim::TimeMs alt_cost = std::numeric_limits<sim::TimeMs>::infinity();
+    for (sim::ProcId proc : ctx.idle_processors()) {
+      sim::TimeMs cost = ctx.exec_time_ms(node, proc);
+      if (options_.transfer_aware) cost += ctx.input_transfer_ms(node, proc);
+      if (cost <= threshold && cost < alt_cost) {
+        alt = proc;
+        alt_cost = cost;
+      }
+    }
+    if (!alt) continue;  // within-threshold alternative absent: wait
+
+    if (options_.consider_remaining_time) {
+      // Future-work refinement: waiting costs (remaining time on p_min) + x;
+      // prefer waiting when it beats the alternative.
+      const sim::ProcId pmin = policies::min_exec_proc(ctx, node);
+      const sim::TimeMs wait_cost = (ctx.busy_until(pmin) - ctx.now()) + x;
+      if (wait_cost <= alt_cost) continue;
+    }
+    ctx.assign(node, *alt, /*alternative=*/true);
+  }
+}
+
+}  // namespace apt::core

@@ -1,0 +1,52 @@
+// Alternative Processor within Threshold — the paper's contribution
+// (thesis Chapter 3, Algorithm 1).
+//
+// APT is MET with tunable flexibility. Each ready kernel v_i (FIFO order):
+//
+//   1. Find p_min, the processor with the smallest execution time x for v_i
+//      (a lookup-table query). If an optimal processor is idle, assign.
+//   2. Otherwise compute threshold = α · x (α ≥ 1, Eq. 8) and look for an
+//      *alternative* idle processor p_alt whose execution time plus
+//      input-data transfer time is within the threshold; assign to the
+//      cheapest such processor, or wait if none qualifies.
+//
+// α controls the flexibility/affinity trade-off: α → 1 degenerates to MET
+// (always wait for the best processor); large α floods slow processors.
+// The thesis finds a "valley" with the best makespan at threshold_brk ≈ 4
+// for its CPU+GPU+FPGA system.
+#pragma once
+
+#include "sim/policy.hpp"
+
+namespace apt::core {
+
+struct AptOptions {
+  double alpha = 4.0;  ///< threshold multiplier (must be >= 1, Eq. 8)
+
+  /// Include the input-data transfer time in the threshold comparison (the
+  /// paper's definition). Disabled only by the ablation bench.
+  bool transfer_aware = true;
+
+  /// Also compare the alternative against waiting for p_min to drain
+  /// (remaining busy time + x) — the thesis's announced future-work
+  /// extension; see AptRemaining for the packaged policy.
+  bool consider_remaining_time = false;
+};
+
+class Apt : public sim::Policy {
+ public:
+  Apt() = default;
+  explicit Apt(AptOptions options);
+  explicit Apt(double alpha) : Apt(AptOptions{alpha, true, false}) {}
+
+  std::string name() const override;
+  bool is_dynamic() const override { return true; }
+  void on_event(sim::SchedulerContext& ctx) override;
+
+  const AptOptions& options() const noexcept { return options_; }
+
+ private:
+  AptOptions options_;
+};
+
+}  // namespace apt::core

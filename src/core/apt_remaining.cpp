@@ -1,0 +1,11 @@
+#include "core/apt_remaining.hpp"
+
+#include "util/string_utils.hpp"
+
+namespace apt::core {
+
+std::string AptRemaining::util_alpha_string() const {
+  return util::format_double(options().alpha, 2);
+}
+
+}  // namespace apt::core

@@ -1,0 +1,29 @@
+// APT-R: the thesis's announced future-work extension packaged as its own
+// policy ("In the future, we will consider the remaining execution time in
+// the optimal processor before deciding whether to assign to an alternative
+// processor", Chapter 5).
+//
+// Identical to APT except that, when p_min is busy and a within-threshold
+// alternative exists, the kernel is sent to the alternative only if that
+// beats the estimated cost of waiting: (remaining time on p_min) + x.
+#pragma once
+
+#include "core/apt.hpp"
+
+namespace apt::core {
+
+class AptRemaining final : public Apt {
+ public:
+  explicit AptRemaining(double alpha = 4.0)
+      : Apt(AptOptions{alpha, /*transfer_aware=*/true,
+                       /*consider_remaining_time=*/true}) {}
+
+  std::string name() const override {
+    return "APT-R(alpha=" + util_alpha_string() + ")";
+  }
+
+ private:
+  std::string util_alpha_string() const;
+};
+
+}  // namespace apt::core

@@ -1,0 +1,175 @@
+#include "core/experiments.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/policy_factory.hpp"
+#include "core/runner.hpp"
+#include "lut/paper_data.hpp"
+#include "util/string_utils.hpp"
+
+namespace apt::core {
+
+double Grid::avg_makespan_ms(std::size_t policy) const {
+  double sum = 0.0;
+  for (const auto& row : cells) sum += row.at(policy).makespan_ms;
+  return cells.empty() ? 0.0 : sum / static_cast<double>(cells.size());
+}
+
+double Grid::avg_lambda_ms(std::size_t policy) const {
+  double sum = 0.0;
+  for (const auto& row : cells) sum += row.at(policy).lambda_total_ms;
+  return cells.empty() ? 0.0 : sum / static_cast<double>(cells.size());
+}
+
+std::size_t Grid::wins(std::size_t policy) const {
+  std::size_t wins = 0;
+  for (const auto& row : cells) {
+    bool best = true;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != policy && row[c].makespan_ms <= row[policy].makespan_ms) {
+        best = false;
+        break;
+      }
+    }
+    if (best) ++wins;
+  }
+  return wins;
+}
+
+std::vector<std::string> paper_policy_specs(double apt_alpha) {
+  return {"apt:" + util::format_double(apt_alpha, 3),
+          "met",
+          "spn",
+          "ss",
+          "ag",
+          "heft",
+          "peft"};
+}
+
+namespace {
+
+Cell cell_from(const RunOutcome& outcome) {
+  Cell cell;
+  cell.makespan_ms = outcome.metrics.makespan;
+  cell.lambda_total_ms = outcome.metrics.lambda.total_ms;
+  cell.lambda_avg_ms = outcome.metrics.lambda.avg_ms;
+  cell.lambda_stddev_ms = outcome.metrics.lambda.stddev_ms;
+  cell.alternative_count = outcome.metrics.alternative_count;
+  cell.alternative_by_kernel = outcome.metrics.alternative_by_kernel;
+  return cell;
+}
+
+}  // namespace
+
+Grid run_paper_grid(dag::DfgType type,
+                    const std::vector<std::string>& policy_specs,
+                    double rate_gbps) {
+  Grid grid;
+  grid.type = type;
+  grid.rate_gbps = rate_gbps;
+  grid.policy_specs = policy_specs;
+
+  const sim::System system(sim::SystemConfig::paper_default(rate_gbps));
+  const lut::LookupTable table = lut::paper_lookup_table();
+  const std::vector<dag::Dag> graphs = dag::paper_workload(type);
+
+  for (const std::string& spec : policy_specs)
+    grid.policy_names.push_back(make_policy(spec)->name());
+
+  grid.cells.resize(graphs.size());
+  for (std::size_t g = 0; g < graphs.size(); ++g) {
+    grid.cells[g].reserve(policy_specs.size());
+    for (const std::string& spec : policy_specs) {
+      const auto policy = make_policy(spec);
+      grid.cells[g].push_back(
+          cell_from(run_policy(*policy, graphs[g], system, table)));
+    }
+  }
+  return grid;
+}
+
+std::vector<Cell> run_policy_over(const std::string& policy_spec,
+                                  const std::vector<dag::Dag>& graphs,
+                                  double rate_gbps) {
+  const sim::System system(sim::SystemConfig::paper_default(rate_gbps));
+  const lut::LookupTable table = lut::paper_lookup_table();
+  std::vector<Cell> cells;
+  cells.reserve(graphs.size());
+  for (const dag::Dag& graph : graphs) {
+    const auto policy = make_policy(policy_spec);
+    cells.push_back(cell_from(run_policy(*policy, graph, system, table)));
+  }
+  return cells;
+}
+
+bool is_dynamic_spec(const std::string& spec) {
+  return make_policy(spec)->is_dynamic();
+}
+
+namespace {
+
+/// The paper's "second-best policy": the dynamic column (other than
+/// `target`) with the best average makespan. Both Eq. 13 and Eq. 14
+/// compare against this same competitor.
+std::size_t second_best_dynamic(const Grid& grid, std::size_t target) {
+  std::size_t best = grid.policy_count();
+  double best_avg = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < grid.policy_count(); ++c) {
+    if (c == target || !is_dynamic_spec(grid.policy_specs.at(c))) continue;
+    const double avg = grid.avg_makespan_ms(c);
+    if (avg < best_avg) {
+      best_avg = avg;
+      best = c;
+    }
+  }
+  if (best == grid.policy_count())
+    throw std::logic_error("improvement: no dynamic competitor in grid");
+  return best;
+}
+
+}  // namespace
+
+double improvement_exec_pct(const Grid& grid, std::size_t target) {
+  const double competitor =
+      grid.avg_makespan_ms(second_best_dynamic(grid, target));
+  return (competitor - grid.avg_makespan_ms(target)) / competitor * 100.0;
+}
+
+double improvement_lambda_pct(const Grid& grid, std::size_t target) {
+  const double competitor =
+      grid.avg_lambda_ms(second_best_dynamic(grid, target));
+  return (competitor - grid.avg_lambda_ms(target)) / competitor * 100.0;
+}
+
+std::vector<AlphaSweepPoint> apt_alpha_sweep(
+    dag::DfgType type, const std::vector<double>& alphas,
+    const std::vector<double>& rates_gbps) {
+  std::vector<AlphaSweepPoint> points;
+  const std::vector<dag::Dag> graphs = dag::paper_workload(type);
+  for (double alpha : alphas) {
+    for (double rate : rates_gbps) {
+      const auto cells = run_policy_over(
+          "apt:" + util::format_double(alpha, 3), graphs, rate);
+      AlphaSweepPoint point;
+      point.alpha = alpha;
+      point.rate_gbps = rate;
+      for (const Cell& cell : cells) {
+        point.avg_makespan_ms += cell.makespan_ms;
+        point.avg_lambda_ms += cell.lambda_total_ms;
+      }
+      point.avg_makespan_ms /= static_cast<double>(cells.size());
+      point.avg_lambda_ms /= static_cast<double>(cells.size());
+      points.push_back(point);
+    }
+  }
+  return points;
+}
+
+const std::vector<double>& paper_alphas() {
+  static const std::vector<double> alphas = {1.5, 2.0, 4.0, 8.0, 16.0};
+  return alphas;
+}
+
+}  // namespace apt::core

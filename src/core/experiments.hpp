@@ -1,0 +1,92 @@
+// The paper's experiment harness: runs policy sets over the ten Type-1 /
+// Type-2 workload graphs, aggregates the metrics the thesis tabulates, and
+// computes the improvement figures of Eq. (13)/(14). Every bench binary is
+// a thin formatter over these functions.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dag/generator.hpp"
+#include "sim/metrics.hpp"
+#include "sim/system.hpp"
+
+namespace apt::core {
+
+/// One (experiment, policy) cell of a results grid.
+struct Cell {
+  sim::TimeMs makespan_ms = 0.0;
+  sim::TimeMs lambda_total_ms = 0.0;
+  sim::TimeMs lambda_avg_ms = 0.0;
+  sim::TimeMs lambda_stddev_ms = 0.0;
+  std::size_t alternative_count = 0;
+  std::map<std::string, std::size_t> alternative_by_kernel;
+};
+
+/// Results of a full policy-set × 10-experiment sweep at one transfer rate.
+struct Grid {
+  dag::DfgType type = dag::DfgType::Type1;
+  double rate_gbps = 4.0;
+  std::vector<std::string> policy_names;   ///< column order
+  std::vector<std::string> policy_specs;   ///< factory specs per column
+  std::vector<std::vector<Cell>> cells;    ///< [experiment][policy]
+
+  std::size_t experiment_count() const noexcept { return cells.size(); }
+  std::size_t policy_count() const noexcept { return policy_names.size(); }
+
+  /// Mean makespan over experiments for one policy column.
+  double avg_makespan_ms(std::size_t policy) const;
+  /// Mean total-λ over experiments for one policy column.
+  double avg_lambda_ms(std::size_t policy) const;
+  /// Experiments in which the column is strictly best on makespan — the
+  /// thesis's "number of occurrences of better solutions".
+  std::size_t wins(std::size_t policy) const;
+};
+
+/// The thesis's default policy columns: APT(α), MET, SPN, SS, AG, HEFT, PEFT.
+std::vector<std::string> paper_policy_specs(double apt_alpha);
+
+/// Runs every policy spec over the ten paper graphs of `type` on the
+/// 1×CPU+1×GPU+1×FPGA system at `rate_gbps`.
+Grid run_paper_grid(dag::DfgType type,
+                    const std::vector<std::string>& policy_specs,
+                    double rate_gbps = 4.0);
+
+/// Runs one policy spec over explicit graphs (for custom workloads).
+std::vector<Cell> run_policy_over(const std::string& policy_spec,
+                                  const std::vector<dag::Dag>& graphs,
+                                  double rate_gbps = 4.0);
+
+// --- Improvement metrics (thesis §4.4) ---------------------------------------
+
+/// True when the spec names a dynamic policy (the comparison base of
+/// Eq. 13/14 is restricted to dynamic competitors).
+bool is_dynamic_spec(const std::string& spec);
+
+/// Percentage improvement of column `target` over the best *other dynamic*
+/// column on average makespan (Eq. 13); negative when the competitor wins.
+double improvement_exec_pct(const Grid& grid, std::size_t target);
+
+/// Same for average total λ (Eq. 14).
+double improvement_lambda_pct(const Grid& grid, std::size_t target);
+
+// --- α / transfer-rate sweeps (Figures 7, 9, 11, 12) --------------------------
+
+struct AlphaSweepPoint {
+  double alpha = 0.0;
+  double rate_gbps = 0.0;
+  double avg_makespan_ms = 0.0;
+  double avg_lambda_ms = 0.0;
+};
+
+/// Average APT performance over the ten paper graphs of `type` for each
+/// (alpha, rate) combination.
+std::vector<AlphaSweepPoint> apt_alpha_sweep(
+    dag::DfgType type, const std::vector<double>& alphas,
+    const std::vector<double>& rates_gbps);
+
+/// The α grid used throughout the thesis: {1.5, 2, 4, 8, 16}.
+const std::vector<double>& paper_alphas();
+
+}  // namespace apt::core

@@ -1,0 +1,91 @@
+#include "core/policy_factory.hpp"
+
+#include <stdexcept>
+
+#include "core/apt.hpp"
+#include "core/apt_ranked.hpp"
+#include "core/apt_remaining.hpp"
+#include "policies/ag.hpp"
+#include "policies/batch_mode.hpp"
+#include "policies/heft.hpp"
+#include "policies/met.hpp"
+#include "policies/olb.hpp"
+#include "policies/peft.hpp"
+#include "policies/random_policy.hpp"
+#include "policies/spn.hpp"
+#include "policies/ss.hpp"
+#include "util/string_utils.hpp"
+
+namespace apt::core {
+
+std::unique_ptr<sim::Policy> make_policy(const std::string& spec) {
+  const std::string lowered = util::to_lower(util::trim(spec));
+  std::string head = lowered;
+  std::string arg;
+  if (const auto colon = lowered.find(':'); colon != std::string::npos) {
+    head = lowered.substr(0, colon);
+    arg = lowered.substr(colon + 1);
+  }
+
+  if (head == "apt") {
+    const double alpha = arg.empty() ? 4.0 : util::parse_double(arg);
+    return std::make_unique<Apt>(alpha);
+  }
+  if (head == "apt-r" || head == "aptr") {
+    const double alpha = arg.empty() ? 4.0 : util::parse_double(arg);
+    return std::make_unique<AptRemaining>(alpha);
+  }
+  if (head == "apt-ranked" || head == "aptranked") {
+    const double alpha = arg.empty() ? 4.0 : util::parse_double(arg);
+    return std::make_unique<AptRanked>(alpha);
+  }
+  if (head == "met") return std::make_unique<policies::Met>();
+  if (head == "spn") return std::make_unique<policies::Spn>();
+  if (head == "ss") return std::make_unique<policies::SerialScheduling>();
+  if (head == "ag") {
+    policies::AgOptions options;
+    if (arg == "recent")
+      options.estimate = policies::AgQueueEstimate::RecentAverage;
+    else if (!arg.empty())
+      throw std::invalid_argument("make_policy: unknown AG variant '" + arg + "'");
+    return std::make_unique<policies::AdaptiveGreedy>(options);
+  }
+  if (head == "olb") return std::make_unique<policies::Olb>();
+  if (head == "minmin" || head == "min-min")
+    return std::make_unique<policies::BatchMode>(policies::BatchRule::MinMin);
+  if (head == "maxmin" || head == "max-min")
+    return std::make_unique<policies::BatchMode>(policies::BatchRule::MaxMin);
+  if (head == "sufferage")
+    return std::make_unique<policies::BatchMode>(
+        policies::BatchRule::Sufferage);
+  if (head == "heft") return std::make_unique<policies::Heft>();
+  if (head == "peft") return std::make_unique<policies::Peft>();
+  if (head == "random") {
+    const std::uint64_t seed = arg.empty() ? 42 : util::parse_uint(arg);
+    return std::make_unique<policies::RandomPolicy>(seed);
+  }
+  throw std::invalid_argument("make_policy: unknown policy spec '" + spec + "'");
+}
+
+std::vector<std::string> known_policy_specs() {
+  return {"apt",    "apt:<alpha>", "apt-r",     "apt-r:<alpha>",
+          "apt-ranked", "apt-ranked:<alpha>",
+          "met",    "spn",         "ss",        "ag",
+          "ag:recent", "olb",      "minmin",    "maxmin",
+          "sufferage", "heft",     "peft",      "random",
+          "random:<seed>"};
+}
+
+std::vector<std::unique_ptr<sim::Policy>> paper_policy_set(double apt_alpha) {
+  std::vector<std::unique_ptr<sim::Policy>> set;
+  set.push_back(std::make_unique<Apt>(apt_alpha));
+  set.push_back(std::make_unique<policies::Met>());
+  set.push_back(std::make_unique<policies::Spn>());
+  set.push_back(std::make_unique<policies::SerialScheduling>());
+  set.push_back(std::make_unique<policies::AdaptiveGreedy>());
+  set.push_back(std::make_unique<policies::Heft>());
+  set.push_back(std::make_unique<policies::Peft>());
+  return set;
+}
+
+}  // namespace apt::core

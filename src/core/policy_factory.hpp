@@ -1,0 +1,34 @@
+// Construction of any policy by name — the front door for the CLI, benches,
+// and downstream users.
+//
+// Specs (case-insensitive):
+//   "apt"            APT with default alpha 4
+//   "apt:2.5"        APT with alpha 2.5
+//   "apt-r" / "apt-r:8"   APT with the remaining-time extension
+//   "met" "spn" "ss" "olb"
+//   "ag"             sum-of-queued estimator; "ag:recent" for Eq. (2)
+//   "minmin" "maxmin" "sufferage"   (Braun et al. batch-mode heuristics)
+//   "heft" "peft"
+//   "random" / "random:1234" (seed)
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/policy.hpp"
+
+namespace apt::core {
+
+/// Creates the policy described by `spec`; throws std::invalid_argument on
+/// unknown names or malformed parameters.
+std::unique_ptr<sim::Policy> make_policy(const std::string& spec);
+
+/// All specs understood by make_policy (for --help and tests).
+std::vector<std::string> known_policy_specs();
+
+/// The thesis's seven-policy comparison set (APT at the given alpha first,
+/// then MET, SPN, SS, AG, HEFT, PEFT).
+std::vector<std::unique_ptr<sim::Policy>> paper_policy_set(double apt_alpha);
+
+}  // namespace apt::core

@@ -1,0 +1,133 @@
+#include "core/report.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "util/string_utils.hpp"
+
+namespace apt::core {
+
+const char* to_string(GridValue value) noexcept {
+  switch (value) {
+    case GridValue::Makespan: return "makespan_ms";
+    case GridValue::LambdaTotal: return "lambda_total_ms";
+    case GridValue::AlternativeCount: return "alternative_count";
+  }
+  return "?";
+}
+
+namespace {
+
+double cell_value(const Cell& cell, GridValue value) {
+  switch (value) {
+    case GridValue::Makespan: return cell.makespan_ms;
+    case GridValue::LambdaTotal: return cell.lambda_total_ms;
+    case GridValue::AlternativeCount:
+      return static_cast<double>(cell.alternative_count);
+  }
+  return 0.0;
+}
+
+std::string format_cell(double v, GridValue value) {
+  return value == GridValue::AlternativeCount
+             ? std::to_string(static_cast<long long>(v))
+             : util::format_double(v, 3);
+}
+
+}  // namespace
+
+std::string grid_to_csv(const Grid& grid, GridValue value) {
+  util::CsvRow header = {"experiment"};
+  for (const auto& name : grid.policy_names) header.push_back(name);
+  util::CsvTable table(header);
+  std::vector<double> sums(grid.policy_count(), 0.0);
+  for (std::size_t g = 0; g < grid.experiment_count(); ++g) {
+    util::CsvRow row = {std::to_string(g + 1)};
+    for (std::size_t p = 0; p < grid.policy_count(); ++p) {
+      const double v = cell_value(grid.cells[g][p], value);
+      sums[p] += v;
+      row.push_back(format_cell(v, value));
+    }
+    table.add_row(std::move(row));
+  }
+  util::CsvRow avg = {"avg"};
+  for (std::size_t p = 0; p < grid.policy_count(); ++p)
+    avg.push_back(util::format_double(
+        sums[p] / static_cast<double>(grid.experiment_count()), 3));
+  table.add_row(std::move(avg));
+  return util::to_csv_string(table);
+}
+
+std::string grid_to_markdown(const Grid& grid, GridValue value) {
+  std::string out = "| Experiment |";
+  for (const auto& name : grid.policy_names) out += " " + name + " |";
+  out += "\n|---|";
+  for (std::size_t p = 0; p < grid.policy_count(); ++p) out += "---:|";
+  out += "\n";
+  std::vector<double> sums(grid.policy_count(), 0.0);
+  for (std::size_t g = 0; g < grid.experiment_count(); ++g) {
+    out += "| " + std::to_string(g + 1) + " |";
+    for (std::size_t p = 0; p < grid.policy_count(); ++p) {
+      const double v = cell_value(grid.cells[g][p], value);
+      sums[p] += v;
+      out += " " + format_cell(v, value) + " |";
+    }
+    out += "\n";
+  }
+  out += "| **avg** |";
+  for (std::size_t p = 0; p < grid.policy_count(); ++p) {
+    out += " **" +
+           util::format_double(
+               sums[p] / static_cast<double>(grid.experiment_count()), 1) +
+           "** |";
+  }
+  out += "\n";
+  return out;
+}
+
+std::string sweep_to_csv(const std::vector<AlphaSweepPoint>& points) {
+  util::CsvTable table(
+      {"alpha", "rate_gbps", "avg_makespan_ms", "avg_lambda_ms"});
+  for (const auto& p : points) {
+    table.add_row({util::format_double(p.alpha, 3),
+                   util::format_double(p.rate_gbps, 3),
+                   util::format_double(p.avg_makespan_ms, 3),
+                   util::format_double(p.avg_lambda_ms, 3)});
+  }
+  return util::to_csv_string(table);
+}
+
+namespace {
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("report: cannot open '" + path + "'");
+  out << content;
+  if (!out) throw std::runtime_error("report: write failed: " + path);
+}
+
+}  // namespace
+
+std::vector<std::string> write_report_bundle(const std::string& directory,
+                                             double alpha) {
+  std::vector<std::string> written;
+  auto emit = [&](const std::string& name, const std::string& content) {
+    write_file(directory + "/" + name, content);
+    written.push_back(name);
+  };
+  for (const dag::DfgType type : {dag::DfgType::Type1, dag::DfgType::Type2}) {
+    const std::string tag = type == dag::DfgType::Type1 ? "type1" : "type2";
+    const Grid grid = run_paper_grid(type, paper_policy_specs(alpha), 4.0);
+    emit(tag + "_makespan.csv", grid_to_csv(grid, GridValue::Makespan));
+    emit(tag + "_lambda.csv", grid_to_csv(grid, GridValue::LambdaTotal));
+    emit(tag + "_alternatives.csv",
+         grid_to_csv(grid, GridValue::AlternativeCount));
+    emit(tag + "_makespan.md", grid_to_markdown(grid, GridValue::Makespan));
+    emit(tag + "_alpha_sweep.csv",
+         sweep_to_csv(apt_alpha_sweep(type, paper_alphas(), {4.0, 8.0})));
+  }
+  return written;
+}
+
+}  // namespace apt::core

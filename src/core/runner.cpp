@@ -1,0 +1,33 @@
+#include "core/runner.hpp"
+
+#include "core/policy_factory.hpp"
+#include "lut/paper_data.hpp"
+#include "sim/engine.hpp"
+
+namespace apt::core {
+
+RunOutcome run_policy(sim::Policy& policy, const dag::Dag& dag,
+                      const sim::System& system, const sim::CostModel& cost) {
+  sim::Engine engine(dag, system, cost);
+  RunOutcome outcome;
+  outcome.policy_name = policy.name();
+  outcome.result = engine.run(policy);
+  outcome.metrics = sim::compute_metrics(dag, system, outcome.result);
+  return outcome;
+}
+
+RunOutcome run_policy(sim::Policy& policy, const dag::Dag& dag,
+                      const sim::System& system,
+                      const lut::LookupTable& table) {
+  const sim::LutCostModel cost(table, system);
+  return run_policy(policy, dag, system, cost);
+}
+
+RunOutcome run_paper_system(const std::string& policy_spec,
+                            const dag::Dag& dag, double rate_gbps) {
+  const sim::System system(sim::SystemConfig::paper_default(rate_gbps));
+  const auto policy = make_policy(policy_spec);
+  return run_policy(*policy, dag, system, lut::paper_lookup_table());
+}
+
+}  // namespace apt::core

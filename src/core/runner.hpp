@@ -1,0 +1,40 @@
+// Convenience layer tying the pieces together: one call to simulate a
+// policy over a DAG on a system driven by a lookup table, returning the
+// schedule and all aggregate metrics.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "dag/graph.hpp"
+#include "lut/lookup_table.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/metrics.hpp"
+#include "sim/policy.hpp"
+#include "sim/schedule.hpp"
+#include "sim/system.hpp"
+
+namespace apt::core {
+
+/// Result of one run: the raw schedule plus computed aggregates.
+struct RunOutcome {
+  std::string policy_name;
+  sim::SimResult result;
+  sim::SimMetrics metrics;
+};
+
+/// Runs `policy` over `dag` with an explicit cost model.
+RunOutcome run_policy(sim::Policy& policy, const dag::Dag& dag,
+                      const sim::System& system, const sim::CostModel& cost);
+
+/// Runs with the paper's cost model (lookup table + system interconnect).
+RunOutcome run_policy(sim::Policy& policy, const dag::Dag& dag,
+                      const sim::System& system,
+                      const lut::LookupTable& table);
+
+/// One-liner for scripts: builds the paper's 1×CPU+1×GPU+1×FPGA system at
+/// `rate_gbps` with the paper lookup table and runs the given policy spec.
+RunOutcome run_paper_system(const std::string& policy_spec,
+                            const dag::Dag& dag, double rate_gbps = 4.0);
+
+}  // namespace apt::core

@@ -1,0 +1,203 @@
+#include "dag/generator.hpp"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "lut/paper_data.hpp"
+#include "util/rng.hpp"
+
+namespace apt::dag {
+
+const char* to_string(DfgType type) noexcept {
+  return type == DfgType::Type1 ? "DFG Type-1" : "DFG Type-2";
+}
+
+KernelPool KernelPool::paper_pool() {
+  return from_lookup_table(lut::paper_lookup_table());
+}
+
+KernelPool KernelPool::from_lookup_table(const lut::LookupTable& table) {
+  KernelPool pool;
+  for (const std::string& kernel : table.kernels())
+    pool.items.push_back({kernel, table.sizes_for(kernel)});
+  return pool;
+}
+
+std::vector<Node> random_kernel_series(std::size_t n, std::uint64_t seed,
+                                       const KernelPool& pool) {
+  if (pool.items.empty())
+    throw std::invalid_argument("random_kernel_series: empty kernel pool");
+  for (const auto& item : pool.items) {
+    if (item.sizes.empty())
+      throw std::invalid_argument(
+          "random_kernel_series: kernel '" + item.kernel + "' has no sizes");
+  }
+  util::Rng rng(seed);
+  std::vector<Node> series;
+  series.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& item =
+        pool.items[static_cast<std::size_t>(rng.uniform_u64(pool.items.size()))];
+    const std::uint64_t size =
+        item.sizes[static_cast<std::size_t>(rng.uniform_u64(item.sizes.size()))];
+    series.push_back(Node{item.kernel, size});
+  }
+  return series;
+}
+
+Dag make_type1(const std::vector<Node>& series) {
+  if (series.size() < 2)
+    throw std::invalid_argument("make_type1: need at least 2 kernels");
+  Dag dag;
+  for (const Node& n : series) dag.add_node(n);
+  const NodeId sink = static_cast<NodeId>(series.size() - 1);
+  for (NodeId i = 0; i < sink; ++i) dag.add_edge(i, sink);
+  return dag;
+}
+
+std::array<std::size_t, 3> type2_block_widths(std::size_t n) {
+  // Structural overhead: 3 blocks x (top + bottom) = 6, two 1-kernel chains
+  // between consecutive blocks, 3 independent singletons, 1 final join.
+  constexpr std::size_t kFixed = 6 + 2 + 3 + 1;
+  if (n < kFixed + 3)
+    throw std::invalid_argument(
+        "type2_block_widths: need at least " + std::to_string(kFixed + 3) +
+        " kernels");
+  const std::size_t mids = n - kFixed;
+  std::array<std::size_t, 3> widths{mids / 3, mids / 3, mids / 3};
+  for (std::size_t i = 0; i < mids % 3; ++i) ++widths[i];
+  return widths;
+}
+
+Dag make_type2(const std::vector<Node>& series) {
+  const auto widths = type2_block_widths(series.size());
+  Dag dag;
+  std::size_t next = 0;
+  auto take = [&] {
+    return dag.add_node(series.at(next++));
+  };
+
+  NodeId prev_tail = kInvalidNode;  // bottom of previous block or chain node
+  std::array<NodeId, 3> bottoms{};
+  for (std::size_t b = 0; b < 3; ++b) {
+    if (b > 0) {
+      // 1-kernel chain connecting the previous block to this one.
+      const NodeId chain = take();
+      dag.add_edge(prev_tail, chain);
+      prev_tail = chain;
+    }
+    const NodeId top = take();
+    if (prev_tail != kInvalidNode) dag.add_edge(prev_tail, top);
+    std::vector<NodeId> mids;
+    mids.reserve(widths[b]);
+    for (std::size_t i = 0; i < widths[b]; ++i) mids.push_back(take());
+    const NodeId bottom = take();
+    for (NodeId mid : mids) {
+      dag.add_edge(top, mid);
+      dag.add_edge(mid, bottom);
+    }
+    bottoms[b] = bottom;
+    prev_tail = bottom;
+  }
+
+  // Independent singletons running alongside the block pipeline.
+  std::array<NodeId, 3> singles{};
+  for (NodeId& s : singles) s = take();
+
+  // Final join kernel: depends on the last block and every singleton.
+  const NodeId join = take();
+  dag.add_edge(bottoms[2], join);
+  for (NodeId s : singles) dag.add_edge(s, join);
+
+  if (next != series.size())
+    throw std::logic_error("make_type2: internal kernel accounting error");
+  return dag;
+}
+
+Dag generate(DfgType type, std::size_t n, std::uint64_t seed,
+             const KernelPool& pool) {
+  const std::vector<Node> series = random_kernel_series(n, seed, pool);
+  return type == DfgType::Type1 ? make_type1(series) : make_type2(series);
+}
+
+const std::vector<std::size_t>& paper_experiment_sizes() {
+  static const std::vector<std::size_t> sizes = {46, 58,  50, 73,  69,
+                                                 81, 125, 93, 132, 157};
+  return sizes;
+}
+
+namespace {
+std::uint64_t paper_seed(DfgType type, std::size_t index) {
+  return 0xA9700000ULL + static_cast<std::uint64_t>(type) * 1000 + index;
+}
+}  // namespace
+
+Dag paper_graph(DfgType type, std::size_t experiment_index) {
+  const auto& sizes = paper_experiment_sizes();
+  if (experiment_index >= sizes.size())
+    throw std::out_of_range("paper_graph: experiment index out of range");
+  return generate(type, sizes[experiment_index],
+                  paper_seed(type, experiment_index), KernelPool::paper_pool());
+}
+
+std::vector<Dag> paper_workload(DfgType type) {
+  std::vector<Dag> graphs;
+  graphs.reserve(paper_experiment_sizes().size());
+  for (std::size_t i = 0; i < paper_experiment_sizes().size(); ++i)
+    graphs.push_back(paper_graph(type, i));
+  return graphs;
+}
+
+void apply_poisson_arrivals(Dag& dag, double mean_interarrival_ms,
+                            std::uint64_t seed) {
+  if (!(mean_interarrival_ms > 0.0))
+    throw std::invalid_argument(
+        "apply_poisson_arrivals: mean inter-arrival must be positive");
+  util::Rng rng(seed);
+  double clock = 0.0;
+  for (NodeId entry : dag.entry_nodes()) {
+    // Inverse-CDF sampling of Exp(1/mean); uniform01() < 1 keeps log finite.
+    clock += -mean_interarrival_ms * std::log(1.0 - rng.uniform01());
+    dag.set_release_ms(entry, clock);
+  }
+}
+
+Dag random_layered_dag(std::size_t n, std::size_t layers, double edge_prob,
+                       std::uint64_t seed, const KernelPool& pool) {
+  if (layers == 0 || n < layers)
+    throw std::invalid_argument("random_layered_dag: need n >= layers >= 1");
+  if (edge_prob < 0.0 || edge_prob > 1.0)
+    throw std::invalid_argument("random_layered_dag: edge_prob in [0,1]");
+  const std::vector<Node> series = random_kernel_series(n, seed, pool);
+  util::Rng rng(seed ^ 0xD1B54A32D192ED03ULL);
+
+  Dag dag;
+  for (const Node& node : series) dag.add_node(node);
+
+  // Assign nodes to layers in id order so edges always point forward.
+  std::vector<std::vector<NodeId>> by_layer(layers);
+  for (NodeId i = 0; i < n; ++i)
+    by_layer[static_cast<std::size_t>(i) * layers / n].push_back(i);
+
+  for (std::size_t l = 1; l < layers; ++l) {
+    for (NodeId node : by_layer[l]) {
+      // Guarantee connectivity with one mandatory parent from layer l-1.
+      const auto& prev = by_layer[l - 1];
+      const NodeId parent = prev[static_cast<std::size_t>(
+          rng.uniform_u64(prev.size()))];
+      dag.add_edge(parent, node);
+      // Extra edges from any earlier layer.
+      for (std::size_t pl = 0; pl < l; ++pl) {
+        for (NodeId cand : by_layer[pl]) {
+          if (cand != parent && !dag.has_edge(cand, node) &&
+              rng.bernoulli(edge_prob))
+            dag.add_edge(cand, node);
+        }
+      }
+    }
+  }
+  return dag;
+}
+
+}  // namespace apt::dag

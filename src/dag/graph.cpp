@@ -1,0 +1,153 @@
+#include "dag/graph.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "lut/lookup_table.hpp"
+
+namespace apt::dag {
+
+NodeId Dag::add_node(std::string kernel, std::uint64_t data_size,
+                     double release_ms) {
+  if (kernel.empty())
+    throw std::invalid_argument("Dag::add_node: empty kernel name");
+  if (release_ms < 0.0)
+    throw std::invalid_argument("Dag::add_node: negative release time");
+  if (nodes_.size() >= static_cast<std::size_t>(kInvalidNode))
+    throw std::length_error("Dag::add_node: node limit exceeded");
+  nodes_.push_back(
+      Node{lut::canonical_kernel_name(kernel), data_size, release_ms});
+  succs_.emplace_back();
+  preds_.emplace_back();
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+NodeId Dag::add_node(const Node& node) {
+  return add_node(node.kernel, node.data_size, node.release_ms);
+}
+
+void Dag::set_release_ms(NodeId id, double release_ms) {
+  if (id >= nodes_.size())
+    throw std::invalid_argument("Dag::set_release_ms: unknown node id");
+  if (release_ms < 0.0)
+    throw std::invalid_argument("Dag::set_release_ms: negative release time");
+  nodes_[id].release_ms = release_ms;
+}
+
+bool Dag::has_edge(NodeId src, NodeId dst) const {
+  const auto& succs = succs_.at(src);
+  return std::find(succs.begin(), succs.end(), dst) != succs.end();
+}
+
+void Dag::add_edge(NodeId src, NodeId dst) {
+  if (src >= nodes_.size() || dst >= nodes_.size())
+    throw std::invalid_argument("Dag::add_edge: unknown node id");
+  if (src == dst) throw std::invalid_argument("Dag::add_edge: self edge");
+  if (has_edge(src, dst))
+    throw std::invalid_argument("Dag::add_edge: duplicate edge");
+  if (creates_cycle(src, dst))
+    throw std::logic_error("Dag::add_edge: edge would create a cycle");
+  succs_[src].push_back(dst);
+  preds_[dst].push_back(src);
+  ++edge_count_;
+}
+
+bool Dag::creates_cycle(NodeId src, NodeId dst) const {
+  // src -> dst creates a cycle iff src is reachable from dst.
+  std::vector<NodeId> stack = {dst};
+  std::vector<bool> seen(nodes_.size(), false);
+  seen[dst] = true;
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    if (n == src) return true;
+    for (NodeId s : succs_[n]) {
+      if (!seen[s]) {
+        seen[s] = true;
+        stack.push_back(s);
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<NodeId> Dag::entry_nodes() const {
+  std::vector<NodeId> out;
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    if (preds_[i].empty()) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<NodeId> Dag::exit_nodes() const {
+  std::vector<NodeId> out;
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    if (succs_[i].empty()) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<NodeId> Dag::topological_order() const {
+  std::vector<std::size_t> indeg(nodes_.size());
+  for (NodeId i = 0; i < nodes_.size(); ++i) indeg[i] = preds_[i].size();
+  // Min-id-first frontier keeps the order deterministic.
+  std::vector<NodeId> frontier = entry_nodes();
+  std::make_heap(frontier.begin(), frontier.end(), std::greater<>{});
+  std::vector<NodeId> order;
+  order.reserve(nodes_.size());
+  while (!frontier.empty()) {
+    std::pop_heap(frontier.begin(), frontier.end(), std::greater<>{});
+    const NodeId n = frontier.back();
+    frontier.pop_back();
+    order.push_back(n);
+    for (NodeId s : succs_[n]) {
+      if (--indeg[s] == 0) {
+        frontier.push_back(s);
+        std::push_heap(frontier.begin(), frontier.end(), std::greater<>{});
+      }
+    }
+  }
+  if (order.size() != nodes_.size())
+    throw std::logic_error("Dag::topological_order: graph has a cycle");
+  return order;
+}
+
+std::size_t Dag::depth() const {
+  if (nodes_.empty()) return 0;
+  std::vector<std::size_t> level(nodes_.size(), 1);
+  for (NodeId n : topological_order()) {
+    for (NodeId s : succs_[n]) level[s] = std::max(level[s], level[n] + 1);
+  }
+  return *std::max_element(level.begin(), level.end());
+}
+
+bool Dag::is_weakly_connected() const {
+  if (nodes_.empty()) return true;
+  std::vector<bool> seen(nodes_.size(), false);
+  std::vector<NodeId> stack = {0};
+  seen[0] = true;
+  std::size_t visited = 0;
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    ++visited;
+    auto push = [&](NodeId m) {
+      if (!seen[m]) {
+        seen[m] = true;
+        stack.push_back(m);
+      }
+    };
+    for (NodeId s : succs_[n]) push(s);
+    for (NodeId p : preds_[n]) push(p);
+  }
+  return visited == nodes_.size();
+}
+
+std::vector<std::pair<std::string, std::size_t>> Dag::kernel_histogram() const {
+  std::map<std::string, std::size_t> counts;
+  for (const Node& n : nodes_) ++counts[n.kernel];
+  return {counts.begin(), counts.end()};
+}
+
+}  // namespace apt::dag

@@ -1,0 +1,98 @@
+#include "dag/serialize.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/string_utils.hpp"
+
+namespace apt::dag {
+
+std::string to_text(const Dag& dag) {
+  std::string out;
+  out += "# apt dataflow graph: " + std::to_string(dag.node_count()) +
+         " nodes, " + std::to_string(dag.edge_count()) + " edges\n";
+  for (NodeId i = 0; i < dag.node_count(); ++i) {
+    const Node& n = dag.node(i);
+    out += "node " + std::to_string(i) + " " + n.kernel + " " +
+           std::to_string(n.data_size);
+    if (n.release_ms > 0.0)
+      out += " " + util::format_double(n.release_ms, 6);
+    out += "\n";
+  }
+  for (NodeId i = 0; i < dag.node_count(); ++i) {
+    for (NodeId s : dag.successors(i))
+      out += "edge " + std::to_string(i) + " " + std::to_string(s) + "\n";
+  }
+  return out;
+}
+
+Dag from_text(const std::string& text) {
+  Dag dag;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    const auto parts = util::split(trimmed, ' ');
+    auto bad = [&](const std::string& why) {
+      return std::runtime_error("Dag::from_text line " +
+                                std::to_string(line_no) + ": " + why);
+    };
+    if (parts[0] == "node") {
+      if (parts.size() != 4 && parts.size() != 5)
+        throw bad("expected 'node <id> <kernel> <size> [release_ms]'");
+      const auto id = util::parse_uint(parts[1]);
+      if (id != dag.node_count())
+        throw bad("node ids must be dense and ascending");
+      const double release =
+          parts.size() == 5 ? util::parse_double(parts[4]) : 0.0;
+      dag.add_node(parts[2], util::parse_uint(parts[3]), release);
+    } else if (parts[0] == "edge") {
+      if (parts.size() != 3) throw bad("expected 'edge <src> <dst>'");
+      dag.add_edge(static_cast<NodeId>(util::parse_uint(parts[1])),
+                   static_cast<NodeId>(util::parse_uint(parts[2])));
+    } else {
+      throw bad("unknown directive '" + parts[0] + "'");
+    }
+  }
+  return dag;
+}
+
+Dag load_text_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in)
+    throw std::runtime_error("Dag::load_text_file: cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return from_text(buf.str());
+}
+
+void save_text_file(const Dag& dag, const std::string& path) {
+  std::ofstream out(path);
+  if (!out)
+    throw std::runtime_error("Dag::save_text_file: cannot open '" + path + "'");
+  out << to_text(dag);
+  if (!out)
+    throw std::runtime_error("Dag::save_text_file: write failed: " + path);
+}
+
+std::string to_dot(const Dag& dag, const std::string& graph_name) {
+  std::string out = "digraph " + graph_name + " {\n";
+  out += "  rankdir=TB;\n  node [shape=box];\n";
+  for (NodeId i = 0; i < dag.node_count(); ++i) {
+    const Node& n = dag.node(i);
+    out += "  n" + std::to_string(i) + " [label=\"" + std::to_string(i) + ":" +
+           n.kernel + "\\n" + std::to_string(n.data_size) + "\"];\n";
+  }
+  for (NodeId i = 0; i < dag.node_count(); ++i) {
+    for (NodeId s : dag.successors(i))
+      out += "  n" + std::to_string(i) + " -> n" + std::to_string(s) + ";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace apt::dag

@@ -1,0 +1,29 @@
+// DAG serialisation: a simple line-oriented text format with round-trip
+// support, and Graphviz DOT export for visual inspection.
+//
+// Text format:
+//   # comment / blank lines ignored
+//   node <id> <kernel> <data_size>
+//   edge <src> <dst>
+// Node ids must be dense and in ascending order (the insertion order the
+// dynamic policies treat as arrival order).
+#pragma once
+
+#include <string>
+
+#include "dag/graph.hpp"
+
+namespace apt::dag {
+
+std::string to_text(const Dag& dag);
+
+/// Parses the text format; throws std::runtime_error on malformed input.
+Dag from_text(const std::string& text);
+
+Dag load_text_file(const std::string& path);
+void save_text_file(const Dag& dag, const std::string& path);
+
+/// Graphviz DOT (digraph) with kernel/data-size labels.
+std::string to_dot(const Dag& dag, const std::string& graph_name = "dfg");
+
+}  // namespace apt::dag

@@ -1,0 +1,76 @@
+#include "lut/paper_data.hpp"
+
+#include <stdexcept>
+
+namespace apt::lut {
+
+namespace {
+
+constexpr std::size_t C = index_of(ProcType::CPU);
+constexpr std::size_t G = index_of(ProcType::GPU);
+constexpr std::size_t F = index_of(ProcType::FPGA);
+
+Entry row(const char* kernel, std::uint64_t size, double cpu, double gpu,
+          double fpga) {
+  Entry e;
+  e.kernel = kernel;
+  e.data_size = size;
+  e.time_ms[C] = cpu;
+  e.time_ms[G] = gpu;
+  e.time_ms[F] = fpga;
+  return e;
+}
+
+}  // namespace
+
+LookupTable paper_lookup_table() {
+  LookupTable lut;
+  // --- Matrix-matrix multiplication (Skalicky et al.) -----------------------
+  lut.add(row(kernels::kMatMul, 250000, 29.631, 0.062, 149.011));
+  lut.add(row(kernels::kMatMul, 698896, 131.183, 0.061, 696.512));
+  lut.add(row(kernels::kMatMul, 1000000, 220.806, 0.061, 1192.092));
+  lut.add(row(kernels::kMatMul, 4000000, 259.291, 0.062, 9536.743));
+  lut.add(row(kernels::kMatMul, 16000000, 1967.286, 0.061, 76293.945));
+  lut.add(row(kernels::kMatMul, 36000000, 6676.706, 0.106, 257492.065));
+  lut.add(row(kernels::kMatMul, 64000000, 15487.652, 0.147, 610351.562));
+  // --- Matrix inverse --------------------------------------------------------
+  lut.add(row(kernels::kMatInv, 250000, 42.952, 9.652, 24.247));
+  lut.add(row(kernels::kMatInv, 698896, 148.387, 22.352, 110.597));
+  lut.add(row(kernels::kMatInv, 1000000, 235.810, 29.078, 188.188));
+  lut.add(row(kernels::kMatInv, 4000000, 432.330, 129.156, 1482.717));
+  lut.add(row(kernels::kMatInv, 16000000, 40636.878, 596.582, 11770.520));
+  lut.add(row(kernels::kMatInv, 36000000, 133917.655, 1702.537, 39623.932));
+  lut.add(row(kernels::kMatInv, 64000000, 312902.299, 3600.423, 93802.080));
+  // --- Cholesky decomposition ------------------------------------------------
+  lut.add(row(kernels::kCholesky, 250000, 17.064, 2.749, 0.093));
+  lut.add(row(kernels::kCholesky, 698896, 86.585, 4.940, 0.258));
+  lut.add(row(kernels::kCholesky, 1000000, 6.284, 6.453, 0.361));
+  lut.add(row(kernels::kCholesky, 4000000, 86.585, 21.219, 1.382));
+  lut.add(row(kernels::kCholesky, 16000000, 60.806, 90.581, 5.407));
+  lut.add(row(kernels::kCholesky, 36000000, 132.677, 220.819, 12.194));
+  lut.add(row(kernels::kCholesky, 64000000, 307.539, 458.603, 21.543));
+  // --- OpenCL dwarf kernels (Krommydas et al.), one size each ----------------
+  lut.add(row(kernels::kNeedlemanWunsch, 16777216, 112.0, 146.0, 397.0));
+  lut.add(row(kernels::kBfs, 2034736, 332.0, 173.0, 106.0));
+  lut.add(row(kernels::kSrad, 134217728, 5092.0, 1600.0, 92287.0));
+  lut.add(row(kernels::kGem, 2070376, 21592.0, 4001.0, 585760.0));
+  return lut;
+}
+
+const std::vector<std::uint64_t>& paper_linear_algebra_sizes() {
+  static const std::vector<std::uint64_t> sizes = {
+      250000, 698896, 1000000, 4000000, 16000000, 36000000, 64000000};
+  return sizes;
+}
+
+std::uint64_t paper_dwarf_size(const std::string& kernel) {
+  const std::string name = canonical_kernel_name(kernel);
+  if (name == kernels::kNeedlemanWunsch) return 16777216;
+  if (name == kernels::kBfs) return 2034736;
+  if (name == kernels::kSrad) return 134217728;
+  if (name == kernels::kGem) return 2070376;
+  throw std::invalid_argument("paper_dwarf_size: '" + kernel +
+                              "' is not a single-size dwarf kernel");
+}
+
+}  // namespace apt::lut

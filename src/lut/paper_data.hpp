@@ -1,0 +1,27 @@
+// The thesis's measured execution-time data (Appendix A, Table 14), i.e. the
+// "complete lookup table" the simulator and every policy consume. Times are
+// milliseconds on the platform categories of Table 6 (Intel i7-2600 CPU,
+// Nvidia Tesla K20 GPU, Xilinx Virtex-7 FPGA for the linear-algebra kernels;
+// AMD Opteron / Radeon HD 6550D / Virtex-6 for the OpenCL dwarf kernels).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lut/lookup_table.hpp"
+
+namespace apt::lut {
+
+/// Returns the full Table 14 lookup table: 21 linear-algebra rows
+/// (mm / mi / cd at 7 data sizes) plus nw, bfs, srad, gem at their single
+/// measured sizes — 25 rows total.
+LookupTable paper_lookup_table();
+
+/// Data sizes (element counts) at which mm / mi / cd were measured.
+const std::vector<std::uint64_t>& paper_linear_algebra_sizes();
+
+/// The single measured data size of each dwarf kernel:
+/// nw=16777216, bfs=2034736, srad=134217728, gem=2070376.
+std::uint64_t paper_dwarf_size(const std::string& kernel);
+
+}  // namespace apt::lut

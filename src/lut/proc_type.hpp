@@ -1,0 +1,41 @@
+// Processor categories of the heterogeneous system under study.
+//
+// The thesis generalises measured execution times to the *category* of the
+// platform (CPU / GPU / FPGA), not a specific part number (§3.2): "we will
+// assume that this is the execution time for the category CPU, irrespective
+// of the exact CPU configuration". The lookup table is therefore keyed by
+// ProcType, while the simulator may instantiate any number of processors of
+// each type.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace apt::lut {
+
+enum class ProcType : std::uint8_t { CPU = 0, GPU = 1, FPGA = 2 };
+
+inline constexpr std::size_t kNumProcTypes = 3;
+
+inline constexpr std::array<ProcType, kNumProcTypes> kAllProcTypes = {
+    ProcType::CPU, ProcType::GPU, ProcType::FPGA};
+
+constexpr const char* to_string(ProcType type) noexcept {
+  switch (type) {
+    case ProcType::CPU: return "CPU";
+    case ProcType::GPU: return "GPU";
+    case ProcType::FPGA: return "FPGA";
+  }
+  return "?";
+}
+
+/// Parses "CPU"/"GPU"/"FPGA" (case-insensitive); throws on anything else.
+ProcType proc_type_from_string(const std::string& name);
+
+constexpr std::size_t index_of(ProcType type) noexcept {
+  return static_cast<std::size_t>(type);
+}
+
+}  // namespace apt::lut

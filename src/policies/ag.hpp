@@ -1,0 +1,46 @@
+// Adaptive Greedy (Wu, Shi & Hong [18]; thesis §2.5.3, Eq. 1–2).
+//
+// AG maintains a FIFO queue per processor and greedily enqueues each
+// arriving kernel where its estimated total waiting time
+//     τ_g = τ_g^q (queueing delay) + τ_g^d (input-data transfer delay)
+// is smallest. Two queueing-delay estimators are provided:
+//  * SumOfQueued (default): remaining time of the running kernel plus the
+//    lookup-table times of everything already queued — the deterministic
+//    reading of "the sum of the compute times for all kernels already in
+//    the queue".
+//  * RecentAverage: N_g · τ_g^k, the paper's Eq. (2) with τ_g^k the mean
+//    execution time of the last k completions on that processor.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/policy.hpp"
+
+namespace apt::policies {
+
+enum class AgQueueEstimate { SumOfQueued, RecentAverage };
+
+struct AgOptions {
+  AgQueueEstimate estimate = AgQueueEstimate::SumOfQueued;
+  std::size_t history_window = 5;  ///< the k of Eq. (2)
+};
+
+class AdaptiveGreedy final : public sim::Policy {
+ public:
+  AdaptiveGreedy() = default;
+  explicit AdaptiveGreedy(AgOptions options);
+
+  std::string name() const override { return "AG"; }
+  bool is_dynamic() const override { return true; }
+  void on_event(sim::SchedulerContext& ctx) override;
+
+  const AgOptions& options() const noexcept { return options_; }
+
+ private:
+  sim::TimeMs queue_delay_ms(const sim::SchedulerContext& ctx,
+                             sim::ProcId proc) const;
+
+  AgOptions options_;
+};
+
+}  // namespace apt::policies

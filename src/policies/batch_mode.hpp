@@ -1,0 +1,43 @@
+// Batch-mode mapping heuristics from Braun et al. [19] (the study the
+// thesis takes MET and OLB from): Min-Min, Max-Min and Sufferage. They are
+// natural extra baselines for the APT comparison — all three *do* use the
+// execution-time information SPN ignores, yet none has APT's
+// wait-for-the-best option.
+//
+// All three work on the current ready set I and available processors A:
+// for every ready kernel compute its best completion time over A
+// (execution plus input-transfer), then pick which kernel to place first:
+//   * Min-Min:    the kernel with the SMALLEST best completion time
+//                 (finish the easy work, keep queues short);
+//   * Max-Min:    the kernel with the LARGEST best completion time
+//                 (start the heavy work early);
+//   * Sufferage:  the kernel that would "suffer" most if denied its best
+//                 processor — the largest gap between its second-best and
+//                 best completion times.
+// The chosen kernel goes to its best available processor; repeat until
+// kernels or processors run out.
+#pragma once
+
+#include "sim/policy.hpp"
+
+namespace apt::policies {
+
+enum class BatchRule { MinMin, MaxMin, Sufferage };
+
+const char* to_string(BatchRule rule) noexcept;
+
+class BatchMode final : public sim::Policy {
+ public:
+  explicit BatchMode(BatchRule rule) : rule_(rule) {}
+
+  std::string name() const override { return to_string(rule_); }
+  bool is_dynamic() const override { return true; }
+  void on_event(sim::SchedulerContext& ctx) override;
+
+  BatchRule rule() const noexcept { return rule_; }
+
+ private:
+  BatchRule rule_;
+};
+
+}  // namespace apt::policies

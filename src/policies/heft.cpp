@@ -1,0 +1,47 @@
+#include "policies/heft.hpp"
+
+#include <algorithm>
+
+namespace apt::policies {
+
+std::vector<double> heft_upward_ranks(const dag::Dag& dag,
+                                      const sim::System& system,
+                                      const sim::CostModel& cost) {
+  const auto topo = dag.topological_order();
+  std::vector<double> rank(dag.node_count(), 0.0);
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const dag::NodeId n = *it;
+    double tail = 0.0;
+    for (dag::NodeId s : dag.successors(n)) {
+      tail = std::max(tail,
+                      cost.average_transfer_time_ms(dag, n, s, system) + rank[s]);
+    }
+    rank[n] = cost.average_exec_time_ms(dag, n, system) + tail;
+  }
+  return rank;
+}
+
+std::vector<double> heft_downward_ranks(const dag::Dag& dag,
+                                        const sim::System& system,
+                                        const sim::CostModel& cost) {
+  std::vector<double> rank(dag.node_count(), 0.0);
+  for (dag::NodeId n : dag.topological_order()) {
+    for (dag::NodeId p : dag.predecessors(n)) {
+      rank[n] = std::max(
+          rank[n], rank[p] + cost.average_exec_time_ms(dag, p, system) +
+                       cost.average_transfer_time_ms(dag, p, n, system));
+    }
+  }
+  return rank;
+}
+
+StaticPlan Heft::compute_plan(const dag::Dag& dag, const sim::System& system,
+                              const sim::CostModel& cost) {
+  const std::vector<double> rank = heft_upward_ranks(dag, system, cost);
+  // Processor selection: minimise the earliest finish time.
+  return list_schedule(dag, system, cost, rank,
+                       [](dag::NodeId, sim::ProcId, sim::TimeMs,
+                          sim::TimeMs eft) { return eft; });
+}
+
+}  // namespace apt::policies

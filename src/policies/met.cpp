@@ -1,0 +1,19 @@
+#include "policies/met.hpp"
+
+#include "policies/selection.hpp"
+
+namespace apt::policies {
+
+void Met::on_event(sim::SchedulerContext& ctx) {
+  // Snapshot: assign() mutates the ready list. A single pass suffices —
+  // assignments only consume idle processors, never create them.
+  const std::vector<dag::NodeId> ready = ctx.ready();
+  for (dag::NodeId node : ready) {
+    if (const auto proc = idle_optimal_proc(ctx, node)) {
+      ctx.assign(node, *proc);
+    }
+    // Otherwise: wait for the optimal processor to free up.
+  }
+}
+
+}  // namespace apt::policies

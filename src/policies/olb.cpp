@@ -1,0 +1,14 @@
+#include "policies/olb.hpp"
+
+namespace apt::policies {
+
+void Olb::on_event(sim::SchedulerContext& ctx) {
+  for (;;) {
+    const auto& ready = ctx.ready();
+    const auto idle = ctx.idle_processors();
+    if (ready.empty() || idle.empty()) return;
+    ctx.assign(ready.front(), idle.front());
+  }
+}
+
+}  // namespace apt::policies

@@ -1,0 +1,19 @@
+// Opportunistic Load Balancing (Braun et al. [19]).
+//
+// The simplest baseline the thesis mentions: assign each ready kernel, in
+// arrival order, to the next available processor without looking at
+// execution times at all. Included as a sanity floor for the benches.
+#pragma once
+
+#include "sim/policy.hpp"
+
+namespace apt::policies {
+
+class Olb final : public sim::Policy {
+ public:
+  std::string name() const override { return "OLB"; }
+  bool is_dynamic() const override { return true; }
+  void on_event(sim::SchedulerContext& ctx) override;
+};
+
+}  // namespace apt::policies

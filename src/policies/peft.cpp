@@ -1,0 +1,58 @@
+#include "policies/peft.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace apt::policies {
+
+std::vector<std::vector<double>> peft_oct(const dag::Dag& dag,
+                                          const sim::System& system,
+                                          const sim::CostModel& cost) {
+  const std::size_t procs = system.proc_count();
+  std::vector<std::vector<double>> oct(dag.node_count(),
+                                       std::vector<double>(procs, 0.0));
+  const auto topo = dag.topological_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const dag::NodeId t = *it;
+    for (sim::ProcId pk = 0; pk < procs; ++pk) {
+      double worst_child = 0.0;
+      for (dag::NodeId tj : dag.successors(t)) {
+        double best_pw = std::numeric_limits<double>::infinity();
+        const double avg_comm =
+            cost.average_transfer_time_ms(dag, t, tj, system);
+        for (sim::ProcId pw = 0; pw < procs; ++pw) {
+          const double w =
+              cost.exec_time_ms(dag, tj, system.processor(pw));
+          const double comm = (pw == pk) ? 0.0 : avg_comm;
+          best_pw = std::min(best_pw, oct[tj][pw] + w + comm);
+        }
+        worst_child = std::max(worst_child, best_pw);
+      }
+      oct[t][pk] = worst_child;  // exit tasks keep 0
+    }
+  }
+  return oct;
+}
+
+std::vector<double> peft_rank_oct(
+    const std::vector<std::vector<double>>& oct) {
+  std::vector<double> rank(oct.size(), 0.0);
+  for (std::size_t i = 0; i < oct.size(); ++i) {
+    double sum = 0.0;
+    for (double v : oct[i]) sum += v;
+    rank[i] = oct[i].empty() ? 0.0 : sum / static_cast<double>(oct[i].size());
+  }
+  return rank;
+}
+
+StaticPlan Peft::compute_plan(const dag::Dag& dag, const sim::System& system,
+                              const sim::CostModel& cost) {
+  const auto oct = peft_oct(dag, system, cost);
+  const std::vector<double> rank = peft_rank_oct(oct);
+  // Processor selection: minimise O_EFT = EFT + OCT(t, p).
+  return list_schedule(dag, system, cost, rank,
+                       [&oct](dag::NodeId node, sim::ProcId proc, sim::TimeMs,
+                              sim::TimeMs eft) { return eft + oct[node][proc]; });
+}
+
+}  // namespace apt::policies

@@ -1,0 +1,36 @@
+// Predict Earliest Finish Time (Arabnejad & Barbosa [15]).
+//
+// Static list scheduler built on an Optimistic Cost Table:
+//
+//   OCT(t_i, p_k) = max_{t_j ∈ succ(t_i)} min_{p_w} [ OCT(t_j, p_w)
+//                     + w(t_j, p_w) + (p_w == p_k ? 0 : c̄_ij) ]      (Eq. 6)
+//
+// with zero rows for exit tasks. Task priority is rank_oct (the row mean,
+// Eq. 7); processor selection minimises the Optimistic EFT
+// O_EFT(t_i, p_k) = EFT(t_i, p_k) + OCT(t_i, p_k).
+#pragma once
+
+#include <vector>
+
+#include "policies/static_plan.hpp"
+
+namespace apt::policies {
+
+class Peft final : public StaticPolicyBase {
+ public:
+  std::string name() const override { return "PEFT"; }
+
+ protected:
+  StaticPlan compute_plan(const dag::Dag& dag, const sim::System& system,
+                          const sim::CostModel& cost) override;
+};
+
+/// The OCT matrix, row per task, column per processor (Eq. 6).
+std::vector<std::vector<double>> peft_oct(const dag::Dag& dag,
+                                          const sim::System& system,
+                                          const sim::CostModel& cost);
+
+/// rank_oct (Eq. 7): mean of each OCT row.
+std::vector<double> peft_rank_oct(const std::vector<std::vector<double>>& oct);
+
+}  // namespace apt::policies

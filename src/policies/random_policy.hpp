@@ -1,0 +1,32 @@
+// Random assignment baseline: each ready kernel goes to a uniformly random
+// idle processor. Deterministic per seed. Useful as a statistical floor in
+// ablations and as a stress generator in property tests.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/policy.hpp"
+#include "util/rng.hpp"
+
+namespace apt::policies {
+
+class RandomPolicy final : public sim::Policy {
+ public:
+  explicit RandomPolicy(std::uint64_t seed = 42) : seed_(seed), rng_(seed) {}
+
+  std::string name() const override { return "Random"; }
+  bool is_dynamic() const override { return true; }
+
+  void prepare(const dag::Dag&, const sim::System&,
+               const sim::CostModel&) override {
+    rng_ = util::Rng(seed_);  // same seed -> same schedule every run
+  }
+
+  void on_event(sim::SchedulerContext& ctx) override;
+
+ private:
+  std::uint64_t seed_;
+  util::Rng rng_;
+};
+
+}  // namespace apt::policies

@@ -1,0 +1,43 @@
+#include "policies/selection.hpp"
+
+#include <limits>
+
+namespace apt::policies {
+
+sim::TimeMs min_exec_time_ms(const sim::SchedulerContext& ctx,
+                             dag::NodeId node) {
+  sim::TimeMs best = std::numeric_limits<sim::TimeMs>::infinity();
+  for (sim::ProcId p = 0; p < ctx.system().proc_count(); ++p)
+    best = std::min(best, ctx.exec_time_ms(node, p));
+  return best;
+}
+
+sim::ProcId min_exec_proc(const sim::SchedulerContext& ctx, dag::NodeId node) {
+  sim::ProcId best = 0;
+  for (sim::ProcId p = 1; p < ctx.system().proc_count(); ++p) {
+    if (ctx.exec_time_ms(node, p) < ctx.exec_time_ms(node, best)) best = p;
+  }
+  return best;
+}
+
+std::optional<sim::ProcId> idle_optimal_proc(const sim::SchedulerContext& ctx,
+                                             dag::NodeId node) {
+  const sim::TimeMs best = min_exec_time_ms(ctx, node);
+  for (sim::ProcId p = 0; p < ctx.system().proc_count(); ++p) {
+    if (ctx.is_idle(p) && ctx.exec_time_ms(node, p) == best) return p;
+  }
+  return std::nullopt;
+}
+
+std::optional<sim::ProcId> idle_min_exec_proc(const sim::SchedulerContext& ctx,
+                                              dag::NodeId node) {
+  std::optional<sim::ProcId> best;
+  for (sim::ProcId p = 0; p < ctx.system().proc_count(); ++p) {
+    if (!ctx.is_idle(p)) continue;
+    if (!best || ctx.exec_time_ms(node, p) < ctx.exec_time_ms(node, *best))
+      best = p;
+  }
+  return best;
+}
+
+}  // namespace apt::policies

@@ -1,0 +1,29 @@
+#include "policies/spn.hpp"
+
+namespace apt::policies {
+
+void Spn::on_event(sim::SchedulerContext& ctx) {
+  for (;;) {
+    const auto& ready = ctx.ready();
+    const auto idle = ctx.idle_processors();
+    if (ready.empty() || idle.empty()) return;
+
+    dag::NodeId best_node = dag::kInvalidNode;
+    sim::ProcId best_proc = sim::kInvalidProc;
+    sim::TimeMs best_time = 0.0;
+    // Ties resolve to the earliest-arrived kernel and lowest processor id.
+    for (dag::NodeId node : ready) {
+      for (sim::ProcId proc : idle) {
+        const sim::TimeMs t = ctx.exec_time_ms(node, proc);
+        if (best_node == dag::kInvalidNode || t < best_time) {
+          best_node = node;
+          best_proc = proc;
+          best_time = t;
+        }
+      }
+    }
+    ctx.assign(best_node, best_proc);
+  }
+}
+
+}  // namespace apt::policies

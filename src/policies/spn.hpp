@@ -1,0 +1,20 @@
+// Shortest Process Next (Khokhar et al. [6]; thesis §2.5.3).
+//
+// While there are ready kernels and available processors, pick the
+// (kernel, idle processor) pair with the globally smallest execution time
+// and assign it. Keeps the system maximally busy but ignores how much worse
+// the chosen processor is than the kernel's best one.
+#pragma once
+
+#include "sim/policy.hpp"
+
+namespace apt::policies {
+
+class Spn final : public sim::Policy {
+ public:
+  std::string name() const override { return "SPN"; }
+  bool is_dynamic() const override { return true; }
+  void on_event(sim::SchedulerContext& ctx) override;
+};
+
+}  // namespace apt::policies

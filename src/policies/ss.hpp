@@ -1,0 +1,21 @@
+// Serial Scheduling (Liu & Yang [17]; thesis §2.5.3).
+//
+// A priority-rule policy: among the ready kernels, schedule first the one
+// whose execution times across the *available* processors have the largest
+// standard deviation (the kernel with most to lose from a bad placement),
+// assigning it to the available processor with the smallest execution time.
+// Repeats while kernels and processors remain — SS never waits.
+#pragma once
+
+#include "sim/policy.hpp"
+
+namespace apt::policies {
+
+class SerialScheduling final : public sim::Policy {
+ public:
+  std::string name() const override { return "SS"; }
+  bool is_dynamic() const override { return true; }
+  void on_event(sim::SchedulerContext& ctx) override;
+};
+
+}  // namespace apt::policies

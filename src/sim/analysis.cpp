@@ -1,0 +1,91 @@
+#include "sim/analysis.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "util/string_utils.hpp"
+
+namespace apt::sim {
+
+ScheduleAnalysis analyze_schedule(const dag::Dag& dag, const System& system,
+                                  const CostModel& cost,
+                                  const SimResult& result) {
+  if (result.schedule.size() != dag.node_count())
+    throw std::invalid_argument("analyze_schedule: schedule/DAG mismatch");
+  ScheduleAnalysis a;
+  a.makespan = result.makespan;
+  if (dag.empty() || result.makespan <= 0.0) return a;
+
+  double total_exec = 0.0;
+  double total_transfer = 0.0;
+  std::vector<double> per_proc_exec(system.proc_count(), 0.0);
+  for (const ScheduledKernel& k : result.schedule) {
+    total_exec += k.exec_ms;
+    total_transfer += k.transfer_ms;
+    per_proc_exec.at(k.proc) += k.exec_ms;
+  }
+  a.parallelism = total_exec / a.makespan;
+  a.avg_utilization =
+      a.parallelism / static_cast<double>(system.proc_count());
+  a.transfer_fraction = total_transfer / a.makespan;
+
+  const double mean_exec =
+      total_exec / static_cast<double>(system.proc_count());
+  if (mean_exec > 0.0) {
+    a.load_imbalance =
+        *std::max_element(per_proc_exec.begin(), per_proc_exec.end()) /
+        mean_exec;
+  }
+
+  // Serial baselines.
+  double best_serial = 0.0;
+  std::vector<double> fixed(system.proc_count(), 0.0);
+  for (dag::NodeId n = 0; n < dag.node_count(); ++n) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const Processor& p : system.processors()) {
+      const double t = cost.exec_time_ms(dag, n, p);
+      best = std::min(best, t);
+      fixed[p.id] += t;
+    }
+    best_serial += best;
+  }
+  a.speedup_vs_best_serial = best_serial / a.makespan;
+  a.speedup_vs_best_fixed_processor =
+      *std::min_element(fixed.begin(), fixed.end()) / a.makespan;
+
+  // Realised critical path: longest dependency chain of actual intervals.
+  std::vector<TimeMs> chain(dag.node_count(), 0.0);
+  for (dag::NodeId n : dag.topological_order()) {
+    chain[n] += result.schedule[n].finish_time - result.schedule[n].exec_start;
+    a.realised_critical_path_ms =
+        std::max(a.realised_critical_path_ms, chain[n]);
+    for (dag::NodeId s : dag.successors(n))
+      chain[s] = std::max(chain[s], chain[n]);
+  }
+  return a;
+}
+
+std::string format_analysis(const ScheduleAnalysis& a) {
+  std::string out;
+  out += "makespan:                    " + util::format_double(a.makespan, 3) +
+         " ms\n";
+  out += "parallelism (busy procs):    " +
+         util::format_double(a.parallelism, 3) + "\n";
+  out += "average utilisation:         " +
+         util::format_double(a.avg_utilization * 100.0, 1) + " %\n";
+  out += "load imbalance (max/mean):   " +
+         util::format_double(a.load_imbalance, 3) + "\n";
+  out += "speed-up vs best-serial:     " +
+         util::format_double(a.speedup_vs_best_serial, 3) + "x\n";
+  out += "speed-up vs best fixed proc: " +
+         util::format_double(a.speedup_vs_best_fixed_processor, 3) + "x\n";
+  out += "transfer fraction:           " +
+         util::format_double(a.transfer_fraction * 100.0, 1) + " %\n";
+  out += "realised critical path:      " +
+         util::format_double(a.realised_critical_path_ms, 3) + " ms\n";
+  return out;
+}
+
+}  // namespace apt::sim

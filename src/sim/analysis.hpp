@@ -1,0 +1,51 @@
+// Post-run schedule analysis: the quality indicators a practitioner reads
+// before trusting a policy — utilisation, load balance, speed-up against
+// the serial baselines, and how much of the makespan data movement ate.
+#pragma once
+
+#include "dag/graph.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/schedule.hpp"
+#include "sim/system.hpp"
+
+namespace apt::sim {
+
+struct ScheduleAnalysis {
+  TimeMs makespan = 0.0;
+
+  /// Σ exec_ms / makespan — average number of busy processors.
+  double parallelism = 0.0;
+
+  /// parallelism / processor count, in [0, 1].
+  double avg_utilization = 0.0;
+
+  /// max per-proc compute / mean per-proc compute (1 = perfectly even);
+  /// 0 when nothing ran.
+  double load_imbalance = 0.0;
+
+  /// Serial time on the single best processor choice per kernel
+  /// (Σ min_p exec) divided by the makespan.
+  double speedup_vs_best_serial = 0.0;
+
+  /// Serial time if every kernel ran on the single *fixed* processor that
+  /// minimises the total (the best homogeneous machine), over makespan.
+  double speedup_vs_best_fixed_processor = 0.0;
+
+  /// Σ transfer stalls / makespan (can exceed 1 with many processors).
+  double transfer_fraction = 0.0;
+
+  /// Longest chain of (exec_start, finish) interval dependencies actually
+  /// realised — the schedule's critical-path length in ms.
+  TimeMs realised_critical_path_ms = 0.0;
+};
+
+/// Computes every indicator; throws std::invalid_argument on a schedule
+/// that does not cover the DAG.
+ScheduleAnalysis analyze_schedule(const dag::Dag& dag, const System& system,
+                                  const CostModel& cost,
+                                  const SimResult& result);
+
+/// Renders the analysis as a small human-readable block.
+std::string format_analysis(const ScheduleAnalysis& analysis);
+
+}  // namespace apt::sim

@@ -1,0 +1,106 @@
+#include "sim/cost_model.hpp"
+
+#include <stdexcept>
+
+namespace apt::sim {
+
+TimeMs CostModel::average_transfer_time_ms(const dag::Dag& dag,
+                                           dag::NodeId src, dag::NodeId dst,
+                                           const System& system) const {
+  const auto& procs = system.processors();
+  if (procs.size() < 2) return 0.0;
+  double sum = 0.0;
+  std::size_t pairs = 0;
+  for (const Processor& from : procs) {
+    for (const Processor& to : procs) {
+      if (from.id == to.id) continue;
+      sum += transfer_time_ms(dag, src, dst, from, to);
+      ++pairs;
+    }
+  }
+  return sum / static_cast<double>(pairs);
+}
+
+TimeMs CostModel::average_exec_time_ms(const dag::Dag& dag, dag::NodeId node,
+                                       const System& system) const {
+  const auto& procs = system.processors();
+  double sum = 0.0;
+  for (const Processor& p : procs) sum += exec_time_ms(dag, node, p);
+  return sum / static_cast<double>(procs.size());
+}
+
+LutCostModel::LutCostModel(lut::LookupTable table, const System& system,
+                           bool strict)
+    : table_(std::move(table)),
+      interconnect_(system.interconnect()),
+      bytes_per_element_(system.config().bytes_per_element),
+      strict_(strict) {
+  if (table_.empty())
+    throw std::invalid_argument("LutCostModel: empty lookup table");
+}
+
+const lut::Entry& LutCostModel::entry_for(const dag::Dag& dag,
+                                          dag::NodeId node) const {
+  const dag::Node& n = dag.node(node);
+  if (strict_ || table_.contains(n.kernel, n.data_size))
+    return table_.at(n.kernel, n.data_size);
+  return table_.nearest(n.kernel, n.data_size);
+}
+
+TimeMs LutCostModel::exec_time_ms(const dag::Dag& dag, dag::NodeId node,
+                                  const Processor& proc) const {
+  return entry_for(dag, node).time(proc.type);
+}
+
+TimeMs LutCostModel::transfer_time_ms(const dag::Dag& dag, dag::NodeId src,
+                                      dag::NodeId dst, const Processor& from,
+                                      const Processor& to) const {
+  (void)dst;  // the producing node's output size determines the payload
+  if (from.id == to.id) return 0.0;
+  const double bytes =
+      static_cast<double>(dag.node(src).data_size) * bytes_per_element_;
+  return interconnect_.transfer_time_ms(bytes, from.id, to.id);
+}
+
+MatrixCostModel::MatrixCostModel(std::vector<std::vector<TimeMs>> exec)
+    : exec_(std::move(exec)) {
+  if (exec_.empty())
+    throw std::invalid_argument("MatrixCostModel: empty execution matrix");
+  const std::size_t cols = exec_.front().size();
+  if (cols == 0)
+    throw std::invalid_argument("MatrixCostModel: zero processors");
+  for (const auto& row : exec_) {
+    if (row.size() != cols)
+      throw std::invalid_argument("MatrixCostModel: ragged execution matrix");
+  }
+}
+
+void MatrixCostModel::set_comm_cost(dag::NodeId src, dag::NodeId dst,
+                                    TimeMs cost) {
+  if (cost < 0.0)
+    throw std::invalid_argument("MatrixCostModel: negative communication cost");
+  comm_[{src, dst}] = cost;
+}
+
+TimeMs MatrixCostModel::exec_time_ms(const dag::Dag& dag, dag::NodeId node,
+                                     const Processor& proc) const {
+  (void)dag;
+  if (node >= exec_.size())
+    throw std::out_of_range("MatrixCostModel: node beyond matrix rows");
+  const auto& row = exec_[node];
+  if (proc.id >= row.size())
+    throw std::out_of_range("MatrixCostModel: processor beyond matrix columns");
+  return row[proc.id];
+}
+
+TimeMs MatrixCostModel::transfer_time_ms(const dag::Dag& dag, dag::NodeId src,
+                                         dag::NodeId dst,
+                                         const Processor& from,
+                                         const Processor& to) const {
+  (void)dag;
+  if (from.id == to.id) return 0.0;
+  const auto it = comm_.find({src, dst});
+  return it == comm_.end() ? 0.0 : it->second;
+}
+
+}  // namespace apt::sim

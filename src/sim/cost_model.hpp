@@ -1,0 +1,100 @@
+// Cost models: how long a kernel takes on a processor and how long data
+// takes to move between processors.
+//
+// Two implementations:
+//  * LutCostModel    — the paper's model: execution times from the lookup
+//    table keyed by processor *category*, transfers = elements × bytes/elem
+//    over the PCIe interconnect.
+//  * MatrixCostModel — explicit per-node/per-processor computation matrix and
+//    per-edge communication costs, as used in the HEFT/PEFT literature
+//    examples (enables golden tests against published schedules).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "dag/graph.hpp"
+#include "lut/lookup_table.hpp"
+#include "sim/system.hpp"
+
+namespace apt::sim {
+
+/// Abstract interface consumed by every policy and by the engine.
+class CostModel {
+ public:
+  virtual ~CostModel() = default;
+
+  /// Execution time of `node` on processor instance `proc`.
+  virtual TimeMs exec_time_ms(const dag::Dag& dag, dag::NodeId node,
+                              const Processor& proc) const = 0;
+
+  /// Time to move the data of edge src -> dst when src ran on `from` and
+  /// dst runs on `to`. Must be 0 when from.id == to.id.
+  virtual TimeMs transfer_time_ms(const dag::Dag& dag, dag::NodeId src,
+                                  dag::NodeId dst, const Processor& from,
+                                  const Processor& to) const = 0;
+
+  /// Mean of transfer_time_ms over all ordered pairs of *distinct*
+  /// processors — the average communication cost c̄(i,j) used by the HEFT
+  /// and PEFT rank computations. Returns 0 on single-processor systems.
+  TimeMs average_transfer_time_ms(const dag::Dag& dag, dag::NodeId src,
+                                  dag::NodeId dst, const System& system) const;
+
+  /// Mean of exec_time_ms over all processors — w̄(i) in HEFT's rank_u.
+  TimeMs average_exec_time_ms(const dag::Dag& dag, dag::NodeId node,
+                              const System& system) const;
+};
+
+/// The paper's cost model (lookup table + PCIe links).
+///
+/// Holds copies of the (small) lookup table and interconnect so its lifetime
+/// is independent of the objects it was built from.
+class LutCostModel final : public CostModel {
+ public:
+  /// `strict` controls behaviour for (kernel, size) pairs missing from the
+  /// table: throw (true, default) or fall back to the nearest measured size
+  /// (false) — useful when replaying traces with odd sizes.
+  LutCostModel(lut::LookupTable table, const System& system,
+               bool strict = true);
+
+  TimeMs exec_time_ms(const dag::Dag& dag, dag::NodeId node,
+                      const Processor& proc) const override;
+  TimeMs transfer_time_ms(const dag::Dag& dag, dag::NodeId src,
+                          dag::NodeId dst, const Processor& from,
+                          const Processor& to) const override;
+
+  const lut::LookupTable& table() const noexcept { return table_; }
+
+ private:
+  const lut::Entry& entry_for(const dag::Dag& dag, dag::NodeId node) const;
+
+  lut::LookupTable table_;
+  Interconnect interconnect_;
+  double bytes_per_element_;
+  bool strict_;
+};
+
+/// Literature-style cost matrices for controlled tests.
+class MatrixCostModel final : public CostModel {
+ public:
+  /// `exec[node][proc]` — execution times; rows must match the DAG's node
+  /// count at query time, columns the system's processor count.
+  explicit MatrixCostModel(std::vector<std::vector<TimeMs>> exec);
+
+  /// Sets the single inter-processor communication cost of edge src -> dst
+  /// (applied whenever from != to; 0 otherwise) — the model of the HEFT
+  /// paper's Figure 2 example.
+  void set_comm_cost(dag::NodeId src, dag::NodeId dst, TimeMs cost);
+
+  TimeMs exec_time_ms(const dag::Dag& dag, dag::NodeId node,
+                      const Processor& proc) const override;
+  TimeMs transfer_time_ms(const dag::Dag& dag, dag::NodeId src,
+                          dag::NodeId dst, const Processor& from,
+                          const Processor& to) const override;
+
+ private:
+  std::vector<std::vector<TimeMs>> exec_;
+  std::map<std::pair<dag::NodeId, dag::NodeId>, TimeMs> comm_;
+};
+
+}  // namespace apt::sim

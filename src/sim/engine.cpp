@@ -1,0 +1,341 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace apt::sim {
+
+namespace {
+
+/// Completion event in the event queue.
+struct Completion {
+  TimeMs time;
+  dag::NodeId node;
+
+  /// Min-heap ordering: earliest time first, ties by ascending node id.
+  bool operator>(const Completion& other) const noexcept {
+    if (time != other.time) return time > other.time;
+    return node > other.node;
+  }
+};
+
+}  // namespace
+
+/// Engine internals: owns all mutable per-run state and implements the
+/// SchedulerContext interface shown to the policy.
+class Engine::Context final : public SchedulerContext {
+ public:
+  Context(const dag::Dag& dag, const System& system, const CostModel& cost,
+          Policy& policy)
+      : dag_(dag),
+        system_(system),
+        cost_(cost),
+        policy_(policy),
+        node_state_(dag.node_count()),
+        proc_state_(system.proc_count()) {}
+
+  SimResult simulate() {
+    seed_ready_set();
+    for (;;) {
+      policy_.on_event(*this);
+      drain_queues();
+      if (done_count_ == dag_.node_count()) break;
+      if (events_.empty() && releases_.empty()) {
+        throw std::logic_error(
+            "Engine: policy '" + policy_.name() +
+            "' stalled: work remains but nothing is executing");
+      }
+      advance_to_next_event();
+    }
+    SimResult result;
+    result.schedule.resize(dag_.node_count());
+    TimeMs makespan = 0.0;
+    for (dag::NodeId n = 0; n < dag_.node_count(); ++n) {
+      result.schedule[n] = node_state_[n].record;
+      makespan = std::max(makespan, node_state_[n].record.finish_time);
+    }
+    result.makespan = makespan;
+    return result;
+  }
+
+  // --- SchedulerContext -----------------------------------------------------
+
+  TimeMs now() const override { return now_; }
+  const dag::Dag& dag() const override { return dag_; }
+  const System& system() const override { return system_; }
+  const CostModel& cost_model() const override { return cost_; }
+  const std::vector<dag::NodeId>& ready() const override { return ready_; }
+
+  bool is_idle(ProcId proc) const override {
+    const ProcState& ps = proc_state_.at(proc);
+    return !ps.running.has_value() && ps.queue.empty();
+  }
+
+  std::vector<ProcId> idle_processors() const override {
+    std::vector<ProcId> out;
+    for (ProcId p = 0; p < proc_state_.size(); ++p) {
+      if (is_idle(p)) out.push_back(p);
+    }
+    return out;
+  }
+
+  TimeMs busy_until(ProcId proc) const override {
+    const ProcState& ps = proc_state_.at(proc);
+    if (!ps.running.has_value() && ps.queue.empty()) return now_;
+    TimeMs t = ps.running ? node_state_[*ps.running].record.finish_time : now_;
+    for (dag::NodeId n : ps.queue) {
+      t += cost_.exec_time_ms(dag_, n, system_.processor(proc));
+    }
+    return t;
+  }
+
+  std::size_t queue_length(ProcId proc) const override {
+    return proc_state_.at(proc).queue.size();
+  }
+
+  TimeMs queued_work_ms(ProcId proc) const override {
+    const ProcState& ps = proc_state_.at(proc);
+    TimeMs work = 0.0;
+    if (ps.running)
+      work += std::max(0.0, node_state_[*ps.running].record.finish_time - now_);
+    for (dag::NodeId n : ps.queue)
+      work += cost_.exec_time_ms(dag_, n, system_.processor(proc));
+    return work;
+  }
+
+  TimeMs recent_avg_exec_ms(ProcId proc, std::size_t k) const override {
+    const ProcState& ps = proc_state_.at(proc);
+    if (ps.exec_history.empty() || k == 0) return 0.0;
+    const std::size_t take = std::min(k, ps.exec_history.size());
+    double sum = 0.0;
+    for (std::size_t i = ps.exec_history.size() - take;
+         i < ps.exec_history.size(); ++i)
+      sum += ps.exec_history[i];
+    return sum / static_cast<double>(take);
+  }
+
+  TimeMs exec_time_ms(dag::NodeId node, ProcId proc) const override {
+    return cost_.exec_time_ms(dag_, node, system_.processor(proc));
+  }
+
+  TimeMs input_transfer_ms(dag::NodeId node, ProcId proc) const override {
+    TimeMs worst = 0.0;
+    const Processor& to = system_.processor(proc);
+    for (dag::NodeId pred : dag_.predecessors(node)) {
+      const ScheduledKernel& rec = node_state_[pred].record;
+      if (rec.proc == kInvalidProc)
+        throw std::logic_error("Engine: predecessor not yet scheduled");
+      worst = std::max(worst, cost_.transfer_time_ms(
+                                  dag_, pred, node, system_.processor(rec.proc),
+                                  to));
+    }
+    return worst;
+  }
+
+  void assign(dag::NodeId node, ProcId proc, bool alternative) override {
+    if (!is_idle(proc))
+      throw std::logic_error("Engine::assign: processor " +
+                             system_.processor(proc).name + " is not idle");
+    take_from_ready(node);
+    start_kernel(node, proc, alternative);
+  }
+
+  void enqueue(dag::NodeId node, ProcId proc, bool alternative) override {
+    take_from_ready(node);
+    NodeState& ns = node_state_[node];
+    ns.record.assign_time = now_ + system_.config().decision_overhead_ms;
+    ns.record.alternative = alternative;
+    ns.enqueued_at = now_;
+    proc_state_.at(proc).queue.push_back(node);
+    // drain_queues() (called right after the policy pass) starts it if the
+    // processor is actually free.
+  }
+
+ private:
+  struct NodeState {
+    ScheduledKernel record;
+    bool ready = false;
+    bool assigned = false;
+    bool done = false;
+    std::size_t remaining_preds = 0;
+    TimeMs enqueued_at = std::numeric_limits<TimeMs>::quiet_NaN();
+  };
+
+  struct ProcState {
+    std::optional<dag::NodeId> running;
+    std::deque<dag::NodeId> queue;
+    std::vector<TimeMs> exec_history;  ///< completed exec times, oldest first
+  };
+
+  void seed_ready_set() {
+    for (dag::NodeId n = 0; n < dag_.node_count(); ++n) {
+      NodeState& ns = node_state_[n];
+      ns.record.node = n;
+      ns.remaining_preds = dag_.in_degree(n);
+      if (ns.remaining_preds == 0) {
+        if (dag_.node(n).release_ms <= now_) {
+          mark_ready(n);
+        } else {
+          releases_.push(Completion{dag_.node(n).release_ms, n});
+        }
+      }
+    }
+  }
+
+  void mark_ready(dag::NodeId node) {
+    NodeState& ns = node_state_[node];
+    ns.ready = true;
+    ns.record.ready_time = now_;
+    ready_.push_back(node);
+  }
+
+  void take_from_ready(dag::NodeId node) {
+    NodeState& ns = node_state_.at(node);
+    if (!ns.ready || ns.assigned)
+      throw std::logic_error("Engine: node " + std::to_string(node) +
+                             " is not in the ready set");
+    ns.assigned = true;
+    const auto it = std::find(ready_.begin(), ready_.end(), node);
+    ready_.erase(it);
+  }
+
+  /// Starts `node` on the idle processor `proc` at the current time.
+  void start_kernel(dag::NodeId node, ProcId proc, bool alternative) {
+    NodeState& ns = node_state_[node];
+    const SystemConfig& cfg = system_.config();
+    ns.record.proc = proc;
+    ns.record.alternative = alternative;
+    ns.record.assign_time = now_ + cfg.decision_overhead_ms;
+    const TimeMs dispatched = ns.record.assign_time + cfg.dispatch_overhead_ms;
+    ns.record.transfer_ms = transfer_delay(node, proc, dispatched);
+    ns.record.exec_start = dispatched + ns.record.transfer_ms;
+    ns.record.exec_ms = cost_.exec_time_ms(dag_, node, system_.processor(proc));
+    ns.record.finish_time = ns.record.exec_start + ns.record.exec_ms;
+    proc_state_[proc].running = node;
+    events_.push(Completion{ns.record.finish_time, node});
+  }
+
+  /// Pops queue heads onto idle processors.
+  void drain_queues() {
+    for (ProcId p = 0; p < proc_state_.size(); ++p) {
+      ProcState& ps = proc_state_[p];
+      if (ps.running.has_value() || ps.queue.empty()) continue;
+      const dag::NodeId node = ps.queue.front();
+      ps.queue.pop_front();
+      start_queued_kernel(node, p);
+    }
+  }
+
+  /// Starts a previously enqueued kernel whose transfer began at enqueue
+  /// time (the destination was fixed then, so the data could prefetch).
+  void start_queued_kernel(dag::NodeId node, ProcId proc) {
+    NodeState& ns = node_state_[node];
+    const SystemConfig& cfg = system_.config();
+    const TimeMs transfer = input_transfer_ms(node, proc);
+    const TimeMs data_ready =
+        ns.enqueued_at + cfg.decision_overhead_ms + cfg.dispatch_overhead_ms +
+        transfer;
+    // assign_time was stamped at enqueue; the processor picks the kernel up
+    // now, and computation starts once the (possibly prefetched) data is in.
+    ns.record.proc = proc;
+    ns.record.exec_start = std::max(now_, data_ready);
+    ns.record.transfer_ms = std::max(0.0, data_ready - now_);
+    ns.record.exec_ms = cost_.exec_time_ms(dag_, node, system_.processor(proc));
+    ns.record.finish_time = ns.record.exec_start + ns.record.exec_ms;
+    proc_state_[proc].running = node;
+    events_.push(Completion{ns.record.finish_time, node});
+  }
+
+  /// Transfer stall for a direct assignment, honouring the policy's
+  /// transfer semantics.
+  TimeMs transfer_delay(dag::NodeId node, ProcId proc, TimeMs from_time) {
+    if (policy_.transfer_semantics() == TransferSemantics::AtAssignment)
+      return input_transfer_ms(node, proc);
+    // Prefetched: each edge's data has been moving since the predecessor
+    // finished; the kernel only stalls for whatever is still in flight.
+    TimeMs data_ready = from_time;
+    const Processor& to = system_.processor(proc);
+    for (dag::NodeId pred : dag_.predecessors(node)) {
+      const ScheduledKernel& rec = node_state_[pred].record;
+      const TimeMs arrival =
+          rec.finish_time + cost_.transfer_time_ms(
+                                dag_, pred, node, system_.processor(rec.proc), to);
+      data_ready = std::max(data_ready, arrival);
+    }
+    return data_ready - from_time;
+  }
+
+  /// Advances the clock to the earliest pending event (completion or
+  /// release), processes everything sharing that timestamp, then updates
+  /// queue heads.
+  void advance_to_next_event() {
+    TimeMs t = std::numeric_limits<TimeMs>::infinity();
+    if (!events_.empty()) t = std::min(t, events_.top().time);
+    if (!releases_.empty()) t = std::min(t, releases_.top().time);
+    now_ = t;
+    while (!events_.empty() && events_.top().time == t) {
+      const dag::NodeId node = events_.top().node;
+      events_.pop();
+      complete_kernel(node);
+    }
+    while (!releases_.empty() && releases_.top().time <= t) {
+      const dag::NodeId node = releases_.top().node;
+      releases_.pop();
+      if (node_state_[node].remaining_preds == 0) mark_ready(node);
+    }
+    drain_queues();
+  }
+
+  void complete_kernel(dag::NodeId node) {
+    NodeState& ns = node_state_[node];
+    ns.done = true;
+    ++done_count_;
+    ProcState& ps = proc_state_[ns.record.proc];
+    ps.running.reset();
+    ps.exec_history.push_back(ns.record.exec_ms);
+    for (dag::NodeId succ : dag_.successors(node)) {
+      NodeState& ss = node_state_[succ];
+      if (--ss.remaining_preds == 0) {
+        if (dag_.node(succ).release_ms <= now_) {
+          mark_ready(succ);
+        } else {
+          releases_.push(Completion{dag_.node(succ).release_ms, succ});
+        }
+      }
+    }
+  }
+
+  const dag::Dag& dag_;
+  const System& system_;
+  const CostModel& cost_;
+  Policy& policy_;
+
+  TimeMs now_ = 0.0;
+  std::size_t done_count_ = 0;
+  std::vector<NodeState> node_state_;
+  std::vector<ProcState> proc_state_;
+  std::vector<dag::NodeId> ready_;
+  std::priority_queue<Completion, std::vector<Completion>,
+                      std::greater<Completion>>
+      events_;
+  /// Pending release instants of kernels whose dependencies are already
+  /// satisfied but whose release time lies in the future.
+  std::priority_queue<Completion, std::vector<Completion>,
+                      std::greater<Completion>>
+      releases_;
+};
+
+Engine::Engine(const dag::Dag& dag, const System& system,
+               const CostModel& cost)
+    : dag_(dag), system_(system), cost_(cost) {}
+
+SimResult Engine::run(Policy& policy) {
+  if (dag_.empty()) return SimResult{};
+  policy.prepare(dag_, system_, cost_);
+  Context ctx(dag_, system_, cost_, policy);
+  return ctx.simulate();
+}
+
+}  // namespace apt::sim

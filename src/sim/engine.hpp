@@ -1,0 +1,40 @@
+// The discrete-event simulation engine.
+//
+// Drives a Policy over a DAG on a System with a CostModel and produces the
+// per-kernel schedule. Deterministic: identical inputs give identical
+// results (events at equal timestamps are processed in ascending node id).
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "dag/graph.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/policy.hpp"
+#include "sim/schedule.hpp"
+#include "sim/system.hpp"
+
+namespace apt::sim {
+
+/// Runs one simulation. The referenced dag/system/cost model must outlive
+/// the call to run().
+class Engine {
+ public:
+  Engine(const dag::Dag& dag, const System& system, const CostModel& cost);
+
+  /// Simulates the policy to completion and returns the schedule.
+  /// Throws std::logic_error if the policy stalls (makes no assignment
+  /// while work remains and all processors are idle).
+  SimResult run(Policy& policy);
+
+ private:
+  class Context;
+
+  const dag::Dag& dag_;
+  const System& system_;
+  const CostModel& cost_;
+};
+
+}  // namespace apt::sim

@@ -1,0 +1,92 @@
+#include "sim/gantt.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "util/csv.hpp"
+#include "util/string_utils.hpp"
+
+namespace apt::sim {
+
+std::string ascii_gantt(const dag::Dag& dag, const System& system,
+                        const SimResult& result, std::size_t width) {
+  if (width < 10) throw std::invalid_argument("ascii_gantt: width too small");
+  if (result.schedule.empty()) return "(empty schedule)\n";
+
+  const double scale = result.makespan / static_cast<double>(width);
+  std::vector<std::string> rows(system.proc_count(),
+                                std::string(width, '.'));
+
+  auto col = [&](TimeMs t) {
+    const auto c = static_cast<std::size_t>(t / scale);
+    return std::min(c, width - 1);
+  };
+  auto letter = [](dag::NodeId n) {
+    return static_cast<char>('a' + (n % 26));
+  };
+
+  for (const ScheduledKernel& k : result.schedule) {
+    std::string& row = rows.at(k.proc);
+    // transfer stall first, then execution; execution wins contested cells.
+    for (std::size_t c = col(k.occupied_from()); c <= col(k.finish_time) &&
+                                                 k.transfer_ms > 0.0;
+         ++c) {
+      if (c < col(k.exec_start)) row[c] = '-';
+    }
+    for (std::size_t c = col(k.exec_start); c <= col(k.finish_time); ++c) {
+      // Zero-width kernels still get one cell so they stay visible.
+      row[c] = letter(k.node);
+      if (c == col(k.finish_time)) break;
+    }
+  }
+
+  std::size_t name_width = 0;
+  for (const Processor& p : system.processors())
+    name_width = std::max(name_width, p.name.size());
+
+  std::string out;
+  for (ProcId p = 0; p < system.proc_count(); ++p) {
+    const std::string& name = system.processor(p).name;
+    out += name + std::string(name_width - name.size(), ' ') + " |" +
+           rows[p] + "|\n";
+  }
+  out += "0 ms" + std::string(width > 14 ? width - 10 : 1, ' ') +
+         util::format_double(result.makespan, 1) + " ms\n";
+  out += "legend:";
+  for (const ScheduledKernel& k : result.schedule) {
+    out += " ";
+    out += letter(k.node);
+    out += "=" + std::to_string(k.node) + ":" + dag.node(k.node).kernel;
+  }
+  out += "\n";
+  return out;
+}
+
+std::string gantt_csv(const dag::Dag& dag, const System& system,
+                      const SimResult& result) {
+  util::CsvTable table({"node", "kernel", "data_size", "proc",
+                        "occupied_from_ms", "exec_start_ms", "finish_ms",
+                        "alternative"});
+  std::vector<const ScheduledKernel*> ordered;
+  ordered.reserve(result.schedule.size());
+  for (const ScheduledKernel& k : result.schedule) ordered.push_back(&k);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const ScheduledKernel* a, const ScheduledKernel* b) {
+              if (a->exec_start != b->exec_start)
+                return a->exec_start < b->exec_start;
+              return a->node < b->node;
+            });
+  for (const ScheduledKernel* k : ordered) {
+    table.add_row({std::to_string(k->node), dag.node(k->node).kernel,
+                   std::to_string(dag.node(k->node).data_size),
+                   system.processor(k->proc).name,
+                   util::format_double(k->occupied_from(), 6),
+                   util::format_double(k->exec_start, 6),
+                   util::format_double(k->finish_time, 6),
+                   k->alternative ? "1" : "0"});
+  }
+  return util::to_csv_string(table);
+}
+
+}  // namespace apt::sim

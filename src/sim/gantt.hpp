@@ -1,0 +1,29 @@
+// Gantt-chart rendering of a simulated schedule: an ASCII view for the
+// terminal and a CSV export for external plotting.
+//
+//   CPU0  |aaaa....bb----cc|
+//   GPU0  |ddddddddd.......|
+//
+// Each kernel gets a letter (cycling a-z); '.' is idle, '-' is a transfer
+// stall. One character covers makespan/width milliseconds.
+#pragma once
+
+#include <string>
+
+#include "dag/graph.hpp"
+#include "sim/schedule.hpp"
+#include "sim/system.hpp"
+
+namespace apt::sim {
+
+/// ASCII Gantt chart, `width` characters wide (>= 10). A legend mapping
+/// letters to "node:kernel" follows the chart.
+std::string ascii_gantt(const dag::Dag& dag, const System& system,
+                        const SimResult& result, std::size_t width = 80);
+
+/// CSV rows: node,kernel,data_size,proc,occupied_from_ms,exec_start_ms,
+/// finish_ms,alternative — one line per kernel, sorted by start time.
+std::string gantt_csv(const dag::Dag& dag, const System& system,
+                      const SimResult& result);
+
+}  // namespace apt::sim

@@ -1,0 +1,65 @@
+#include "sim/metrics.hpp"
+
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace apt::sim {
+
+SimMetrics compute_metrics(const dag::Dag& dag, const System& system,
+                           const SimResult& result) {
+  if (result.schedule.size() != dag.node_count())
+    throw std::invalid_argument("compute_metrics: schedule/DAG size mismatch");
+
+  SimMetrics m;
+  m.makespan = result.makespan;
+  m.kernel_count = result.schedule.size();
+  m.per_proc.resize(system.proc_count());
+  for (ProcId p = 0; p < system.proc_count(); ++p)
+    m.per_proc[p].name = system.processor(p).name;
+
+  std::vector<double> lambdas;
+  lambdas.reserve(result.schedule.size());
+
+  for (const ScheduledKernel& k : result.schedule) {
+    if (k.proc == kInvalidProc)
+      throw std::invalid_argument("compute_metrics: unscheduled kernel");
+    ProcBreakdown& pb = m.per_proc.at(k.proc);
+    pb.compute_ms += k.exec_ms;
+    pb.transfer_ms += k.transfer_stall_ms();
+    ++pb.kernel_count;
+
+    // λ per kernel = (exec_start − ready) minus the data-movement part.
+    // Decision/dispatch overheads already delay exec_start, so they are
+    // contained in this value.
+    const TimeMs lambda = k.wait_ms();
+    m.lambda.total_ms += lambda;
+    if (lambda > 0.0) lambdas.push_back(lambda);
+
+    if (k.alternative) {
+      ++m.alternative_count;
+      ++m.alternative_by_kernel[dag.node(k.node).kernel];
+    }
+  }
+
+  const SystemConfig& cfg = system.config();
+  for (ProcId p = 0; p < system.proc_count(); ++p) {
+    ProcBreakdown& pb = m.per_proc[p];
+    pb.idle_ms = m.makespan - pb.compute_ms - pb.transfer_ms;
+    const std::size_t type = lut::index_of(system.processor(p).type);
+    pb.energy_j = cfg.active_power_w[type] * pb.compute_ms / 1000.0 +
+                  cfg.idle_power_w[type] *
+                      (pb.transfer_ms + pb.idle_ms) / 1000.0;
+    m.total_energy_j += pb.energy_j;
+  }
+
+  m.lambda.occurrences = lambdas.size();
+  if (!lambdas.empty()) {
+    m.lambda.avg_ms =
+        m.lambda.total_ms / static_cast<double>(lambdas.size());
+    m.lambda.stddev_ms = util::stddev_about(lambdas, m.lambda.avg_ms);
+  }
+  return m;
+}
+
+}  // namespace apt::sim

@@ -1,0 +1,53 @@
+// Aggregate statistics over one simulated schedule — the metrics the thesis
+// reports (§3.2 list items 1–8): makespan, per-processor compute/transfer/
+// idle time, λ delay totals (Eq. 11–12), and APT's alternative-assignment
+// accounting (Appendix B).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dag/graph.hpp"
+#include "sim/schedule.hpp"
+#include "sim/system.hpp"
+
+namespace apt::sim {
+
+/// Per-processor time breakdown; busy + transfer + idle == makespan.
+struct ProcBreakdown {
+  std::string name;
+  TimeMs compute_ms = 0.0;   ///< executing kernels
+  TimeMs transfer_ms = 0.0;  ///< stalled on input data
+  TimeMs idle_ms = 0.0;      ///< neither
+  std::size_t kernel_count = 0;
+  double energy_j = 0.0;  ///< active power × compute + idle power × rest
+};
+
+/// λ-delay statistics (thesis Eq. 11 and Eq. 12).
+struct LambdaStats {
+  TimeMs total_ms = 0.0;
+  TimeMs avg_ms = 0.0;     ///< total / occurrences
+  TimeMs stddev_ms = 0.0;  ///< population σ over the occurrences
+  std::size_t occurrences = 0;
+};
+
+struct SimMetrics {
+  TimeMs makespan = 0.0;
+  std::vector<ProcBreakdown> per_proc;
+  LambdaStats lambda;
+  std::size_t kernel_count = 0;
+  std::size_t alternative_count = 0;  ///< APT second-best assignments
+  std::map<std::string, std::size_t> alternative_by_kernel;
+  double total_energy_j = 0.0;  ///< sum of per-processor energies
+};
+
+/// Computes all aggregates from a finished run. The λ delay of a kernel is
+/// everything between becoming ready and starting execution that is not
+/// data movement (queueing, waiting for a processor, decision/dispatch
+/// overheads); a kernel contributes an "occurrence" when its λ is strictly
+/// positive (the N of Eq. 11).
+SimMetrics compute_metrics(const dag::Dag& dag, const System& system,
+                           const SimResult& result);
+
+}  // namespace apt::sim

@@ -1,0 +1,118 @@
+// The scheduling-policy interface and the system view policies schedule
+// against.
+//
+// The engine is event driven: whenever the system state changes (start of
+// simulation, a kernel completes), it calls Policy::on_event with a
+// SchedulerContext. Dynamic policies inspect the ready set I and the
+// available processors A (thesis §2.5.3) and commit assignments; static
+// policies precompute a plan in prepare() and release it step by step.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dag/graph.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/system.hpp"
+
+namespace apt::sim {
+
+/// When input data starts moving toward the chosen processor.
+enum class TransferSemantics {
+  /// Data moves only after the assignment decision (dynamic policies: the
+  /// destination is unknown earlier, so the kernel stalls for the transfer).
+  AtAssignment,
+  /// Data was already in flight since each predecessor finished (static
+  /// policies: destinations are known up front — classic HEFT semantics).
+  Prefetched,
+};
+
+/// View of the running simulation offered to a policy, plus the two actions
+/// a policy can take (assign to an idle processor / enqueue behind a busy
+/// one). Implemented by the engine.
+class SchedulerContext {
+ public:
+  virtual ~SchedulerContext() = default;
+
+  virtual TimeMs now() const = 0;
+  virtual const dag::Dag& dag() const = 0;
+  virtual const System& system() const = 0;
+  virtual const CostModel& cost_model() const = 0;
+
+  /// Ready, not-yet-assigned kernels in arrival (FIFO) order: the set I.
+  virtual const std::vector<dag::NodeId>& ready() const = 0;
+
+  /// True when the processor is neither executing nor holding queued work:
+  /// membership in the available set A.
+  virtual bool is_idle(ProcId proc) const = 0;
+  virtual std::vector<ProcId> idle_processors() const = 0;
+
+  /// Time at which the processor finishes everything currently committed to
+  /// it (== now() when idle).
+  virtual TimeMs busy_until(ProcId proc) const = 0;
+
+  /// Kernels waiting in the processor's FIFO queue (excludes the running one).
+  virtual std::size_t queue_length(ProcId proc) const = 0;
+
+  /// Remaining work committed to the processor: remaining time of the
+  /// running kernel plus execution times of everything queued — AG's
+  /// queueing-delay estimate.
+  virtual TimeMs queued_work_ms(ProcId proc) const = 0;
+
+  /// Mean execution time of the most recent `k` kernels completed on the
+  /// processor (Eq. 2's τ_g^k); 0 when the processor has no history.
+  virtual TimeMs recent_avg_exec_ms(ProcId proc, std::size_t k) const = 0;
+
+  /// Execution time of a ready kernel on a processor (lookup-table query).
+  virtual TimeMs exec_time_ms(dag::NodeId node, ProcId proc) const = 0;
+
+  /// Worst-case input-transfer stall if `node` were assigned to `proc` now:
+  /// max over predecessors of the edge transfer time from the predecessor's
+  /// actual processor.
+  virtual TimeMs input_transfer_ms(dag::NodeId node, ProcId proc) const = 0;
+
+  /// Commits `node` to the *idle* processor `proc`, starting immediately.
+  /// Throws std::logic_error if the processor is not idle or the node is
+  /// not ready. `alternative` tags APT's second-best choices for Tables
+  /// 15/16 style accounting.
+  virtual void assign(dag::NodeId node, ProcId proc,
+                      bool alternative = false) = 0;
+
+  /// Appends `node` to the processor's FIFO queue (AG-style); it starts as
+  /// soon as the processor drains earlier work. May also target an idle
+  /// processor, which is equivalent to assign() with prefetched transfer.
+  virtual void enqueue(dag::NodeId node, ProcId proc,
+                       bool alternative = false) = 0;
+};
+
+/// A scheduling policy.
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Dynamic policies see only the ready set; static policies precompute a
+  /// full schedule from the whole DAG in prepare().
+  virtual bool is_dynamic() const = 0;
+
+  virtual TransferSemantics transfer_semantics() const {
+    return is_dynamic() ? TransferSemantics::AtAssignment
+                        : TransferSemantics::Prefetched;
+  }
+
+  /// Called once before the run with the full problem instance. Static
+  /// policies build their plan here; dynamic policies typically reset state.
+  virtual void prepare(const dag::Dag& dag, const System& system,
+                       const CostModel& cost_model) {
+    (void)dag;
+    (void)system;
+    (void)cost_model;
+  }
+
+  /// Called at time 0 and after every completion; make assignments here.
+  virtual void on_event(SchedulerContext& ctx) = 0;
+};
+
+}  // namespace apt::sim

@@ -1,0 +1,57 @@
+// Schedule records: the per-kernel outcome of one simulated run.
+#pragma once
+
+#include <vector>
+
+#include "dag/graph.hpp"
+#include "sim/system.hpp"
+
+namespace apt::sim {
+
+/// Everything the simulator records about one executed kernel.
+///
+/// Timeline per kernel:
+///
+///   ready_time  <= assign_time <= exec_start <= finish_time
+///        │              │             │             │
+///        preds done     policy        data in       exec done
+///                       decided       place
+///
+/// The processor is occupied during [assign_time, finish_time) — the span
+/// [assign_time, exec_start) is the transfer stall (zero when the input
+/// data was prefetched or local).
+struct ScheduledKernel {
+  dag::NodeId node = dag::kInvalidNode;
+  ProcId proc = kInvalidProc;
+  TimeMs ready_time = 0.0;   ///< all predecessors complete
+  TimeMs assign_time = 0.0;  ///< policy committed node -> proc
+  TimeMs exec_start = 0.0;   ///< input data available, computation begins
+  TimeMs exec_ms = 0.0;      ///< pure computation duration
+  TimeMs finish_time = 0.0;  ///< exec_start + exec_ms
+  TimeMs transfer_ms = 0.0;  ///< stall attributable to input-data movement
+  bool alternative = false;  ///< APT: ran on a non-optimal processor
+
+  TimeMs transfer_stall_ms() const noexcept { return transfer_ms; }
+
+  /// The kernel's λ delay (thesis §2.5.1): everything between becoming
+  /// ready and starting to execute that is *not* data movement — queueing
+  /// behind other kernels, waiting for the chosen processor, and any
+  /// decision/dispatch overheads folded into exec_start.
+  TimeMs wait_ms() const noexcept {
+    return exec_start - ready_time - transfer_ms;
+  }
+
+  /// When the processor became occupied with this kernel (it may hold the
+  /// processor through the transfer stall before computing). For queued
+  /// kernels this is the queue pick-up time, which can be much later than
+  /// assign_time.
+  TimeMs occupied_from() const noexcept { return exec_start - transfer_ms; }
+};
+
+/// Full result of one run, indexed by node id.
+struct SimResult {
+  TimeMs makespan = 0.0;
+  std::vector<ScheduledKernel> schedule;  ///< size == dag.node_count()
+};
+
+}  // namespace apt::sim

@@ -1,0 +1,75 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/string_utils.hpp"
+
+namespace apt::sim {
+
+Trace build_trace(const dag::Dag& dag, const System& system,
+                  const SimResult& result) {
+  Trace trace;
+  trace.end_time = result.makespan;
+
+  // The thesis's Figure 5 logs one row per state change: whenever a kernel
+  // starts or finishes (the final all-idle instant is summarised by the
+  // "End time" line instead of a row).
+  std::set<TimeMs> raw;
+  for (const ScheduledKernel& k : result.schedule) {
+    raw.insert(k.exec_start);
+    if (k.finish_time < result.makespan) raw.insert(k.finish_time);
+  }
+  // Coalesce instants separated by less than a microsecond (numerical dust
+  // from transfer times), keeping the later one so a start immediately
+  // following a finish shows the newly started kernel.
+  std::vector<TimeMs> instants;
+  constexpr TimeMs kCoalesce = 1e-6;
+  for (TimeMs t : raw) {
+    if (!instants.empty() && t - instants.back() < kCoalesce)
+      instants.back() = t;
+    else
+      instants.push_back(t);
+  }
+
+  for (TimeMs t : instants) {
+    TraceRow row;
+    row.time = t;
+    row.proc_activity.assign(system.proc_count(), "idle");
+    for (const ScheduledKernel& k : result.schedule) {
+      if (k.exec_start <= t && t < k.finish_time) {
+        row.proc_activity.at(k.proc) =
+            std::to_string(k.node) + "-" + dag.node(k.node).kernel;
+      }
+    }
+    trace.rows.push_back(std::move(row));
+  }
+  return trace;
+}
+
+std::string format_trace(const System& system, const Trace& trace,
+                         int precision) {
+  // Fixed-width cells: "NAME:activity" padded to the widest activity seen
+  // in that column, plus a separating gap.
+  std::vector<std::size_t> widths(system.proc_count(), 4);  // "idle"
+  for (const TraceRow& row : trace.rows) {
+    for (std::size_t p = 0; p < row.proc_activity.size(); ++p)
+      widths[p] = std::max(widths[p], row.proc_activity[p].size());
+  }
+  std::string out;
+  for (const TraceRow& row : trace.rows) {
+    std::string line;
+    for (std::size_t p = 0; p < row.proc_activity.size(); ++p) {
+      std::string cell = system.processor(static_cast<ProcId>(p)).name + ":" +
+                         row.proc_activity[p];
+      cell += std::string(widths[p] - row.proc_activity[p].size() + 3, ' ');
+      line += cell;
+    }
+    line += util::format_double(row.time, precision);
+    out += line + "\n";
+  }
+  out += "End time: " + util::format_double(trace.end_time, 3) + "\n";
+  return out;
+}
+
+}  // namespace apt::sim

@@ -1,0 +1,41 @@
+// Human-readable schedule traces in the style of the thesis's Figure 5:
+// one row per system-state change listing what each processor is doing.
+//
+//   CPU:0-nw   GPU:idle   FPGA:1-bfs      0.0
+//   CPU:0-nw   GPU:idle   FPGA:2-bfs      106.0
+//   ...
+//   End time: 318.093
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dag/graph.hpp"
+#include "sim/schedule.hpp"
+#include "sim/system.hpp"
+
+namespace apt::sim {
+
+/// One snapshot of all processors at an event time.
+struct TraceRow {
+  TimeMs time = 0.0;
+  /// Per processor: "<node-id>-<kernel>" or "idle".
+  std::vector<std::string> proc_activity;
+};
+
+struct Trace {
+  std::vector<TraceRow> rows;
+  TimeMs end_time = 0.0;
+};
+
+/// Builds the state log from a finished schedule. Event times are all
+/// distinct exec_start values (state-change instants); the terminal
+/// "everything finished" state is summarised by end_time.
+Trace build_trace(const dag::Dag& dag, const System& system,
+                  const SimResult& result);
+
+/// Renders rows in the Figure 5 textual layout.
+std::string format_trace(const System& system, const Trace& trace,
+                         int precision = 1);
+
+}  // namespace apt::sim

@@ -1,0 +1,108 @@
+#include "sim/validate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace apt::sim {
+
+namespace {
+constexpr double kTol = 1e-9;
+
+bool close(double a, double b) { return std::abs(a - b) <= kTol * std::max({1.0, std::abs(a), std::abs(b)}); }
+}  // namespace
+
+std::vector<Violation> validate_schedule(const dag::Dag& dag,
+                                         const System& system,
+                                         const CostModel& cost,
+                                         const SimResult& result) {
+  std::vector<Violation> out;
+  auto fail = [&](std::string msg) { out.push_back(Violation{std::move(msg)}); };
+
+  if (result.schedule.size() != dag.node_count()) {
+    fail("schedule size " + std::to_string(result.schedule.size()) +
+         " != node count " + std::to_string(dag.node_count()));
+    return out;
+  }
+
+  TimeMs latest = 0.0;
+  for (dag::NodeId n = 0; n < dag.node_count(); ++n) {
+    const ScheduledKernel& k = result.schedule[n];
+    const std::string tag = "node " + std::to_string(n);
+    if (k.node != n) fail(tag + ": record/node index mismatch");
+    if (k.proc == kInvalidProc || k.proc >= system.proc_count()) {
+      fail(tag + ": invalid processor");
+      continue;
+    }
+    if (k.ready_time < 0.0 || k.assign_time + kTol < k.ready_time)
+      fail(tag + ": assigned before ready");
+    if (k.ready_time + kTol < dag.node(n).release_ms)
+      fail(tag + ": ready before its release time");
+    if (k.exec_start + kTol < k.assign_time)
+      fail(tag + ": execution before assignment");
+    if (!close(k.finish_time, k.exec_start + k.exec_ms))
+      fail(tag + ": finish != exec_start + exec_ms");
+    const TimeMs expected_exec =
+        cost.exec_time_ms(dag, n, system.processor(k.proc));
+    if (!close(k.exec_ms, expected_exec))
+      fail(tag + ": exec_ms " + std::to_string(k.exec_ms) +
+           " != cost model " + std::to_string(expected_exec));
+    for (dag::NodeId pred : dag.predecessors(n)) {
+      const ScheduledKernel& pk = result.schedule[pred];
+      if (k.exec_start + kTol < pk.finish_time)
+        fail(tag + ": starts before predecessor " + std::to_string(pred) +
+             " finishes");
+      if (k.ready_time + kTol < pk.finish_time)
+        fail(tag + ": marked ready before predecessor " +
+             std::to_string(pred) + " finished");
+    }
+    latest = std::max(latest, k.finish_time);
+  }
+
+  // Processor exclusivity: the occupation intervals
+  // [occupied_from, finish) of kernels sharing a processor never overlap.
+  for (ProcId p = 0; p < system.proc_count(); ++p) {
+    std::vector<const ScheduledKernel*> on_proc;
+    for (const ScheduledKernel& k : result.schedule) {
+      if (k.proc == p) on_proc.push_back(&k);
+    }
+    std::sort(on_proc.begin(), on_proc.end(),
+              [](const ScheduledKernel* a, const ScheduledKernel* b) {
+                return a->occupied_from() < b->occupied_from();
+              });
+    for (std::size_t i = 1; i < on_proc.size(); ++i) {
+      if (on_proc[i]->occupied_from() + kTol < on_proc[i - 1]->finish_time)
+        fail("processor " + system.processor(p).name + ": kernels " +
+             std::to_string(on_proc[i - 1]->node) + " and " +
+             std::to_string(on_proc[i]->node) + " overlap");
+    }
+  }
+
+  if (!dag.empty() && !close(result.makespan, latest))
+    fail("makespan " + std::to_string(result.makespan) +
+         " != latest finish " + std::to_string(latest));
+  return out;
+}
+
+TimeMs critical_path_lower_bound_ms(const dag::Dag& dag, const System& system,
+                                    const CostModel& cost) {
+  if (dag.empty()) return 0.0;
+  std::vector<TimeMs> best(dag.node_count(), 0.0);
+  for (dag::NodeId n = 0; n < dag.node_count(); ++n) {
+    TimeMs b = std::numeric_limits<TimeMs>::infinity();
+    for (const Processor& p : system.processors())
+      b = std::min(b, cost.exec_time_ms(dag, n, p));
+    best[n] = b;
+  }
+  std::vector<TimeMs> longest(dag.node_count(), 0.0);
+  TimeMs bound = 0.0;
+  for (dag::NodeId n : dag.topological_order()) {
+    longest[n] += best[n];
+    bound = std::max(bound, longest[n]);
+    for (dag::NodeId s : dag.successors(n))
+      longest[s] = std::max(longest[s], longest[n]);
+  }
+  return bound;
+}
+
+}  // namespace apt::sim

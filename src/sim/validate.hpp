@@ -1,0 +1,41 @@
+// Schedule validation: the correctness invariants every policy must satisfy.
+// Used heavily by the test suite's property checks and available to library
+// users for auditing custom policies.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dag/graph.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/schedule.hpp"
+#include "sim/system.hpp"
+
+namespace apt::sim {
+
+/// One violated invariant.
+struct Violation {
+  std::string message;
+};
+
+/// Checks a finished schedule:
+///  * every kernel assigned exactly once to a valid processor;
+///  * per-kernel timeline sane (ready <= assign <= exec_start <= finish,
+///    finish == exec_start + exec_ms);
+///  * precedence: a kernel never starts executing before all predecessors
+///    finished;
+///  * exclusivity: occupation intervals [assign, finish) of kernels sharing
+///    a processor never overlap;
+///  * exec_ms matches the cost model;
+///  * makespan equals the latest finish time.
+std::vector<Violation> validate_schedule(const dag::Dag& dag,
+                                         const System& system,
+                                         const CostModel& cost,
+                                         const SimResult& result);
+
+/// Lower bound on any schedule's makespan: length of the DAG's critical
+/// path using each kernel's *best-case* execution time and zero transfer.
+TimeMs critical_path_lower_bound_ms(const dag::Dag& dag, const System& system,
+                                    const CostModel& cost);
+
+}  // namespace apt::sim

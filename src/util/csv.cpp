@@ -1,0 +1,145 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace apt::util {
+
+std::size_t CsvTable::column_index(const std::string& name) const {
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (header_[i] == name) return i;
+  }
+  throw std::out_of_range("CsvTable: no column named '" + name + "'");
+}
+
+const std::string& CsvTable::cell(std::size_t row,
+                                  const std::string& column) const {
+  return rows_.at(row).at(column_index(column));
+}
+
+namespace {
+
+// State machine parse of the full document; handles quoted fields with
+// embedded separators, escaped quotes, and both \n and \r\n line endings.
+std::vector<CsvRow> parse_rows(const std::string& text) {
+  std::vector<CsvRow> rows;
+  CsvRow row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_row = [&] {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!field.empty())
+          throw std::runtime_error("parse_csv: quote inside unquoted field");
+        in_quotes = true;
+        field_started = true;
+        break;
+      case ',':
+        end_field();
+        break;
+      case '\r':
+        break;  // swallowed; the following \n ends the row
+      case '\n':
+        end_row();
+        break;
+      default:
+        field.push_back(c);
+        field_started = true;
+        break;
+    }
+  }
+  if (in_quotes) throw std::runtime_error("parse_csv: unterminated quote");
+  if (!field.empty() || field_started || !row.empty()) end_row();
+  return rows;
+}
+
+}  // namespace
+
+CsvTable parse_csv(const std::string& text, bool has_header) {
+  auto rows = parse_rows(text);
+  CsvTable table;
+  std::size_t first = 0;
+  if (has_header && !rows.empty()) {
+    table.set_header(std::move(rows.front()));
+    first = 1;
+  }
+  for (std::size_t i = first; i < rows.size(); ++i)
+    table.add_row(std::move(rows[i]));
+  return table;
+}
+
+CsvTable read_csv_file(const std::string& path, bool has_header) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_csv_file: cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_csv(buf.str(), has_header);
+}
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+namespace {
+void append_row(std::string& out, const CsvRow& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    out += csv_escape(row[i]);
+  }
+  out.push_back('\n');
+}
+}  // namespace
+
+std::string to_csv_string(const CsvTable& table) {
+  std::string out;
+  if (!table.header().empty()) append_row(out, table.header());
+  for (const auto& row : table.rows()) append_row(out, row);
+  return out;
+}
+
+void write_csv_file(const CsvTable& table, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out)
+    throw std::runtime_error("write_csv_file: cannot open '" + path + "'");
+  out << to_csv_string(table);
+  if (!out) throw std::runtime_error("write_csv_file: write failed: " + path);
+}
+
+}  // namespace apt::util

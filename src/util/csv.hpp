@@ -1,0 +1,57 @@
+// Minimal CSV reading/writing used by the lookup table and the bench harness.
+//
+// Supports RFC-4180-style quoting ("" escapes, embedded commas/newlines) on
+// read and quotes on write only when needed. No external dependencies.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace apt::util {
+
+using CsvRow = std::vector<std::string>;
+
+/// An in-memory CSV document: optional header row plus data rows.
+class CsvTable {
+ public:
+  CsvTable() = default;
+  explicit CsvTable(CsvRow header) : header_(std::move(header)) {}
+
+  const CsvRow& header() const noexcept { return header_; }
+  void set_header(CsvRow header) { header_ = std::move(header); }
+
+  const std::vector<CsvRow>& rows() const noexcept { return rows_; }
+  std::size_t row_count() const noexcept { return rows_.size(); }
+  const CsvRow& row(std::size_t i) const { return rows_.at(i); }
+
+  void add_row(CsvRow row) { rows_.push_back(std::move(row)); }
+
+  /// Index of a header column; throws std::out_of_range if absent.
+  std::size_t column_index(const std::string& name) const;
+
+  /// Cell by row index + header name; throws if either is out of range.
+  const std::string& cell(std::size_t row, const std::string& column) const;
+
+ private:
+  CsvRow header_;
+  std::vector<CsvRow> rows_;
+};
+
+/// Parses a full CSV document; first row becomes the header when
+/// `has_header` is true. Throws std::runtime_error on malformed quoting.
+CsvTable parse_csv(const std::string& text, bool has_header = true);
+
+/// Reads and parses a CSV file; throws std::runtime_error if unreadable.
+CsvTable read_csv_file(const std::string& path, bool has_header = true);
+
+/// Serialises with RFC-4180 quoting; header first when present.
+std::string to_csv_string(const CsvTable& table);
+
+/// Writes to a file; throws std::runtime_error on I/O failure.
+void write_csv_file(const CsvTable& table, const std::string& path);
+
+/// Quotes a single field if it contains a comma, quote, or newline.
+std::string csv_escape(const std::string& field);
+
+}  // namespace apt::util

@@ -1,0 +1,44 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+
+namespace apt::util {
+
+const char* to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() {
+  sink_ = [](LogLevel level, const std::string& message) {
+    std::fprintf(stderr, "[%s] %s\n", to_string(level), message.c_str());
+  };
+}
+
+void Logger::set_sink(Sink sink) {
+  if (sink) {
+    sink_ = std::move(sink);
+  } else {
+    sink_ = [](LogLevel level, const std::string& message) {
+      std::fprintf(stderr, "[%s] %s\n", to_string(level), message.c_str());
+    };
+  }
+}
+
+void Logger::log(LogLevel level, const std::string& message) {
+  if (!enabled(level)) return;
+  sink_(level, message);
+}
+
+}  // namespace apt::util

@@ -1,0 +1,66 @@
+// Lightweight leveled logging with a swappable sink (silent by default in
+// tests, stderr in tools). Not thread-safe by design: the simulator is
+// single-threaded and benches log from one thread.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace apt::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+const char* to_string(LogLevel level) noexcept;
+
+/// Global logger configuration.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static Logger& instance();
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  LogLevel level() const noexcept { return level_; }
+
+  /// Replaces the sink; pass nullptr to restore the default stderr sink.
+  void set_sink(Sink sink);
+
+  bool enabled(LogLevel level) const noexcept { return level >= level_; }
+  void log(LogLevel level, const std::string& message);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::Warn;
+  Sink sink_;
+};
+
+namespace detail {
+/// Stream-style one-shot message builder used by the APT_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::instance().log(level_, stream_.str()); }
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace apt::util
+
+#define APT_LOG(level)                                       \
+  if (!::apt::util::Logger::instance().enabled(level)) {     \
+  } else                                                     \
+    ::apt::util::detail::LogMessage(level)
+
+#define APT_LOG_DEBUG APT_LOG(::apt::util::LogLevel::Debug)
+#define APT_LOG_INFO APT_LOG(::apt::util::LogLevel::Info)
+#define APT_LOG_WARN APT_LOG(::apt::util::LogLevel::Warn)
+#define APT_LOG_ERROR APT_LOG(::apt::util::LogLevel::Error)

@@ -1,0 +1,133 @@
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// The simulator and workload generators must be bit-for-bit reproducible
+// across platforms and standard-library implementations, so we do not use
+// std::mt19937 + std::uniform_*_distribution (whose algorithms are not fully
+// pinned down by the standard). Instead we implement SplitMix64 (for seeding)
+// and xoshiro256** 1.0 (Blackman & Vigna), plus bias-free bounded sampling.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace apt::util {
+
+/// SplitMix64: a tiny, fast generator used to expand a single 64-bit seed
+/// into the 256-bit state required by xoshiro256**.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 — the project-wide deterministic RNG.
+///
+/// Satisfies the UniformRandomBitGenerator concept, but prefer the member
+/// helpers (uniform_u64, uniform_int, uniform_real, pick, shuffle) which are
+/// implementation-pinned and therefore reproducible everywhere.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from one 64-bit seed via SplitMix64.
+  explicit constexpr Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept { return next(); }
+
+  constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Unbiased integer in [0, bound) using Lemire-style rejection.
+  std::uint64_t uniform_u64(std::uint64_t bound) {
+    if (bound == 0) throw std::invalid_argument("Rng::uniform_u64: bound must be > 0");
+    // Rejection sampling over the top of the range to remove modulo bias.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Unbiased integer in the inclusive range [lo, hi].
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    if (lo > hi) throw std::invalid_argument("Rng::uniform_int: lo > hi");
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    // span == 0 means the full 64-bit range [INT64_MIN, INT64_MAX].
+    const std::uint64_t r = (span == 0) ? next() : uniform_u64(span);
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + r);
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  double uniform01() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi) {
+    if (!(lo < hi)) throw std::invalid_argument("Rng::uniform_real: requires lo < hi");
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform01() < p;
+  }
+
+  /// Uniformly chosen element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    if (items.empty()) throw std::invalid_argument("Rng::pick: empty vector");
+    return items[static_cast<std::size_t>(uniform_u64(items.size()))];
+  }
+
+  /// Deterministic Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_u64(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace apt::util

@@ -1,0 +1,51 @@
+// Small statistics helpers shared by the simulator metrics and benches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace apt::util {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// Numerically stable for long runs; O(1) per observation. `variance()` and
+/// `stddev()` report the *population* forms (divide by N), matching Eq. (12)
+/// of the paper, with `sample_variance()` available for the N-1 form.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+  void reset() noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
+  double mean() const noexcept { return count_ == 0 ? 0.0 : mean_; }
+  double min() const noexcept;
+  double max() const noexcept;
+  double sum() const noexcept { return sum_; }
+  double variance() const noexcept;         // population (1/N)
+  double sample_variance() const noexcept;  // 1/(N-1)
+  double stddev() const noexcept;           // sqrt of population variance
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Arithmetic mean of a vector; 0 for empty input.
+double mean_of(const std::vector<double>& xs) noexcept;
+
+/// Population standard deviation of a vector; 0 for fewer than 1 element.
+double stddev_of(const std::vector<double>& xs) noexcept;
+
+/// Population standard deviation across an explicit mean (Eq. 12 form).
+double stddev_about(const std::vector<double>& xs, double mean) noexcept;
+
+/// Linear-interpolated percentile in [0,100]; throws on empty input.
+double percentile_of(std::vector<double> xs, double pct);
+
+}  // namespace apt::util

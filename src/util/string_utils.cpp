@@ -1,0 +1,108 @@
+#include "util/string_utils.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <stdexcept>
+
+namespace apt::util {
+
+std::vector<std::string> split(const std::string& s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string to_lower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string join(const std::vector<std::string>& parts, const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string format_double(double value, int precision) {
+  if (precision < 0 || precision > 17)
+    throw std::invalid_argument("format_double: precision out of range");
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+double parse_double(const std::string& s) {
+  const std::string t = trim(s);
+  if (t.empty()) throw std::invalid_argument("parse_double: empty string");
+  std::size_t pos = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(t, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("parse_double: not a number: '" + s + "'");
+  }
+  if (pos != t.size())
+    throw std::invalid_argument("parse_double: trailing characters: '" + s + "'");
+  return v;
+}
+
+std::int64_t parse_int(const std::string& s) {
+  const std::string t = trim(s);
+  if (t.empty()) throw std::invalid_argument("parse_int: empty string");
+  std::size_t pos = 0;
+  std::int64_t v = 0;
+  try {
+    v = std::stoll(t, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("parse_int: not an integer: '" + s + "'");
+  }
+  if (pos != t.size())
+    throw std::invalid_argument("parse_int: trailing characters: '" + s + "'");
+  return v;
+}
+
+std::uint64_t parse_uint(const std::string& s) {
+  const std::string t = trim(s);
+  if (t.empty()) throw std::invalid_argument("parse_uint: empty string");
+  if (t.front() == '-')
+    throw std::invalid_argument("parse_uint: negative value: '" + s + "'");
+  std::size_t pos = 0;
+  std::uint64_t v = 0;
+  try {
+    v = std::stoull(t, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("parse_uint: not an integer: '" + s + "'");
+  }
+  if (pos != t.size())
+    throw std::invalid_argument("parse_uint: trailing characters: '" + s + "'");
+  return v;
+}
+
+}  // namespace apt::util

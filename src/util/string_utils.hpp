@@ -1,0 +1,33 @@
+// Small string helpers used across modules (no locale dependence).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace apt::util {
+
+/// Splits on a single-character delimiter; keeps empty segments.
+std::vector<std::string> split(const std::string& s, char delim);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string trim(const std::string& s);
+
+/// ASCII lower-casing (no locale).
+std::string to_lower(const std::string& s);
+
+bool starts_with(const std::string& s, const std::string& prefix);
+bool ends_with(const std::string& s, const std::string& suffix);
+
+/// Joins with a separator.
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Fixed-precision double formatting ("%.3f" style, no trailing garbage).
+std::string format_double(double value, int precision = 3);
+
+/// Strict full-string parses; throw std::invalid_argument on failure.
+double parse_double(const std::string& s);
+std::int64_t parse_int(const std::string& s);
+std::uint64_t parse_uint(const std::string& s);
+
+}  // namespace apt::util

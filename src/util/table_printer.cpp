@@ -1,0 +1,68 @@
+#include "util/table_printer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace apt::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> header,
+                           std::vector<Align> aligns)
+    : header_(std::move(header)), aligns_(std::move(aligns)) {
+  if (header_.empty())
+    throw std::invalid_argument("TablePrinter: header must be non-empty");
+  if (aligns_.empty()) {
+    aligns_.assign(header_.size(), Align::Right);
+    aligns_.front() = Align::Left;
+  }
+  if (aligns_.size() != header_.size())
+    throw std::invalid_argument("TablePrinter: aligns/header size mismatch");
+}
+
+void TablePrinter::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size())
+    throw std::invalid_argument("TablePrinter: row width mismatch");
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::add_separator() { rows_.emplace_back(); }
+
+std::string TablePrinter::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    if (row.empty()) continue;
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  auto rule = [&] {
+    std::string line = "+";
+    for (std::size_t w : widths) line += std::string(w + 2, '-') + "+";
+    line += "\n";
+    return line;
+  };
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const std::size_t pad = widths[c] - row[c].size();
+      line += " ";
+      if (aligns_[c] == Align::Right) line += std::string(pad, ' ');
+      line += row[c];
+      if (aligns_[c] == Align::Left) line += std::string(pad, ' ');
+      line += " |";
+    }
+    line += "\n";
+    return line;
+  };
+
+  std::string out = rule();
+  out += emit_row(header_);
+  out += rule();
+  for (const auto& row : rows_) {
+    out += row.empty() ? rule() : emit_row(row);
+  }
+  out += rule();
+  return out;
+}
+
+}  // namespace apt::util

@@ -1,0 +1,42 @@
+// ASCII table rendering for the bench harness ("paper-style" table output).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace apt::util {
+
+/// Column alignment within a printed table.
+enum class Align { Left, Right };
+
+/// Builds fixed-width ASCII tables:
+///
+///   +---------+------+
+///   | Graph   |  APT |
+///   +---------+------+
+///   | 1       | 8298 |
+///   +---------+------+
+///
+/// Cells are strings; numeric formatting is the caller's responsibility
+/// (see util::format_double).
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header,
+                        std::vector<Align> aligns = {});
+
+  void add_row(std::vector<std::string> row);
+
+  /// Inserts a horizontal separator line after the last added row.
+  void add_separator();
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+}  // namespace apt::util

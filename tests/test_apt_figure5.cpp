@@ -1,0 +1,146 @@
+// Golden reproduction of the thesis's Figure 5 worked example (§4.1).
+//
+// Workload: DFG Type-1 with 5 kernels — nw, bfs, bfs, bfs, and a cd sink —
+// no transfer costs considered (the example states transfers are ignored;
+// we use a huge link rate so they vanish). Kernel times are Table 7:
+//   nw : CPU 112, GPU 146, FPGA 397
+//   bfs: CPU 332, GPU 173, FPGA 106
+//   cd : CPU 1.7064, GPU 2.749, FPGA 0.093
+//
+// Published outcome:  MET ends at 318.093 ms;  APT(α=8) ends at 212.093 ms.
+#include <gtest/gtest.h>
+
+#include "core/apt.hpp"
+#include "dag/generator.hpp"
+#include "lut/paper_data.hpp"
+#include "policies/met.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+#include "test_helpers.hpp"
+
+namespace apt {
+namespace {
+
+dag::Dag figure5_graph() {
+  // Node ids match the thesis listing: 0-nw, 1-bfs, 2-bfs, 3-bfs, 4-cd.
+  std::vector<dag::Node> series = {
+      {"nw", 16777216}, {"bfs", 2034736}, {"bfs", 2034736},
+      {"bfs", 2034736}, {"cd", 250000}};
+  return dag::make_type1(series);
+}
+
+class Figure5 : public ::testing::Test {
+ protected:
+  // A petabyte-per-second link makes transfer times negligible, matching
+  // "to simplify the example, we do not consider transfer times".
+  Figure5() : system_(test::paper_system(/*rate_gbps=*/1e9)) {}
+
+  sim::SimResult run(sim::Policy& policy) {
+    const dag::Dag graph = figure5_graph();
+    const sim::LutCostModel cost(lut::paper_lookup_table(), system_);
+    return test::run_and_validate(policy, graph, system_, cost);
+  }
+
+  sim::System system_;
+};
+
+TEST_F(Figure5, MetEndsAt318_093) {
+  policies::Met met;
+  const auto result = run(met);
+  EXPECT_NEAR(result.makespan, 318.093, 1e-6);
+}
+
+TEST_F(Figure5, MetScheduleMatchesPublishedStateLog) {
+  policies::Met met;
+  const auto result = run(met);
+  const auto& s = result.schedule;
+  // CPU runs nw from 0; FPGA runs the three bfs back to back, then cd.
+  EXPECT_EQ(s[0].proc, 0u);  // nw -> CPU
+  EXPECT_NEAR(s[0].exec_start, 0.0, 1e-5);
+  EXPECT_EQ(s[1].proc, 2u);  // bfs -> FPGA
+  EXPECT_NEAR(s[1].exec_start, 0.0, 1e-5);
+  EXPECT_EQ(s[2].proc, 2u);
+  EXPECT_NEAR(s[2].exec_start, 106.0, 1e-5);
+  EXPECT_EQ(s[3].proc, 2u);
+  EXPECT_NEAR(s[3].exec_start, 212.0, 1e-5);
+  EXPECT_EQ(s[4].proc, 2u);  // cd -> FPGA
+  EXPECT_NEAR(s[4].exec_start, 318.0, 1e-5);
+  // GPU stays idle under MET for the whole run.
+  for (const auto& k : s) EXPECT_NE(k.proc, 1u);
+}
+
+TEST_F(Figure5, AptAlpha8EndsAt212_093) {
+  core::Apt apt(8.0);
+  const auto result = run(apt);
+  EXPECT_NEAR(result.makespan, 212.093, 1e-6);
+}
+
+TEST_F(Figure5, AptAlpha8ScheduleMatchesPublishedStateLog) {
+  core::Apt apt(8.0);
+  const auto result = run(apt);
+  const auto& s = result.schedule;
+  EXPECT_EQ(s[0].proc, 0u);  // nw -> CPU at 0
+  EXPECT_EQ(s[1].proc, 2u);  // bfs #1 -> FPGA at 0
+  EXPECT_NEAR(s[1].exec_start, 0.0, 1e-5);
+  // bfs #2: FPGA busy; GPU passes the threshold test (173 <= 8*106).
+  EXPECT_EQ(s[2].proc, 1u);
+  EXPECT_NEAR(s[2].exec_start, 0.0, 1e-5);
+  EXPECT_TRUE(s[2].alternative);
+  // bfs #3 waits for the FPGA (CPU is busy with nw at time 0).
+  EXPECT_EQ(s[3].proc, 2u);
+  EXPECT_NEAR(s[3].exec_start, 106.0, 1e-5);
+  EXPECT_FALSE(s[3].alternative);
+  // cd runs on the FPGA once all level-1 kernels finished (212.0).
+  EXPECT_EQ(s[4].proc, 2u);
+  EXPECT_NEAR(s[4].exec_start, 212.0, 1e-5);
+}
+
+TEST_F(Figure5, AptImprovesOnMetByThePublishedMargin) {
+  policies::Met met;
+  core::Apt apt(8.0);
+  const double met_end = run(met).makespan;
+  const double apt_end = run(apt).makespan;
+  EXPECT_NEAR(met_end - apt_end, 106.0, 1e-6);
+}
+
+TEST_F(Figure5, TraceRendersFigure5Shape) {
+  policies::Met met;
+  const auto result = run(met);
+  const dag::Dag graph = figure5_graph();
+  const sim::Trace trace = sim::build_trace(graph, system_, result);
+  // Five state-change instants, exactly as the thesis prints them:
+  // 0 (nw+bfs start), 106 (bfs #2 replaces #1), 112 (nw ends), 212 (bfs
+  // #3 starts), 318 (cd starts).
+  ASSERT_EQ(trace.rows.size(), 5u);
+  EXPECT_NEAR(trace.rows[0].time, 0.0, 1e-5);
+  EXPECT_NEAR(trace.rows[1].time, 106.0, 1e-5);
+  EXPECT_NEAR(trace.rows[2].time, 112.0, 1e-5);
+  EXPECT_NEAR(trace.rows[3].time, 212.0, 1e-5);
+  EXPECT_NEAR(trace.rows[4].time, 318.0, 1e-5);
+  EXPECT_EQ(trace.rows[0].proc_activity[0], "0-nw");
+  EXPECT_EQ(trace.rows[0].proc_activity[1], "idle");
+  EXPECT_EQ(trace.rows[0].proc_activity[2], "1-bfs");
+  EXPECT_EQ(trace.rows[2].proc_activity[0], "idle");  // nw done at 112
+  EXPECT_EQ(trace.rows[4].proc_activity[2], "4-cd");
+  EXPECT_NEAR(trace.end_time, 318.093, 1e-6);
+  const std::string text = sim::format_trace(system_, trace);
+  EXPECT_NE(text.find("End time: 318.093"), std::string::npos);
+}
+
+// With a *finite* but fast link, the example still holds: the bfs inputs are
+// small (2034736 elements ≈ 8.1 MB ≈ 2 ms at 4 GB/s) and Type-1 level-1
+// kernels have no predecessors, so no transfers occur before the sink.
+TEST_F(Figure5, HoldsAtPaperLinkRate) {
+  const dag::Dag graph = figure5_graph();
+  sim::System system4(sim::SystemConfig::paper_default(4.0));
+  const sim::LutCostModel cost(lut::paper_lookup_table(), system4);
+  core::Apt apt(8.0);
+  sim::Engine engine(graph, system4, cost);
+  const auto result = engine.run(apt);
+  // The cd sink now pays a transfer for its inputs; everything else is equal.
+  EXPECT_EQ(result.schedule[2].proc, 1u);
+  EXPECT_GE(result.makespan, 212.093);
+}
+
+}  // namespace
+}  // namespace apt

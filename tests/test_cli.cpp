@@ -1,0 +1,105 @@
+// Integration tests of the aptsim command-line tool: each sub-command must
+// succeed and produce its expected artifacts. The binary path is injected
+// by CMake as APTSIM_PATH.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "dag/serialize.hpp"
+#include "util/csv.hpp"
+
+namespace {
+
+std::string quoted(const std::string& s) { return "\"" + s + "\""; }
+
+int run_cli(const std::string& args, const std::string& stdout_file = "") {
+  std::string cmd = std::string(APTSIM_PATH) + " " + args;
+  if (!stdout_file.empty()) cmd += " > " + quoted(stdout_file);
+  cmd += " 2>/dev/null";
+  return std::system(cmd.c_str());
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(Cli, NoArgumentsPrintsUsageAndSucceeds) {
+  EXPECT_EQ(run_cli(""), 0);
+}
+
+TEST(Cli, UnknownCommandFails) {
+  EXPECT_NE(run_cli("frobnicate"), 0);
+}
+
+TEST(Cli, LutPrintsTheTable) {
+  const std::string out = ::testing::TempDir() + "/aptsim_lut.txt";
+  ASSERT_EQ(run_cli("lut", out), 0);
+  const std::string text = slurp(out);
+  EXPECT_NE(text.find("| mm"), std::string::npos);
+  EXPECT_NE(text.find("76293.945"), std::string::npos);
+  std::filesystem::remove(out);
+}
+
+TEST(Cli, GenerateWritesALoadableGraph) {
+  const std::string graph_file = ::testing::TempDir() + "/aptsim_graph.txt";
+  ASSERT_EQ(run_cli("generate --type 2 --kernels 20 --seed 9 --out " +
+                    quoted(graph_file)),
+            0);
+  const apt::dag::Dag graph = apt::dag::load_text_file(graph_file);
+  EXPECT_EQ(graph.node_count(), 20u);
+  std::filesystem::remove(graph_file);
+}
+
+TEST(Cli, RunOnAGeneratedGraphReportsMetrics) {
+  const std::string graph_file = ::testing::TempDir() + "/aptsim_graph2.txt";
+  ASSERT_EQ(run_cli("generate --type 1 --kernels 16 --seed 2 --out " +
+                    quoted(graph_file)),
+            0);
+  const std::string out = ::testing::TempDir() + "/aptsim_run.txt";
+  ASSERT_EQ(run_cli("run --policy apt:4 --graph " + quoted(graph_file) +
+                        " --trace --gantt --analyze",
+                    out),
+            0);
+  const std::string text = slurp(out);
+  EXPECT_NE(text.find("makespan:"), std::string::npos);
+  EXPECT_NE(text.find("lambda:"), std::string::npos);
+  EXPECT_NE(text.find("End time:"), std::string::npos);   // trace
+  EXPECT_NE(text.find("legend:"), std::string::npos);     // gantt
+  EXPECT_NE(text.find("utilisation"), std::string::npos); // analysis
+  std::filesystem::remove(graph_file);
+  std::filesystem::remove(out);
+}
+
+TEST(Cli, RunExportsScheduleCsv) {
+  const std::string csv = ::testing::TempDir() + "/aptsim_sched.csv";
+  ASSERT_EQ(run_cli("run --policy met --type 1 --kernels 16 --seed 4 --csv " +
+                    quoted(csv)),
+            0);
+  const auto table = apt::util::read_csv_file(csv);
+  EXPECT_EQ(table.row_count(), 16u);
+  EXPECT_NO_THROW(table.column_index("proc"));
+  std::filesystem::remove(csv);
+}
+
+TEST(Cli, BadPolicySpecFailsCleanly) {
+  EXPECT_NE(run_cli("run --policy not-a-policy --type 1 --kernels 16 "
+                    "--seed 1"),
+            0);
+}
+
+TEST(Cli, PoliciesListsSpecs) {
+  const std::string out = ::testing::TempDir() + "/aptsim_policies.txt";
+  ASSERT_EQ(run_cli("policies", out), 0);
+  const std::string text = slurp(out);
+  EXPECT_NE(text.find("apt:<alpha>"), std::string::npos);
+  EXPECT_NE(text.find("sufferage"), std::string::npos);
+  std::filesystem::remove(out);
+}
+
+}  // namespace

@@ -1,0 +1,238 @@
+#include "dag/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dag/serialize.hpp"
+#include "lut/paper_data.hpp"
+
+namespace apt::dag {
+namespace {
+
+TEST(KernelPool, PaperPoolHasSevenKernels) {
+  const KernelPool pool = KernelPool::paper_pool();
+  EXPECT_EQ(pool.items.size(), 7u);
+  for (const auto& item : pool.items) EXPECT_FALSE(item.sizes.empty());
+}
+
+TEST(KernelPool, FromLookupTableCoversEverySize) {
+  const auto table = lut::paper_lookup_table();
+  const KernelPool pool = KernelPool::from_lookup_table(table);
+  std::size_t total = 0;
+  for (const auto& item : pool.items) total += item.sizes.size();
+  EXPECT_EQ(total, table.size());
+}
+
+TEST(RandomSeries, DeterministicPerSeed) {
+  const KernelPool pool = KernelPool::paper_pool();
+  const auto a = random_kernel_series(50, 7, pool);
+  const auto b = random_kernel_series(50, 7, pool);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kernel, b[i].kernel);
+    EXPECT_EQ(a[i].data_size, b[i].data_size);
+  }
+}
+
+TEST(RandomSeries, DifferentSeedsDiffer) {
+  const KernelPool pool = KernelPool::paper_pool();
+  const auto a = random_kernel_series(50, 7, pool);
+  const auto b = random_kernel_series(50, 8, pool);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].kernel != b[i].kernel || a[i].data_size != b[i].data_size)
+      any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RandomSeries, OnlyDrawsFromThePool) {
+  const KernelPool pool = KernelPool::paper_pool();
+  const auto table = lut::paper_lookup_table();
+  for (const Node& n : random_kernel_series(200, 3, pool))
+    EXPECT_TRUE(table.contains(n.kernel, n.data_size))
+        << n.kernel << " " << n.data_size;
+}
+
+TEST(RandomSeries, EmptyPoolThrows) {
+  EXPECT_THROW(random_kernel_series(5, 1, KernelPool{}),
+               std::invalid_argument);
+}
+
+// --- DFG Type-1 ---------------------------------------------------------------
+
+TEST(Type1, ShapeIsLevel1PlusSink) {
+  const auto series = random_kernel_series(9, 1, KernelPool::paper_pool());
+  const Dag d = make_type1(series);
+  ASSERT_EQ(d.node_count(), 9u);
+  EXPECT_EQ(d.edge_count(), 8u);
+  // Nodes 0..7 independent, all feeding node 8.
+  for (NodeId i = 0; i < 8; ++i) {
+    EXPECT_EQ(d.in_degree(i), 0u);
+    EXPECT_EQ(d.successors(i), (std::vector<NodeId>{8}));
+  }
+  EXPECT_EQ(d.in_degree(8), 8u);
+  EXPECT_EQ(d.out_degree(8), 0u);
+  EXPECT_EQ(d.depth(), 2u);
+  EXPECT_TRUE(d.is_weakly_connected());
+}
+
+TEST(Type1, MinimumSizeEnforced) {
+  const auto series = random_kernel_series(1, 1, KernelPool::paper_pool());
+  EXPECT_THROW(make_type1(series), std::invalid_argument);
+}
+
+TEST(Type1, PreservesSeriesOrderAsNodeIds) {
+  std::vector<Node> series = {{"nw", 16777216}, {"bfs", 2034736},
+                              {"cd", 250000}};
+  const Dag d = make_type1(series);
+  EXPECT_EQ(d.node(0).kernel, "nw");
+  EXPECT_EQ(d.node(1).kernel, "bfs");
+  EXPECT_EQ(d.node(2).kernel, "cd");
+}
+
+// --- DFG Type-2 ---------------------------------------------------------------
+
+TEST(Type2, BlockWidthsAbsorbTheKernelCount) {
+  const auto w46 = type2_block_widths(46);
+  EXPECT_EQ(w46[0] + w46[1] + w46[2], 46u - 12u);
+  const auto w157 = type2_block_widths(157);
+  EXPECT_EQ(w157[0] + w157[1] + w157[2], 157u - 12u);
+  // Remainder spreads to the earlier blocks.
+  const auto w16 = type2_block_widths(16);
+  EXPECT_EQ(w16, (std::array<std::size_t, 3>{2, 1, 1}));
+}
+
+TEST(Type2, TooSmallThrows) {
+  EXPECT_THROW(type2_block_widths(14), std::invalid_argument);
+}
+
+TEST(Type2, StructuralShape) {
+  const auto series = random_kernel_series(46, 5, KernelPool::paper_pool());
+  const Dag d = make_type2(series);
+  ASSERT_EQ(d.node_count(), 46u);
+  EXPECT_TRUE(d.is_weakly_connected());
+
+  // Exactly one exit: the final join kernel (last node id).
+  const auto exits = d.exit_nodes();
+  ASSERT_EQ(exits.size(), 1u);
+  EXPECT_EQ(exits.front(), static_cast<NodeId>(45));
+  // Join depends on block-3's bottom + 3 singletons.
+  EXPECT_EQ(d.in_degree(45), 4u);
+
+  // Entries: block-1 top + the 3 singletons.
+  EXPECT_EQ(d.entry_nodes().size(), 4u);
+
+  // Three diamond blocks: count nodes with out-degree == width (tops) by
+  // checking the known widths.
+  const auto widths = type2_block_widths(46);
+  const auto tops = d.entry_nodes();  // block-1 top is the minimum entry id
+  const NodeId top1 = *std::min_element(tops.begin(), tops.end());
+  EXPECT_EQ(d.out_degree(top1), widths[0]);
+}
+
+TEST(Type2, DepthGrowsWithBlockPipeline) {
+  const auto series = random_kernel_series(46, 5, KernelPool::paper_pool());
+  const Dag d = make_type2(series);
+  // top+mid+bottom (3) per block, chain (1) between blocks, join (1):
+  // 3*3 + 2*1 + 1 = 12 levels.
+  EXPECT_EQ(d.depth(), 12u);
+}
+
+TEST(Type2, MiddleKernelsAreIndependentWithinABlock) {
+  const auto series = random_kernel_series(20, 9, KernelPool::paper_pool());
+  const Dag d = make_type2(series);
+  const auto widths = type2_block_widths(20);
+  // Block 1 occupies ids [0, widths[0]+2): top=0, mids, bottom.
+  const NodeId top = 0;
+  const NodeId bottom = static_cast<NodeId>(widths[0] + 1);
+  for (NodeId mid = 1; mid < bottom; ++mid) {
+    EXPECT_EQ(d.predecessors(mid), (std::vector<NodeId>{top}));
+    EXPECT_EQ(d.successors(mid), (std::vector<NodeId>{bottom}));
+  }
+}
+
+// --- Paper workloads -----------------------------------------------------------
+
+TEST(PaperWorkload, TenExperimentsWithPublishedKernelCounts) {
+  const std::vector<std::size_t> expected = {46, 58,  50, 73,  69,
+                                             81, 125, 93, 132, 157};
+  EXPECT_EQ(paper_experiment_sizes(), expected);
+  for (DfgType type : {DfgType::Type1, DfgType::Type2}) {
+    const auto graphs = paper_workload(type);
+    ASSERT_EQ(graphs.size(), 10u);
+    for (std::size_t i = 0; i < graphs.size(); ++i)
+      EXPECT_EQ(graphs[i].node_count(), expected[i]) << to_string(type) << i;
+  }
+}
+
+TEST(PaperWorkload, DeterministicAcrossCalls) {
+  const Dag a = paper_graph(DfgType::Type2, 3);
+  const Dag b = paper_graph(DfgType::Type2, 3);
+  EXPECT_EQ(to_text(a), to_text(b));
+}
+
+TEST(PaperWorkload, ExperimentsDifferFromEachOther) {
+  const Dag a = paper_graph(DfgType::Type1, 0);
+  const Dag b = paper_graph(DfgType::Type1, 1);
+  EXPECT_NE(to_text(a), to_text(b));
+}
+
+TEST(PaperWorkload, TypesDifferForSameIndex) {
+  const Dag t1 = paper_graph(DfgType::Type1, 0);
+  const Dag t2 = paper_graph(DfgType::Type2, 0);
+  EXPECT_NE(to_text(t1), to_text(t2));
+  EXPECT_EQ(t1.node_count(), t2.node_count());
+}
+
+TEST(PaperWorkload, IndexOutOfRangeThrows) {
+  EXPECT_THROW(paper_graph(DfgType::Type1, 10), std::out_of_range);
+}
+
+TEST(PaperWorkload, UsesSeveralDistinctKernels) {
+  const Dag d = paper_graph(DfgType::Type1, 0);
+  std::set<std::string> kernels;
+  for (NodeId i = 0; i < d.node_count(); ++i) kernels.insert(d.node(i).kernel);
+  EXPECT_GE(kernels.size(), 4u);
+}
+
+// --- Random layered DAG ---------------------------------------------------------
+
+TEST(LayeredDag, RespectsLayerCountAndConnectivity) {
+  const Dag d = random_layered_dag(40, 5, 0.1, 11, KernelPool::paper_pool());
+  EXPECT_EQ(d.node_count(), 40u);
+  EXPECT_EQ(d.depth(), 5u);
+  // Every non-first-layer node has at least one parent.
+  std::size_t entries = 0;
+  for (NodeId i = 0; i < d.node_count(); ++i)
+    if (d.in_degree(i) == 0) ++entries;
+  EXPECT_EQ(entries, 8u);  // 40/5 nodes in layer 0
+}
+
+TEST(LayeredDag, ZeroProbabilityGivesTreeLikeMinimum) {
+  const Dag d = random_layered_dag(20, 4, 0.0, 11, KernelPool::paper_pool());
+  // Exactly one mandatory parent per non-entry node.
+  EXPECT_EQ(d.edge_count(), 20u - 5u);
+}
+
+TEST(LayeredDag, DeterministicPerSeed) {
+  const Dag a = random_layered_dag(30, 4, 0.3, 17, KernelPool::paper_pool());
+  const Dag b = random_layered_dag(30, 4, 0.3, 17, KernelPool::paper_pool());
+  EXPECT_EQ(to_text(a), to_text(b));
+}
+
+TEST(LayeredDag, RejectsBadArguments) {
+  const auto pool = KernelPool::paper_pool();
+  EXPECT_THROW(random_layered_dag(3, 0, 0.1, 1, pool), std::invalid_argument);
+  EXPECT_THROW(random_layered_dag(3, 5, 0.1, 1, pool), std::invalid_argument);
+  EXPECT_THROW(random_layered_dag(9, 3, 1.5, 1, pool), std::invalid_argument);
+}
+
+TEST(DfgType, Names) {
+  EXPECT_STREQ(to_string(DfgType::Type1), "DFG Type-1");
+  EXPECT_STREQ(to_string(DfgType::Type2), "DFG Type-2");
+}
+
+}  // namespace
+}  // namespace apt::dag

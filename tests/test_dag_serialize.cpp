@@ -1,0 +1,92 @@
+#include "dag/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "dag/generator.hpp"
+#include "test_helpers.hpp"
+
+namespace apt::dag {
+namespace {
+
+TEST(TextFormat, RoundTripsDiamond) {
+  const Dag d = test::diamond(
+      {{"nw", 16777216}, {"bfs", 2034736}, {"mm", 250000}, {"cd", 250000}});
+  const Dag back = from_text(to_text(d));
+  EXPECT_EQ(back.node_count(), d.node_count());
+  EXPECT_EQ(back.edge_count(), d.edge_count());
+  for (NodeId i = 0; i < d.node_count(); ++i) {
+    EXPECT_EQ(back.node(i).kernel, d.node(i).kernel);
+    EXPECT_EQ(back.node(i).data_size, d.node(i).data_size);
+    EXPECT_EQ(back.successors(i), d.successors(i));
+  }
+}
+
+TEST(TextFormat, RoundTripsPaperGraphs) {
+  for (DfgType type : {DfgType::Type1, DfgType::Type2}) {
+    const Dag d = paper_graph(type, 4);
+    const Dag back = from_text(to_text(d));
+    EXPECT_EQ(to_text(back), to_text(d));
+  }
+}
+
+TEST(TextFormat, IgnoresCommentsAndBlankLines) {
+  const Dag d = from_text(
+      "# header comment\n"
+      "\n"
+      "node 0 nw 100\n"
+      "  # indented comment\n"
+      "node 1 bfs 200\n"
+      "edge 0 1\n");
+  EXPECT_EQ(d.node_count(), 2u);
+  EXPECT_TRUE(d.has_edge(0, 1));
+}
+
+TEST(TextFormat, RejectsMalformedLines) {
+  EXPECT_THROW(from_text("node 0 nw\n"), std::runtime_error);
+  EXPECT_THROW(from_text("node 1 nw 100\n"), std::runtime_error);  // sparse id
+  EXPECT_THROW(from_text("node 0 nw 100\nedge 0\n"), std::runtime_error);
+  EXPECT_THROW(from_text("frobnicate 1 2\n"), std::runtime_error);
+}
+
+TEST(TextFormat, RejectsEdgesThatBreakTheDag) {
+  EXPECT_THROW(
+      from_text("node 0 a 1\nnode 1 b 1\nedge 0 1\nedge 1 0\n"),
+      std::logic_error);
+}
+
+TEST(TextFile, SaveAndLoad) {
+  const std::string path = ::testing::TempDir() + "/apt_dag_test.txt";
+  const Dag d = paper_graph(DfgType::Type1, 0);
+  save_text_file(d, path);
+  const Dag back = load_text_file(path);
+  EXPECT_EQ(to_text(back), to_text(d));
+  std::remove(path.c_str());
+}
+
+TEST(TextFile, MissingFileThrows) {
+  EXPECT_THROW(load_text_file("/nonexistent/dir/g.txt"), std::runtime_error);
+}
+
+TEST(Dot, ContainsNodesAndEdges) {
+  const Dag d = test::chain({{"nw", 16777216}, {"cd", 250000}});
+  const std::string dot = to_dot(d, "example");
+  EXPECT_NE(dot.find("digraph example {"), std::string::npos);
+  EXPECT_NE(dot.find("n0 [label=\"0:nw"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1;"), std::string::npos);
+  EXPECT_NE(dot.find("}"), std::string::npos);
+}
+
+TEST(Dot, EdgeCountMatches) {
+  const Dag d = paper_graph(DfgType::Type2, 0);
+  const std::string dot = to_dot(d);
+  std::size_t arrows = 0;
+  for (std::size_t pos = 0; (pos = dot.find("->", pos)) != std::string::npos;
+       ++pos)
+    ++arrows;
+  EXPECT_EQ(arrows, d.edge_count());
+}
+
+}  // namespace
+}  // namespace apt::dag

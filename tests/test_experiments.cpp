@@ -1,0 +1,147 @@
+#include "core/experiments.hpp"
+
+#include <gtest/gtest.h>
+
+namespace apt::core {
+namespace {
+
+// A small spec set keeps these structural tests fast; the full-shape
+// assertions against the paper live in test_paper_shape.cpp.
+const std::vector<std::string> kSmallSet = {"apt:4", "met", "spn"};
+
+TEST(Experiments, GridDimensionsAndNames) {
+  const Grid grid = run_paper_grid(dag::DfgType::Type1, kSmallSet);
+  EXPECT_EQ(grid.experiment_count(), 10u);
+  EXPECT_EQ(grid.policy_count(), 3u);
+  EXPECT_EQ(grid.policy_names[0], "APT(alpha=4.00)");
+  EXPECT_EQ(grid.policy_names[1], "MET");
+  EXPECT_EQ(grid.policy_specs[2], "spn");
+  for (const auto& row : grid.cells) {
+    ASSERT_EQ(row.size(), 3u);
+    for (const Cell& cell : row) EXPECT_GT(cell.makespan_ms, 0.0);
+  }
+}
+
+TEST(Experiments, AveragesMatchManualComputation) {
+  const Grid grid = run_paper_grid(dag::DfgType::Type1, kSmallSet);
+  double sum = 0.0;
+  for (const auto& row : grid.cells) sum += row[1].makespan_ms;
+  EXPECT_NEAR(grid.avg_makespan_ms(1), sum / 10.0, 1e-9);
+  double lsum = 0.0;
+  for (const auto& row : grid.cells) lsum += row[1].lambda_total_ms;
+  EXPECT_NEAR(grid.avg_lambda_ms(1), lsum / 10.0, 1e-9);
+}
+
+TEST(Experiments, WinsCountStrictBests) {
+  Grid grid;
+  grid.policy_names = {"A", "B"};
+  grid.policy_specs = {"apt:4", "met"};
+  Cell fast;
+  fast.makespan_ms = 1.0;
+  Cell slow;
+  slow.makespan_ms = 2.0;
+  Cell tie = fast;
+  grid.cells = {{fast, slow}, {slow, fast}, {tie, tie}};
+  EXPECT_EQ(grid.wins(0), 1u);  // strictly best only in row 0
+  EXPECT_EQ(grid.wins(1), 1u);
+}
+
+TEST(Experiments, PaperPolicySpecsAreTheSevenPolicies) {
+  const auto specs = paper_policy_specs(4.0);
+  ASSERT_EQ(specs.size(), 7u);
+  EXPECT_EQ(specs[0], "apt:4.000");
+  EXPECT_EQ(specs[1], "met");
+  EXPECT_EQ(specs[6], "peft");
+}
+
+TEST(Experiments, DynamicSpecClassification) {
+  EXPECT_TRUE(is_dynamic_spec("apt:4"));
+  EXPECT_TRUE(is_dynamic_spec("met"));
+  EXPECT_TRUE(is_dynamic_spec("ag"));
+  EXPECT_FALSE(is_dynamic_spec("heft"));
+  EXPECT_FALSE(is_dynamic_spec("peft"));
+}
+
+TEST(Experiments, ImprovementAgainstSelfCompetitorsOnly) {
+  // Build a grid by hand: APT avg 80, MET avg 100, HEFT avg 50 (static,
+  // excluded from the Eq. 13 comparison base).
+  Grid grid;
+  grid.policy_names = {"APT", "MET", "HEFT"};
+  grid.policy_specs = {"apt:4", "met", "heft"};
+  Cell apt;
+  apt.makespan_ms = 80.0;
+  apt.lambda_total_ms = 40.0;
+  Cell met;
+  met.makespan_ms = 100.0;
+  met.lambda_total_ms = 80.0;
+  Cell heft;
+  heft.makespan_ms = 50.0;
+  heft.lambda_total_ms = 10.0;
+  grid.cells = {{apt, met, heft}};
+  EXPECT_NEAR(improvement_exec_pct(grid, 0), 20.0, 1e-9);
+  EXPECT_NEAR(improvement_lambda_pct(grid, 0), 50.0, 1e-9);
+}
+
+TEST(Experiments, ImprovementIsNegativeWhenCompetitorWins) {
+  Grid grid;
+  grid.policy_names = {"APT", "MET"};
+  grid.policy_specs = {"apt:4", "met"};
+  Cell apt;
+  apt.makespan_ms = 110.0;
+  apt.lambda_total_ms = 1.0;
+  Cell met;
+  met.makespan_ms = 100.0;
+  met.lambda_total_ms = 1.0;
+  grid.cells = {{apt, met}};
+  EXPECT_NEAR(improvement_exec_pct(grid, 0), -10.0, 1e-9);
+}
+
+TEST(Experiments, ImprovementNeedsADynamicCompetitor) {
+  Grid grid;
+  grid.policy_names = {"APT", "HEFT"};
+  grid.policy_specs = {"apt:4", "heft"};
+  Cell c;
+  c.makespan_ms = 1.0;
+  grid.cells = {{c, c}};
+  EXPECT_THROW(improvement_exec_pct(grid, 0), std::logic_error);
+}
+
+TEST(Experiments, RunPolicyOverExplicitGraphs) {
+  const std::vector<dag::Dag> graphs = {dag::paper_graph(dag::DfgType::Type1, 0),
+                                        dag::paper_graph(dag::DfgType::Type1, 1)};
+  const auto cells = run_policy_over("met", graphs);
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_GT(cells[0].makespan_ms, 0.0);
+  EXPECT_NE(cells[0].makespan_ms, cells[1].makespan_ms);
+}
+
+TEST(Experiments, AlphaSweepCoversTheCartesianProduct) {
+  const auto points =
+      apt_alpha_sweep(dag::DfgType::Type1, {2.0, 4.0}, {4.0, 8.0});
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_DOUBLE_EQ(points[0].alpha, 2.0);
+  EXPECT_DOUBLE_EQ(points[0].rate_gbps, 4.0);
+  EXPECT_DOUBLE_EQ(points[1].rate_gbps, 8.0);
+  EXPECT_DOUBLE_EQ(points[3].alpha, 4.0);
+  for (const auto& p : points) {
+    EXPECT_GT(p.avg_makespan_ms, 0.0);
+    EXPECT_GT(p.avg_lambda_ms, 0.0);
+  }
+}
+
+TEST(Experiments, PaperAlphasAreTheFiveFromTheThesis) {
+  EXPECT_EQ(paper_alphas(), (std::vector<double>{1.5, 2.0, 4.0, 8.0, 16.0}));
+}
+
+TEST(Experiments, GridIsDeterministic) {
+  const Grid a = run_paper_grid(dag::DfgType::Type2, {"apt:4"});
+  const Grid b = run_paper_grid(dag::DfgType::Type2, {"apt:4"});
+  for (std::size_t g = 0; g < a.experiment_count(); ++g) {
+    EXPECT_DOUBLE_EQ(a.cells[g][0].makespan_ms, b.cells[g][0].makespan_ms);
+    EXPECT_DOUBLE_EQ(a.cells[g][0].lambda_total_ms,
+                     b.cells[g][0].lambda_total_ms);
+  }
+}
+
+}  // namespace
+}  // namespace apt::core

@@ -1,0 +1,230 @@
+#include "lut/lookup_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lut/paper_data.hpp"
+
+namespace apt::lut {
+namespace {
+
+Entry make_entry(const char* kernel, std::uint64_t size, double c, double g,
+                 double f) {
+  Entry e;
+  e.kernel = kernel;
+  e.data_size = size;
+  e.time_ms = {c, g, f};
+  return e;
+}
+
+TEST(ProcType, RoundTripsThroughStrings) {
+  for (ProcType t : kAllProcTypes)
+    EXPECT_EQ(proc_type_from_string(to_string(t)), t);
+  EXPECT_EQ(proc_type_from_string("fpga"), ProcType::FPGA);
+  EXPECT_EQ(proc_type_from_string("  Gpu "), ProcType::GPU);
+  EXPECT_THROW(proc_type_from_string("asic"), std::invalid_argument);
+}
+
+TEST(KernelNames, CanonicalisesTheThesisSpellings) {
+  EXPECT_EQ(canonical_kernel_name("Matrix Multiplication"), kernels::kMatMul);
+  EXPECT_EQ(canonical_kernel_name("Matrix-Matrix Multiplication"),
+            kernels::kMatMul);
+  EXPECT_EQ(canonical_kernel_name("Mat.Mat. Multi."), kernels::kMatMul);
+  EXPECT_EQ(canonical_kernel_name("Matrix Inverse"), kernels::kMatInv);
+  EXPECT_EQ(canonical_kernel_name("Cholesky Decomposition"),
+            kernels::kCholesky);
+  EXPECT_EQ(canonical_kernel_name("Needleman Wunsch"),
+            kernels::kNeedlemanWunsch);
+  EXPECT_EQ(canonical_kernel_name("BFS"), kernels::kBfs);
+  EXPECT_EQ(canonical_kernel_name("SRAD"), kernels::kSrad);
+  EXPECT_EQ(canonical_kernel_name("GEM"), kernels::kGem);
+  EXPECT_EQ(canonical_kernel_name("unknown thing"), "unknown thing");
+}
+
+TEST(LookupTable, AddAndExactQuery) {
+  LookupTable t;
+  t.add(make_entry("mm", 100, 1.0, 2.0, 3.0));
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_TRUE(t.contains("mm", 100));
+  EXPECT_FALSE(t.contains("mm", 101));
+  EXPECT_DOUBLE_EQ(t.exec_time_ms("mm", 100, ProcType::CPU), 1.0);
+  EXPECT_DOUBLE_EQ(t.exec_time_ms("mm", 100, ProcType::GPU), 2.0);
+  EXPECT_DOUBLE_EQ(t.exec_time_ms("mm", 100, ProcType::FPGA), 3.0);
+}
+
+TEST(LookupTable, QueriesCanonicaliseNames) {
+  LookupTable t;
+  t.add(make_entry("Matrix Multiplication", 100, 1.0, 2.0, 3.0));
+  EXPECT_TRUE(t.contains("mm", 100));
+  EXPECT_DOUBLE_EQ(t.exec_time_ms("MatMul", 100, ProcType::CPU), 1.0);
+}
+
+TEST(LookupTable, DuplicateRowThrows) {
+  LookupTable t;
+  t.add(make_entry("mm", 100, 1.0, 2.0, 3.0));
+  EXPECT_THROW(t.add(make_entry("mm", 100, 9.0, 9.0, 9.0)),
+               std::invalid_argument);
+}
+
+TEST(LookupTable, RejectsNonPositiveTimes) {
+  LookupTable t;
+  EXPECT_THROW(t.add(make_entry("mm", 1, 0.0, 1.0, 1.0)),
+               std::invalid_argument);
+  EXPECT_THROW(t.add(make_entry("mm", 2, -1.0, 1.0, 1.0)),
+               std::invalid_argument);
+}
+
+TEST(LookupTable, MissingRowThrows) {
+  LookupTable t;
+  EXPECT_THROW(t.at("mm", 100), std::out_of_range);
+}
+
+TEST(LookupTable, BestProcessorAndOrdering) {
+  LookupTable t;
+  t.add(make_entry("k", 1, 5.0, 1.0, 3.0));
+  EXPECT_EQ(t.best_processor("k", 1), ProcType::GPU);
+  const auto order = t.processors_by_time("k", 1);
+  EXPECT_EQ(order,
+            (std::vector<ProcType>{ProcType::GPU, ProcType::FPGA,
+                                   ProcType::CPU}));
+}
+
+TEST(LookupTable, BestProcessorTieBreaksTowardCpu) {
+  LookupTable t;
+  t.add(make_entry("k", 1, 2.0, 2.0, 5.0));
+  EXPECT_EQ(t.best_processor("k", 1), ProcType::CPU);
+}
+
+TEST(LookupTable, HeterogeneityRatio) {
+  LookupTable t;
+  t.add(make_entry("k", 1, 10.0, 2.0, 5.0));
+  EXPECT_DOUBLE_EQ(t.heterogeneity("k", 1), 5.0);
+}
+
+TEST(LookupTable, NearestPicksLogClosestSize) {
+  LookupTable t;
+  t.add(make_entry("k", 1000, 1.0, 1.0, 1.0));
+  t.add(make_entry("k", 1000000, 2.0, 2.0, 2.0));
+  EXPECT_EQ(t.nearest("k", 2000).data_size, 1000u);
+  EXPECT_EQ(t.nearest("k", 900000).data_size, 1000000u);
+  EXPECT_THROW(t.nearest("other", 10), std::out_of_range);
+}
+
+TEST(LookupTable, KernelsAndSizesEnumeration) {
+  LookupTable t;
+  t.add(make_entry("b", 2, 1, 1, 1));
+  t.add(make_entry("a", 5, 1, 1, 1));
+  t.add(make_entry("a", 3, 1, 1, 1));
+  EXPECT_EQ(t.kernels(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(t.sizes_for("a"), (std::vector<std::uint64_t>{3, 5}));
+  EXPECT_TRUE(t.sizes_for("zzz").empty());
+}
+
+TEST(LookupTable, CsvRoundTrip) {
+  LookupTable t;
+  t.add(make_entry("mm", 100, 1.5, 2.25, 3.125));
+  t.add(make_entry("nw", 200, 10.0, 20.0, 30.0));
+  const LookupTable back = LookupTable::from_csv(t.to_csv());
+  EXPECT_EQ(back.size(), 2u);
+  EXPECT_DOUBLE_EQ(back.exec_time_ms("mm", 100, ProcType::GPU), 2.25);
+  EXPECT_DOUBLE_EQ(back.exec_time_ms("nw", 200, ProcType::FPGA), 30.0);
+}
+
+TEST(LookupTable, CsvFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/apt_lut_test.csv";
+  const LookupTable t = paper_lookup_table();
+  t.save_csv_file(path);
+  const LookupTable back = LookupTable::from_csv_file(path);
+  EXPECT_EQ(back.size(), t.size());
+  EXPECT_DOUBLE_EQ(back.exec_time_ms("mm", 64000000, ProcType::CPU),
+                   t.exec_time_ms("mm", 64000000, ProcType::CPU));
+  std::remove(path.c_str());
+}
+
+// --- Paper data (Table 14) ----------------------------------------------------
+
+TEST(PaperData, Has25Rows) {
+  EXPECT_EQ(paper_lookup_table().size(), 25u);
+}
+
+TEST(PaperData, SevenKernels) {
+  const auto kernels = paper_lookup_table().kernels();
+  EXPECT_EQ(kernels.size(), 7u);
+  for (const char* k : {"bfs", "cd", "gem", "mi", "mm", "nw", "srad"})
+    EXPECT_NE(std::find(kernels.begin(), kernels.end(), k), kernels.end())
+        << k;
+}
+
+TEST(PaperData, LinearAlgebraKernelsHaveSevenSizes) {
+  const auto t = paper_lookup_table();
+  for (const char* k : {"mm", "mi", "cd"})
+    EXPECT_EQ(t.sizes_for(k), paper_linear_algebra_sizes()) << k;
+}
+
+TEST(PaperData, SpotChecksAgainstTable14) {
+  const auto t = paper_lookup_table();
+  EXPECT_DOUBLE_EQ(t.exec_time_ms("mm", 16000000, ProcType::CPU), 1967.286);
+  EXPECT_DOUBLE_EQ(t.exec_time_ms("mm", 16000000, ProcType::GPU), 0.061);
+  EXPECT_DOUBLE_EQ(t.exec_time_ms("mm", 16000000, ProcType::FPGA), 76293.945);
+  EXPECT_DOUBLE_EQ(t.exec_time_ms("cd", 250000, ProcType::FPGA), 0.093);
+  EXPECT_DOUBLE_EQ(t.exec_time_ms("mi", 698896, ProcType::GPU), 22.352);
+  EXPECT_DOUBLE_EQ(t.exec_time_ms("nw", 16777216, ProcType::CPU), 112.0);
+  EXPECT_DOUBLE_EQ(t.exec_time_ms("bfs", 2034736, ProcType::FPGA), 106.0);
+  EXPECT_DOUBLE_EQ(t.exec_time_ms("srad", 134217728, ProcType::GPU), 1600.0);
+  EXPECT_DOUBLE_EQ(t.exec_time_ms("gem", 2070376, ProcType::FPGA), 585760.0);
+}
+
+TEST(PaperData, BestProcessorsMatchTheThesisNarrative) {
+  const auto t = paper_lookup_table();
+  // Table 7's "far apart execution times": nw->CPU, bfs->FPGA, cd->FPGA.
+  EXPECT_EQ(t.best_processor("nw", 16777216), ProcType::CPU);
+  EXPECT_EQ(t.best_processor("bfs", 2034736), ProcType::FPGA);
+  EXPECT_EQ(t.best_processor("cd", 250000), ProcType::FPGA);
+  // GPU dominates matrix multiplication at every size.
+  for (std::uint64_t size : paper_linear_algebra_sizes())
+    EXPECT_EQ(t.best_processor("mm", size), ProcType::GPU);
+  EXPECT_EQ(t.best_processor("srad", 134217728), ProcType::GPU);
+  EXPECT_EQ(t.best_processor("gem", 2070376), ProcType::GPU);
+}
+
+TEST(PaperData, DwarfSizes) {
+  EXPECT_EQ(paper_dwarf_size("nw"), 16777216u);
+  EXPECT_EQ(paper_dwarf_size("bfs"), 2034736u);
+  EXPECT_EQ(paper_dwarf_size("srad"), 134217728u);
+  EXPECT_EQ(paper_dwarf_size("gem"), 2070376u);
+  EXPECT_THROW(paper_dwarf_size("mm"), std::invalid_argument);
+}
+
+TEST(PaperData, SystemIsHighlyHeterogeneous) {
+  // The premise of the thesis: large heterogeneity ratios across kernels.
+  const auto t = paper_lookup_table();
+  EXPECT_GT(t.heterogeneity("mm", 64000000), 1e6);   // GPU vs FPGA
+  EXPECT_GT(t.heterogeneity("gem", 2070376), 100.0);  // GPU vs FPGA
+  EXPECT_LT(t.heterogeneity("nw", 16777216), 4.0);    // mild for nw
+}
+
+
+TEST(Heterogeneity, GeometricMeanAndMedian) {
+  LookupTable t;
+  t.add(make_entry("a", 1, 1.0, 2.0, 4.0));   // ratio 4
+  t.add(make_entry("b", 1, 1.0, 1.0, 16.0));  // ratio 16
+  EXPECT_DOUBLE_EQ(geometric_mean_heterogeneity(t), 8.0);  // sqrt(4*16)
+  EXPECT_DOUBLE_EQ(median_heterogeneity(t), 10.0);         // (4+16)/2
+  t.add(make_entry("c", 1, 3.0, 3.0, 3.0));   // ratio 1
+  EXPECT_DOUBLE_EQ(median_heterogeneity(t), 4.0);
+}
+
+TEST(Heterogeneity, EmptyTableThrows) {
+  LookupTable empty;
+  EXPECT_THROW(geometric_mean_heterogeneity(empty), std::invalid_argument);
+  EXPECT_THROW(median_heterogeneity(empty), std::invalid_argument);
+}
+
+TEST(Heterogeneity, PaperTableIsHighlyHeterogeneous) {
+  const LookupTable t = paper_lookup_table();
+  EXPECT_GT(geometric_mean_heterogeneity(t), 10.0);
+  EXPECT_GT(median_heterogeneity(t), 3.0);
+  EXPECT_LT(median_heterogeneity(t), geometric_mean_heterogeneity(t) * 100.0);
+}
+
+}  // namespace
+}  // namespace apt::lut

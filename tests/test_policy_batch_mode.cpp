@@ -1,0 +1,135 @@
+#include "policies/batch_mode.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dag/generator.hpp"
+#include "lut/paper_data.hpp"
+#include "test_helpers.hpp"
+
+namespace apt::policies {
+namespace {
+
+TEST(BatchMode, Names) {
+  EXPECT_EQ(BatchMode(BatchRule::MinMin).name(), "Min-Min");
+  EXPECT_EQ(BatchMode(BatchRule::MaxMin).name(), "Max-Min");
+  EXPECT_EQ(BatchMode(BatchRule::Sufferage).name(), "Sufferage");
+  EXPECT_TRUE(BatchMode(BatchRule::MinMin).is_dynamic());
+}
+
+TEST(MinMin, SchedulesTheQuickestKernelFirst) {
+  // One processor: Min-Min empties the ready set shortest-first.
+  dag::Dag d;
+  for (int i = 0; i < 3; ++i) d.add_node("k", 1);
+  const sim::System sys = test::generic_system(1);
+  sim::MatrixCostModel cost({{5.0}, {1.0}, {3.0}});
+  BatchMode policy(BatchRule::MinMin);
+  const auto result = test::run_and_validate(policy, d, sys, cost);
+  EXPECT_DOUBLE_EQ(result.schedule[1].exec_start, 0.0);
+  EXPECT_DOUBLE_EQ(result.schedule[2].exec_start, 1.0);
+  EXPECT_DOUBLE_EQ(result.schedule[0].exec_start, 4.0);
+}
+
+TEST(MaxMin, SchedulesTheHeaviestKernelFirst) {
+  dag::Dag d;
+  for (int i = 0; i < 3; ++i) d.add_node("k", 1);
+  const sim::System sys = test::generic_system(1);
+  sim::MatrixCostModel cost({{5.0}, {1.0}, {3.0}});
+  BatchMode policy(BatchRule::MaxMin);
+  const auto result = test::run_and_validate(policy, d, sys, cost);
+  EXPECT_DOUBLE_EQ(result.schedule[0].exec_start, 0.0);
+  EXPECT_DOUBLE_EQ(result.schedule[2].exec_start, 5.0);
+  EXPECT_DOUBLE_EQ(result.schedule[1].exec_start, 8.0);
+}
+
+TEST(MaxMin, AvoidsTheClassicMinMinImbalance) {
+  // Two light kernels + one heavy, two processors. Max-Min starts the
+  // heavy one immediately and packs the light ones alongside, beating
+  // Min-Min's makespan.
+  dag::Dag d;
+  d.add_node("light1", 1);
+  d.add_node("light2", 1);
+  d.add_node("heavy", 1);
+  const sim::System sys = test::generic_system(2);
+  sim::MatrixCostModel cost({{2.0, 2.0}, {2.0, 2.0}, {9.0, 9.0}});
+  BatchMode maxmin(BatchRule::MaxMin);
+  const auto heavy_first = test::run_and_validate(maxmin, d, sys, cost);
+  EXPECT_DOUBLE_EQ(heavy_first.schedule[2].exec_start, 0.0);
+  EXPECT_DOUBLE_EQ(heavy_first.makespan, 9.0);
+
+  BatchMode minmin(BatchRule::MinMin);
+  const auto light_first = test::run_and_validate(minmin, d, sys, cost);
+  EXPECT_DOUBLE_EQ(light_first.makespan, 11.0);  // heavy starts at 2
+}
+
+TEST(Sufferage, PrioritisesTheKernelWithMostToLose) {
+  // Both kernels prefer p0. Kernel 0 barely cares (5 vs 6); kernel 1
+  // suffers badly (5 vs 50). Sufferage gives p0 to kernel 1.
+  dag::Dag d;
+  d.add_node("indifferent", 1);
+  d.add_node("sensitive", 1);
+  const sim::System sys = test::generic_system(2);
+  sim::MatrixCostModel cost({{5.0, 6.0}, {5.0, 50.0}});
+  BatchMode policy(BatchRule::Sufferage);
+  const auto result = test::run_and_validate(policy, d, sys, cost);
+  EXPECT_EQ(result.schedule[1].proc, 0u);
+  EXPECT_EQ(result.schedule[0].proc, 1u);
+  EXPECT_DOUBLE_EQ(result.makespan, 6.0);
+}
+
+TEST(Sufferage, MinMinGetsThatExampleWrong) {
+  dag::Dag d;
+  d.add_node("indifferent", 1);
+  d.add_node("sensitive", 1);
+  const sim::System sys = test::generic_system(2);
+  sim::MatrixCostModel cost({{5.0, 6.0}, {5.0, 50.0}});
+  BatchMode policy(BatchRule::MinMin);
+  const auto result = test::run_and_validate(policy, d, sys, cost);
+  // Min-Min ties on best cost (5 vs 5) and FIFO gives p0 to kernel 0,
+  // forcing kernel 1 onto its terrible alternative.
+  EXPECT_EQ(result.schedule[0].proc, 0u);
+  EXPECT_DOUBLE_EQ(result.makespan, 50.0);
+}
+
+TEST(BatchMode, SufferageIsZeroWithASingleIdleProcessor) {
+  // One processor: no second-best exists; FIFO order applies.
+  dag::Dag d;
+  for (int i = 0; i < 3; ++i) d.add_node("k", 1);
+  const sim::System sys = test::generic_system(1);
+  sim::MatrixCostModel cost({{3.0}, {1.0}, {2.0}});
+  BatchMode policy(BatchRule::Sufferage);
+  const auto result = test::run_and_validate(policy, d, sys, cost);
+  EXPECT_DOUBLE_EQ(result.schedule[0].exec_start, 0.0);
+  EXPECT_DOUBLE_EQ(result.schedule[1].exec_start, 3.0);
+  EXPECT_DOUBLE_EQ(result.schedule[2].exec_start, 4.0);
+}
+
+TEST(BatchMode, TransferCostsEnterTheCompletionTimeEstimate) {
+  // Kernel 1's data sits on p0; moving it to p1 costs 10. Min-Min must
+  // fold that into its completion-time comparison and keep it local.
+  dag::Dag d;
+  d.add_node("src", 1);
+  d.add_node("consumer", 1);
+  d.add_edge(0, 1);
+  const sim::System sys = test::generic_system(2);
+  sim::MatrixCostModel cost({{1.0, 9.0}, {5.0, 4.0}});
+  cost.set_comm_cost(0, 1, 10.0);
+  BatchMode policy(BatchRule::MinMin);
+  const auto result = test::run_and_validate(policy, d, sys, cost);
+  EXPECT_EQ(result.schedule[1].proc, 0u);  // 5 local < 4 + 10 remote
+}
+
+TEST(BatchMode, AllRulesHandlePaperWorkloads) {
+  for (const BatchRule rule :
+       {BatchRule::MinMin, BatchRule::MaxMin, BatchRule::Sufferage}) {
+    for (dag::DfgType type : {dag::DfgType::Type1, dag::DfgType::Type2}) {
+      const dag::Dag graph = dag::paper_graph(type, 0);
+      const sim::System sys = test::paper_system();
+      const sim::LutCostModel cost(lut::paper_lookup_table(), sys);
+      BatchMode policy(rule);
+      test::run_and_validate(policy, graph, sys, cost);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace apt::policies

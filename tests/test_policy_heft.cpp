@@ -1,0 +1,131 @@
+#include "policies/heft.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dag/generator.hpp"
+#include "lut/paper_data.hpp"
+#include "test_helpers.hpp"
+
+namespace apt::policies {
+namespace {
+
+// --- The published Topcuoglu et al. example -----------------------------------
+
+TEST(HeftRanks, UpwardRanksMatchThePaper) {
+  const auto ex = test::topcuoglu_example();
+  const sim::System sys = test::generic_system(3);
+  const auto rank = heft_upward_ranks(ex.dag, sys, *ex.cost);
+  // Table 2 of the HEFT paper (0-based node ids).
+  const std::vector<double> expected = {108.000, 77.000, 80.000,  80.000,
+                                        69.000,  63.333, 42.667,  35.667,
+                                        44.333,  14.667};
+  ASSERT_EQ(rank.size(), expected.size());
+  for (std::size_t i = 0; i < rank.size(); ++i)
+    EXPECT_NEAR(rank[i], expected[i], 0.01) << "task " << i + 1;
+}
+
+TEST(HeftRanks, DownwardRanksMatchThePaper) {
+  const auto ex = test::topcuoglu_example();
+  const sim::System sys = test::generic_system(3);
+  const auto rank = heft_downward_ranks(ex.dag, sys, *ex.cost);
+  EXPECT_NEAR(rank[0], 0.0, 1e-12);    // entry task
+  EXPECT_NEAR(rank[1], 31.0, 0.01);    // 13 + 18
+  EXPECT_NEAR(rank[2], 25.0, 0.01);    // 13 + 12
+  EXPECT_NEAR(rank[3], 22.0, 0.01);
+  EXPECT_NEAR(rank[4], 24.0, 0.01);
+  EXPECT_NEAR(rank[9], 93.333, 0.01);  // exit task
+}
+
+TEST(HeftRanks, UpwardRankDecreasesAlongEveryEdge) {
+  const auto ex = test::topcuoglu_example();
+  const sim::System sys = test::generic_system(3);
+  const auto rank = heft_upward_ranks(ex.dag, sys, *ex.cost);
+  for (dag::NodeId n = 0; n < ex.dag.node_count(); ++n) {
+    for (dag::NodeId s : ex.dag.successors(n)) EXPECT_GT(rank[n], rank[s]);
+  }
+}
+
+TEST(Heft, ReproducesThePublishedMakespan80) {
+  const auto ex = test::topcuoglu_example();
+  const sim::System sys = test::generic_system(3);
+  Heft heft;
+  const auto result = test::run_and_validate(heft, ex.dag, sys, *ex.cost);
+  EXPECT_NEAR(result.makespan, 80.0, 1e-9);
+}
+
+TEST(Heft, PublishedProcessorAssignments) {
+  // The HEFT paper's Figure 3(a) schedule: t1->P3(=2), t2->P1(=0),
+  // t3->P3, t4->P2(=1), ..., t10->P2.
+  const auto ex = test::topcuoglu_example();
+  const sim::System sys = test::generic_system(3);
+  Heft heft;
+  const auto result = test::run_and_validate(heft, ex.dag, sys, *ex.cost);
+  EXPECT_EQ(result.schedule[0].proc, 2u);  // t1 on P3
+  EXPECT_EQ(result.schedule[3].proc, 1u);  // t4 on P2
+  EXPECT_EQ(result.schedule[9].proc, 1u);  // t10 on P2
+}
+
+TEST(Heft, SimulatedExecutionMatchesThePlanExactly) {
+  const auto ex = test::topcuoglu_example();
+  const sim::System sys = test::generic_system(3);
+  Heft heft;
+  const auto result = test::run_and_validate(heft, ex.dag, sys, *ex.cost);
+  const StaticPlan& plan = heft.plan();
+  ASSERT_EQ(plan.tasks.size(), result.schedule.size());
+  for (dag::NodeId n = 0; n < plan.tasks.size(); ++n) {
+    EXPECT_EQ(result.schedule[n].proc, plan.tasks[n].proc) << "task " << n;
+    EXPECT_NEAR(result.schedule[n].exec_start, plan.tasks[n].start, 1e-9);
+    EXPECT_NEAR(result.schedule[n].finish_time, plan.tasks[n].finish, 1e-9);
+  }
+  EXPECT_NEAR(plan.planned_makespan(), result.makespan, 1e-9);
+}
+
+TEST(Heft, PlanMatchesExecutionOnPaperWorkloadToo) {
+  const dag::Dag graph = dag::paper_graph(dag::DfgType::Type2, 0);
+  const sim::System sys = test::paper_system();
+  const sim::LutCostModel cost(lut::paper_lookup_table(), sys);
+  Heft heft;
+  const auto result = test::run_and_validate(heft, graph, sys, cost);
+  for (dag::NodeId n = 0; n < graph.node_count(); ++n) {
+    EXPECT_NEAR(result.schedule[n].exec_start, heft.plan().tasks[n].start,
+                1e-6)
+        << "node " << n;
+  }
+}
+
+TEST(Heft, InsertionFillsGaps) {
+  // p0: a long head task then a dependent tail leaves a gap a later short
+  // independent task can slot into.
+  dag::Dag d;
+  d.add_node("head", 1);   // 0
+  d.add_node("tail", 1);   // 1, needs head's data remotely -> gap on p0
+  d.add_node("filler", 1); // 2, independent and short
+  d.add_edge(0, 1);
+  const sim::System sys = test::generic_system(2);
+  sim::MatrixCostModel cost({{4.0, 50.0}, {4.0, 50.0}, {2.0, 50.0}});
+  cost.set_comm_cost(0, 1, 0.0);
+  Heft heft;
+  const auto result = test::run_and_validate(heft, d, sys, cost);
+  // All three prefer p0 massively; the filler should reuse idle time
+  // without delaying anything into p1's 50ms territory.
+  for (const auto& k : result.schedule) EXPECT_EQ(k.proc, 0u);
+  EXPECT_DOUBLE_EQ(result.makespan, 10.0);
+}
+
+TEST(Heft, SingleProcessorIsASerialisation) {
+  const auto ex = test::topcuoglu_example();
+  const sim::System sys = test::generic_system(1);
+  // Project the 3-proc matrix onto p0 only.
+  std::vector<std::vector<sim::TimeMs>> w;
+  for (int i = 0; i < 10; ++i)
+    w.push_back({ex.cost->exec_time_ms(ex.dag, i, sys.processor(0))});
+  sim::MatrixCostModel cost(w);
+  Heft heft;
+  const auto result = test::run_and_validate(heft, ex.dag, sys, cost);
+  double total = 0.0;
+  for (const auto& row : w) total += row[0];
+  EXPECT_NEAR(result.makespan, total, 1e-9);  // no idle gaps on one proc
+}
+
+}  // namespace
+}  // namespace apt::policies

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "dag/generator.hpp"
+#include "lut/paper_data.hpp"
+#include "policies/olb.hpp"
+#include "policies/random_policy.hpp"
+#include "test_helpers.hpp"
+
+namespace apt::policies {
+namespace {
+
+TEST(Olb, AssignsFifoToLowestIdleProcessor) {
+  dag::Dag d;
+  for (int i = 0; i < 3; ++i) d.add_node("k", 1);
+  const sim::System sys = test::generic_system(2);
+  sim::MatrixCostModel cost({{1.0, 9.0}, {1.0, 9.0}, {1.0, 9.0}});
+  Olb olb;
+  const auto result = test::run_and_validate(olb, d, sys, cost);
+  EXPECT_EQ(result.schedule[0].proc, 0u);
+  EXPECT_EQ(result.schedule[1].proc, 1u);  // blind to the 9x slowdown
+  EXPECT_EQ(result.schedule[2].proc, 0u);
+}
+
+TEST(Olb, IgnoresExecutionTimesEntirely) {
+  // OLB picks p0 for the first kernel even when p0 is catastrophic for it.
+  dag::Dag d;
+  d.add_node("k", 1);
+  const sim::System sys = test::generic_system(2);
+  sim::MatrixCostModel cost({{1000.0, 1.0}});
+  Olb olb;
+  const auto result = test::run_and_validate(olb, d, sys, cost);
+  EXPECT_EQ(result.schedule[0].proc, 0u);
+  EXPECT_DOUBLE_EQ(result.makespan, 1000.0);
+}
+
+TEST(Olb, HandlesPaperWorkloads) {
+  const dag::Dag graph = dag::paper_graph(dag::DfgType::Type2, 0);
+  const sim::System sys = test::paper_system();
+  const sim::LutCostModel cost(lut::paper_lookup_table(), sys);
+  Olb olb;
+  test::run_and_validate(olb, graph, sys, cost);
+}
+
+TEST(RandomPolicy, DeterministicPerSeed) {
+  const dag::Dag graph = dag::paper_graph(dag::DfgType::Type1, 0);
+  const sim::System sys = test::paper_system();
+  const sim::LutCostModel cost(lut::paper_lookup_table(), sys);
+  RandomPolicy a(123);
+  RandomPolicy b(123);
+  const auto ra = test::run_and_validate(a, graph, sys, cost);
+  const auto rb = test::run_and_validate(b, graph, sys, cost);
+  EXPECT_DOUBLE_EQ(ra.makespan, rb.makespan);
+  for (std::size_t i = 0; i < ra.schedule.size(); ++i)
+    EXPECT_EQ(ra.schedule[i].proc, rb.schedule[i].proc);
+}
+
+TEST(RandomPolicy, SeedsProduceDifferentSchedules) {
+  const dag::Dag graph = dag::paper_graph(dag::DfgType::Type1, 0);
+  const sim::System sys = test::paper_system();
+  const sim::LutCostModel cost(lut::paper_lookup_table(), sys);
+  RandomPolicy a(1);
+  RandomPolicy b(2);
+  const auto ra = test::run_and_validate(a, graph, sys, cost);
+  const auto rb = test::run_and_validate(b, graph, sys, cost);
+  bool differs = false;
+  for (std::size_t i = 0; i < ra.schedule.size(); ++i) {
+    if (ra.schedule[i].proc != rb.schedule[i].proc) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RandomPolicy, PrepareResetsTheStream) {
+  // Re-running the same policy object gives the same schedule, because
+  // prepare() reseeds.
+  const dag::Dag graph = dag::paper_graph(dag::DfgType::Type1, 1);
+  const sim::System sys = test::paper_system();
+  const sim::LutCostModel cost(lut::paper_lookup_table(), sys);
+  RandomPolicy policy(7);
+  const auto first = test::run_and_validate(policy, graph, sys, cost);
+  const auto second = test::run_and_validate(policy, graph, sys, cost);
+  EXPECT_DOUBLE_EQ(first.makespan, second.makespan);
+}
+
+}  // namespace
+}  // namespace apt::policies

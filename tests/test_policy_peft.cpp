@@ -1,0 +1,112 @@
+#include "policies/peft.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dag/generator.hpp"
+#include "lut/paper_data.hpp"
+#include "test_helpers.hpp"
+
+namespace apt::policies {
+namespace {
+
+TEST(PeftOct, ExitTaskRowsAreZero) {
+  const auto ex = test::topcuoglu_example();
+  const sim::System sys = test::generic_system(3);
+  const auto oct = peft_oct(ex.dag, sys, *ex.cost);
+  for (double v : oct[9]) EXPECT_DOUBLE_EQ(v, 0.0);  // t10 is the exit
+}
+
+TEST(PeftOct, PenultimateRowIsChildCostPlusComm) {
+  const auto ex = test::topcuoglu_example();
+  const sim::System sys = test::generic_system(3);
+  const auto oct = peft_oct(ex.dag, sys, *ex.cost);
+  // For t7 (node 6) the only child is t10 (w = {21,7,16}, comm 17).
+  // OCT(t7, pk) = min_pw( w(t10,pw) + (pw==pk ? 0 : 17) )
+  //   pk=0: min(21, 7+17, 16+17) = 21
+  //   pk=1: min(21+17, 7, 33) = 7
+  //   pk=2: min(38, 24, 16) = 16
+  EXPECT_DOUBLE_EQ(oct[6][0], 21.0);
+  EXPECT_DOUBLE_EQ(oct[6][1], 7.0);
+  EXPECT_DOUBLE_EQ(oct[6][2], 16.0);
+}
+
+TEST(PeftOct, ValuesGrowTowardTheEntry) {
+  const auto ex = test::topcuoglu_example();
+  const sim::System sys = test::generic_system(3);
+  const auto oct = peft_oct(ex.dag, sys, *ex.cost);
+  const auto rank = peft_rank_oct(oct);
+  // The entry task dominates every other rank_oct in this DAG.
+  for (std::size_t i = 1; i < rank.size(); ++i) EXPECT_GT(rank[0], rank[i]);
+  EXPECT_DOUBLE_EQ(rank[9], 0.0);
+}
+
+TEST(PeftOct, ScalesLinearlyWithCosts) {
+  // Doubling every exec and comm cost doubles the OCT.
+  dag::Dag d = test::chain({{"a", 1}, {"b", 1}});
+  const sim::System sys = test::generic_system(2);
+  sim::MatrixCostModel cost1({{1.0, 2.0}, {3.0, 4.0}});
+  cost1.set_comm_cost(0, 1, 5.0);
+  sim::MatrixCostModel cost2({{2.0, 4.0}, {6.0, 8.0}});
+  cost2.set_comm_cost(0, 1, 10.0);
+  const auto oct1 = peft_oct(d, sys, cost1);
+  const auto oct2 = peft_oct(d, sys, cost2);
+  for (std::size_t i = 0; i < oct1.size(); ++i) {
+    for (std::size_t p = 0; p < oct1[i].size(); ++p)
+      EXPECT_DOUBLE_EQ(oct2[i][p], 2.0 * oct1[i][p]);
+  }
+}
+
+TEST(PeftRank, MeanOfRows) {
+  const std::vector<std::vector<double>> oct = {{3.0, 6.0, 9.0}, {0, 0, 0}};
+  const auto rank = peft_rank_oct(oct);
+  EXPECT_DOUBLE_EQ(rank[0], 6.0);
+  EXPECT_DOUBLE_EQ(rank[1], 0.0);
+}
+
+TEST(Peft, ProducesAValidCompetitiveSchedule) {
+  const auto ex = test::topcuoglu_example();
+  const sim::System sys = test::generic_system(3);
+  Peft peft;
+  const auto result = test::run_and_validate(peft, ex.dag, sys, *ex.cost);
+  // PEFT's makespan on this DAG should be in HEFT's ballpark (the PEFT
+  // paper reports parity-or-better on average, not on every instance).
+  EXPECT_LE(result.makespan, 95.0);
+  EXPECT_GE(result.makespan, 73.0);  // the known optimum region
+}
+
+TEST(Peft, SimulatedExecutionMatchesThePlan) {
+  const auto ex = test::topcuoglu_example();
+  const sim::System sys = test::generic_system(3);
+  Peft peft;
+  const auto result = test::run_and_validate(peft, ex.dag, sys, *ex.cost);
+  for (dag::NodeId n = 0; n < ex.dag.node_count(); ++n) {
+    EXPECT_EQ(result.schedule[n].proc, peft.plan().tasks[n].proc);
+    EXPECT_NEAR(result.schedule[n].exec_start, peft.plan().tasks[n].start,
+                1e-9);
+  }
+}
+
+TEST(Peft, HandlesPaperWorkloads) {
+  for (dag::DfgType type : {dag::DfgType::Type1, dag::DfgType::Type2}) {
+    const dag::Dag graph = dag::paper_graph(type, 0);
+    const sim::System sys = test::paper_system();
+    const sim::LutCostModel cost(lut::paper_lookup_table(), sys);
+    Peft peft;
+    test::run_and_validate(peft, graph, sys, cost);
+  }
+}
+
+TEST(Peft, OnHomogeneousCostsOctIsPathLength) {
+  // Unit costs, no comm: OCT(t, p) = longest remaining path in *children*
+  // work terms.
+  const dag::Dag d = test::chain({{"a", 1}, {"b", 1}, {"c", 1}});
+  const sim::System sys = test::generic_system(2);
+  sim::MatrixCostModel cost({{1.0, 1.0}, {1.0, 1.0}, {1.0, 1.0}});
+  const auto oct = peft_oct(d, sys, cost);
+  EXPECT_DOUBLE_EQ(oct[2][0], 0.0);
+  EXPECT_DOUBLE_EQ(oct[1][0], 1.0);
+  EXPECT_DOUBLE_EQ(oct[0][0], 2.0);
+}
+
+}  // namespace
+}  // namespace apt::policies

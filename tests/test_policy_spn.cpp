@@ -1,0 +1,92 @@
+#include "policies/spn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dag/generator.hpp"
+#include "lut/paper_data.hpp"
+#include "test_helpers.hpp"
+
+namespace apt::policies {
+namespace {
+
+TEST(Spn, PicksGloballyShortestKernelProcessorPair) {
+  // k1 is shortest anywhere (on p1); k0 then takes the best remaining.
+  dag::Dag d;
+  d.add_node("k0", 1);
+  d.add_node("k1", 1);
+  const sim::System sys = test::generic_system(2);
+  sim::MatrixCostModel cost({{5.0, 6.0}, {9.0, 1.0}});
+  Spn spn;
+  const auto result = test::run_and_validate(spn, d, sys, cost);
+  EXPECT_EQ(result.schedule[1].proc, 1u);
+  EXPECT_DOUBLE_EQ(result.schedule[1].exec_start, 0.0);
+  EXPECT_EQ(result.schedule[0].proc, 0u);
+  EXPECT_DOUBLE_EQ(result.schedule[0].exec_start, 0.0);
+}
+
+TEST(Spn, NeverLeavesAProcessorIdleWhileWorkIsReady) {
+  // Three kernels, two processors: both processors start something at t=0.
+  dag::Dag d;
+  for (int i = 0; i < 3; ++i) d.add_node("k", 1);
+  const sim::System sys = test::generic_system(2);
+  sim::MatrixCostModel cost({{1.0, 50.0}, {1.0, 50.0}, {1.0, 50.0}});
+  Spn spn;
+  const auto result = test::run_and_validate(spn, d, sys, cost);
+  std::size_t at_zero = 0;
+  for (const auto& k : result.schedule) {
+    if (k.exec_start == 0.0) ++at_zero;
+  }
+  EXPECT_EQ(at_zero, 2u);  // greedy keep-busy, even on the bad processor
+}
+
+TEST(Spn, AssignsToSlowProcessorRatherThanWaiting) {
+  // Unlike MET: second kernel goes to the 50x slower processor immediately.
+  dag::Dag d;
+  d.add_node("a", 1);
+  d.add_node("b", 1);
+  const sim::System sys = test::generic_system(2);
+  sim::MatrixCostModel cost({{1.0, 50.0}, {1.0, 50.0}});
+  Spn spn;
+  const auto result = test::run_and_validate(spn, d, sys, cost);
+  EXPECT_EQ(result.schedule[0].proc, 0u);
+  EXPECT_EQ(result.schedule[1].proc, 1u);
+  EXPECT_DOUBLE_EQ(result.makespan, 50.0);
+}
+
+TEST(Spn, ShortestFirstOrderOnSharedProcessor) {
+  // One processor, kernels of length 3, 1, 2 -> executed 1, 2, 3.
+  dag::Dag d;
+  for (int i = 0; i < 3; ++i) d.add_node("k", 1);
+  const sim::System sys = test::generic_system(1);
+  sim::MatrixCostModel cost({{3.0}, {1.0}, {2.0}});
+  Spn spn;
+  const auto result = test::run_and_validate(spn, d, sys, cost);
+  EXPECT_DOUBLE_EQ(result.schedule[1].exec_start, 0.0);
+  EXPECT_DOUBLE_EQ(result.schedule[2].exec_start, 1.0);
+  EXPECT_DOUBLE_EQ(result.schedule[0].exec_start, 3.0);
+}
+
+TEST(Spn, TieBreaksByArrivalThenProcessorId) {
+  dag::Dag d;
+  d.add_node("a", 1);
+  d.add_node("b", 1);
+  const sim::System sys = test::generic_system(2);
+  sim::MatrixCostModel cost({{1.0, 1.0}, {1.0, 1.0}});
+  Spn spn;
+  const auto result = test::run_and_validate(spn, d, sys, cost);
+  EXPECT_EQ(result.schedule[0].proc, 0u);  // earliest kernel, lowest proc
+  EXPECT_EQ(result.schedule[1].proc, 1u);
+}
+
+TEST(Spn, HandlesPaperWorkloads) {
+  for (dag::DfgType type : {dag::DfgType::Type1, dag::DfgType::Type2}) {
+    const dag::Dag graph = dag::paper_graph(type, 0);
+    const sim::System sys = test::paper_system();
+    const sim::LutCostModel cost(lut::paper_lookup_table(), sys);
+    Spn spn;
+    test::run_and_validate(spn, graph, sys, cost);
+  }
+}
+
+}  // namespace
+}  // namespace apt::policies

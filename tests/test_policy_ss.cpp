@@ -1,0 +1,95 @@
+#include "policies/ss.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dag/generator.hpp"
+#include "lut/paper_data.hpp"
+#include "test_helpers.hpp"
+
+namespace apt::policies {
+namespace {
+
+TEST(SerialScheduling, PrioritisesTheHighestStddevKernel) {
+  // One processor free slot contention: kernel 1 has wildly heterogeneous
+  // times (stddev 49.5) vs kernel 0 (stddev 0) — kernel 1 is placed first.
+  dag::Dag d;
+  d.add_node("uniform", 1);
+  d.add_node("volatile", 1);
+  const sim::System sys = test::generic_system(2);
+  sim::MatrixCostModel cost({{5.0, 5.0}, {1.0, 100.0}});
+  SerialScheduling ss;
+  const auto result = test::run_and_validate(ss, d, sys, cost);
+  // volatile grabs its best processor (p0) first; uniform lands on p1.
+  EXPECT_EQ(result.schedule[1].proc, 0u);
+  EXPECT_DOUBLE_EQ(result.schedule[1].exec_start, 0.0);
+  EXPECT_EQ(result.schedule[0].proc, 1u);
+}
+
+TEST(SerialScheduling, AssignsToTheFastestAvailableProcessor) {
+  dag::Dag d;
+  d.add_node("k", 1);
+  const sim::System sys = test::generic_system(3);
+  sim::MatrixCostModel cost({{7.0, 3.0, 9.0}});
+  SerialScheduling ss;
+  const auto result = test::run_and_validate(ss, d, sys, cost);
+  EXPECT_EQ(result.schedule[0].proc, 1u);
+}
+
+TEST(SerialScheduling, NeverWaits) {
+  // Like SPN, SS keeps the system busy: both processors used at t=0.
+  dag::Dag d;
+  d.add_node("a", 1);
+  d.add_node("b", 1);
+  const sim::System sys = test::generic_system(2);
+  sim::MatrixCostModel cost({{1.0, 40.0}, {1.0, 40.0}});
+  SerialScheduling ss;
+  const auto result = test::run_and_validate(ss, d, sys, cost);
+  EXPECT_DOUBLE_EQ(result.schedule[0].exec_start, 0.0);
+  EXPECT_DOUBLE_EQ(result.schedule[1].exec_start, 0.0);
+  EXPECT_NE(result.schedule[0].proc, result.schedule[1].proc);
+}
+
+TEST(SerialScheduling, StddevIsComputedOverAvailableProcessorsOnly) {
+  // p0 is occupied by kernel 0 (arrives alone). Then kernels 1 and 2
+  // contend for the two remaining processors {p1, p2}: over those, kernel 1
+  // has stddev 0 and kernel 2 has stddev 24.5 -> kernel 2 picks first.
+  dag::Dag d;
+  d.add_node("occupier", 1);
+  d.add_node("flat", 1);
+  d.add_node("spread", 1);
+  const sim::System sys = test::generic_system(3);
+  sim::MatrixCostModel cost({{1.0, 100.0, 100.0},
+                             {90.0, 8.0, 8.0},
+                             {90.0, 1.0, 50.0}});
+  SerialScheduling ss;
+  const auto result = test::run_and_validate(ss, d, sys, cost);
+  EXPECT_EQ(result.schedule[0].proc, 0u);
+  EXPECT_EQ(result.schedule[2].proc, 1u);  // spread wins its best first
+  EXPECT_EQ(result.schedule[1].proc, 2u);  // flat takes what is left
+}
+
+TEST(SerialScheduling, SingleProcessorDegeneratesToFifo) {
+  // With one idle processor every stddev is 0: FIFO tie-break applies.
+  dag::Dag d;
+  for (int i = 0; i < 3; ++i) d.add_node("k", 1);
+  const sim::System sys = test::generic_system(1);
+  sim::MatrixCostModel cost({{2.0}, {3.0}, {1.0}});
+  SerialScheduling ss;
+  const auto result = test::run_and_validate(ss, d, sys, cost);
+  EXPECT_DOUBLE_EQ(result.schedule[0].exec_start, 0.0);
+  EXPECT_DOUBLE_EQ(result.schedule[1].exec_start, 2.0);
+  EXPECT_DOUBLE_EQ(result.schedule[2].exec_start, 5.0);
+}
+
+TEST(SerialScheduling, HandlesPaperWorkloads) {
+  for (dag::DfgType type : {dag::DfgType::Type1, dag::DfgType::Type2}) {
+    const dag::Dag graph = dag::paper_graph(type, 1);
+    const sim::System sys = test::paper_system();
+    const sim::LutCostModel cost(lut::paper_lookup_table(), sys);
+    SerialScheduling ss;
+    test::run_and_validate(ss, graph, sys, cost);
+  }
+}
+
+}  // namespace
+}  // namespace apt::policies

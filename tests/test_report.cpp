@@ -1,0 +1,105 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "util/csv.hpp"
+#include "util/string_utils.hpp"
+
+namespace apt::core {
+namespace {
+
+Grid tiny_grid() {
+  Grid grid;
+  grid.policy_names = {"APT(alpha=4.00)", "MET"};
+  grid.policy_specs = {"apt:4", "met"};
+  Cell a;
+  a.makespan_ms = 100.0;
+  a.lambda_total_ms = 10.0;
+  a.alternative_count = 3;
+  Cell b;
+  b.makespan_ms = 200.0;
+  b.lambda_total_ms = 30.0;
+  Cell c;
+  c.makespan_ms = 300.0;
+  c.lambda_total_ms = 70.0;
+  Cell d;
+  d.makespan_ms = 400.0;
+  d.lambda_total_ms = 90.0;
+  grid.cells = {{a, b}, {c, d}};
+  return grid;
+}
+
+TEST(Report, GridValueNames) {
+  EXPECT_STREQ(to_string(GridValue::Makespan), "makespan_ms");
+  EXPECT_STREQ(to_string(GridValue::LambdaTotal), "lambda_total_ms");
+  EXPECT_STREQ(to_string(GridValue::AlternativeCount), "alternative_count");
+}
+
+TEST(Report, CsvLayoutAndAverages) {
+  const std::string csv = grid_to_csv(tiny_grid(), GridValue::Makespan);
+  const util::CsvTable table = util::parse_csv(csv);
+  ASSERT_EQ(table.row_count(), 3u);  // 2 experiments + avg
+  EXPECT_EQ(table.header(),
+            (util::CsvRow{"experiment", "APT(alpha=4.00)", "MET"}));
+  EXPECT_EQ(table.cell(0, "MET"), "200.000");
+  EXPECT_EQ(table.row(2)[0], "avg");
+  EXPECT_DOUBLE_EQ(util::parse_double(table.row(2)[1]), 200.0);
+  EXPECT_DOUBLE_EQ(util::parse_double(table.row(2)[2]), 300.0);
+}
+
+TEST(Report, CsvLambdaAndAlternatives) {
+  const Grid grid = tiny_grid();
+  const util::CsvTable lambda =
+      util::parse_csv(grid_to_csv(grid, GridValue::LambdaTotal));
+  EXPECT_DOUBLE_EQ(util::parse_double(lambda.row(0)[1]), 10.0);
+  const util::CsvTable alts =
+      util::parse_csv(grid_to_csv(grid, GridValue::AlternativeCount));
+  EXPECT_EQ(alts.row(0)[1], "3");
+  EXPECT_EQ(alts.row(0)[2], "0");
+}
+
+TEST(Report, MarkdownContainsHeaderRuleAndAverages) {
+  const std::string md = grid_to_markdown(tiny_grid(), GridValue::Makespan);
+  EXPECT_NE(md.find("| Experiment | APT(alpha=4.00) | MET |"),
+            std::string::npos);
+  EXPECT_NE(md.find("|---|---:|---:|"), std::string::npos);
+  EXPECT_NE(md.find("| **avg** | **200.0** | **300.0** |"),
+            std::string::npos);
+}
+
+TEST(Report, SweepCsvRoundTrips) {
+  std::vector<AlphaSweepPoint> points = {{1.5, 4.0, 100.0, 50.0},
+                                         {4.0, 8.0, 80.0, 20.0}};
+  const util::CsvTable table = util::parse_csv(sweep_to_csv(points));
+  ASSERT_EQ(table.row_count(), 2u);
+  EXPECT_DOUBLE_EQ(util::parse_double(table.cell(1, "alpha")), 4.0);
+  EXPECT_DOUBLE_EQ(util::parse_double(table.cell(1, "avg_makespan_ms")),
+                   80.0);
+}
+
+TEST(Report, BundleWritesEveryExpectedFile) {
+  const std::string dir =
+      ::testing::TempDir() + "/apt_report_bundle_test";
+  std::filesystem::create_directories(dir);
+  const auto files = write_report_bundle(dir, 4.0);
+  EXPECT_EQ(files.size(), 10u);  // 5 per DFG type
+  for (const auto& name : files) {
+    EXPECT_TRUE(std::filesystem::exists(dir + "/" + name)) << name;
+    EXPECT_GT(std::filesystem::file_size(dir + "/" + name), 0u) << name;
+  }
+  // Spot-check one artifact parses and has the seven policy columns.
+  const auto table = util::read_csv_file(dir + "/type1_makespan.csv");
+  EXPECT_EQ(table.header().size(), 8u);  // experiment + 7 policies
+  EXPECT_EQ(table.row_count(), 11u);     // 10 experiments + avg
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Report, BundleFailsCleanlyOnBadDirectory) {
+  EXPECT_THROW(write_report_bundle("/nonexistent-dir-xyz/sub", 4.0),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace apt::core

@@ -1,0 +1,69 @@
+#include "core/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/apt.hpp"
+#include "dag/generator.hpp"
+#include "lut/paper_data.hpp"
+#include "sim/validate.hpp"
+#include "test_helpers.hpp"
+
+namespace apt::core {
+namespace {
+
+TEST(Runner, ProducesScheduleAndMetricsTogether) {
+  const dag::Dag graph = dag::paper_graph(dag::DfgType::Type1, 0);
+  const sim::System sys = test::paper_system();
+  Apt apt(4.0);
+  const RunOutcome outcome =
+      run_policy(apt, graph, sys, lut::paper_lookup_table());
+  EXPECT_EQ(outcome.policy_name, "APT(alpha=4.00)");
+  EXPECT_EQ(outcome.result.schedule.size(), graph.node_count());
+  EXPECT_DOUBLE_EQ(outcome.metrics.makespan, outcome.result.makespan);
+  EXPECT_EQ(outcome.metrics.kernel_count, graph.node_count());
+}
+
+TEST(Runner, ExplicitCostModelOverload) {
+  const dag::Dag graph = dag::paper_graph(dag::DfgType::Type1, 0);
+  const sim::System sys = test::paper_system();
+  const sim::LutCostModel cost(lut::paper_lookup_table(), sys);
+  Apt apt(4.0);
+  const RunOutcome a = run_policy(apt, graph, sys, cost);
+  Apt apt2(4.0);
+  const RunOutcome b =
+      run_policy(apt2, graph, sys, lut::paper_lookup_table());
+  EXPECT_DOUBLE_EQ(a.metrics.makespan, b.metrics.makespan);
+}
+
+TEST(Runner, PaperSystemOneLiner) {
+  const dag::Dag graph = dag::paper_graph(dag::DfgType::Type2, 0);
+  const RunOutcome outcome = run_paper_system("met", graph);
+  EXPECT_EQ(outcome.policy_name, "MET");
+  EXPECT_GT(outcome.metrics.makespan, 0.0);
+
+  // The produced schedule passes full validation.
+  const sim::System sys = test::paper_system();
+  const sim::LutCostModel cost(lut::paper_lookup_table(), sys);
+  EXPECT_TRUE(
+      sim::validate_schedule(graph, sys, cost, outcome.result).empty());
+}
+
+TEST(Runner, RateChangesTransferBoundResults) {
+  // Type-2 graphs move data between kernels; a faster link helps (small
+  // scheduling anomalies aside, which the 2% slack absorbs).
+  const dag::Dag graph = dag::paper_graph(dag::DfgType::Type2, 0);
+  const RunOutcome slow = run_paper_system("ag", graph, 4.0);
+  const RunOutcome fast = run_paper_system("ag", graph, 8.0);
+  EXPECT_LE(fast.metrics.makespan, slow.metrics.makespan * 1.02);
+}
+
+TEST(Runner, IsDeterministic) {
+  const dag::Dag graph = dag::paper_graph(dag::DfgType::Type1, 3);
+  const RunOutcome a = run_paper_system("apt:4", graph);
+  const RunOutcome b = run_paper_system("apt:4", graph);
+  EXPECT_DOUBLE_EQ(a.metrics.makespan, b.metrics.makespan);
+  EXPECT_DOUBLE_EQ(a.metrics.lambda.total_ms, b.metrics.lambda.total_ms);
+}
+
+}  // namespace
+}  // namespace apt::core

@@ -1,0 +1,163 @@
+#include "sim/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lut/paper_data.hpp"
+#include "test_helpers.hpp"
+
+namespace apt::sim {
+namespace {
+
+TEST(LutCostModel, ExecTimesComeFromTheTable) {
+  const System sys = test::paper_system();
+  const LutCostModel cost(lut::paper_lookup_table(), sys);
+  dag::Dag d;
+  d.add_node("mm", 16000000);
+  EXPECT_DOUBLE_EQ(cost.exec_time_ms(d, 0, sys.processor(0)), 1967.286);
+  EXPECT_DOUBLE_EQ(cost.exec_time_ms(d, 0, sys.processor(1)), 0.061);
+  EXPECT_DOUBLE_EQ(cost.exec_time_ms(d, 0, sys.processor(2)), 76293.945);
+}
+
+TEST(LutCostModel, SameTypeInstancesShareTimes) {
+  SystemConfig cfg;
+  cfg.processors = {lut::ProcType::GPU, lut::ProcType::GPU};
+  const System sys(cfg);
+  const LutCostModel cost(lut::paper_lookup_table(), sys);
+  dag::Dag d;
+  d.add_node("srad", 134217728);
+  EXPECT_DOUBLE_EQ(cost.exec_time_ms(d, 0, sys.processor(0)),
+                   cost.exec_time_ms(d, 0, sys.processor(1)));
+}
+
+TEST(LutCostModel, StrictModeThrowsOnUnknownSize) {
+  const System sys = test::paper_system();
+  const LutCostModel cost(lut::paper_lookup_table(), sys);
+  dag::Dag d;
+  d.add_node("mm", 123456);  // not a measured size
+  EXPECT_THROW(cost.exec_time_ms(d, 0, sys.processor(0)), std::out_of_range);
+}
+
+TEST(LutCostModel, LenientModeFallsBackToNearestSize) {
+  const System sys = test::paper_system();
+  const LutCostModel cost(lut::paper_lookup_table(), sys, /*strict=*/false);
+  dag::Dag d;
+  d.add_node("mm", 260000);  // nearest measured: 250000
+  EXPECT_DOUBLE_EQ(cost.exec_time_ms(d, 0, sys.processor(0)), 29.631);
+}
+
+TEST(LutCostModel, TransferUsesProducerSizeAndLinkRate) {
+  const System sys = test::paper_system(4.0);
+  const LutCostModel cost(lut::paper_lookup_table(), sys);
+  dag::Dag d;
+  d.add_node("bfs", 2034736);
+  d.add_node("cd", 250000);
+  d.add_edge(0, 1);
+  // 2034736 elements * 4 B = 8138944 B; at 4e6 B/ms -> 2.034736 ms.
+  EXPECT_NEAR(cost.transfer_time_ms(d, 0, 1, sys.processor(2),
+                                    sys.processor(0)),
+              2.034736, 1e-9);
+  EXPECT_DOUBLE_EQ(cost.transfer_time_ms(d, 0, 1, sys.processor(1),
+                                         sys.processor(1)),
+                   0.0);
+}
+
+TEST(LutCostModel, TransferScalesWithRate) {
+  const System s4 = test::paper_system(4.0);
+  const System s8 = test::paper_system(8.0);
+  const LutCostModel c4(lut::paper_lookup_table(), s4);
+  const LutCostModel c8(lut::paper_lookup_table(), s8);
+  dag::Dag d;
+  d.add_node("nw", 16777216);
+  d.add_node("cd", 250000);
+  d.add_edge(0, 1);
+  const double t4 =
+      c4.transfer_time_ms(d, 0, 1, s4.processor(0), s4.processor(1));
+  const double t8 =
+      c8.transfer_time_ms(d, 0, 1, s8.processor(0), s8.processor(1));
+  EXPECT_NEAR(t4, 2.0 * t8, 1e-12);
+}
+
+TEST(LutCostModel, EmptyTableRejected) {
+  const System sys = test::paper_system();
+  EXPECT_THROW(LutCostModel(lut::LookupTable{}, sys), std::invalid_argument);
+}
+
+TEST(MatrixCostModel, ExecAndCommByIndex) {
+  const System sys = test::generic_system(2);
+  MatrixCostModel cost({{1.0, 2.0}, {3.0, 4.0}});
+  dag::Dag d;
+  d.add_node("a", 1);
+  d.add_node("b", 1);
+  d.add_edge(0, 1);
+  cost.set_comm_cost(0, 1, 7.5);
+  EXPECT_DOUBLE_EQ(cost.exec_time_ms(d, 0, sys.processor(1)), 2.0);
+  EXPECT_DOUBLE_EQ(cost.exec_time_ms(d, 1, sys.processor(0)), 3.0);
+  EXPECT_DOUBLE_EQ(
+      cost.transfer_time_ms(d, 0, 1, sys.processor(0), sys.processor(1)), 7.5);
+  EXPECT_DOUBLE_EQ(
+      cost.transfer_time_ms(d, 0, 1, sys.processor(1), sys.processor(1)), 0.0);
+}
+
+TEST(MatrixCostModel, UnsetEdgesAreFree) {
+  const System sys = test::generic_system(2);
+  MatrixCostModel cost({{1.0, 1.0}, {1.0, 1.0}});
+  dag::Dag d;
+  d.add_node("a", 1);
+  d.add_node("b", 1);
+  d.add_edge(0, 1);
+  EXPECT_DOUBLE_EQ(
+      cost.transfer_time_ms(d, 0, 1, sys.processor(0), sys.processor(1)), 0.0);
+}
+
+TEST(MatrixCostModel, Validation) {
+  using Matrix = std::vector<std::vector<TimeMs>>;
+  EXPECT_THROW(MatrixCostModel(Matrix{}), std::invalid_argument);
+  EXPECT_THROW(MatrixCostModel(Matrix{{}}), std::invalid_argument);
+  EXPECT_THROW(MatrixCostModel(Matrix{{1.0}, {1.0, 2.0}}),
+               std::invalid_argument);
+  MatrixCostModel ok(Matrix{{1.0}});
+  EXPECT_THROW(ok.set_comm_cost(0, 1, -1.0), std::invalid_argument);
+}
+
+TEST(MatrixCostModel, OutOfRangeQueriesThrow) {
+  const System sys = test::generic_system(2);
+  MatrixCostModel cost({{1.0, 2.0}});
+  dag::Dag d;
+  d.add_node("a", 1);
+  d.add_node("b", 1);
+  EXPECT_THROW(cost.exec_time_ms(d, 1, sys.processor(0)), std::out_of_range);
+}
+
+TEST(CostModelAverages, MeanExecOverProcessors) {
+  const System sys = test::generic_system(3);
+  MatrixCostModel cost({{14.0, 16.0, 9.0}});
+  dag::Dag d;
+  d.add_node("t1", 1);
+  EXPECT_DOUBLE_EQ(cost.average_exec_time_ms(d, 0, sys), 13.0);
+}
+
+TEST(CostModelAverages, MeanCommOverDistinctPairs) {
+  const System sys = test::generic_system(3);
+  MatrixCostModel cost({{1, 1, 1}, {1, 1, 1}});
+  dag::Dag d;
+  d.add_node("a", 1);
+  d.add_node("b", 1);
+  d.add_edge(0, 1);
+  cost.set_comm_cost(0, 1, 18.0);
+  // All six ordered distinct pairs cost 18 -> mean 18 (same-proc excluded).
+  EXPECT_DOUBLE_EQ(cost.average_transfer_time_ms(d, 0, 1, sys), 18.0);
+}
+
+TEST(CostModelAverages, SingleProcessorCommIsZero) {
+  const System sys = test::generic_system(1);
+  MatrixCostModel cost({{1}, {1}});
+  dag::Dag d;
+  d.add_node("a", 1);
+  d.add_node("b", 1);
+  d.add_edge(0, 1);
+  cost.set_comm_cost(0, 1, 18.0);
+  EXPECT_DOUBLE_EQ(cost.average_transfer_time_ms(d, 0, 1, sys), 0.0);
+}
+
+}  // namespace
+}  // namespace apt::sim

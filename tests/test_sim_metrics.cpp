@@ -1,0 +1,174 @@
+#include "sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/apt.hpp"
+#include "dag/generator.hpp"
+#include "lut/paper_data.hpp"
+#include "policies/met.hpp"
+#include "sim/engine.hpp"
+#include "test_helpers.hpp"
+
+namespace apt::sim {
+namespace {
+
+/// Hand-built two-kernel schedule for exact accounting checks.
+SimResult tiny_result() {
+  SimResult r;
+  ScheduledKernel a;
+  a.node = 0;
+  a.proc = 0;
+  a.ready_time = 0.0;
+  a.assign_time = 0.0;
+  a.exec_start = 1.0;
+  a.transfer_ms = 1.0;  // the whole pre-exec gap is data movement
+  a.exec_ms = 4.0;
+  a.finish_time = 5.0;
+  ScheduledKernel b;
+  b.node = 1;
+  b.proc = 1;
+  b.ready_time = 0.0;
+  b.assign_time = 2.0;  // 2 ms scheduling wait
+  b.exec_start = 2.0;
+  b.exec_ms = 6.0;
+  b.finish_time = 8.0;
+  b.alternative = true;
+  r.schedule = {a, b};
+  r.makespan = 8.0;
+  return r;
+}
+
+TEST(Metrics, PerProcessorBreakdownSumsToMakespan) {
+  dag::Dag d;
+  d.add_node("nw", 16777216);
+  d.add_node("bfs", 2034736);
+  const System sys = test::generic_system(2);
+  const SimMetrics m = compute_metrics(d, sys, tiny_result());
+  ASSERT_EQ(m.per_proc.size(), 2u);
+  EXPECT_DOUBLE_EQ(m.per_proc[0].compute_ms, 4.0);
+  EXPECT_DOUBLE_EQ(m.per_proc[0].transfer_ms, 1.0);
+  EXPECT_DOUBLE_EQ(m.per_proc[0].idle_ms, 3.0);
+  EXPECT_DOUBLE_EQ(m.per_proc[1].compute_ms, 6.0);
+  EXPECT_DOUBLE_EQ(m.per_proc[1].transfer_ms, 0.0);
+  EXPECT_DOUBLE_EQ(m.per_proc[1].idle_ms, 2.0);
+  for (const auto& p : m.per_proc)
+    EXPECT_DOUBLE_EQ(p.compute_ms + p.transfer_ms + p.idle_ms, m.makespan);
+}
+
+TEST(Metrics, LambdaCountsOnlyPositiveDelays) {
+  dag::Dag d;
+  d.add_node("nw", 16777216);
+  d.add_node("bfs", 2034736);
+  const System sys = test::generic_system(2);
+  const SimMetrics m = compute_metrics(d, sys, tiny_result());
+  EXPECT_DOUBLE_EQ(m.lambda.total_ms, 2.0);   // only kernel b waited
+  EXPECT_EQ(m.lambda.occurrences, 1u);
+  EXPECT_DOUBLE_EQ(m.lambda.avg_ms, 2.0);     // Eq. 11
+  EXPECT_DOUBLE_EQ(m.lambda.stddev_ms, 0.0);  // Eq. 12 with one sample
+}
+
+TEST(Metrics, AlternativeAccounting) {
+  dag::Dag d;
+  d.add_node("nw", 16777216);
+  d.add_node("bfs", 2034736);
+  const System sys = test::generic_system(2);
+  const SimMetrics m = compute_metrics(d, sys, tiny_result());
+  EXPECT_EQ(m.alternative_count, 1u);
+  EXPECT_EQ(m.alternative_by_kernel.at("bfs"), 1u);
+  EXPECT_EQ(m.alternative_by_kernel.count("nw"), 0u);
+}
+
+TEST(Metrics, OverheadsAreAddedToLambda) {
+  dag::Dag d;
+  d.add_node("a", 1);
+  SystemConfig cfg;
+  cfg.processors = {lut::ProcType::CPU};
+  cfg.decision_overhead_ms = 0.5;
+  cfg.dispatch_overhead_ms = 0.25;
+  const System sys(cfg);
+  SimResult r;
+  ScheduledKernel k;
+  k.node = 0;
+  k.proc = 0;
+  k.ready_time = 0.0;
+  k.assign_time = 0.5;
+  k.exec_start = 0.75;
+  k.exec_ms = 1.0;
+  k.finish_time = 1.75;
+  r.schedule = {k};
+  r.makespan = 1.75;
+  const SimMetrics m = compute_metrics(d, sys, r);
+  // λ = exec_start − ready − transfer: the decision (0.5) and dispatch
+  // (0.25) overheads are folded into exec_start by the engine.
+  EXPECT_DOUBLE_EQ(m.lambda.total_ms, 0.75);
+}
+
+TEST(Metrics, SizeMismatchThrows) {
+  dag::Dag d;
+  d.add_node("a", 1);
+  const System sys = test::generic_system(1);
+  SimResult r;  // empty schedule for 1-node dag
+  EXPECT_THROW(compute_metrics(d, sys, r), std::invalid_argument);
+}
+
+TEST(Metrics, LambdaStddevMatchesEq12) {
+  // Three kernels with waits {2, 4, 9}: mean 5, sigma = sqrt(26/3).
+  dag::Dag d;
+  for (int i = 0; i < 3; ++i) d.add_node("k", 1);
+  const System sys = test::generic_system(1);
+  SimResult r;
+  double waits[] = {2.0, 4.0, 9.0};
+  double t = 0.0;
+  for (dag::NodeId i = 0; i < 3; ++i) {
+    ScheduledKernel k;
+    k.node = i;
+    k.proc = 0;
+    k.ready_time = t;
+    k.assign_time = t + waits[i];
+    k.exec_start = k.assign_time;
+    k.exec_ms = 1.0;
+    k.finish_time = k.exec_start + 1.0;
+    t = k.finish_time;
+    r.schedule.push_back(k);
+  }
+  r.makespan = t;
+  const SimMetrics m = compute_metrics(d, sys, r);
+  EXPECT_DOUBLE_EQ(m.lambda.total_ms, 15.0);
+  EXPECT_DOUBLE_EQ(m.lambda.avg_ms, 5.0);
+  EXPECT_NEAR(m.lambda.stddev_ms, std::sqrt(26.0 / 3.0), 1e-12);
+}
+
+TEST(Metrics, EndToEndAccountingOnPaperWorkload) {
+  const dag::Dag graph = dag::paper_graph(dag::DfgType::Type1, 0);
+  const System sys = test::paper_system();
+  const LutCostModel cost(lut::paper_lookup_table(), sys);
+  core::Apt apt(4.0);
+  Engine engine(graph, sys, cost);
+  const SimResult result = engine.run(apt);
+  const SimMetrics m = compute_metrics(graph, sys, result);
+  EXPECT_EQ(m.kernel_count, graph.node_count());
+  std::size_t scheduled = 0;
+  for (const auto& p : m.per_proc) {
+    scheduled += p.kernel_count;
+    EXPECT_NEAR(p.compute_ms + p.transfer_ms + p.idle_ms, m.makespan, 1e-6);
+    EXPECT_GE(p.idle_ms, -1e-9);
+  }
+  EXPECT_EQ(scheduled, graph.node_count());
+  EXPECT_GT(m.lambda.total_ms, 0.0);
+}
+
+TEST(Metrics, MetNeverProducesAlternatives) {
+  const dag::Dag graph = dag::paper_graph(dag::DfgType::Type1, 1);
+  const System sys = test::paper_system();
+  const LutCostModel cost(lut::paper_lookup_table(), sys);
+  policies::Met met;
+  Engine engine(graph, sys, cost);
+  const SimMetrics m = compute_metrics(graph, sys, engine.run(met));
+  EXPECT_EQ(m.alternative_count, 0u);
+  EXPECT_TRUE(m.alternative_by_kernel.empty());
+}
+
+}  // namespace
+}  // namespace apt::sim

@@ -1,0 +1,201 @@
+// Release times and streaming (Poisson-arrival) workloads.
+#include <gtest/gtest.h>
+
+#include "core/policy_factory.hpp"
+#include "dag/generator.hpp"
+#include "dag/serialize.hpp"
+#include "lut/paper_data.hpp"
+#include "policies/met.hpp"
+#include "sim/engine.hpp"
+#include "test_helpers.hpp"
+
+namespace apt {
+namespace {
+
+sim::MatrixCostModel unit_cost(std::size_t nodes, double t = 1.0) {
+  return sim::MatrixCostModel(
+      std::vector<std::vector<sim::TimeMs>>(nodes, {t}));
+}
+
+class AssignAnywhere : public sim::Policy {
+ public:
+  std::string name() const override { return "anywhere"; }
+  bool is_dynamic() const override { return true; }
+  void on_event(sim::SchedulerContext& ctx) override {
+    for (;;) {
+      const auto& ready = ctx.ready();
+      const auto idle = ctx.idle_processors();
+      if (ready.empty() || idle.empty()) return;
+      ctx.assign(ready.front(), idle.front());
+    }
+  }
+};
+
+TEST(ReleaseTimes, NodeValidation) {
+  dag::Dag d;
+  EXPECT_THROW(d.add_node("k", 1, -1.0), std::invalid_argument);
+  const auto id = d.add_node("k", 1, 5.0);
+  EXPECT_DOUBLE_EQ(d.node(id).release_ms, 5.0);
+  d.set_release_ms(id, 7.5);
+  EXPECT_DOUBLE_EQ(d.node(id).release_ms, 7.5);
+  EXPECT_THROW(d.set_release_ms(id, -2.0), std::invalid_argument);
+  EXPECT_THROW(d.set_release_ms(99, 1.0), std::invalid_argument);
+}
+
+TEST(ReleaseTimes, KernelWaitsForItsReleaseInstant) {
+  dag::Dag d;
+  d.add_node("k", 1, 10.0);
+  const sim::System sys = test::generic_system(1);
+  const auto cost = unit_cost(1, 2.0);
+  AssignAnywhere policy;
+  sim::Engine engine(d, sys, cost);
+  const auto result = engine.run(policy);
+  EXPECT_DOUBLE_EQ(result.schedule[0].ready_time, 10.0);
+  EXPECT_DOUBLE_EQ(result.schedule[0].exec_start, 10.0);
+  EXPECT_DOUBLE_EQ(result.makespan, 12.0);
+}
+
+TEST(ReleaseTimes, LambdaIsNotChargedBeforeRelease) {
+  dag::Dag d;
+  d.add_node("k", 1, 10.0);
+  const sim::System sys = test::generic_system(1);
+  const auto cost = unit_cost(1, 2.0);
+  AssignAnywhere policy;
+  sim::Engine engine(d, sys, cost);
+  const auto result = engine.run(policy);
+  EXPECT_DOUBLE_EQ(result.schedule[0].wait_ms(), 0.0);
+}
+
+TEST(ReleaseTimes, InterleavesWithCompletions) {
+  // k0 released at 0 (3 ms), k1 released at 1: k1 must wait for the
+  // processor until 3 even though it was released at 1.
+  dag::Dag d;
+  d.add_node("a", 1, 0.0);
+  d.add_node("b", 1, 1.0);
+  const sim::System sys = test::generic_system(1);
+  const auto cost = unit_cost(2, 3.0);
+  AssignAnywhere policy;
+  sim::Engine engine(d, sys, cost);
+  const auto result = engine.run(policy);
+  EXPECT_DOUBLE_EQ(result.schedule[1].ready_time, 1.0);
+  EXPECT_DOUBLE_EQ(result.schedule[1].exec_start, 3.0);
+  EXPECT_DOUBLE_EQ(result.schedule[1].wait_ms(), 2.0);
+}
+
+TEST(ReleaseTimes, GateAppliesAfterDependenciesToo) {
+  // Chain a->b where b's release (10) is after a's finish (2): b becomes
+  // ready at its release, not at a's completion.
+  dag::Dag d;
+  d.add_node("a", 1, 0.0);
+  d.add_node("b", 1, 10.0);
+  d.add_edge(0, 1);
+  const sim::System sys = test::generic_system(1);
+  const auto cost = unit_cost(2, 2.0);
+  AssignAnywhere policy;
+  sim::Engine engine(d, sys, cost);
+  const auto result = engine.run(policy);
+  EXPECT_DOUBLE_EQ(result.schedule[1].ready_time, 10.0);
+  EXPECT_DOUBLE_EQ(result.makespan, 12.0);
+}
+
+TEST(ReleaseTimes, DependencyAfterReleaseGatesInstead) {
+  // b released at 1 but its predecessor finishes at 4.
+  dag::Dag d;
+  d.add_node("a", 1, 0.0);
+  d.add_node("b", 1, 1.0);
+  d.add_edge(0, 1);
+  const sim::System sys = test::generic_system(1);
+  const auto cost = unit_cost(2, 4.0);
+  AssignAnywhere policy;
+  sim::Engine engine(d, sys, cost);
+  const auto result = engine.run(policy);
+  EXPECT_DOUBLE_EQ(result.schedule[1].ready_time, 4.0);
+}
+
+TEST(ReleaseTimes, SerializationRoundTripsReleases) {
+  dag::Dag d;
+  d.add_node("nw", 16777216, 0.0);
+  d.add_node("bfs", 2034736, 123.456789);
+  d.add_edge(0, 1);
+  const dag::Dag back = dag::from_text(dag::to_text(d));
+  EXPECT_DOUBLE_EQ(back.node(0).release_ms, 0.0);
+  EXPECT_NEAR(back.node(1).release_ms, 123.456789, 1e-6);
+}
+
+TEST(PoissonArrivals, OnlyEntriesGetReleases) {
+  dag::Dag d = dag::paper_graph(dag::DfgType::Type2, 0);
+  dag::apply_poisson_arrivals(d, 50.0, 7);
+  for (dag::NodeId n = 0; n < d.node_count(); ++n) {
+    if (d.in_degree(n) == 0) {
+      EXPECT_GT(d.node(n).release_ms, 0.0) << n;
+    } else {
+      EXPECT_DOUBLE_EQ(d.node(n).release_ms, 0.0) << n;
+    }
+  }
+}
+
+TEST(PoissonArrivals, ArrivalsAreMonotoneInNodeIdOrder) {
+  dag::Dag d = dag::paper_graph(dag::DfgType::Type1, 0);
+  dag::apply_poisson_arrivals(d, 20.0, 3);
+  double prev = 0.0;
+  for (dag::NodeId entry : d.entry_nodes()) {
+    EXPECT_GT(d.node(entry).release_ms, prev);
+    prev = d.node(entry).release_ms;
+  }
+}
+
+TEST(PoissonArrivals, MeanGapIsRoughlyTheRequestedMean) {
+  dag::Dag d;
+  for (int i = 0; i < 2000; ++i) d.add_node("k", 1);
+  dag::apply_poisson_arrivals(d, 10.0, 99);
+  const double last = d.node(1999).release_ms;
+  EXPECT_NEAR(last / 2000.0, 10.0, 1.0);  // law of large numbers
+}
+
+TEST(PoissonArrivals, DeterministicPerSeed) {
+  dag::Dag a = dag::paper_graph(dag::DfgType::Type1, 1);
+  dag::Dag b = dag::paper_graph(dag::DfgType::Type1, 1);
+  dag::apply_poisson_arrivals(a, 25.0, 5);
+  dag::apply_poisson_arrivals(b, 25.0, 5);
+  EXPECT_EQ(dag::to_text(a), dag::to_text(b));
+}
+
+TEST(PoissonArrivals, RejectsNonPositiveMean) {
+  dag::Dag d = dag::paper_graph(dag::DfgType::Type1, 0);
+  EXPECT_THROW(dag::apply_poisson_arrivals(d, 0.0, 1), std::invalid_argument);
+}
+
+TEST(Streaming, EveryPolicyStaysValidUnderArrivals) {
+  dag::Dag graph = dag::paper_graph(dag::DfgType::Type2, 0);
+  dag::apply_poisson_arrivals(graph, 500.0, 11);
+  const sim::System sys = test::paper_system();
+  const sim::LutCostModel cost(lut::paper_lookup_table(), sys);
+  for (const char* spec :
+       {"apt:4", "met", "spn", "ss", "ag", "minmin", "sufferage", "heft",
+        "peft"}) {
+    const auto policy = core::make_policy(spec);
+    const auto result = test::run_and_validate(*policy, graph, sys, cost);
+    // No kernel may start before its release.
+    for (const auto& k : result.schedule)
+      EXPECT_GE(k.exec_start + 1e-9, graph.node(k.node).release_ms) << spec;
+  }
+}
+
+TEST(Streaming, SparserArrivalsStretchTheMakespan) {
+  const sim::System sys = test::paper_system();
+  const sim::LutCostModel cost(lut::paper_lookup_table(), sys);
+  dag::Dag dense = dag::paper_graph(dag::DfgType::Type1, 0);
+  dag::Dag sparse = dag::paper_graph(dag::DfgType::Type1, 0);
+  dag::apply_poisson_arrivals(dense, 1.0, 7);
+  dag::apply_poisson_arrivals(sparse, 5000.0, 7);
+  policies::Met met;
+  sim::Engine e1(dense, sys, cost);
+  const double dense_makespan = e1.run(met).makespan;
+  policies::Met met2;
+  sim::Engine e2(sparse, sys, cost);
+  const double sparse_makespan = e2.run(met2).makespan;
+  EXPECT_GT(sparse_makespan, dense_makespan);
+}
+
+}  // namespace
+}  // namespace apt

@@ -1,0 +1,113 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace apt::util {
+namespace {
+
+TEST(CsvParse, SimpleDocumentWithHeader) {
+  const auto t = parse_csv("a,b,c\n1,2,3\n4,5,6\n");
+  EXPECT_EQ(t.header(), (CsvRow{"a", "b", "c"}));
+  ASSERT_EQ(t.row_count(), 2u);
+  EXPECT_EQ(t.row(0), (CsvRow{"1", "2", "3"}));
+  EXPECT_EQ(t.row(1), (CsvRow{"4", "5", "6"}));
+}
+
+TEST(CsvParse, NoHeaderMode) {
+  const auto t = parse_csv("1,2\n3,4\n", /*has_header=*/false);
+  EXPECT_TRUE(t.header().empty());
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(CsvParse, MissingTrailingNewline) {
+  const auto t = parse_csv("a,b\n1,2");
+  ASSERT_EQ(t.row_count(), 1u);
+  EXPECT_EQ(t.row(0), (CsvRow{"1", "2"}));
+}
+
+TEST(CsvParse, CrLfLineEndings) {
+  const auto t = parse_csv("a,b\r\n1,2\r\n");
+  ASSERT_EQ(t.row_count(), 1u);
+  EXPECT_EQ(t.row(0), (CsvRow{"1", "2"}));
+}
+
+TEST(CsvParse, QuotedFieldsWithCommasAndNewlines) {
+  const auto t = parse_csv("a,b\n\"x,y\",\"line1\nline2\"\n");
+  ASSERT_EQ(t.row_count(), 1u);
+  EXPECT_EQ(t.row(0)[0], "x,y");
+  EXPECT_EQ(t.row(0)[1], "line1\nline2");
+}
+
+TEST(CsvParse, EscapedQuotes) {
+  const auto t = parse_csv("a\n\"he said \"\"hi\"\"\"\n");
+  ASSERT_EQ(t.row_count(), 1u);
+  EXPECT_EQ(t.row(0)[0], "he said \"hi\"");
+}
+
+TEST(CsvParse, EmptyFieldsPreserved) {
+  const auto t = parse_csv("a,b,c\n,,\n");
+  ASSERT_EQ(t.row_count(), 1u);
+  EXPECT_EQ(t.row(0), (CsvRow{"", "", ""}));
+}
+
+TEST(CsvParse, QuotedEmptyFieldMakesRow) {
+  const auto t = parse_csv("a\n\"\"\n");
+  ASSERT_EQ(t.row_count(), 1u);
+  EXPECT_EQ(t.row(0)[0], "");
+}
+
+TEST(CsvParse, UnterminatedQuoteThrows) {
+  EXPECT_THROW(parse_csv("a\n\"oops\n"), std::runtime_error);
+}
+
+TEST(CsvParse, QuoteInsideUnquotedFieldThrows) {
+  EXPECT_THROW(parse_csv("a\nx\"y\n"), std::runtime_error);
+}
+
+TEST(CsvEscape, OnlyWhenNeeded) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("with,comma"), "\"with,comma\"");
+  EXPECT_EQ(csv_escape("with\"quote"), "\"with\"\"quote\"");
+  EXPECT_EQ(csv_escape("with\nnewline"), "\"with\nnewline\"");
+}
+
+TEST(CsvRoundTrip, PreservesContent) {
+  CsvTable t({"k", "v"});
+  t.add_row({"x,1", "line\nbreak"});
+  t.add_row({"plain", "va\"l"});
+  const auto parsed = parse_csv(to_csv_string(t));
+  EXPECT_EQ(parsed.header(), t.header());
+  ASSERT_EQ(parsed.row_count(), 2u);
+  EXPECT_EQ(parsed.row(0), t.row(0));
+  EXPECT_EQ(parsed.row(1), t.row(1));
+}
+
+TEST(CsvTable, ColumnIndexAndCell) {
+  CsvTable t({"kernel", "ms"});
+  t.add_row({"mm", "1.5"});
+  EXPECT_EQ(t.column_index("ms"), 1u);
+  EXPECT_EQ(t.cell(0, "kernel"), "mm");
+  EXPECT_THROW(t.column_index("nope"), std::out_of_range);
+}
+
+TEST(CsvFile, WriteThenRead) {
+  const std::string path = ::testing::TempDir() + "/apt_csv_test.csv";
+  CsvTable t({"a", "b"});
+  t.add_row({"1", "two,three"});
+  write_csv_file(t, path);
+  const auto back = read_csv_file(path);
+  EXPECT_EQ(back.header(), t.header());
+  ASSERT_EQ(back.row_count(), 1u);
+  EXPECT_EQ(back.row(0), t.row(0));
+  std::remove(path.c_str());
+}
+
+TEST(CsvFile, MissingFileThrows) {
+  EXPECT_THROW(read_csv_file("/nonexistent/path/x.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace apt::util

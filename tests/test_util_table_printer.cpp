@@ -1,0 +1,102 @@
+#include "util/table_printer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hpp"
+
+namespace apt::util {
+namespace {
+
+TEST(TablePrinter, RendersHeaderAndRows) {
+  TablePrinter t({"Graph", "APT"});
+  t.add_row({"1", "8298"});
+  t.add_row({"2", "27684"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| Graph |"), std::string::npos);
+  EXPECT_NE(s.find("8298"), std::string::npos);
+  EXPECT_NE(s.find("27684"), std::string::npos);
+  // rule + header + rule + 2 rows + rule = 6 lines
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 6);
+}
+
+TEST(TablePrinter, RightAlignsNumericColumnsByDefault) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "12345"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| x      |     1 |"), std::string::npos);
+  EXPECT_NE(s.find("| longer | 12345 |"), std::string::npos);
+}
+
+TEST(TablePrinter, ExplicitAlignment) {
+  TablePrinter t({"a", "b"}, {Align::Right, Align::Left});
+  t.add_row({"1", "x"});
+  t.add_row({"22", "yy"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("|  1 | x  |"), std::string::npos);
+}
+
+TEST(TablePrinter, SeparatorInsertsRule) {
+  TablePrinter t({"a"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"avg"});
+  const std::string s = t.to_string();
+  // 4 rules total: top, under header, separator, bottom.
+  std::size_t rules = 0;
+  for (std::size_t pos = 0; (pos = s.find("+-", pos)) != std::string::npos;
+       ++pos)
+    ++rules;
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(TablePrinter, RowWidthMismatchThrows) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TablePrinter, EmptyHeaderThrows) {
+  EXPECT_THROW(TablePrinter({}), std::invalid_argument);
+}
+
+TEST(TablePrinter, AlignSizeMismatchThrows) {
+  EXPECT_THROW(TablePrinter({"a", "b"}, {Align::Left}),
+               std::invalid_argument);
+}
+
+TEST(Logging, LevelsFilter) {
+  auto& logger = Logger::instance();
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  logger.set_sink([&](LogLevel level, const std::string& message) {
+    captured.emplace_back(level, message);
+  });
+  logger.set_level(LogLevel::Warn);
+  APT_LOG_DEBUG << "nope";
+  APT_LOG_INFO << "nope";
+  APT_LOG_WARN << "warn " << 42;
+  APT_LOG_ERROR << "boom";
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0].second, "warn 42");
+  EXPECT_EQ(captured[1].first, LogLevel::Error);
+  logger.set_sink(nullptr);
+  logger.set_level(LogLevel::Warn);
+}
+
+TEST(Logging, OffSilencesEverything) {
+  auto& logger = Logger::instance();
+  int count = 0;
+  logger.set_sink([&](LogLevel, const std::string&) { ++count; });
+  logger.set_level(LogLevel::Off);
+  APT_LOG_ERROR << "silent";
+  EXPECT_EQ(count, 0);
+  logger.set_sink(nullptr);
+  logger.set_level(LogLevel::Warn);
+}
+
+TEST(Logging, LevelNames) {
+  EXPECT_STREQ(to_string(LogLevel::Debug), "DEBUG");
+  EXPECT_STREQ(to_string(LogLevel::Error), "ERROR");
+}
+
+}  // namespace
+}  // namespace apt::util
