@@ -5,7 +5,10 @@
 // the reproduction without opening EXPERIMENTS.md.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -23,6 +26,45 @@ inline void heading(const std::string& title) {
 }
 
 inline void note(const std::string& text) { std::cout << text << "\n"; }
+
+/// Parses `--jobs N` from a bench's argv (default 1: the serial baseline;
+/// 0 means one job per hardware thread). Exits with a message on a
+/// malformed value instead of std::terminate-ing the bench.
+inline std::size_t jobs_from_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") != 0) continue;
+    if (i + 1 >= argc) {
+      std::cerr << argv[0] << ": error: --jobs needs a value\n";
+      std::exit(2);
+    }
+    try {
+      return static_cast<std::size_t>(util::parse_uint(argv[i + 1]));
+    } catch (const std::exception& e) {
+      std::cerr << argv[0] << ": error: --jobs: " << e.what() << "\n";
+      std::exit(2);
+    }
+  }
+  return 1;
+}
+
+/// Wall-clock timer for the before/after speedup numbers the benches print.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void report_wall_clock(double elapsed_ms, std::size_t jobs) {
+  std::cout << "wall-clock: " << util::format_double(elapsed_ms, 1)
+            << " ms (--jobs " << jobs << ")\n";
+}
 
 /// Prints a grid as the thesis prints Tables 8-12: one row per experiment,
 /// one column per policy, a separator, then the per-column average. The

@@ -1,13 +1,20 @@
 // Reproduces Figure 7: average APT performance for DFG Type-1 while varying
 // α ∈ {1.5, 2, 4, 8, 16} and the PCIe rate ∈ {4, 8} GB/s — the "valley"
 // whose bottom the thesis names threshold_brk.
+//
+// The alpha × rate × graph cube runs through the batch runner; pass
+// `--jobs N` to fan the 100 simulations over N worker threads (results are
+// bit-identical for any job count).
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace apt;
 
+  const std::size_t jobs = bench::jobs_from_args(argc, argv);
+  const bench::Stopwatch clock;
   const auto points = core::apt_alpha_sweep(
-      dag::DfgType::Type1, core::paper_alphas(), {4.0, 8.0});
+      dag::DfgType::Type1, core::paper_alphas(), {4.0, 8.0}, jobs);
+  const double elapsed_ms = clock.elapsed_ms();
 
   bench::heading("Figure 7 — Avg. APT execution time vs alpha, DFG Type-1");
   util::TablePrinter t({"alpha", "4 GB/s (ms)", "8 GB/s (ms)"});
@@ -31,5 +38,6 @@ int main() {
               "(threshold_brk), then rises — a valley with its bottom at 4.");
   bench::note("Measured valley bottom: alpha = " +
               util::format_double(best_alpha, 1) + ".");
+  bench::report_wall_clock(elapsed_ms, jobs);
   return best_alpha == 4.0 ? 0 : 1;
 }

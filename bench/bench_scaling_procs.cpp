@@ -3,13 +3,15 @@
 // lookup table favours most) and watches when APT's flexibility stops
 // mattering — with enough best-processors to go around, MET never waits
 // and the threshold never fires.
+//
+// Each platform size is one ExperimentPlan (APT and MET columns over the
+// ten Type-1 graphs) executed by the batch runner; pass `--jobs N` to fan
+// the simulations over N worker threads.
 #include "bench_common.hpp"
 
-#include "core/policy_factory.hpp"
+#include "core/batch.hpp"
 #include "dag/generator.hpp"
-#include "lut/paper_data.hpp"
-#include "sim/engine.hpp"
-#include "sim/metrics.hpp"
+#include "lut/proc_type.hpp"
 
 namespace {
 
@@ -18,34 +20,26 @@ struct Point {
   std::size_t alternatives = 0;
 };
 
-Point avg_over_workload(const std::string& spec, std::size_t gpus) {
-  using namespace apt;
-  sim::SystemConfig cfg = sim::SystemConfig::paper_default(4.0);
-  cfg.processors = {lut::ProcType::CPU};
-  for (std::size_t i = 0; i < gpus; ++i)
-    cfg.processors.push_back(lut::ProcType::GPU);
-  cfg.processors.push_back(lut::ProcType::FPGA);
-  const sim::System system(cfg);
-  const sim::LutCostModel cost(lut::paper_lookup_table(), system);
-
+Point column_average(const apt::core::BatchResult& result,
+                     std::size_t policy) {
   Point point;
-  for (std::size_t i = 0; i < 10; ++i) {
-    const dag::Dag graph = dag::paper_graph(dag::DfgType::Type1, i);
-    const auto policy = core::make_policy(spec);
-    sim::Engine engine(graph, system, cost);
-    const auto result = engine.run(*policy);
-    point.makespan_ms += result.makespan;
-    const auto metrics = sim::compute_metrics(graph, system, result);
-    point.alternatives += metrics.alternative_count;
+  for (std::size_t g = 0; g < result.graph_count; ++g) {
+    const apt::core::Cell& cell = result.at(0, 0, g, policy);
+    point.makespan_ms += cell.makespan_ms;
+    point.alternatives += cell.alternative_count;
   }
-  point.makespan_ms /= 10.0;
+  point.makespan_ms /= static_cast<double>(result.graph_count);
   return point;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace apt;
+
+  const std::size_t jobs = bench::jobs_from_args(argc, argv);
+  const core::BatchRunner runner(jobs);
+  const bench::Stopwatch clock;
 
   bench::heading(
       "Processor scaling — avg makespan (s) vs GPU count, DFG Type-1");
@@ -53,8 +47,16 @@ int main() {
                         "APT alternatives"});
   for (std::size_t gpus : {std::size_t{1}, std::size_t{2}, std::size_t{3},
                            std::size_t{4}}) {
-    const Point apt = avg_over_workload("apt:4", gpus);
-    const Point met = avg_over_workload("met", gpus);
+    core::ExperimentPlan plan =
+        core::ExperimentPlan::paper(dag::DfgType::Type1, {"apt:4", "met"});
+    plan.base_system.processors = {lut::ProcType::CPU};
+    for (std::size_t i = 0; i < gpus; ++i)
+      plan.base_system.processors.push_back(lut::ProcType::GPU);
+    plan.base_system.processors.push_back(lut::ProcType::FPGA);
+
+    const core::BatchResult result = runner.run(plan);
+    const Point apt = column_average(result, 0);
+    const Point met = column_average(result, 1);
     t.add_row({std::to_string(gpus),
                util::format_double(apt.makespan_ms / 1000.0, 2),
                util::format_double(met.makespan_ms / 1000.0, 2),
@@ -64,6 +66,7 @@ int main() {
                    1),
                std::to_string(apt.alternatives)});
   }
+  const double elapsed_ms = clock.elapsed_ms();
   std::cout << t.to_string();
   bench::note(
       "Reading: duplicating the dominant processor shrinks both the "
@@ -71,5 +74,6 @@ int main() {
       "assignments — flexibility pays exactly when best processors are "
       "scarce, the thesis's 'degree of heterogeneity' argument from the "
       "capacity side.");
+  bench::report_wall_clock(elapsed_ms, jobs);
   return 0;
 }

@@ -4,9 +4,12 @@
 //   aptsim run --policy SPEC [--graph FILE | --type T --kernels N --seed S]
 //              [--rate GBPS] [--trace] [--csv FILE]
 //   aptsim compare [--type T] [--alpha A] [--rate GBPS]
-//   aptsim sweep [--type T] [--rates 4,8]
+//   aptsim sweep [--type T] [--policies SPEC,...] [--alphas A,...]
+//                [--rates 4,8] [--jobs N] [--reps R] [--seed S]
+//                [--csv FILE] [--json FILE]
 //   aptsim lut [--csv FILE]
 //   aptsim policies
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -16,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "core/batch.hpp"
 #include "core/experiments.hpp"
 #include "core/policy_factory.hpp"
 #include "core/report.hpp"
@@ -212,24 +216,171 @@ int cmd_compare(const Args& args) {
   return 0;
 }
 
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+/// Visits every cell of the result cube in task order with its axis
+/// coordinates — the one loop both exporters feed from.
+template <typename Fn>
+void for_each_sweep_cell(const core::BatchResult& result, Fn&& fn) {
+  for (std::size_t rep = 0; rep < result.replications; ++rep)
+    for (std::size_t r = 0; r < result.rate_count; ++r)
+      for (std::size_t g = 0; g < result.graph_count; ++g)
+        for (std::size_t p = 0; p < result.policy_count; ++p)
+          fn(rep, r, g, p, result.at(rep, r, g, p));
+}
+
+/// Serialises a sweep result as one JSON object (hand-rolled: the cube is
+/// flat and numeric, no library needed).
+std::string sweep_to_json(const core::BatchResult& result,
+                          const std::string& type_name) {
+  std::string out = "{\n  \"workload\": \"" + json_escape(type_name) + "\",\n";
+  out += "  \"policies\": [";
+  for (std::size_t p = 0; p < result.policy_count; ++p) {
+    if (p) out += ", ";
+    out += "{\"name\": \"" + json_escape(result.policy_names[p]) +
+           "\", \"spec\": \"" + json_escape(result.policy_specs[p]) + "\"}";
+  }
+  out += "],\n  \"rates_gbps\": [";
+  for (std::size_t r = 0; r < result.rate_count; ++r) {
+    if (r) out += ", ";
+    out += util::format_double(result.rates_gbps[r], 3);
+  }
+  out += "],\n  \"cells\": [\n";
+  bool first = true;
+  for_each_sweep_cell(result, [&](std::size_t rep, std::size_t r,
+                                  std::size_t g, std::size_t p,
+                                  const core::Cell& cell) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "    {\"replication\": " + std::to_string(rep) +
+           ", \"rate_gbps\": " + util::format_double(result.rates_gbps[r], 3) +
+           ", \"graph\": " + std::to_string(g + 1) +  // 1-based, as CSV
+           ", \"policy\": \"" + json_escape(result.policy_names[p]) +
+           "\", \"makespan_ms\": " + util::format_double(cell.makespan_ms, 6) +
+           ", \"lambda_total_ms\": " +
+           util::format_double(cell.lambda_total_ms, 6) +
+           ", \"alternatives\": " + std::to_string(cell.alternative_count) +
+           "}";
+  });
+  out += "\n  ]\n}\n";
+  return out;
+}
+
 int cmd_sweep(const Args& args) {
   const int type = static_cast<int>(util::parse_int(args.get("type", "1")));
+  if (type != 1 && type != 2)
+    throw std::invalid_argument("--type must be 1 or 2");
   const auto dfg = type == 1 ? dag::DfgType::Type1 : dag::DfgType::Type2;
+
+  // Columns: explicit policy specs plus one APT column per alpha. With
+  // neither option the sweep reproduces the thesis's alpha grid.
+  std::vector<std::string> specs;
+  if (args.has("policies")) {
+    for (const auto& s : util::split(args.get("policies", ""), ','))
+      if (!util::trim(s).empty()) specs.push_back(util::trim(s));
+  }
+  std::vector<double> alphas;
+  if (args.has("alphas") || !args.has("policies")) {
+    for (const auto& a : util::split(args.get("alphas", "1.5,2,4,8,16"), ','))
+      alphas.push_back(util::parse_double(a));
+    for (double alpha : alphas)
+      specs.push_back("apt:" + util::format_double(alpha, 3));
+  }
+
   std::vector<double> rates;
   for (const auto& r : util::split(args.get("rates", "4,8"), ','))
     rates.push_back(util::parse_double(r));
 
-  const auto points = core::apt_alpha_sweep(dfg, core::paper_alphas(), rates);
-  util::TablePrinter table({"alpha", "rate GB/s", "avg makespan ms",
-                            "avg lambda ms"});
-  for (const auto& p : points) {
-    table.add_row({util::format_double(p.alpha, 1),
-                   util::format_double(p.rate_gbps, 0),
-                   util::format_double(p.avg_makespan_ms, 1),
-                   util::format_double(p.avg_lambda_ms, 1)});
+  core::ExperimentPlan plan = core::ExperimentPlan::paper(dfg, specs, rates);
+  plan.replications =
+      static_cast<std::size_t>(util::parse_uint(args.get("reps", "1")));
+  plan.base_seed = util::parse_uint(args.get("seed", "0"));
+
+  const std::size_t jobs =
+      static_cast<std::size_t>(util::parse_uint(args.get("jobs", "1")));
+  const core::BatchRunner runner(jobs);
+  const auto t0 = std::chrono::steady_clock::now();
+  const core::BatchResult result = runner.run(plan);
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+
+  // One Grid per (replication, rate) slice; the summary averages over all
+  // replications and sums their wins, so stochastic sweeps (--reps > 1)
+  // are fully represented, not just replication 0.
+  std::vector<std::vector<core::Grid>> grids;
+  grids.reserve(result.replications);
+  for (std::size_t rep = 0; rep < result.replications; ++rep) {
+    grids.emplace_back();
+    grids.back().reserve(result.rate_count);
+    for (std::size_t r = 0; r < result.rate_count; ++r)
+      grids.back().push_back(result.grid(dfg, r, rep));
   }
-  std::cout << "APT alpha sweep, " << dag::to_string(dfg) << "\n"
+  const double reps = static_cast<double>(result.replications);
+  util::TablePrinter table({"policy", "rate GB/s", "avg makespan ms",
+                            "avg lambda ms", "wins"});
+  for (std::size_t p = 0; p < result.policy_count; ++p) {
+    for (std::size_t r = 0; r < result.rate_count; ++r) {
+      double makespan = 0.0;
+      double lambda = 0.0;
+      std::size_t wins = 0;
+      for (std::size_t rep = 0; rep < result.replications; ++rep) {
+        const core::Grid& grid = grids[rep][r];
+        makespan += grid.avg_makespan_ms(p);
+        lambda += grid.avg_lambda_ms(p);
+        wins += grid.wins(p);
+      }
+      table.add_row({result.policy_names[p],
+                     util::format_double(result.rates_gbps[r], 0),
+                     util::format_double(makespan / reps, 1),
+                     util::format_double(lambda / reps, 1),
+                     std::to_string(wins)});
+    }
+  }
+  std::cout << "sweep, " << dag::to_string(dfg) << ", "
+            << result.graph_count << " graphs x " << result.policy_count
+            << " policies x " << result.rate_count << " rates x "
+            << result.replications << " reps = " << result.cells.size()
+            << " runs in " << util::format_double(elapsed_ms, 1) << " ms ("
+            << runner.jobs() << " jobs)\n"
             << table.to_string();
+
+  if (args.has("csv")) {
+    util::CsvTable csv({"replication", "rate_gbps", "graph", "policy", "spec",
+                        "makespan_ms", "lambda_total_ms", "lambda_avg_ms",
+                        "lambda_stddev_ms", "alternatives"});
+    for_each_sweep_cell(result, [&](std::size_t rep, std::size_t r,
+                                    std::size_t g, std::size_t p,
+                                    const core::Cell& cell) {
+      csv.add_row({std::to_string(rep),
+                   util::format_double(result.rates_gbps[r], 3),
+                   std::to_string(g + 1), result.policy_names[p],
+                   result.policy_specs[p],
+                   util::format_double(cell.makespan_ms, 6),
+                   util::format_double(cell.lambda_total_ms, 6),
+                   util::format_double(cell.lambda_avg_ms, 6),
+                   util::format_double(cell.lambda_stddev_ms, 6),
+                   std::to_string(cell.alternative_count)});
+    });
+    util::write_csv_file(csv, args.get("csv", ""));
+    std::cout << "cells written to " << args.get("csv", "") << "\n";
+  }
+  if (args.has("json")) {
+    std::ofstream out(args.get("json", ""), std::ios::binary);
+    if (!out)
+      throw std::runtime_error("sweep: cannot open '" +
+                               args.get("json", "") + "'");
+    out << sweep_to_json(result, dag::to_string(dfg));
+    std::cout << "cells written to " << args.get("json", "") << "\n";
+  }
   return 0;
 }
 
@@ -280,7 +431,9 @@ void usage() {
       "             [--rate GBPS] [--arrivals MEAN_MS] [--trace] [--gantt]\n"
       "             [--analyze] [--csv F]\n"
       "  aptsim compare [--type T] [--alpha A] [--rate GBPS]\n"
-      "  aptsim sweep [--type T] [--rates 4,8]\n"
+      "  aptsim sweep [--type T] [--policies SPEC,...] [--alphas 1.5,2,4]\n"
+      "               [--rates 4,8] [--jobs N] [--reps R] [--seed S]\n"
+      "               [--csv F] [--json F]\n"
       "  aptsim lut [--csv F]\n"
       "  aptsim report [--out-dir D] [--alpha A]\n"
       "  aptsim policies\n";

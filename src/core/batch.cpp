@@ -1,0 +1,194 @@
+#include "core/batch.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/policy_factory.hpp"
+#include "lut/paper_data.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/precomputed_cost_model.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace apt::core {
+
+ExperimentPlan ExperimentPlan::paper(dag::DfgType type,
+                                     std::vector<std::string> policy_specs,
+                                     std::vector<double> rates_gbps) {
+  ExperimentPlan plan;
+  plan.graphs = dag::paper_workload(type);
+  plan.policy_specs = std::move(policy_specs);
+  plan.rates_gbps = std::move(rates_gbps);
+  plan.table = lut::paper_lookup_table();
+  return plan;
+}
+
+std::size_t ExperimentPlan::task_count() const noexcept {
+  return replications * rates_gbps.size() * graphs.size() *
+         policy_specs.size();
+}
+
+BatchTask ExperimentPlan::task(std::size_t flat_index) const {
+  // Row-major over (replication, rate, graph, policy), policy fastest —
+  // the nesting order of the serial experiment loops.
+  BatchTask t;
+  t.index = flat_index;
+  t.policy = flat_index % policy_specs.size();
+  flat_index /= policy_specs.size();
+  t.graph = flat_index % graphs.size();
+  flat_index /= graphs.size();
+  t.rate = flat_index % rates_gbps.size();
+  t.replication = flat_index / rates_gbps.size();
+  t.seed = util::stream_seed(base_seed, t.index);
+  return t;
+}
+
+std::vector<std::string> ExperimentPlan::validate() const {
+  if (graphs.empty())
+    throw std::invalid_argument("ExperimentPlan: no graphs");
+  if (policy_specs.empty())
+    throw std::invalid_argument("ExperimentPlan: no policy specs");
+  if (rates_gbps.empty())
+    throw std::invalid_argument("ExperimentPlan: no link rates");
+  if (replications == 0)
+    throw std::invalid_argument("ExperimentPlan: replications must be >= 1");
+  for (double rate : rates_gbps) {
+    if (!(rate > 0.0))
+      throw std::invalid_argument("ExperimentPlan: link rate must be > 0");
+  }
+  // Fail fast on malformed specs (before any worker is spawned). Column p's
+  // first task is (replication 0, rate 0, graph 0, policy p) — flat index p
+  // — so seeded specs resolve here exactly as that task will, and the
+  // resulting display names are the ones the batch result reports.
+  std::vector<std::string> names;
+  names.reserve(policy_specs.size());
+  for (std::size_t p = 0; p < policy_specs.size(); ++p)
+    names.push_back(make_policy(resolve_policy_spec(
+                                    policy_specs[p],
+                                    util::stream_seed(base_seed, p)))
+                        ->name());
+  return names;
+}
+
+std::string resolve_policy_spec(const std::string& spec, std::uint64_t seed) {
+  static const std::string kPlaceholder = "{seed}";
+  std::string out = spec;
+  for (std::size_t at = out.find(kPlaceholder); at != std::string::npos;
+       at = out.find(kPlaceholder, at)) {
+    const std::string value = std::to_string(seed);
+    out.replace(at, kPlaceholder.size(), value);
+    at += value.size();
+  }
+  return out;
+}
+
+const Cell& BatchResult::at(std::size_t replication, std::size_t rate,
+                            std::size_t graph, std::size_t policy) const {
+  if (replication >= replications || rate >= rate_count ||
+      graph >= graph_count || policy >= policy_count)
+    throw std::out_of_range("BatchResult::at: index outside the result cube");
+  return cells[((replication * rate_count + rate) * graph_count + graph) *
+                   policy_count +
+               policy];
+}
+
+Grid BatchResult::grid(dag::DfgType type, std::size_t rate,
+                       std::size_t replication) const {
+  Grid grid;
+  grid.type = type;
+  grid.rate_gbps = rates_gbps.at(rate);
+  grid.policy_names = policy_names;
+  grid.policy_specs = policy_specs;
+  grid.cells.resize(graph_count);
+  for (std::size_t g = 0; g < graph_count; ++g) {
+    grid.cells[g].reserve(policy_count);
+    for (std::size_t p = 0; p < policy_count; ++p)
+      grid.cells[g].push_back(at(replication, rate, g, p));
+  }
+  return grid;
+}
+
+BatchRunner::BatchRunner(std::size_t jobs)
+    : jobs_(jobs == 0 ? util::ThreadPool::default_thread_count() : jobs) {}
+
+BatchRunner::~BatchRunner() = default;
+
+namespace {
+
+/// Shared read-only simulation inputs, built once per plan: one system per
+/// link rate and one densified cost model per (rate, graph), so the tasks
+/// of every policy column and replication reuse the same tables instead of
+/// re-densifying them (Engine::run detects the pre-wrapped model and skips
+/// its own wrapping pass).
+struct SharedInputs {
+  std::vector<sim::System> systems;                 ///< [rate]
+  std::vector<sim::LutCostModel> lut_models;        ///< [rate]
+  std::vector<std::vector<sim::PrecomputedCostModel>> cost;  ///< [rate][graph]
+
+  SharedInputs(const ExperimentPlan& plan, const lut::LookupTable& table) {
+    systems.reserve(plan.rates_gbps.size());
+    lut_models.reserve(plan.rates_gbps.size());
+    cost.reserve(plan.rates_gbps.size());
+    for (double rate : plan.rates_gbps) {
+      sim::SystemConfig cfg = plan.base_system;
+      cfg.link_rate_gbps = rate;
+      systems.emplace_back(cfg);
+      lut_models.emplace_back(table, systems.back());
+    }
+    for (std::size_t r = 0; r < plan.rates_gbps.size(); ++r) {
+      cost.emplace_back();
+      cost.back().reserve(plan.graphs.size());
+      for (const dag::Dag& graph : plan.graphs)
+        cost.back().emplace_back(graph, systems[r], lut_models[r]);
+    }
+  }
+};
+
+/// One isolated simulation: own policy instance, shared read-only inputs.
+Cell run_single_task(const ExperimentPlan& plan, const SharedInputs& shared,
+                     const BatchTask& task) {
+  const auto policy = make_policy(
+      resolve_policy_spec(plan.policy_specs[task.policy], task.seed));
+  return cell_from_outcome(run_policy(*policy, plan.graphs[task.graph],
+                                      shared.systems[task.rate],
+                                      shared.cost[task.rate][task.graph]));
+}
+
+}  // namespace
+
+BatchResult BatchRunner::run(const ExperimentPlan& plan) const {
+  std::vector<std::string> policy_names = plan.validate();
+  const lut::LookupTable paper_fallback =
+      plan.table.empty() ? lut::paper_lookup_table() : lut::LookupTable();
+  const lut::LookupTable& table =
+      plan.table.empty() ? paper_fallback : plan.table;
+
+  BatchResult result;
+  result.replications = plan.replications;
+  result.rate_count = plan.rates_gbps.size();
+  result.graph_count = plan.graphs.size();
+  result.policy_count = plan.policy_specs.size();
+  result.policy_specs = plan.policy_specs;
+  result.rates_gbps = plan.rates_gbps;
+  result.policy_names = std::move(policy_names);
+
+  const SharedInputs shared(plan, table);
+  result.cells.resize(plan.task_count());
+  // Every task writes only its own pre-sized slot, so any interleaving of
+  // workers yields the same cube as the serial loop.
+  const auto body = [&](std::size_t i) {
+    result.cells[i] = run_single_task(plan, shared, plan.task(i));
+  };
+  if (jobs_ <= 1 || result.cells.size() <= 1) {
+    for (std::size_t i = 0; i < result.cells.size(); ++i) body(i);
+  } else {
+    if (!pool_) {
+      pool_ = std::make_unique<util::ThreadPool>(
+          std::min(jobs_, result.cells.size()));
+    }
+    pool_->for_each_index(result.cells.size(), body);
+  }
+  return result;
+}
+
+}  // namespace apt::core

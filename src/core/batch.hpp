@@ -1,0 +1,120 @@
+// Batch experiment orchestration: declarative sweep specs executed across a
+// worker pool.
+//
+// An ExperimentPlan names the axes of a sweep — a DAG set × policy specs ×
+// link rates × replications — and BatchRunner expands it into one
+// simulation task per combination, fans the tasks over a thread pool, and
+// collects the cells into a BatchResult indexed by the original axes.
+//
+// Determinism: every task is an isolated simulation (own policy instance,
+// own system, own cost model) whose inputs depend only on the plan and the
+// task's coordinates, and every task writes a pre-allocated result slot.
+// Results are therefore bit-for-bit identical for any worker count,
+// including the serial path (jobs == 1). Stochastic policies get their
+// randomness from a per-task RNG stream: write "{seed}" in a policy spec
+// (e.g. "random:{seed}") and each task substitutes
+// util::stream_seed(plan.base_seed, task_index) — replications differ,
+// reruns reproduce.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/experiments.hpp"
+#include "core/runner.hpp"
+#include "dag/graph.hpp"
+#include "lut/lookup_table.hpp"
+#include "sim/system.hpp"
+#include "util/thread_pool.hpp"
+
+namespace apt::core {
+
+/// Coordinates of one simulation task inside a plan.
+struct BatchTask {
+  std::size_t replication = 0;
+  std::size_t rate = 0;    ///< index into ExperimentPlan::rates_gbps
+  std::size_t graph = 0;   ///< index into ExperimentPlan::graphs
+  std::size_t policy = 0;  ///< index into ExperimentPlan::policy_specs
+  std::size_t index = 0;   ///< flat task index (the RNG stream id)
+  std::uint64_t seed = 0;  ///< util::stream_seed(base_seed, index)
+};
+
+/// Declarative sweep specification. The task order (and therefore the RNG
+/// stream assignment) is row-major over replication, rate, graph, policy —
+/// the same nesting the serial experiment loops use.
+struct ExperimentPlan {
+  std::vector<dag::Dag> graphs;
+  std::vector<std::string> policy_specs;
+  std::vector<double> rates_gbps = {4.0};
+  std::size_t replications = 1;
+  std::uint64_t base_seed = 0;
+
+  /// Platform template; link_rate_gbps is overridden by the rate axis.
+  sim::SystemConfig base_system = sim::SystemConfig::paper_default();
+
+  /// Cost table; defaults to the paper's lookup table.
+  lut::LookupTable table;
+
+  /// Convenience: the paper workload of `type` under the paper platform.
+  static ExperimentPlan paper(dag::DfgType type,
+                              std::vector<std::string> policy_specs,
+                              std::vector<double> rates_gbps = {4.0});
+
+  std::size_t task_count() const noexcept;
+  BatchTask task(std::size_t flat_index) const;
+
+  /// Throws std::invalid_argument when an axis is empty or a spec is
+  /// malformed; returns the resolved display name of every policy column
+  /// (the by-product of checking the specs, so callers need not construct
+  /// the policies again).
+  std::vector<std::string> validate() const;
+};
+
+/// Dense result cube addressed by the plan's axes.
+struct BatchResult {
+  std::size_t replications = 0;
+  std::size_t rate_count = 0;
+  std::size_t graph_count = 0;
+  std::size_t policy_count = 0;
+  std::vector<std::string> policy_names;  ///< resolved display names
+  std::vector<std::string> policy_specs;
+  std::vector<double> rates_gbps;
+  std::vector<Cell> cells;  ///< flat, in plan task order
+
+  const Cell& at(std::size_t replication, std::size_t rate, std::size_t graph,
+                 std::size_t policy) const;
+
+  /// One (rate, replication) slice as the classic Grid.
+  Grid grid(dag::DfgType type, std::size_t rate = 0,
+            std::size_t replication = 0) const;
+};
+
+/// Expands "{seed}" placeholders in a policy spec with the task's stream
+/// seed (exposed for tests).
+std::string resolve_policy_spec(const std::string& spec, std::uint64_t seed);
+
+/// Executes ExperimentPlans over a fixed number of worker threads. The
+/// worker pool is created on the first parallel run() and reused by later
+/// ones, so a long-lived runner pays thread spawn-up once. Not safe for
+/// concurrent run() calls from multiple threads (tasks are already fanned
+/// out internally).
+class BatchRunner {
+ public:
+  /// `jobs` == 1 runs serially on the caller; 0 means one job per hardware
+  /// thread.
+  explicit BatchRunner(std::size_t jobs = 1);
+  ~BatchRunner();
+
+  std::size_t jobs() const noexcept { return jobs_; }
+
+  BatchResult run(const ExperimentPlan& plan) const;
+
+ private:
+  std::size_t jobs_;
+  /// Lazily sized to min(jobs, first parallel run's task count).
+  mutable std::unique_ptr<util::ThreadPool> pool_;
+};
+
+}  // namespace apt::core

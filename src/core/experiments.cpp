@@ -1,9 +1,11 @@
 #include "core/experiments.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
 
+#include "core/batch.hpp"
 #include "core/policy_factory.hpp"
 #include "core/runner.hpp"
 #include "lut/paper_data.hpp"
@@ -26,14 +28,11 @@ double Grid::avg_lambda_ms(std::size_t policy) const {
 std::size_t Grid::wins(std::size_t policy) const {
   std::size_t wins = 0;
   for (const auto& row : cells) {
-    bool best = true;
-    for (std::size_t c = 0; c < row.size(); ++c) {
-      if (c != policy && row[c].makespan_ms <= row[policy].makespan_ms) {
-        best = false;
-        break;
-      }
-    }
-    if (best) ++wins;
+    double best = std::numeric_limits<double>::infinity();
+    for (const Cell& cell : row) best = std::min(best, cell.makespan_ms);
+    // Shared-win semantics: every column at the row minimum counts the
+    // experiment, so a tie between k policies credits each of the k.
+    if (row.at(policy).makespan_ms == best) ++wins;
   }
   return wins;
 }
@@ -48,9 +47,7 @@ std::vector<std::string> paper_policy_specs(double apt_alpha) {
           "peft"};
 }
 
-namespace {
-
-Cell cell_from(const RunOutcome& outcome) {
+Cell cell_from_outcome(const RunOutcome& outcome) {
   Cell cell;
   cell.makespan_ms = outcome.metrics.makespan;
   cell.lambda_total_ms = outcome.metrics.lambda.total_ms;
@@ -61,33 +58,12 @@ Cell cell_from(const RunOutcome& outcome) {
   return cell;
 }
 
-}  // namespace
-
 Grid run_paper_grid(dag::DfgType type,
                     const std::vector<std::string>& policy_specs,
-                    double rate_gbps) {
-  Grid grid;
-  grid.type = type;
-  grid.rate_gbps = rate_gbps;
-  grid.policy_specs = policy_specs;
-
-  const sim::System system(sim::SystemConfig::paper_default(rate_gbps));
-  const lut::LookupTable table = lut::paper_lookup_table();
-  const std::vector<dag::Dag> graphs = dag::paper_workload(type);
-
-  for (const std::string& spec : policy_specs)
-    grid.policy_names.push_back(make_policy(spec)->name());
-
-  grid.cells.resize(graphs.size());
-  for (std::size_t g = 0; g < graphs.size(); ++g) {
-    grid.cells[g].reserve(policy_specs.size());
-    for (const std::string& spec : policy_specs) {
-      const auto policy = make_policy(spec);
-      grid.cells[g].push_back(
-          cell_from(run_policy(*policy, graphs[g], system, table)));
-    }
-  }
-  return grid;
+                    double rate_gbps, std::size_t jobs) {
+  const BatchRunner runner(jobs);
+  return runner.run(ExperimentPlan::paper(type, policy_specs, {rate_gbps}))
+      .grid(type);
 }
 
 std::vector<Cell> run_policy_over(const std::string& policy_spec,
@@ -99,7 +75,8 @@ std::vector<Cell> run_policy_over(const std::string& policy_spec,
   cells.reserve(graphs.size());
   for (const dag::Dag& graph : graphs) {
     const auto policy = make_policy(policy_spec);
-    cells.push_back(cell_from(run_policy(*policy, graph, system, table)));
+    cells.push_back(
+        cell_from_outcome(run_policy(*policy, graph, system, table)));
   }
   return cells;
 }
@@ -145,22 +122,31 @@ double improvement_lambda_pct(const Grid& grid, std::size_t target) {
 
 std::vector<AlphaSweepPoint> apt_alpha_sweep(
     dag::DfgType type, const std::vector<double>& alphas,
-    const std::vector<double>& rates_gbps) {
+    const std::vector<double>& rates_gbps, std::size_t jobs) {
+  // One batch over the full alpha × rate × graph cube: the alphas become
+  // the policy columns, so every cell is an independent task.
+  std::vector<std::string> specs;
+  specs.reserve(alphas.size());
+  for (double alpha : alphas)
+    specs.push_back("apt:" + util::format_double(alpha, 3));
+
+  const BatchResult result =
+      BatchRunner(jobs).run(ExperimentPlan::paper(type, specs, rates_gbps));
+
   std::vector<AlphaSweepPoint> points;
-  const std::vector<dag::Dag> graphs = dag::paper_workload(type);
-  for (double alpha : alphas) {
-    for (double rate : rates_gbps) {
-      const auto cells = run_policy_over(
-          "apt:" + util::format_double(alpha, 3), graphs, rate);
+  points.reserve(alphas.size() * rates_gbps.size());
+  for (std::size_t a = 0; a < alphas.size(); ++a) {
+    for (std::size_t r = 0; r < rates_gbps.size(); ++r) {
       AlphaSweepPoint point;
-      point.alpha = alpha;
-      point.rate_gbps = rate;
-      for (const Cell& cell : cells) {
+      point.alpha = alphas[a];
+      point.rate_gbps = rates_gbps[r];
+      for (std::size_t g = 0; g < result.graph_count; ++g) {
+        const Cell& cell = result.at(0, r, g, a);
         point.avg_makespan_ms += cell.makespan_ms;
         point.avg_lambda_ms += cell.lambda_total_ms;
       }
-      point.avg_makespan_ms /= static_cast<double>(cells.size());
-      point.avg_lambda_ms /= static_cast<double>(cells.size());
+      point.avg_makespan_ms /= static_cast<double>(result.graph_count);
+      point.avg_lambda_ms /= static_cast<double>(result.graph_count);
       points.push_back(point);
     }
   }

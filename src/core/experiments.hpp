@@ -39,8 +39,11 @@ struct Grid {
   double avg_makespan_ms(std::size_t policy) const;
   /// Mean total-λ over experiments for one policy column.
   double avg_lambda_ms(std::size_t policy) const;
-  /// Experiments in which the column is strictly best on makespan — the
-  /// thesis's "number of occurrences of better solutions".
+  /// Experiments in which the column attains the row's minimum makespan —
+  /// the thesis's "number of occurrences of better solutions". Ties are
+  /// shared wins: every column matching the row minimum counts the
+  /// experiment, so tied rows credit each tied policy once (and a row's
+  /// winner counts can sum to more than 1).
   std::size_t wins(std::size_t policy) const;
 };
 
@@ -48,15 +51,22 @@ struct Grid {
 std::vector<std::string> paper_policy_specs(double apt_alpha);
 
 /// Runs every policy spec over the ten paper graphs of `type` on the
-/// 1×CPU+1×GPU+1×FPGA system at `rate_gbps`.
+/// 1×CPU+1×GPU+1×FPGA system at `rate_gbps`, fanning the
+/// (graph × policy) simulations over `jobs` worker threads (1 = serial,
+/// 0 = one per hardware thread). Results are bit-identical for any job
+/// count.
 Grid run_paper_grid(dag::DfgType type,
                     const std::vector<std::string>& policy_specs,
-                    double rate_gbps = 4.0);
+                    double rate_gbps = 4.0, std::size_t jobs = 1);
 
 /// Runs one policy spec over explicit graphs (for custom workloads).
 std::vector<Cell> run_policy_over(const std::string& policy_spec,
                                   const std::vector<dag::Dag>& graphs,
                                   double rate_gbps = 4.0);
+
+/// Flattens a run's metrics into one results-grid cell.
+struct RunOutcome;
+Cell cell_from_outcome(const RunOutcome& outcome);
 
 // --- Improvement metrics (thesis §4.4) ---------------------------------------
 
@@ -81,10 +91,11 @@ struct AlphaSweepPoint {
 };
 
 /// Average APT performance over the ten paper graphs of `type` for each
-/// (alpha, rate) combination.
+/// (alpha, rate) combination. The (alpha × rate × graph) simulations fan
+/// over `jobs` worker threads (1 = serial, 0 = hardware).
 std::vector<AlphaSweepPoint> apt_alpha_sweep(
     dag::DfgType type, const std::vector<double>& alphas,
-    const std::vector<double>& rates_gbps);
+    const std::vector<double>& rates_gbps, std::size_t jobs = 1);
 
 /// The α grid used throughout the thesis: {1.5, 2, 4, 8, 16}.
 const std::vector<double>& paper_alphas();

@@ -50,7 +50,7 @@ Candidate evaluate(const sim::SchedulerContext& ctx, dag::NodeId node,
 void BatchMode::on_event(sim::SchedulerContext& ctx) {
   for (;;) {
     const auto& ready = ctx.ready();
-    const auto idle = ctx.idle_processors();
+    const auto& idle = ctx.idle_processors();
     if (ready.empty() || idle.empty()) return;
 
     dag::NodeId chosen = dag::kInvalidNode;

@@ -5,7 +5,7 @@ namespace apt::policies {
 void Olb::on_event(sim::SchedulerContext& ctx) {
   for (;;) {
     const auto& ready = ctx.ready();
-    const auto idle = ctx.idle_processors();
+    const auto& idle = ctx.idle_processors();
     if (ready.empty() || idle.empty()) return;
     ctx.assign(ready.front(), idle.front());
   }

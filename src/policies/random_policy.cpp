@@ -5,7 +5,7 @@ namespace apt::policies {
 void RandomPolicy::on_event(sim::SchedulerContext& ctx) {
   for (;;) {
     const auto& ready = ctx.ready();
-    const auto idle = ctx.idle_processors();
+    const auto& idle = ctx.idle_processors();
     if (ready.empty() || idle.empty()) return;
     const sim::ProcId proc =
         idle[static_cast<std::size_t>(rng_.uniform_u64(idle.size()))];

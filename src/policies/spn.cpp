@@ -5,7 +5,7 @@ namespace apt::policies {
 void Spn::on_event(sim::SchedulerContext& ctx) {
   for (;;) {
     const auto& ready = ctx.ready();
-    const auto idle = ctx.idle_processors();
+    const auto& idle = ctx.idle_processors();
     if (ready.empty() || idle.empty()) return;
 
     dag::NodeId best_node = dag::kInvalidNode;

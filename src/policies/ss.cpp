@@ -7,7 +7,7 @@ namespace apt::policies {
 void SerialScheduling::on_event(sim::SchedulerContext& ctx) {
   for (;;) {
     const auto& ready = ctx.ready();
-    const auto idle = ctx.idle_processors();
+    const auto& idle = ctx.idle_processors();
     if (ready.empty() || idle.empty()) return;
 
     // Highest stddev of execution time across the currently idle

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "sim/precomputed_cost_model.hpp"
+
 namespace apt::sim {
 
 namespace {
@@ -25,6 +27,13 @@ struct Completion {
 
 /// Engine internals: owns all mutable per-run state and implements the
 /// SchedulerContext interface shown to the policy.
+///
+/// Hot-path bookkeeping is index based: the ready set keeps a per-node
+/// position so removal is O(1) (tombstone now, compact lazily on the next
+/// read), the idle-processor list is cached and rebuilt only after the
+/// processor states actually changed, and queued kernels carry their
+/// execution time so busy_until()/queued_work_ms() never re-query the cost
+/// model.
 class Engine::Context final : public SchedulerContext {
  public:
   Context(const dag::Dag& dag, const System& system, const CostModel& cost,
@@ -34,7 +43,10 @@ class Engine::Context final : public SchedulerContext {
         cost_(cost),
         policy_(policy),
         node_state_(dag.node_count()),
-        proc_state_(system.proc_count()) {}
+        proc_state_(system.proc_count()),
+        ready_pos_(dag.node_count(), kNoPos) {
+    idle_cache_.reserve(system.proc_count());
+  }
 
   SimResult simulate() {
     seed_ready_set();
@@ -66,28 +78,33 @@ class Engine::Context final : public SchedulerContext {
   const dag::Dag& dag() const override { return dag_; }
   const System& system() const override { return system_; }
   const CostModel& cost_model() const override { return cost_; }
-  const std::vector<dag::NodeId>& ready() const override { return ready_; }
+
+  const std::vector<dag::NodeId>& ready() const override {
+    if (ready_tombstones_ > 0) compact_ready();
+    return ready_;
+  }
 
   bool is_idle(ProcId proc) const override {
     const ProcState& ps = proc_state_.at(proc);
     return !ps.running.has_value() && ps.queue.empty();
   }
 
-  std::vector<ProcId> idle_processors() const override {
-    std::vector<ProcId> out;
-    for (ProcId p = 0; p < proc_state_.size(); ++p) {
-      if (is_idle(p)) out.push_back(p);
+  const std::vector<ProcId>& idle_processors() const override {
+    if (idle_dirty_) {
+      idle_cache_.clear();
+      for (ProcId p = 0; p < proc_state_.size(); ++p) {
+        if (is_idle(p)) idle_cache_.push_back(p);
+      }
+      idle_dirty_ = false;
     }
-    return out;
+    return idle_cache_;
   }
 
   TimeMs busy_until(ProcId proc) const override {
     const ProcState& ps = proc_state_.at(proc);
     if (!ps.running.has_value() && ps.queue.empty()) return now_;
     TimeMs t = ps.running ? node_state_[*ps.running].record.finish_time : now_;
-    for (dag::NodeId n : ps.queue) {
-      t += cost_.exec_time_ms(dag_, n, system_.processor(proc));
-    }
+    for (const QueuedKernel& q : ps.queue) t += q.exec_ms;
     return t;
   }
 
@@ -100,8 +117,7 @@ class Engine::Context final : public SchedulerContext {
     TimeMs work = 0.0;
     if (ps.running)
       work += std::max(0.0, node_state_[*ps.running].record.finish_time - now_);
-    for (dag::NodeId n : ps.queue)
-      work += cost_.exec_time_ms(dag_, n, system_.processor(proc));
+    for (const QueuedKernel& q : ps.queue) work += q.exec_ms;
     return work;
   }
 
@@ -148,12 +164,18 @@ class Engine::Context final : public SchedulerContext {
     ns.record.assign_time = now_ + system_.config().decision_overhead_ms;
     ns.record.alternative = alternative;
     ns.enqueued_at = now_;
-    proc_state_.at(proc).queue.push_back(node);
+    // The destination is fixed now, so the execution time can be cached for
+    // every later busy_until()/queued_work_ms() query.
+    proc_state_.at(proc).queue.push_back(
+        {node, cost_.exec_time_ms(dag_, node, system_.processor(proc))});
+    idle_dirty_ = true;
     // drain_queues() (called right after the policy pass) starts it if the
     // processor is actually free.
   }
 
  private:
+  static constexpr std::size_t kNoPos = static_cast<std::size_t>(-1);
+
   struct NodeState {
     ScheduledKernel record;
     bool ready = false;
@@ -163,9 +185,16 @@ class Engine::Context final : public SchedulerContext {
     TimeMs enqueued_at = std::numeric_limits<TimeMs>::quiet_NaN();
   };
 
+  /// A kernel waiting in a processor's FIFO queue with its (destination
+  /// fixed, hence known) execution time.
+  struct QueuedKernel {
+    dag::NodeId node;
+    TimeMs exec_ms;
+  };
+
   struct ProcState {
     std::optional<dag::NodeId> running;
-    std::deque<dag::NodeId> queue;
+    std::deque<QueuedKernel> queue;
     std::vector<TimeMs> exec_history;  ///< completed exec times, oldest first
   };
 
@@ -188,6 +217,7 @@ class Engine::Context final : public SchedulerContext {
     NodeState& ns = node_state_[node];
     ns.ready = true;
     ns.record.ready_time = now_;
+    ready_pos_[node] = ready_.size();
     ready_.push_back(node);
   }
 
@@ -197,8 +227,24 @@ class Engine::Context final : public SchedulerContext {
       throw std::logic_error("Engine: node " + std::to_string(node) +
                              " is not in the ready set");
     ns.assigned = true;
-    const auto it = std::find(ready_.begin(), ready_.end(), node);
-    ready_.erase(it);
+    // O(1): tombstone the slot; ready() compacts before the next read, so
+    // FIFO order of the survivors is preserved.
+    ready_[ready_pos_[node]] = dag::kInvalidNode;
+    ready_pos_[node] = kNoPos;
+    ++ready_tombstones_;
+  }
+
+  /// Removes tombstones in one pass, keeping arrival order.
+  void compact_ready() const {
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < ready_.size(); ++i) {
+      const dag::NodeId node = ready_[i];
+      if (node == dag::kInvalidNode) continue;
+      ready_pos_[node] = out;
+      ready_[out++] = node;
+    }
+    ready_.resize(out);
+    ready_tombstones_ = 0;
   }
 
   /// Starts `node` on the idle processor `proc` at the current time.
@@ -214,6 +260,7 @@ class Engine::Context final : public SchedulerContext {
     ns.record.exec_ms = cost_.exec_time_ms(dag_, node, system_.processor(proc));
     ns.record.finish_time = ns.record.exec_start + ns.record.exec_ms;
     proc_state_[proc].running = node;
+    idle_dirty_ = true;
     events_.push(Completion{ns.record.finish_time, node});
   }
 
@@ -222,18 +269,18 @@ class Engine::Context final : public SchedulerContext {
     for (ProcId p = 0; p < proc_state_.size(); ++p) {
       ProcState& ps = proc_state_[p];
       if (ps.running.has_value() || ps.queue.empty()) continue;
-      const dag::NodeId node = ps.queue.front();
+      const QueuedKernel next = ps.queue.front();
       ps.queue.pop_front();
-      start_queued_kernel(node, p);
+      start_queued_kernel(next, p);
     }
   }
 
   /// Starts a previously enqueued kernel whose transfer began at enqueue
   /// time (the destination was fixed then, so the data could prefetch).
-  void start_queued_kernel(dag::NodeId node, ProcId proc) {
-    NodeState& ns = node_state_[node];
+  void start_queued_kernel(const QueuedKernel& queued, ProcId proc) {
+    NodeState& ns = node_state_[queued.node];
     const SystemConfig& cfg = system_.config();
-    const TimeMs transfer = input_transfer_ms(node, proc);
+    const TimeMs transfer = input_transfer_ms(queued.node, proc);
     const TimeMs data_ready =
         ns.enqueued_at + cfg.decision_overhead_ms + cfg.dispatch_overhead_ms +
         transfer;
@@ -242,10 +289,11 @@ class Engine::Context final : public SchedulerContext {
     ns.record.proc = proc;
     ns.record.exec_start = std::max(now_, data_ready);
     ns.record.transfer_ms = std::max(0.0, data_ready - now_);
-    ns.record.exec_ms = cost_.exec_time_ms(dag_, node, system_.processor(proc));
+    ns.record.exec_ms = queued.exec_ms;
     ns.record.finish_time = ns.record.exec_start + ns.record.exec_ms;
-    proc_state_[proc].running = node;
-    events_.push(Completion{ns.record.finish_time, node});
+    proc_state_[proc].running = queued.node;
+    idle_dirty_ = true;
+    events_.push(Completion{ns.record.finish_time, queued.node});
   }
 
   /// Transfer stall for a direct assignment, honouring the policy's
@@ -294,6 +342,7 @@ class Engine::Context final : public SchedulerContext {
     ++done_count_;
     ProcState& ps = proc_state_[ns.record.proc];
     ps.running.reset();
+    idle_dirty_ = true;
     ps.exec_history.push_back(ns.record.exec_ms);
     for (dag::NodeId succ : dag_.successors(node)) {
       NodeState& ss = node_state_[succ];
@@ -316,7 +365,18 @@ class Engine::Context final : public SchedulerContext {
   std::size_t done_count_ = 0;
   std::vector<NodeState> node_state_;
   std::vector<ProcState> proc_state_;
-  std::vector<dag::NodeId> ready_;
+
+  /// Ready kernels in arrival order; assigned kernels leave as tombstones
+  /// (kInvalidNode) that compact_ready() removes before the next read.
+  /// Mutable: compaction is deferred into the const accessor ready().
+  mutable std::vector<dag::NodeId> ready_;
+  mutable std::vector<std::size_t> ready_pos_;  ///< node -> slot in ready_
+  mutable std::size_t ready_tombstones_ = 0;
+
+  /// Cached available set, rebuilt on demand after processor-state changes.
+  mutable std::vector<ProcId> idle_cache_;
+  mutable bool idle_dirty_ = true;
+
   std::priority_queue<Completion, std::vector<Completion>,
                       std::greater<Completion>>
       events_;
@@ -332,9 +392,15 @@ Engine::Engine(const dag::Dag& dag, const System& system,
     : dag_(dag), system_(system), cost_(cost) {}
 
 SimResult Engine::run(Policy& policy) {
+  // Densify the cost model once per run unless the caller already did.
+  const auto* pre = dynamic_cast<const PrecomputedCostModel*>(&cost_);
+  std::optional<PrecomputedCostModel> local;
+  if (pre == nullptr) pre = &local.emplace(dag_, system_, cost_);
+  // prepare() runs even for an empty DAG so every policy sees the same
+  // lifecycle regardless of input.
+  policy.prepare(dag_, system_, *pre);
   if (dag_.empty()) return SimResult{};
-  policy.prepare(dag_, system_, cost_);
-  Context ctx(dag_, system_, cost_, policy);
+  Context ctx(dag_, system_, *pre, policy);
   return ctx.simulate();
 }
 

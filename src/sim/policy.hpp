@@ -46,7 +46,12 @@ class SchedulerContext {
   /// True when the processor is neither executing nor holding queued work:
   /// membership in the available set A.
   virtual bool is_idle(ProcId proc) const = 0;
-  virtual std::vector<ProcId> idle_processors() const = 0;
+
+  /// The available set A, ascending by processor id. The reference stays
+  /// valid until the next assign()/enqueue() or the next call to
+  /// idle_processors(), whichever comes first — snapshot (copy) it if you
+  /// need it across an assignment.
+  virtual const std::vector<ProcId>& idle_processors() const = 0;
 
   /// Time at which the processor finishes everything currently committed to
   /// it (== now() when idle).

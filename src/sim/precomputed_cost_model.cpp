@@ -1,0 +1,64 @@
+#include "sim/precomputed_cost_model.hpp"
+
+namespace apt::sim {
+
+PrecomputedCostModel::PrecomputedCostModel(const dag::Dag& dag,
+                                           const System& system,
+                                           const CostModel& base)
+    : dag_(&dag), base_(base), proc_count_(system.proc_count()) {
+  const std::size_t n = dag.node_count();
+  const std::size_t p = proc_count_;
+  const auto& procs = system.processors();
+
+  exec_.resize(n * p);
+  for (dag::NodeId node = 0; node < n; ++node) {
+    for (std::size_t proc = 0; proc < p; ++proc)
+      exec_[node * p + proc] = base.exec_time_ms(dag, node, procs[proc]);
+  }
+
+  edge_offset_.resize(n + 1, 0);
+  for (dag::NodeId node = 0; node < n; ++node)
+    edge_offset_[node + 1] = edge_offset_[node] + dag.out_degree(node);
+
+  transfer_.resize(edge_offset_[n] * p * p);
+  for (dag::NodeId src = 0; src < n; ++src) {
+    const auto& succs = dag.successors(src);
+    for (std::size_t k = 0; k < succs.size(); ++k) {
+      TimeMs* slot = transfer_.data() + (edge_offset_[src] + k) * p * p;
+      for (std::size_t from = 0; from < p; ++from) {
+        for (std::size_t to = 0; to < p; ++to)
+          slot[from * p + to] = base.transfer_time_ms(dag, src, succs[k],
+                                                      procs[from], procs[to]);
+      }
+    }
+  }
+}
+
+TimeMs PrecomputedCostModel::exec_time_ms(const dag::Dag& dag,
+                                          dag::NodeId node,
+                                          const Processor& proc) const {
+  if (&dag != dag_ || node >= dag_->node_count() || proc.id >= proc_count_)
+    return base_.exec_time_ms(dag, node, proc);
+  return exec_[node * proc_count_ + proc.id];
+}
+
+TimeMs PrecomputedCostModel::transfer_time_ms(const dag::Dag& dag,
+                                              dag::NodeId src, dag::NodeId dst,
+                                              const Processor& from,
+                                              const Processor& to) const {
+  if (&dag != dag_ || src >= dag_->node_count() || from.id >= proc_count_ ||
+      to.id >= proc_count_)
+    return base_.transfer_time_ms(dag, src, dst, from, to);
+  const auto& succs = dag_->successors(src);
+  for (std::size_t k = 0; k < succs.size(); ++k) {
+    if (succs[k] == dst) {
+      return transfer_[(edge_offset_[src] + k) * proc_count_ * proc_count_ +
+                       from.id * proc_count_ + to.id];
+    }
+  }
+  // Not an edge of the precomputed dag (e.g. a hypothetical pair a policy
+  // probes): answer from the base model.
+  return base_.transfer_time_ms(dag, src, dst, from, to);
+}
+
+}  // namespace apt::sim

@@ -130,4 +130,22 @@ class Rng {
   std::array<std::uint64_t, 4> state_{};
 };
 
+/// Seed of the `stream`-th independent RNG stream derived from one base
+/// seed. Adding multiples of SplitMix64's golden-ratio increment to the
+/// state is exactly advancing the generator, so stream_seed(base, k) is the
+/// k-th output of SplitMix64(base) — the canonical way to expand one seed
+/// into many decorrelated ones — computed in O(1) instead of O(k). The
+/// batch runner gives every task stream_seed(plan.base_seed, task_index),
+/// so results are independent of how tasks are distributed over workers.
+inline constexpr std::uint64_t stream_seed(std::uint64_t base_seed,
+                                           std::uint64_t stream) noexcept {
+  return SplitMix64(base_seed + stream * 0x9e3779b97f4a7c15ULL).next();
+}
+
+/// An Rng positioned at the start of the given stream.
+inline constexpr Rng stream_rng(std::uint64_t base_seed,
+                                std::uint64_t stream) noexcept {
+  return Rng(stream_seed(base_seed, stream));
+}
+
 }  // namespace apt::util

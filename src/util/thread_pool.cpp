@@ -1,0 +1,126 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace apt::util {
+
+/// One for_each_index invocation: a shared index counter the workers drain.
+struct ThreadPool::Batch {
+  std::atomic<std::size_t> next{0};
+  std::size_t count = 0;
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+};
+
+std::size_t ThreadPool::default_thread_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = default_thread_count();
+  // The calling thread works too, so spawn one fewer.
+  workers_.reserve(threads > 0 ? threads - 1 : 0);
+  try {
+    for (std::size_t i = 1; i < threads; ++i)
+      workers_.emplace_back([this] { worker_loop(); });
+  } catch (...) {
+    // Thread creation failed partway (e.g. an absurd --jobs under a tight
+    // thread limit): shut down the workers that did start, then let the
+    // error surface normally instead of std::terminate-ing on a joinable
+    // thread's destructor.
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& t : workers_) t.join();
+    throw;
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::drain(Batch& batch) {
+  for (;;) {
+    const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch.count) return;
+    try {
+      (*batch.body)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(batch.error_mutex);
+      if (!batch.first_error) batch.first_error = std::current_exception();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  // Each worker joins a given batch generation at most once, so a worker
+  // that already drained the current batch blocks until the next one
+  // instead of busy-spinning on the still-posted (but exhausted) batch.
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    Batch* batch = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] {
+        return stop_ || (current_ != nullptr && generation_ != seen_generation);
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      batch = current_;
+      ++busy_;
+    }
+    drain(*batch);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --busy_;
+      // The last worker out of a drained batch wakes the submitter.
+      if (busy_ == 0) done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::for_each_index(
+    std::size_t count, const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  Batch batch;
+  batch.count = count;
+  batch.body = &body;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    current_ = &batch;
+    ++generation_;
+  }
+  wake_.notify_all();
+  drain(batch);  // the calling thread participates
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    current_ = nullptr;  // workers that wake late see no batch
+    done_.wait(lock, [this] { return busy_ == 0; });
+  }
+  if (batch.first_error) std::rethrow_exception(batch.first_error);
+}
+
+void parallel_for_index(std::size_t count, std::size_t jobs,
+                        const std::function<void(std::size_t)>& body) {
+  if (jobs <= 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  // More threads than indices would only idle: clamp.
+  ThreadPool pool(std::min(jobs, count));
+  pool.for_each_index(count, body);
+}
+
+}  // namespace apt::util

@@ -1,0 +1,63 @@
+// A small fixed-size worker pool for fanning independent tasks across
+// cores.
+//
+// The batch experiment runner launches thousands of mutually independent
+// simulations; each writes into its own pre-allocated result slot, so the
+// pool only needs one primitive: run `body(i)` for every index of a range
+// and block until all of them finished. Exceptions thrown by the body are
+// captured and the first one is rethrown on the calling thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace apt::util {
+
+class ThreadPool {
+ public:
+  /// Starts `threads` workers; 0 means one per hardware thread.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const noexcept { return workers_.size() + 1; }
+
+  /// Runs body(0) .. body(count-1), distributing indices over the workers
+  /// (the calling thread participates), and returns when all are done.
+  /// Rethrows the first exception any body raised. Indices are claimed in
+  /// order but may complete in any order — bodies must be independent.
+  void for_each_index(std::size_t count,
+                      const std::function<void(std::size_t)>& body);
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static std::size_t default_thread_count();
+
+ private:
+  struct Batch;
+
+  void worker_loop();
+  static void drain(Batch& batch);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  Batch* current_ = nullptr;  ///< the in-flight batch, guarded by mutex_
+  std::uint64_t generation_ = 0;  ///< batch counter; workers join each once
+  std::size_t busy_ = 0;      ///< workers still inside the current batch
+  bool stop_ = false;
+};
+
+/// One-shot convenience: runs body(0..count-1) on `jobs` threads (<=1 runs
+/// inline on the caller, without spawning anything).
+void parallel_for_index(std::size_t count, std::size_t jobs,
+                        const std::function<void(std::size_t)>& body);
+
+}  // namespace apt::util

@@ -93,6 +93,42 @@ TEST(Cli, BadPolicySpecFailsCleanly) {
             0);
 }
 
+TEST(Cli, SweepRunsParallelAndExportsCsvAndJson) {
+  const std::string csv = ::testing::TempDir() + "/aptsim_sweep.csv";
+  const std::string json = ::testing::TempDir() + "/aptsim_sweep.json";
+  const std::string out = ::testing::TempDir() + "/aptsim_sweep.txt";
+  ASSERT_EQ(run_cli("sweep --type 1 --policies met --alphas 4 --rates 4 "
+                    "--jobs 4 --csv " + quoted(csv) + " --json " +
+                    quoted(json), out),
+            0);
+  const std::string text = slurp(out);
+  EXPECT_NE(text.find("4 jobs"), std::string::npos);
+  EXPECT_NE(text.find("APT(alpha=4.00)"), std::string::npos);
+  const auto table = apt::util::read_csv_file(csv);
+  EXPECT_EQ(table.row_count(), 20u);  // 10 graphs x (met + apt:4)
+  EXPECT_NO_THROW(table.column_index("makespan_ms"));
+  const std::string json_text = slurp(json);
+  EXPECT_NE(json_text.find("\"cells\""), std::string::npos);
+  EXPECT_NE(json_text.find("\"MET\""), std::string::npos);
+  std::filesystem::remove(csv);
+  std::filesystem::remove(json);
+  std::filesystem::remove(out);
+}
+
+TEST(Cli, SweepOutputIsIdenticalAcrossJobCounts) {
+  const std::string csv1 = ::testing::TempDir() + "/aptsim_sweep_j1.csv";
+  const std::string csv8 = ::testing::TempDir() + "/aptsim_sweep_j8.csv";
+  ASSERT_EQ(run_cli("sweep --type 2 --alphas 4 --rates 4 --jobs 1 --csv " +
+                    quoted(csv1)),
+            0);
+  ASSERT_EQ(run_cli("sweep --type 2 --alphas 4 --rates 4 --jobs 8 --csv " +
+                    quoted(csv8)),
+            0);
+  EXPECT_EQ(slurp(csv1), slurp(csv8));
+  std::filesystem::remove(csv1);
+  std::filesystem::remove(csv8);
+}
+
 TEST(Cli, PoliciesListsSpecs) {
   const std::string out = ::testing::TempDir() + "/aptsim_policies.txt";
   ASSERT_EQ(run_cli("policies", out), 0);

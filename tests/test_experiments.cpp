@@ -32,7 +32,7 @@ TEST(Experiments, AveragesMatchManualComputation) {
   EXPECT_NEAR(grid.avg_lambda_ms(1), lsum / 10.0, 1e-9);
 }
 
-TEST(Experiments, WinsCountStrictBests) {
+TEST(Experiments, WinsCountRowMinimaWithSharedTies) {
   Grid grid;
   grid.policy_names = {"A", "B"};
   grid.policy_specs = {"apt:4", "met"};
@@ -42,8 +42,25 @@ TEST(Experiments, WinsCountStrictBests) {
   slow.makespan_ms = 2.0;
   Cell tie = fast;
   grid.cells = {{fast, slow}, {slow, fast}, {tie, tie}};
-  EXPECT_EQ(grid.wins(0), 1u);  // strictly best only in row 0
-  EXPECT_EQ(grid.wins(1), 1u);
+  // Row 0 is A's outright win, row 1 is B's; the tied row 2 credits both
+  // (shared-win semantics), so winner counts sum to more than the row
+  // count.
+  EXPECT_EQ(grid.wins(0), 2u);
+  EXPECT_EQ(grid.wins(1), 2u);
+}
+
+TEST(Experiments, WinsThreeWayTieCreditsEveryColumn) {
+  Grid grid;
+  grid.policy_names = {"A", "B", "C"};
+  grid.policy_specs = {"apt:4", "met", "spn"};
+  Cell one;
+  one.makespan_ms = 1.0;
+  Cell two;
+  two.makespan_ms = 2.0;
+  grid.cells = {{one, one, one}, {two, one, one}};
+  EXPECT_EQ(grid.wins(0), 1u);
+  EXPECT_EQ(grid.wins(1), 2u);
+  EXPECT_EQ(grid.wins(2), 2u);
 }
 
 TEST(Experiments, PaperPolicySpecsAreTheSevenPolicies) {

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/policy_factory.hpp"
 #include "test_helpers.hpp"
 
 namespace apt::sim {
@@ -72,6 +73,81 @@ TEST(Engine, EmptyDagYieldsEmptyResult) {
   const auto result = engine.run(policy);
   EXPECT_DOUBLE_EQ(result.makespan, 0.0);
   EXPECT_TRUE(result.schedule.empty());
+}
+
+TEST(Engine, EmptyDagStillRunsPolicyPrepare) {
+  // Regression: run() used to return before prepare() on an empty DAG, so
+  // static policies saw an inconsistent lifecycle depending on the input.
+  class PrepareProbe : public Policy {
+   public:
+    std::string name() const override { return "prepare-probe"; }
+    bool is_dynamic() const override { return false; }
+    void prepare(const dag::Dag&, const System&, const CostModel&) override {
+      ++prepare_calls;
+    }
+    void on_event(SchedulerContext&) override {}
+    int prepare_calls = 0;
+  };
+  dag::Dag d;
+  const System sys = test::generic_system(1);
+  const auto cost = unit_cost(1, 1);
+  PrepareProbe policy;
+  Engine engine(d, sys, cost);
+  const auto result = engine.run(policy);
+  EXPECT_EQ(policy.prepare_calls, 1);
+  EXPECT_TRUE(result.schedule.empty());
+}
+
+TEST(Engine, EmptyDagWorksForEveryFactoryPolicy) {
+  // Static policies must survive prepare() on the degenerate input too.
+  dag::Dag d;
+  const System sys = test::paper_system();
+  for (const std::string spec : {"apt:4", "met", "spn", "ss", "ag", "heft",
+                                 "peft", "minmin", "sufferage", "olb"}) {
+    const auto policy = core::make_policy(spec);
+    const LutCostModel cost(lut::paper_lookup_table(), sys);
+    Engine engine(d, sys, cost);
+    const auto result = engine.run(*policy);
+    EXPECT_TRUE(result.schedule.empty()) << spec;
+  }
+}
+
+TEST(Engine, ReadySetSurvivesOutOfOrderAssignment) {
+  // Assign ready kernels in an order that punches holes all over the
+  // ready list (last, first, middle) — the FIFO view the policy sees next
+  // round must be exactly the un-assigned survivors in arrival order.
+  class HolePuncher : public Policy {
+   public:
+    std::string name() const override { return "hole-puncher"; }
+    bool is_dynamic() const override { return true; }
+    void on_event(SchedulerContext& ctx) override {
+      if (pass_ == 0) {
+        const std::vector<dag::NodeId> snapshot = ctx.ready();
+        EXPECT_EQ(snapshot, (std::vector<dag::NodeId>{0, 1, 2, 3, 4, 5}));
+        ctx.assign(5, 0);  // tombstone at the back
+        EXPECT_EQ(ctx.ready(), (std::vector<dag::NodeId>{0, 1, 2, 3, 4}));
+        ctx.assign(0, 1);  // tombstone at the front
+        ctx.assign(2, 2);  // tombstone in the middle
+        EXPECT_EQ(ctx.ready(), (std::vector<dag::NodeId>{1, 3, 4}));
+        ++pass_;
+        return;
+      }
+      // Later passes: drain whatever is left FIFO onto idle processors.
+      while (!ctx.ready().empty() && !ctx.idle_processors().empty()) {
+        const dag::NodeId n = ctx.ready().front();
+        ctx.assign(n, ctx.idle_processors().front());
+      }
+    }
+    int pass_ = 0;
+  };
+  dag::Dag d;
+  for (int i = 0; i < 6; ++i) d.add_node("k", 1);
+  const System sys = test::generic_system(3);
+  const auto cost = unit_cost(6, 3, 2.0);
+  HolePuncher policy;
+  Engine engine(d, sys, cost);
+  const auto result = engine.run(policy);
+  EXPECT_DOUBLE_EQ(result.makespan, 4.0);  // 6 kernels, 3 procs, 2 ms each
 }
 
 TEST(Engine, SingleKernelRunsAtTimeZero) {

@@ -1,0 +1,102 @@
+// The worker pool under the batch runner: full coverage of the index
+// range, exception propagation, reuse across batches, and the inline
+// serial path.
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace apt::util {
+namespace {
+
+TEST(ThreadPool, EveryIndexRunsExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.for_each_index(hits.size(),
+                      [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ResultsLandInTheRightSlots) {
+  ThreadPool pool(3);
+  std::vector<std::size_t> out(257, 0);
+  pool.for_each_index(out.size(), [&](std::size_t i) { out[i] = i * i; });
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPool, PoolIsReusableAcrossBatches) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 10; ++round)
+    pool.for_each_index(10, [&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 100);
+}
+
+TEST(ThreadPool, FirstExceptionIsRethrownOnTheCaller) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  try {
+    pool.for_each_index(100, [&](std::size_t i) {
+      if (i == 17) throw std::runtime_error("task 17 failed");
+      completed.fetch_add(1);
+    });
+    FAIL() << "expected the task exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 17 failed");
+  }
+  // The other tasks still ran (no early abort mid-batch is required, only
+  // error reporting).
+  EXPECT_EQ(completed.load(), 99);
+}
+
+TEST(ThreadPool, MoreThreadsThanTasksStillCompletes) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  // Exhausted-batch workers must block (not spin) and the batch must
+  // retire cleanly with most workers never claiming an index.
+  for (int round = 0; round < 5; ++round)
+    pool.for_each_index(hits.size(),
+                        [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 5);
+}
+
+TEST(ThreadPool, ZeroCountIsANoOp) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.for_each_index(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, DefaultThreadCountIsPositive) {
+  EXPECT_GE(ThreadPool::default_thread_count(), 1u);
+}
+
+TEST(ParallelForIndex, SingleJobRunsInlineInOrder) {
+  std::vector<std::size_t> order;
+  parallel_for_index(5, 1, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForIndex, MultiJobCoversTheRange) {
+  std::vector<std::atomic<int>> hits(333);
+  parallel_for_index(hits.size(), 8,
+                     [&](std::size_t i) { hits[i].fetch_add(1); });
+  int total = 0;
+  for (const auto& h : hits) total += h.load();
+  EXPECT_EQ(total, 333);
+}
+
+TEST(ParallelForIndex, InlinePathPropagatesExceptions) {
+  EXPECT_THROW(
+      parallel_for_index(3, 1,
+                         [](std::size_t) { throw std::logic_error("boom"); }),
+      std::logic_error);
+}
+
+}  // namespace
+}  // namespace apt::util

@@ -174,9 +174,15 @@ TEST(Rng, ShuffleDeterministicPerSeed) {
 }
 
 TEST(Rng, SatisfiesUniformRandomBitGenerator) {
-  static_assert(std::uniform_random_bit_generator<Rng>);
+  // C++17 spelling of the std::uniform_random_bit_generator requirements.
+  static_assert(std::is_unsigned<Rng::result_type>::value);
+  static_assert(
+      std::is_same<decltype(std::declval<Rng&>()()), Rng::result_type>::value);
+  static_assert(std::is_same<decltype(Rng::min()), Rng::result_type>::value);
+  static_assert(std::is_same<decltype(Rng::max()), Rng::result_type>::value);
   EXPECT_EQ(Rng::min(), 0u);
   EXPECT_EQ(Rng::max(), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_LT(Rng::min(), Rng::max());
 }
 
 }  // namespace
