@@ -27,6 +27,8 @@
 #include "dag/generator.hpp"
 #include "dag/serialize.hpp"
 #include "lut/paper_data.hpp"
+#include "lut/synthetic.hpp"
+#include "scenario/scenario.hpp"
 #include "sim/analysis.hpp"
 #include "sim/gantt.hpp"
 #include "sim/trace.hpp"
@@ -70,17 +72,56 @@ Args parse_args(int argc, char** argv) {
   return args;
 }
 
-dag::Dag graph_from_args(const Args& args) {
+/// The synthetic platform described by --ccr / --hetero / --lut-seed,
+/// calibrated against the first of `rates_gbps`. The one parse both `gen`
+/// and `sweep` (and `run`) share, so identical flags always mean an
+/// identical platform.
+lut::SyntheticLutSpec synthetic_spec_from_args(
+    const Args& args, const std::vector<double>& rates) {
+  lut::SyntheticLutSpec spec;
+  spec.ccr = util::parse_double(args.get("ccr", "0.5"));
+  spec.heterogeneity = util::parse_double(args.get("hetero", "4"));
+  spec.seed = util::parse_uint(args.get("lut-seed", "1"));
+  if (!rates.empty()) spec.link_rate_gbps = rates.front();
+  return spec;
+}
+
+bool wants_synthetic_platform(const Args& args) {
+  return args.has("ccr") || args.has("hetero") || args.has("lut-seed");
+}
+
+/// The lookup table a command costs against: an explicit --lut CSV, the
+/// synthetic platform flags, or (default) the paper's measured table.
+/// Mixing the two explicit forms is ambiguous and rejected rather than
+/// silently resolved.
+lut::LookupTable table_from_args(const Args& args,
+                                 const std::vector<double>& rates) {
+  if (args.has("lut")) {
+    if (wants_synthetic_platform(args))
+      throw std::invalid_argument(
+          "--lut conflicts with --ccr/--hetero/--lut-seed: pass either a "
+          "saved table or the synthetic platform knobs, not both");
+    return lut::LookupTable::from_csv_file(args.get("lut", ""));
+  }
+  if (wants_synthetic_platform(args))
+    return lut::synthetic_lookup_table(synthetic_spec_from_args(args, rates));
+  return lut::paper_lookup_table();
+}
+
+dag::Dag graph_from_args(const Args& args, const dag::KernelPool& pool) {
   dag::Dag graph = [&] {
     if (args.has("graph")) return dag::load_text_file(args.get("graph", ""));
+    const std::size_t n =
+        static_cast<std::size_t>(util::parse_uint(args.get("kernels", "46")));
+    const std::uint64_t seed = util::parse_uint(args.get("seed", "1"));
+    if (args.has("family")) {
+      return scenario::generate(args.get("family", ""), n, seed, pool);
+    }
     const int type = static_cast<int>(util::parse_int(args.get("type", "1")));
     if (type != 1 && type != 2)
       throw std::invalid_argument("--type must be 1 or 2");
     const auto dfg = type == 1 ? dag::DfgType::Type1 : dag::DfgType::Type2;
-    const std::size_t n =
-        static_cast<std::size_t>(util::parse_uint(args.get("kernels", "46")));
-    const std::uint64_t seed = util::parse_uint(args.get("seed", "1"));
-    return dag::generate(dfg, n, seed, dag::KernelPool::paper_pool());
+    return dag::generate(dfg, n, seed, pool);
   }();
   if (args.has("arrivals")) {
     // --arrivals <mean-gap-ms>: stream the entry kernels in with Poisson
@@ -92,27 +133,65 @@ dag::Dag graph_from_args(const Args& args) {
   return graph;
 }
 
-int cmd_generate(const Args& args) {
-  const dag::Dag graph = graph_from_args(args);
-  if (args.has("out")) dag::save_text_file(graph, args.get("out", ""));
-  if (args.has("dot")) {
-    util::CsvTable unused;  // (keep includes honest)
-    (void)unused;
-    std::ofstream(args.get("dot", "")) << dag::to_dot(graph);
+int cmd_gen(const Args& args) {
+  // Same table derivation as `run` — --lut CSV, the synthetic platform
+  // flags (calibrated at --rate, default 4 GB/s), or the paper table — so
+  // identical flags across `gen` and `run` always mean an identical
+  // platform. The generators sample their kernels from that table's pool;
+  // --lut-out saves it so the graph can be costed later
+  // (`run --graph F --lut T.csv`).
+  const lut::LookupTable table =
+      table_from_args(args, {util::parse_double(args.get("rate", "4"))});
+  const dag::Dag graph =
+      graph_from_args(args, dag::KernelPool::from_lookup_table(table));
+  // Only after generation succeeded: a failed `gen` must not leave a
+  // platform file behind for scripts to pick up.
+  if (args.has("lut-out")) {
+    table.save_csv_file(args.get("lut-out", ""));
+    // stderr: stdout may be carrying the serialised graph.
+    std::cerr << "lookup table written to " << args.get("lut-out", "")
+              << "\n";
   }
-  std::cout << "generated graph: " << graph.node_count() << " kernels, "
-            << graph.edge_count() << " edges, depth " << graph.depth() << "\n";
-  for (const auto& [kernel, count] : graph.kernel_histogram())
-    std::cout << "  " << kernel << ": " << count << "\n";
-  if (!args.has("out") && !args.has("dot")) std::cout << dag::to_text(graph);
+  const std::string label =
+      args.has("family")
+          ? std::string(scenario::family(args.get("family", "")).name())
+          : "type" + args.get("type", "1");
+  if (args.has("dot"))
+    std::ofstream(args.get("dot", "")) << dag::to_dot(graph, label);
+  if (args.has("out")) {
+    dag::save_text_file(graph, args.get("out", ""));
+    std::cout << label << ": " << graph.node_count() << " kernels, "
+              << graph.edge_count() << " edges, depth " << graph.depth()
+              << " -> " << args.get("out", "") << "\n";
+  } else {
+    // Pipe-friendly: bare `gen` emits only the serialised graph.
+    std::cout << dag::to_text(graph);
+  }
+  return 0;
+}
+
+int cmd_families() {
+  util::TablePrinter table({"family", "min kernels", "description"});
+  for (const scenario::ScenarioFamily* family : scenario::all_families()) {
+    table.add_row({family->name(), std::to_string(family->min_kernels()),
+                   family->description()});
+  }
+  std::cout << table.to_string();
   return 0;
 }
 
 int cmd_run(const Args& args) {
-  const dag::Dag graph = graph_from_args(args);
-  const std::string spec = args.get("policy", "apt:4");
   const double rate = util::parse_double(args.get("rate", "4"));
-  const auto outcome = core::run_paper_system(spec, graph, rate);
+  // Costing table: --lut CSV (e.g. one saved by `gen --lut-out`), the
+  // synthetic platform flags, or the paper's measured table. The same table
+  // feeds the generator's kernel pool so --family graphs are costable.
+  const lut::LookupTable table = table_from_args(args, {rate});
+  const dag::Dag graph =
+      graph_from_args(args, dag::KernelPool::from_lookup_table(table));
+  const std::string spec = args.get("policy", "apt:4");
+  const sim::System system(sim::SystemConfig::paper_default(rate));
+  const auto policy = core::make_policy(spec);
+  const auto outcome = core::run_policy(*policy, graph, system, table);
 
   std::cout << "policy:    " << outcome.policy_name << "\n";
   std::cout << "kernels:   " << graph.node_count() << "\n";
@@ -144,19 +223,16 @@ int cmd_run(const Args& args) {
             << util::format_double(outcome.metrics.total_energy_j, 1)
             << " J\n";
   if (args.has("trace")) {
-    const sim::System system(sim::SystemConfig::paper_default(rate));
     std::cout << "\n"
               << sim::format_trace(system,
                                    sim::build_trace(graph, system,
                                                     outcome.result));
   }
   if (args.has("gantt")) {
-    const sim::System system(sim::SystemConfig::paper_default(rate));
     std::cout << "\n" << sim::ascii_gantt(graph, system, outcome.result);
   }
   if (args.has("analyze")) {
-    const sim::System system(sim::SystemConfig::paper_default(rate));
-    const sim::LutCostModel cost(lut::paper_lookup_table(), system);
+    const sim::LutCostModel cost(table, system);
     std::cout << "\n"
               << sim::format_analysis(sim::analyze_schedule(
                      graph, system, cost, outcome.result));
@@ -165,7 +241,6 @@ int cmd_run(const Args& args) {
     util::CsvTable csv({"node", "kernel", "data_size", "proc", "ready_ms",
                         "assign_ms", "exec_start_ms", "finish_ms",
                         "alternative"});
-    const sim::System system(sim::SystemConfig::paper_default(rate));
     for (const auto& k : outcome.result.schedule) {
       csv.add_row({std::to_string(k.node), graph.node(k.node).kernel,
                    std::to_string(graph.node(k.node).data_size),
@@ -237,9 +312,12 @@ void for_each_sweep_cell(const core::BatchResult& result, Fn&& fn) {
 }
 
 /// Serialises a sweep result as one JSON object (hand-rolled: the cube is
-/// flat and numeric, no library needed).
+/// flat and numeric, no library needed). `graph_labels` names each graph's
+/// scenario coordinates (family/size) so cells are attributable without
+/// knowing the plan's expansion order.
 std::string sweep_to_json(const core::BatchResult& result,
-                          const std::string& type_name) {
+                          const std::string& type_name,
+                          const std::vector<std::string>& graph_labels) {
   std::string out = "{\n  \"workload\": \"" + json_escape(type_name) + "\",\n";
   out += "  \"policies\": [";
   for (std::size_t p = 0; p < result.policy_count; ++p) {
@@ -262,7 +340,8 @@ std::string sweep_to_json(const core::BatchResult& result,
     out += "    {\"replication\": " + std::to_string(rep) +
            ", \"rate_gbps\": " + util::format_double(result.rates_gbps[r], 3) +
            ", \"graph\": " + std::to_string(g + 1) +  // 1-based, as CSV
-           ", \"policy\": \"" + json_escape(result.policy_names[p]) +
+           ", \"workload\": \"" + json_escape(graph_labels.at(g)) +
+           "\", \"policy\": \"" + json_escape(result.policy_names[p]) +
            "\", \"makespan_ms\": " + util::format_double(cell.makespan_ms, 6) +
            ", \"lambda_total_ms\": " +
            util::format_double(cell.lambda_total_ms, 6) +
@@ -274,10 +353,18 @@ std::string sweep_to_json(const core::BatchResult& result,
 }
 
 int cmd_sweep(const Args& args) {
-  const int type = static_cast<int>(util::parse_int(args.get("type", "1")));
-  if (type != 1 && type != 2)
-    throw std::invalid_argument("--type must be 1 or 2");
-  const auto dfg = type == 1 ? dag::DfgType::Type1 : dag::DfgType::Type2;
+  // Workload axis: either the paper's ten graphs of --type (default), or —
+  // with --family — a generated scenario cube of one or more families,
+  // optionally on a synthetic platform (--ccr/--hetero/--lut-seed).
+  const bool family_mode = args.has("family");
+  auto dfg = dag::DfgType::Type1;  // labels the Grid slices; Type1 in
+                                   // family mode where it is not meaningful
+  if (!family_mode) {
+    const int type = static_cast<int>(util::parse_int(args.get("type", "1")));
+    if (type != 1 && type != 2)
+      throw std::invalid_argument("--type must be 1 or 2");
+    dfg = type == 1 ? dag::DfgType::Type1 : dag::DfgType::Type2;
+  }
 
   // Columns: explicit policy specs plus one APT column per alpha. With
   // neither option the sweep reproduces the thesis's alpha grid.
@@ -298,10 +385,35 @@ int cmd_sweep(const Args& args) {
   for (const auto& r : util::split(args.get("rates", "4,8"), ','))
     rates.push_back(util::parse_double(r));
 
-  core::ExperimentPlan plan = core::ExperimentPlan::paper(dfg, specs, rates);
+  const std::uint64_t seed = util::parse_uint(args.get("seed", "0"));
+  std::string workload_name;
+  std::vector<std::string> graph_labels;  // per-graph, for the exporters
+  core::ExperimentPlan plan;
+  if (family_mode) {
+    core::ScenarioSweepSpec spec;
+    spec.families.clear();
+    for (const auto& f : util::split(args.get("family", ""), ','))
+      if (!util::trim(f).empty()) spec.families.push_back(util::trim(f));
+    spec.graphs_per_family =
+        static_cast<std::size_t>(util::parse_uint(args.get("graphs", "10")));
+    spec.kernel_counts.clear();
+    for (const auto& k : util::split(args.get("kernels", "46"), ','))
+      spec.kernel_counts.push_back(
+          static_cast<std::size_t>(util::parse_uint(k)));
+    spec.graph_seed = seed;
+    if (wants_synthetic_platform(args))
+      spec.synthetic = synthetic_spec_from_args(args, rates);
+    plan = core::make_scenario_plan(spec, specs, rates);
+    workload_name = "scenario[" + util::join(spec.families, "+") + "]";
+    graph_labels = core::scenario_graph_labels(spec);
+  } else {
+    plan = core::ExperimentPlan::paper(dfg, specs, rates);
+    workload_name = dag::to_string(dfg);
+    graph_labels.assign(plan.graphs.size(), workload_name);
+  }
   plan.replications =
       static_cast<std::size_t>(util::parse_uint(args.get("reps", "1")));
-  plan.base_seed = util::parse_uint(args.get("seed", "0"));
+  plan.base_seed = seed;
 
   const std::size_t jobs =
       static_cast<std::size_t>(util::parse_uint(args.get("jobs", "1")));
@@ -345,7 +457,7 @@ int cmd_sweep(const Args& args) {
                      std::to_string(wins)});
     }
   }
-  std::cout << "sweep, " << dag::to_string(dfg) << ", "
+  std::cout << "sweep, " << workload_name << ", "
             << result.graph_count << " graphs x " << result.policy_count
             << " policies x " << result.rate_count << " rates x "
             << result.replications << " reps = " << result.cells.size()
@@ -354,16 +466,16 @@ int cmd_sweep(const Args& args) {
             << table.to_string();
 
   if (args.has("csv")) {
-    util::CsvTable csv({"replication", "rate_gbps", "graph", "policy", "spec",
-                        "makespan_ms", "lambda_total_ms", "lambda_avg_ms",
-                        "lambda_stddev_ms", "alternatives"});
+    util::CsvTable csv({"replication", "rate_gbps", "graph", "workload",
+                        "policy", "spec", "makespan_ms", "lambda_total_ms",
+                        "lambda_avg_ms", "lambda_stddev_ms", "alternatives"});
     for_each_sweep_cell(result, [&](std::size_t rep, std::size_t r,
                                     std::size_t g, std::size_t p,
                                     const core::Cell& cell) {
       csv.add_row({std::to_string(rep),
                    util::format_double(result.rates_gbps[r], 3),
-                   std::to_string(g + 1), result.policy_names[p],
-                   result.policy_specs[p],
+                   std::to_string(g + 1), graph_labels.at(g),
+                   result.policy_names[p], result.policy_specs[p],
                    util::format_double(cell.makespan_ms, 6),
                    util::format_double(cell.lambda_total_ms, 6),
                    util::format_double(cell.lambda_avg_ms, 6),
@@ -378,7 +490,7 @@ int cmd_sweep(const Args& args) {
     if (!out)
       throw std::runtime_error("sweep: cannot open '" +
                                args.get("json", "") + "'");
-    out << sweep_to_json(result, dag::to_string(dfg));
+    out << sweep_to_json(result, workload_name, graph_labels);
     std::cout << "cells written to " << args.get("json", "") << "\n";
   }
   return 0;
@@ -426,14 +538,22 @@ void usage() {
       "aptsim — heterogeneous-scheduling simulator (APT reproduction)\n"
       "\n"
       "usage:\n"
-      "  aptsim generate --type 1|2 --kernels N --seed S [--out F] [--dot F]\n"
-      "  aptsim run --policy SPEC [--graph F | --type T --kernels N --seed S]\n"
-      "             [--rate GBPS] [--arrivals MEAN_MS] [--trace] [--gantt]\n"
-      "             [--analyze] [--csv F]\n"
+      "  aptsim gen [--family NAME | --type 1|2] --kernels N --seed S\n"
+      "             [--out F] [--dot F] [--arrivals MEAN_MS]\n"
+      "             [--lut F.csv | --ccr X --hetero H --lut-seed S]\n"
+      "             [--rate GBPS] [--lut-out F]   (alias: generate)\n"
+      "  aptsim run --policy SPEC [--graph F | --family NAME | --type T]\n"
+      "             [--kernels N] [--seed S] [--rate GBPS]\n"
+      "             [--lut F.csv | --ccr X --hetero H --lut-seed S]\n"
+      "             [--arrivals MEAN_MS] [--trace] [--gantt] [--analyze]\n"
+      "             [--csv F]\n"
       "  aptsim compare [--type T] [--alpha A] [--rate GBPS]\n"
-      "  aptsim sweep [--type T] [--policies SPEC,...] [--alphas 1.5,2,4]\n"
-      "               [--rates 4,8] [--jobs N] [--reps R] [--seed S]\n"
-      "               [--csv F] [--json F]\n"
+      "  aptsim sweep [--type T | --family NAME,... [--graphs G]\n"
+      "               [--kernels N,...] [--ccr X] [--hetero H]\n"
+      "               [--lut-seed S]] [--policies SPEC,...]\n"
+      "               [--alphas 1.5,2,4] [--rates 4,8] [--jobs N] [--reps R]\n"
+      "               [--seed S] [--csv F] [--json F]\n"
+      "  aptsim families\n"
       "  aptsim lut [--csv F]\n"
       "  aptsim report [--out-dir D] [--alpha A]\n"
       "  aptsim policies\n";
@@ -444,7 +564,10 @@ void usage() {
 int main(int argc, char** argv) {
   try {
     const Args args = parse_args(argc, argv);
-    if (args.command == "generate") return cmd_generate(args);
+    // "generate" is the legacy spelling of "gen"; both take the same flags.
+    if (args.command == "gen" || args.command == "generate")
+      return cmd_gen(args);
+    if (args.command == "families") return cmd_families();
     if (args.command == "run") return cmd_run(args);
     if (args.command == "compare") return cmd_compare(args);
     if (args.command == "sweep") return cmd_sweep(args);

@@ -5,6 +5,7 @@
 
 #include "core/policy_factory.hpp"
 #include "lut/paper_data.hpp"
+#include "scenario/scenario.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/precomputed_cost_model.hpp"
 #include "util/rng.hpp"
@@ -21,6 +22,70 @@ ExperimentPlan ExperimentPlan::paper(dag::DfgType type,
   plan.rates_gbps = std::move(rates_gbps);
   plan.table = lut::paper_lookup_table();
   return plan;
+}
+
+namespace {
+
+/// The one expansion loop behind make_scenario_plan and
+/// scenario_graph_labels, so labels can never drift from the graph axis.
+/// Calls fn(family, kernels, flat_index) after validating the spec.
+template <typename Fn>
+void for_each_scenario_graph(const ScenarioSweepSpec& spec, Fn&& fn) {
+  if (spec.families.empty())
+    throw std::invalid_argument("make_scenario_plan: no families");
+  if (spec.graphs_per_family == 0)
+    throw std::invalid_argument(
+        "make_scenario_plan: graphs_per_family must be >= 1");
+  if (spec.kernel_counts.empty())
+    throw std::invalid_argument("make_scenario_plan: no kernel counts");
+  std::size_t index = 0;
+  for (const std::string& name : spec.families) {
+    const scenario::ScenarioFamily& family = scenario::family(name);
+    for (std::size_t g = 0; g < spec.graphs_per_family; ++g, ++index) {
+      const std::size_t kernels =
+          std::max(family.min_kernels(),
+                   spec.kernel_counts[g % spec.kernel_counts.size()]);
+      fn(family, kernels, index);
+    }
+  }
+}
+
+}  // namespace
+
+ExperimentPlan make_scenario_plan(const ScenarioSweepSpec& spec,
+                                  std::vector<std::string> policy_specs,
+                                  std::vector<double> rates_gbps) {
+  ExperimentPlan plan;
+  plan.policy_specs = std::move(policy_specs);
+  plan.rates_gbps = std::move(rates_gbps);
+  plan.table = spec.synthetic ? lut::synthetic_lookup_table(*spec.synthetic)
+                              : lut::paper_lookup_table();
+  const dag::KernelPool pool = dag::KernelPool::from_lookup_table(plan.table);
+
+  // Graph seeds come from their own salted stream family so a plan that
+  // also uses base_seed-derived policy streams never reuses a seed.
+  constexpr std::uint64_t kGraphSeedSalt = 0x5CE9A21C0FFEE123ULL;
+  plan.graphs.reserve(spec.families.size() * spec.graphs_per_family);
+  for_each_scenario_graph(
+      spec, [&](const scenario::ScenarioFamily& family, std::size_t kernels,
+                std::size_t index) {
+        plan.graphs.push_back(family.generate(
+            kernels,
+            util::stream_seed(spec.graph_seed ^ kGraphSeedSalt, index), pool));
+      });
+  return plan;
+}
+
+std::vector<std::string> scenario_graph_labels(const ScenarioSweepSpec& spec) {
+  std::vector<std::string> labels;
+  labels.reserve(spec.families.size() * spec.graphs_per_family);
+  for_each_scenario_graph(
+      spec, [&](const scenario::ScenarioFamily& family, std::size_t kernels,
+                std::size_t) {
+        labels.push_back(std::string(family.name()) + "/n" +
+                         std::to_string(kernels));
+      });
+  return labels;
 }
 
 std::size_t ExperimentPlan::task_count() const noexcept {

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,7 @@
 #include "core/runner.hpp"
 #include "dag/graph.hpp"
 #include "lut/lookup_table.hpp"
+#include "lut/synthetic.hpp"
 #include "sim/system.hpp"
 #include "util/thread_pool.hpp"
 
@@ -90,6 +92,41 @@ struct BatchResult {
   Grid grid(dag::DfgType type, std::size_t rate = 0,
             std::size_t replication = 0) const;
 };
+
+/// Axes of a scenario-cube sweep: workload families × seeded graphs ×
+/// platform. Expanded by make_scenario_plan into a concrete ExperimentPlan —
+/// graphs are generated up-front on the calling thread, so BatchRunner's
+/// bit-identical-for-any-job-count guarantee extends to scenario sweeps.
+struct ScenarioSweepSpec {
+  /// Registered scenario-family names (see scenario::family_names()).
+  std::vector<std::string> families = {"type1"};
+
+  std::size_t graphs_per_family = 10;
+
+  /// Kernel count of the g-th graph of each family cycles through this
+  /// list, raised to the family's minimum where below it.
+  std::vector<std::size_t> kernel_counts = {46};
+
+  /// Graph g of family f draws its seed from an independent stream of this
+  /// base (decorrelated from the plan's policy-seed streams).
+  std::uint64_t graph_seed = 1;
+
+  /// Platform: when set, the plan's lookup table AND the generators' kernel
+  /// pool come from synthetic_lookup_table(*synthetic); otherwise the
+  /// paper's measured table.
+  std::optional<lut::SyntheticLutSpec> synthetic;
+};
+
+/// Expands a scenario spec into a plan with graphs and table filled in.
+/// Throws std::invalid_argument on empty axes or unknown family names.
+ExperimentPlan make_scenario_plan(const ScenarioSweepSpec& spec,
+                                  std::vector<std::string> policy_specs,
+                                  std::vector<double> rates_gbps = {4.0});
+
+/// Display label of every graph the spec expands to ("<family>/n<kernels>",
+/// same order as the plan's graph axis) — lets result exporters attribute a
+/// cell to its scenario coordinates instead of a bare graph index.
+std::vector<std::string> scenario_graph_labels(const ScenarioSweepSpec& spec);
 
 /// Expands "{seed}" placeholders in a policy spec with the task's stream
 /// seed (exposed for tests).

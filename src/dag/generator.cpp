@@ -1,5 +1,6 @@
 #include "dag/generator.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cmath>
 #include <stdexcept>
@@ -197,6 +198,172 @@ Dag random_layered_dag(std::size_t n, std::size_t layers, double edge_prob,
       }
     }
   }
+  return dag;
+}
+
+Dag make_fork_join(const std::vector<Node>& series, std::uint64_t seed) {
+  const std::size_t n = series.size();
+  if (n < 2)
+    throw std::invalid_argument("make_fork_join: need at least 2 kernels");
+  util::Rng rng(seed ^ 0xF02C9A11B3D5E7A1ULL);
+  Dag dag;
+  std::size_t next = 0;
+  auto take = [&] { return dag.add_node(series.at(next++)); };
+
+  NodeId head = take();
+  while (next < n) {
+    const std::size_t remaining = n - next;
+    if (remaining < 3) {
+      // Not enough kernels for a 2-wide fork plus a join: extend the chain.
+      while (next < n) {
+        const NodeId tail = take();
+        dag.add_edge(head, tail);
+        head = tail;
+      }
+      break;
+    }
+    const std::size_t max_width = std::min<std::size_t>(remaining - 1, 8);
+    const std::size_t width = 2 + rng.uniform_u64(max_width - 1);  // [2, max]
+    std::vector<NodeId> mids;
+    mids.reserve(width);
+    for (std::size_t i = 0; i < width; ++i) {
+      mids.push_back(take());
+      dag.add_edge(head, mids.back());
+    }
+    const NodeId join = take();
+    for (NodeId mid : mids) dag.add_edge(mid, join);
+    head = join;
+  }
+  return dag;
+}
+
+namespace {
+
+/// Shared parent-picking machinery of the two tree builders: draws uniformly
+/// from the open set and retires a candidate once it reaches `branching`
+/// attachments.
+class OpenSet {
+ public:
+  OpenSet(std::size_t node_count, NodeId first, std::size_t branching)
+      : branching_(branching), attached_count_(node_count, 0) {
+    open_.push_back(first);
+  }
+
+  NodeId pick(util::Rng& rng) {
+    const std::size_t at = static_cast<std::size_t>(
+        rng.uniform_u64(open_.size()));
+    const NodeId chosen = open_[at];
+    if (++attached_count_[chosen] == branching_) {
+      open_[at] = open_.back();
+      open_.pop_back();
+    }
+    return chosen;
+  }
+
+  void add(NodeId id) { open_.push_back(id); }
+
+ private:
+  std::size_t branching_;
+  std::vector<NodeId> open_;
+  std::vector<std::size_t> attached_count_;  // indexed by dense NodeId
+};
+
+void check_tree_args(const char* what, std::size_t n, std::size_t branching) {
+  if (n < 2)
+    throw std::invalid_argument(std::string(what) +
+                                ": need at least 2 kernels");
+  if (branching < 2)
+    throw std::invalid_argument(std::string(what) + ": branching must be >= 2");
+}
+
+}  // namespace
+
+Dag make_in_tree(const std::vector<Node>& series, std::uint64_t seed,
+                 std::size_t branching) {
+  const std::size_t n = series.size();
+  check_tree_args("make_in_tree", n, branching);
+  util::Rng rng(seed ^ 0x1E7EE5A9C3B1D2F5ULL);
+  Dag dag;
+  for (const Node& node : series) dag.add_node(node);
+  // Walk the ids backwards from the root (the last node): every earlier
+  // node attaches to one uniformly chosen later node that still has spare
+  // fan-in, then becomes a candidate successor itself.
+  OpenSet open(n, static_cast<NodeId>(n - 1), branching);
+  for (std::size_t i = n - 1; i-- > 0;) {
+    dag.add_edge(static_cast<NodeId>(i), open.pick(rng));
+    open.add(static_cast<NodeId>(i));
+  }
+  return dag;
+}
+
+Dag make_out_tree(const std::vector<Node>& series, std::uint64_t seed,
+                  std::size_t branching) {
+  const std::size_t n = series.size();
+  check_tree_args("make_out_tree", n, branching);
+  util::Rng rng(seed ^ 0x0D7B3E91A5C4F263ULL);
+  Dag dag;
+  for (const Node& node : series) dag.add_node(node);
+  OpenSet open(n, 0, branching);
+  for (std::size_t i = 1; i < n; ++i) {
+    dag.add_edge(open.pick(rng), static_cast<NodeId>(i));
+    open.add(static_cast<NodeId>(i));
+  }
+  return dag;
+}
+
+std::size_t cholesky_task_count(std::size_t tiles) {
+  return tiles * (tiles + 1) * (tiles + 2) / 6;
+}
+
+std::size_t cholesky_tiles_for(std::size_t n) {
+  if (n < cholesky_task_count(2))
+    throw std::invalid_argument("make_cholesky: need at least 4 kernels");
+  std::size_t tiles = 2;
+  while (cholesky_task_count(tiles + 1) <= n) ++tiles;
+  return tiles;
+}
+
+Dag make_cholesky(const std::vector<Node>& series) {
+  const std::size_t n = series.size();
+  const std::size_t tiles = cholesky_tiles_for(n);
+  Dag dag;
+  std::size_t next = 0;
+  auto take = [&] { return dag.add_node(series.at(next++)); };
+  // Last task that wrote tile (i, j), i >= j, of the lower triangle.
+  std::vector<NodeId> writer(tiles * tiles, kInvalidNode);
+  auto last_writer = [&](std::size_t i, std::size_t j) -> NodeId& {
+    return writer[i * tiles + j];
+  };
+  auto depend = [&](NodeId from, NodeId to) {
+    if (from != kInvalidNode && !dag.has_edge(from, to))
+      dag.add_edge(from, to);
+  };
+
+  NodeId final_potrf = kInvalidNode;
+  for (std::size_t k = 0; k < tiles; ++k) {
+    const NodeId potrf = take();  // factorise the diagonal tile (k, k)
+    depend(last_writer(k, k), potrf);
+    last_writer(k, k) = potrf;
+    final_potrf = potrf;
+    for (std::size_t i = k + 1; i < tiles; ++i) {
+      const NodeId trsm = take();  // solve panel tile (i, k)
+      depend(potrf, trsm);
+      depend(last_writer(i, k), trsm);
+      last_writer(i, k) = trsm;
+    }
+    for (std::size_t i = k + 1; i < tiles; ++i) {
+      for (std::size_t j = k + 1; j <= i; ++j) {
+        const NodeId update = take();  // SYRK (j == i) / GEMM on tile (i, j)
+        depend(last_writer(i, k), update);
+        if (j != i) depend(last_writer(j, k), update);
+        depend(last_writer(i, j), update);
+        last_writer(i, j) = update;
+      }
+    }
+  }
+  // Leftover kernels model post-factorisation work (solves, refinements):
+  // independent of each other, gated by the final diagonal factorisation.
+  while (next < n) depend(final_potrf, take());
   return dag;
 }
 

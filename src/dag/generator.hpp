@@ -90,6 +90,47 @@ std::vector<Dag> paper_workload(DfgType type);
 Dag random_layered_dag(std::size_t n, std::size_t layers, double edge_prob,
                        std::uint64_t seed, const KernelPool& pool);
 
+// --- Generalised scenario shapes (consumed by src/scenario/) ------------------
+//
+// Like make_type1/make_type2, these shape a pre-sampled kernel series into a
+// DAG; node ids follow the structural construction order, which is also the
+// arrival order dynamic policies see. All randomness is drawn from a
+// dedicated structure RNG salted from `seed`, so the same (series, seed)
+// always yields the same graph.
+
+/// Fork–join: an entry kernel forks into a random-width block (2..8) of
+/// independent kernels that join into one kernel, which forks again until
+/// the series is exhausted (a short tail extends the chain). Requires
+/// n >= 2.
+Dag make_fork_join(const std::vector<Node>& series, std::uint64_t seed);
+
+/// Random in-tree (reduction): every kernel except the root (the last node)
+/// has exactly one successor, drawn uniformly among the later nodes that
+/// still have fewer than `branching` predecessors — many entries, one exit
+/// (Type-1 is the star special case). Requires n >= 2, branching >= 2.
+Dag make_in_tree(const std::vector<Node>& series, std::uint64_t seed,
+                 std::size_t branching = 3);
+
+/// Random out-tree (broadcast): the mirror image — one entry (node 0), every
+/// other kernel has exactly one predecessor with at most `branching`
+/// successors per node. Requires n >= 2, branching >= 2.
+Dag make_out_tree(const std::vector<Node>& series, std::uint64_t seed,
+                  std::size_t branching = 3);
+
+/// Tasks of a T-tile right-looking tiled Cholesky/LU factorisation:
+/// T(T+1)(T+2)/6.
+std::size_t cholesky_task_count(std::size_t tiles);
+
+/// Largest tile count whose task count fits into n kernels (n >= 4; throws
+/// std::invalid_argument below that).
+std::size_t cholesky_tiles_for(std::size_t n);
+
+/// Tiled Cholesky/LU-style task graph: the POTRF/TRSM/SYRK-GEMM dependency
+/// structure over the largest tile grid fitting the series; leftover
+/// kernels become post-factorisation tasks depending on the final POTRF.
+/// Fully structural (no randomness). Requires n >= 4.
+Dag make_cholesky(const std::vector<Node>& series);
+
 /// Turns an all-at-time-zero workload into a streaming one: the graph's
 /// entry kernels receive exponentially distributed inter-arrival gaps with
 /// the given mean (a Poisson arrival process), in ascending node-id order.

@@ -1,6 +1,7 @@
 #include "dag/graph.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <map>
 #include <stdexcept>
 
@@ -148,6 +149,43 @@ std::vector<std::pair<std::string, std::size_t>> Dag::kernel_histogram() const {
   std::map<std::string, std::size_t> counts;
   for (const Node& n : nodes_) ++counts[n.kernel];
   return {counts.begin(), counts.end()};
+}
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+inline void mix_byte(std::uint64_t& h, unsigned char b) {
+  h = (h ^ b) * kFnvPrime;
+}
+
+inline void mix_u64(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) mix_byte(h, static_cast<unsigned char>(v >> (8 * i)));
+}
+
+}  // namespace
+
+std::uint64_t structure_hash(const Dag& dag) {
+  std::uint64_t h = kFnvOffset;
+  mix_u64(h, dag.node_count());
+  for (NodeId i = 0; i < dag.node_count(); ++i) {
+    const Node& n = dag.node(i);
+    for (char c : n.kernel) mix_byte(h, static_cast<unsigned char>(c));
+    mix_byte(h, 0);  // kernel-name terminator, so "ab"+"c" != "a"+"bc"
+    mix_u64(h, n.data_size);
+    std::uint64_t release_bits = 0;
+    static_assert(sizeof(release_bits) == sizeof(n.release_ms));
+    std::memcpy(&release_bits, &n.release_ms, sizeof(release_bits));
+    mix_u64(h, release_bits);
+  }
+  for (NodeId i = 0; i < dag.node_count(); ++i) {
+    for (NodeId s : dag.successors(i)) {
+      mix_u64(h, i);
+      mix_u64(h, s);
+    }
+  }
+  return h;
 }
 
 }  // namespace apt::dag

@@ -91,4 +91,10 @@ class Dag {
   std::size_t edge_count_ = 0;
 };
 
+/// Order-sensitive FNV-1a hash of a graph's full structure and labels
+/// (kernels, data sizes, release times, edges). Two graphs hash equal iff
+/// they serialise identically — the cheap fingerprint the golden regression
+/// tests pin generator outputs with.
+std::uint64_t structure_hash(const Dag& dag);
+
 }  // namespace apt::dag

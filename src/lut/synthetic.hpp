@@ -1,0 +1,54 @@
+// Synthetic lookup tables: samplable platforms.
+//
+// The paper evaluates everything on one measured table (Table 14), so its
+// conclusions are tied to that platform's particular heterogeneity and
+// communication profile. This module makes the *platform* a seeded sample,
+// like the workload: a generator parameterised by the two knobs the
+// scheduling literature sweeps — processor heterogeneity (worst/best
+// execution-time ratio per row) and the communication-to-computation ratio
+// (CCR) — so scenario sweeps can cover the platform cube too.
+#pragma once
+
+#include <cstdint>
+
+#include "lut/lookup_table.hpp"
+
+namespace apt::lut {
+
+/// Parameters of a synthetic platform table. Generation is fully
+/// deterministic per spec (same spec, byte-identical table).
+struct SyntheticLutSpec {
+  std::size_t kernel_count = 7;      ///< kernels "syn0".."syn<k-1>"
+  std::size_t sizes_per_kernel = 3;  ///< rows per kernel
+
+  /// Target worst/best execution-time ratio of every row (>= 1). Each row
+  /// hits this ratio exactly: the fastest category gets the base time, the
+  /// slowest base*heterogeneity, the middle a log-uniform draw between, and
+  /// the category order is shuffled per row. 1 = homogeneous platform.
+  double heterogeneity = 4.0;
+
+  /// Target mean ratio of output-transfer time (at `link_rate_gbps`) to the
+  /// row's mean execution time (>= 0). Data sizes are calibrated per row:
+  /// size = ccr * mean_exec * rate / bytes_per_element. 0 = free
+  /// communication, >> 1 = transfer-dominated.
+  double ccr = 0.5;
+
+  double mean_exec_ms = 100.0;  ///< geometric centre of the row base times
+  double spread = 8.0;          ///< max/min ratio of base times (>= 1)
+  double link_rate_gbps = 4.0;  ///< link rate the CCR is calibrated against
+  double bytes_per_element = 4.0;
+  std::uint64_t seed = 1;
+};
+
+/// Builds the table described by `spec`; throws std::invalid_argument on
+/// out-of-range parameters.
+LookupTable synthetic_lookup_table(const SyntheticLutSpec& spec);
+
+/// Measured CCR of a table: mean over rows of (output transfer time at
+/// `link_rate_gbps`) / (mean execution time across categories). The inverse
+/// check of SyntheticLutSpec::ccr, also useful for characterising measured
+/// tables like the paper's.
+double mean_ccr(const LookupTable& table, double link_rate_gbps,
+                double bytes_per_element = 4.0);
+
+}  // namespace apt::lut

@@ -1,0 +1,176 @@
+#include "scenario/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/string_utils.hpp"
+
+namespace apt::scenario {
+
+namespace {
+
+/// Common base: the min-kernel check and series sampling every family
+/// shares.
+class FamilyBase : public ScenarioFamily {
+ protected:
+  void check(std::size_t kernels) const {
+    if (kernels < min_kernels())
+      throw std::invalid_argument(
+          std::string("scenario family '") + name() + "': need at least " +
+          std::to_string(min_kernels()) + " kernels, got " +
+          std::to_string(kernels));
+  }
+
+  std::vector<dag::Node> series(std::size_t kernels, std::uint64_t seed,
+                                const dag::KernelPool& pool) const {
+    check(kernels);
+    return dag::random_kernel_series(kernels, seed, pool);
+  }
+};
+
+class Type1Family final : public FamilyBase {
+ public:
+  const char* name() const noexcept override { return "type1"; }
+  const char* description() const noexcept override {
+    return "paper DFG Type-1: n-1 independent kernels joined by a final one";
+  }
+  std::size_t min_kernels() const noexcept override { return 2; }
+  dag::Dag generate(std::size_t kernels, std::uint64_t seed,
+                    const dag::KernelPool& pool) const override {
+    return dag::make_type1(series(kernels, seed, pool));
+  }
+};
+
+class Type2Family final : public FamilyBase {
+ public:
+  const char* name() const noexcept override { return "type2"; }
+  const char* description() const noexcept override {
+    return "paper DFG Type-2: three diamond blocks, singletons, final join";
+  }
+  std::size_t min_kernels() const noexcept override { return 15; }
+  dag::Dag generate(std::size_t kernels, std::uint64_t seed,
+                    const dag::KernelPool& pool) const override {
+    return dag::make_type2(series(kernels, seed, pool));
+  }
+};
+
+class LayeredFamily final : public FamilyBase {
+ public:
+  const char* name() const noexcept override { return "layered"; }
+  const char* description() const noexcept override {
+    return "layered Erdos-Renyi: ~sqrt(n) ranks, extra edges with p=0.15";
+  }
+  std::size_t min_kernels() const noexcept override { return 2; }
+  dag::Dag generate(std::size_t kernels, std::uint64_t seed,
+                    const dag::KernelPool& pool) const override {
+    check(kernels);
+    const auto layers = std::max<std::size_t>(
+        2, static_cast<std::size_t>(
+               std::lround(std::sqrt(static_cast<double>(kernels)))));
+    return dag::random_layered_dag(kernels, std::min(layers, kernels),
+                                   kEdgeProb, seed, pool);
+  }
+
+ private:
+  static constexpr double kEdgeProb = 0.15;
+};
+
+class ForkJoinFamily final : public FamilyBase {
+ public:
+  const char* name() const noexcept override { return "forkjoin"; }
+  const char* description() const noexcept override {
+    return "chain of fork-join stages with random widths 2..8";
+  }
+  std::size_t min_kernels() const noexcept override { return 4; }
+  dag::Dag generate(std::size_t kernels, std::uint64_t seed,
+                    const dag::KernelPool& pool) const override {
+    return dag::make_fork_join(series(kernels, seed, pool), seed);
+  }
+};
+
+class InTreeFamily final : public FamilyBase {
+ public:
+  const char* name() const noexcept override { return "intree"; }
+  const char* description() const noexcept override {
+    return "random reduction tree: many entries, one exit, fan-in <= 3";
+  }
+  std::size_t min_kernels() const noexcept override { return 2; }
+  dag::Dag generate(std::size_t kernels, std::uint64_t seed,
+                    const dag::KernelPool& pool) const override {
+    return dag::make_in_tree(series(kernels, seed, pool), seed);
+  }
+};
+
+class OutTreeFamily final : public FamilyBase {
+ public:
+  const char* name() const noexcept override { return "outtree"; }
+  const char* description() const noexcept override {
+    return "random broadcast tree: one entry, many exits, fan-out <= 3";
+  }
+  std::size_t min_kernels() const noexcept override { return 2; }
+  dag::Dag generate(std::size_t kernels, std::uint64_t seed,
+                    const dag::KernelPool& pool) const override {
+    return dag::make_out_tree(series(kernels, seed, pool), seed);
+  }
+};
+
+class CholeskyFamily final : public FamilyBase {
+ public:
+  const char* name() const noexcept override { return "cholesky"; }
+  const char* description() const noexcept override {
+    return "tiled Cholesky/LU task graph (POTRF/TRSM/SYRK-GEMM structure)";
+  }
+  std::size_t min_kernels() const noexcept override { return 4; }
+  dag::Dag generate(std::size_t kernels, std::uint64_t seed,
+                    const dag::KernelPool& pool) const override {
+    return dag::make_cholesky(series(kernels, seed, pool));
+  }
+};
+
+}  // namespace
+
+const std::vector<const ScenarioFamily*>& all_families() {
+  static const Type1Family type1;
+  static const Type2Family type2;
+  static const LayeredFamily layered;
+  static const ForkJoinFamily forkjoin;
+  static const InTreeFamily intree;
+  static const OutTreeFamily outtree;
+  static const CholeskyFamily cholesky;
+  static const std::vector<const ScenarioFamily*> registry = {
+      &type1, &type2, &layered, &forkjoin, &intree, &outtree, &cholesky};
+  return registry;
+}
+
+std::vector<std::string> family_names() {
+  std::vector<std::string> names;
+  names.reserve(all_families().size());
+  for (const ScenarioFamily* f : all_families()) names.emplace_back(f->name());
+  return names;
+}
+
+bool has_family(const std::string& name) {
+  const std::string key = util::to_lower(util::trim(name));
+  for (const ScenarioFamily* f : all_families()) {
+    if (key == f->name()) return true;
+  }
+  return false;
+}
+
+const ScenarioFamily& family(const std::string& name) {
+  const std::string key = util::to_lower(util::trim(name));
+  for (const ScenarioFamily* f : all_families()) {
+    if (key == f->name()) return *f;
+  }
+  throw std::invalid_argument("unknown scenario family '" + name +
+                              "' (known: " + util::join(family_names(), ", ") +
+                              ")");
+}
+
+dag::Dag generate(const std::string& family_name, std::size_t kernels,
+                  std::uint64_t seed, const dag::KernelPool& pool) {
+  return family(family_name).generate(kernels, seed, pool);
+}
+
+}  // namespace apt::scenario

@@ -1,0 +1,68 @@
+// Scenario generation: seeded workload families beyond the paper's two DFG
+// shapes.
+//
+// The thesis evaluates its policies on exactly two graph families (Type-1
+// fan-in, Type-2 diamond blocks). This subsystem generalises workload
+// generation behind one interface — a ScenarioFamily maps (kernel count,
+// seed, kernel pool) deterministically to a DAG — and registers seven
+// families:
+//
+//   type1     the paper's fan-in star (n-1 independent kernels + a join)
+//   type2     the paper's three diamond blocks + singletons + final join
+//   layered   layered Erdős–Rényi: ~sqrt(n) ranks, random forward edges
+//   forkjoin  a chain of random-width fork–join stages
+//   intree    random reduction tree (many entries, one exit)
+//   outtree   random broadcast tree (one entry, many exits)
+//   cholesky  tiled Cholesky/LU task graph (POTRF/TRSM/SYRK-GEMM structure)
+//
+// Combined with the synthetic lookup tables of lut/synthetic.hpp, the
+// (family × size × seed × CCR × heterogeneity) cube is the scenario space
+// the batch layer sweeps; see core::make_scenario_plan.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dag/generator.hpp"
+#include "dag/graph.hpp"
+
+namespace apt::scenario {
+
+/// One seeded workload family: a deterministic map from scenario
+/// coordinates to a DAG. Implementations sample the kernel series with
+/// dag::random_kernel_series and shape it with a dag/generator builder, so
+/// node ids follow structural (arrival) order and the same coordinates
+/// always yield a byte-identical graph.
+class ScenarioFamily {
+ public:
+  virtual ~ScenarioFamily() = default;
+
+  virtual const char* name() const noexcept = 0;
+  virtual const char* description() const noexcept = 0;
+
+  /// Smallest kernel count the shape supports; generate() throws
+  /// std::invalid_argument below it.
+  virtual std::size_t min_kernels() const noexcept = 0;
+
+  virtual dag::Dag generate(std::size_t kernels, std::uint64_t seed,
+                            const dag::KernelPool& pool) const = 0;
+};
+
+/// The registry of built-in families, in the order listed above.
+const std::vector<const ScenarioFamily*>& all_families();
+
+/// Registered family names, in registry order.
+std::vector<std::string> family_names();
+
+bool has_family(const std::string& name);
+
+/// Lookup by name (case-insensitive, trimmed); throws std::invalid_argument
+/// naming the known families on a miss.
+const ScenarioFamily& family(const std::string& name);
+
+/// Convenience: family(name).generate(kernels, seed, pool).
+dag::Dag generate(const std::string& family_name, std::size_t kernels,
+                  std::uint64_t seed, const dag::KernelPool& pool);
+
+}  // namespace apt::scenario

@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "dag/serialize.hpp"
+#include "lut/lookup_table.hpp"
 #include "util/csv.hpp"
 
 namespace {
@@ -127,6 +128,152 @@ TEST(Cli, SweepOutputIsIdenticalAcrossJobCounts) {
   EXPECT_EQ(slurp(csv1), slurp(csv8));
   std::filesystem::remove(csv1);
   std::filesystem::remove(csv8);
+}
+
+TEST(Cli, GenWritesALoadableGraphForEveryFamily) {
+  for (const char* family :
+       {"type1", "type2", "layered", "forkjoin", "intree", "outtree",
+        "cholesky"}) {
+    const std::string graph_file =
+        ::testing::TempDir() + "/aptsim_gen_" + family + ".txt";
+    ASSERT_EQ(run_cli(std::string("gen --family ") + family +
+                      " --kernels 24 --seed 3 --out " + quoted(graph_file)),
+              0)
+        << family;
+    const apt::dag::Dag graph = apt::dag::load_text_file(graph_file);
+    EXPECT_EQ(graph.node_count(), 24u) << family;
+    std::filesystem::remove(graph_file);
+  }
+}
+
+TEST(Cli, GenWithoutOutEmitsTheSerialisedGraph) {
+  // Bare `gen` prints the text format, so it round-trips through a pipe.
+  const std::string out = ::testing::TempDir() + "/aptsim_gen_pipe.txt";
+  ASSERT_EQ(run_cli("gen --family intree --kernels 12 --seed 5", out), 0);
+  const apt::dag::Dag graph = apt::dag::from_text(slurp(out));
+  EXPECT_EQ(graph.node_count(), 12u);
+  EXPECT_EQ(graph.edge_count(), 11u);
+  std::filesystem::remove(out);
+}
+
+TEST(Cli, GenUsageErrorsExitNonZero) {
+  EXPECT_NE(run_cli("gen --family not-a-family --kernels 16 --seed 1"), 0);
+  EXPECT_NE(run_cli("gen --family cholesky --kernels 3 --seed 1"), 0);
+  EXPECT_NE(run_cli("gen --family"), 0);  // missing value
+  EXPECT_NE(run_cli("gen --kernels nope"), 0);
+}
+
+TEST(Cli, GenSyntheticPlatformRoundTrips) {
+  const std::string graph_file = ::testing::TempDir() + "/aptsim_gen_syn.txt";
+  const std::string lut_file = ::testing::TempDir() + "/aptsim_gen_syn_lut.csv";
+  ASSERT_EQ(run_cli("gen --family layered --kernels 20 --seed 2 --ccr 1 "
+                    "--hetero 8 --out " + quoted(graph_file) + " --lut-out " +
+                    quoted(lut_file)),
+            0);
+  const apt::dag::Dag graph = apt::dag::load_text_file(graph_file);
+  EXPECT_EQ(graph.node_count(), 20u);
+  // Every generated kernel must be costable from the emitted table.
+  const auto table = apt::lut::LookupTable::from_csv_file(lut_file);
+  for (apt::dag::NodeId i = 0; i < graph.node_count(); ++i) {
+    EXPECT_TRUE(
+        table.contains(graph.node(i).kernel, graph.node(i).data_size));
+  }
+  // ... and `run --lut` must be able to schedule the emitted pair.
+  const std::string out = ::testing::TempDir() + "/aptsim_gen_syn_run.txt";
+  ASSERT_EQ(run_cli("run --policy heft --graph " + quoted(graph_file) +
+                        " --lut " + quoted(lut_file),
+                    out),
+            0);
+  EXPECT_NE(slurp(out).find("makespan:"), std::string::npos);
+  std::filesystem::remove(graph_file);
+  std::filesystem::remove(lut_file);
+  std::filesystem::remove(out);
+}
+
+TEST(Cli, GenAndRunAgreeOnTheSyntheticPlatform) {
+  // Identical platform flags (incl. --rate, which calibrates the CCR data
+  // sizes) must mean an identical table across commands, so a graph
+  // generated by `gen` is costable by `run` without passing --lut.
+  const std::string graph_file = ::testing::TempDir() + "/aptsim_gen_r8.txt";
+  const std::string out = ::testing::TempDir() + "/aptsim_gen_r8_run.txt";
+  ASSERT_EQ(run_cli("gen --family layered --kernels 12 --seed 2 --ccr 1 "
+                    "--hetero 8 --rate 8 --out " + quoted(graph_file)),
+            0);
+  ASSERT_EQ(run_cli("run --policy heft --graph " + quoted(graph_file) +
+                        " --ccr 1 --hetero 8 --rate 8",
+                    out),
+            0);
+  EXPECT_NE(slurp(out).find("makespan:"), std::string::npos);
+  std::filesystem::remove(graph_file);
+  std::filesystem::remove(out);
+}
+
+TEST(Cli, RunFamilyHonoursTheSyntheticPlatformFlags) {
+  // The same scenario on two very different platforms must schedule
+  // differently — i.e. --ccr/--hetero are not silently ignored by `run`.
+  const std::string paper = ::testing::TempDir() + "/aptsim_run_paper.txt";
+  const std::string synth = ::testing::TempDir() + "/aptsim_run_synth.txt";
+  ASSERT_EQ(run_cli("run --policy heft --family layered --kernels 10 "
+                    "--seed 2", paper), 0);
+  ASSERT_EQ(run_cli("run --policy heft --family layered --kernels 10 "
+                    "--seed 2 --ccr 8 --hetero 64", synth), 0);
+  const std::string paper_text = slurp(paper);
+  EXPECT_NE(paper_text.find("makespan:"), std::string::npos);
+  EXPECT_NE(paper_text, slurp(synth));
+  std::filesystem::remove(paper);
+  std::filesystem::remove(synth);
+}
+
+TEST(Cli, FamiliesListsTheRegistry) {
+  const std::string out = ::testing::TempDir() + "/aptsim_families.txt";
+  ASSERT_EQ(run_cli("families", out), 0);
+  const std::string text = slurp(out);
+  for (const char* family :
+       {"type1", "type2", "layered", "forkjoin", "intree", "outtree",
+        "cholesky"}) {
+    EXPECT_NE(text.find(family), std::string::npos) << family;
+  }
+  std::filesystem::remove(out);
+}
+
+TEST(Cli, SweepFamilyExportsTheScenarioCube) {
+  const std::string csv = ::testing::TempDir() + "/aptsim_sweep_fam.csv";
+  const std::string out = ::testing::TempDir() + "/aptsim_sweep_fam.txt";
+  ASSERT_EQ(run_cli("sweep --family layered,cholesky --graphs 3 "
+                    "--kernels 16,24 --policies met,heft --rates 4 "
+                    "--ccr 0.5 --hetero 4 --jobs 4 --csv " + quoted(csv),
+                    out),
+            0);
+  const std::string text = slurp(out);
+  EXPECT_NE(text.find("scenario[layered+cholesky]"), std::string::npos);
+  const auto table = apt::util::read_csv_file(csv);
+  EXPECT_EQ(table.row_count(), 12u);  // 2 families x 3 graphs x 2 policies
+  // Cells carry their scenario coordinates, not just a flat graph index.
+  const auto workload = table.column_index("workload");
+  EXPECT_EQ(table.rows()[0][workload], "layered/n16");
+  EXPECT_EQ(table.rows()[11][workload], "cholesky/n16");
+  std::filesystem::remove(csv);
+  std::filesystem::remove(out);
+}
+
+TEST(Cli, SweepFamilyIsIdenticalAcrossJobCounts) {
+  const std::string csv1 = ::testing::TempDir() + "/aptsim_sweep_fam_j1.csv";
+  const std::string csv8 = ::testing::TempDir() + "/aptsim_sweep_fam_j8.csv";
+  const std::string flags =
+      "sweep --family forkjoin,intree,outtree --graphs 2 --kernels 16 "
+      "--policies apt:4,random:{seed} --rates 4,8 --reps 2 --seed 11 "
+      "--ccr 2 --hetero 16 ";
+  ASSERT_EQ(run_cli(flags + "--jobs 1 --csv " + quoted(csv1)), 0);
+  ASSERT_EQ(run_cli(flags + "--jobs 8 --csv " + quoted(csv8)), 0);
+  const std::string text1 = slurp(csv1);
+  EXPECT_EQ(text1, slurp(csv8));
+  EXPECT_FALSE(text1.empty());
+  std::filesystem::remove(csv1);
+  std::filesystem::remove(csv8);
+}
+
+TEST(Cli, SweepUnknownFamilyFails) {
+  EXPECT_NE(run_cli("sweep --family not-a-family --policies met"), 0);
 }
 
 TEST(Cli, PoliciesListsSpecs) {

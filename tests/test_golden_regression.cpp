@@ -12,6 +12,8 @@
 #include <gtest/gtest.h>
 
 #include "core/experiments.hpp"
+#include "dag/graph.hpp"
+#include "scenario/scenario.hpp"
 
 namespace apt::core {
 namespace {
@@ -75,6 +77,54 @@ INSTANTIATE_TEST_SUITE_P(
         if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
       }
       return name;
+    });
+
+// --- Scenario-family generators ----------------------------------------------
+//
+// Same contract for the new workload families: the exact node/edge counts,
+// the full structure hash (labels + edges + releases), and one HEFT
+// makespan each, so a generator refactor cannot silently reshape the
+// scenario space. Regenerate with the snippet in the commit history when a
+// change is intentional.
+
+struct ScenarioGolden {
+  const char* family;
+  std::size_t kernels;
+  std::uint64_t seed;
+  std::size_t node_count;
+  std::size_t edge_count;
+  std::uint64_t structure_hash;
+  double heft_makespan_ms;
+};
+
+constexpr ScenarioGolden kScenarioGolden[] = {
+    {"layered", 46, 7, 46, 166, 0x2527e605096a2636ULL, 28459.666728},
+    {"forkjoin", 46, 7, 46, 75, 0xda20902013307209ULL, 29454.013960},
+    {"intree", 46, 7, 46, 45, 0xbe31ecf7e6c83e0eULL, 23656.731632},
+    {"outtree", 46, 7, 46, 45, 0x856061cab92c87f6ULL, 25211.576736},
+    {"cholesky", 46, 7, 46, 71, 0xcb6ce3b8b0217eecULL, 27591.168848},
+};
+
+class ScenarioGoldenRegression
+    : public ::testing::TestWithParam<ScenarioGolden> {};
+
+TEST_P(ScenarioGoldenRegression, ExactStructureAndHeftMakespan) {
+  const ScenarioGolden& g = GetParam();
+  const dag::Dag graph = scenario::generate(g.family, g.kernels, g.seed,
+                                            dag::KernelPool::paper_pool());
+  EXPECT_EQ(graph.node_count(), g.node_count) << g.family;
+  EXPECT_EQ(graph.edge_count(), g.edge_count) << g.family;
+  EXPECT_EQ(dag::structure_hash(graph), g.structure_hash) << g.family;
+  const auto cells = run_policy_over("heft", {graph}, 4.0);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_NEAR(cells[0].makespan_ms, g.heft_makespan_ms, 1e-5) << g.family;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PinnedGenerators, ScenarioGoldenRegression,
+    ::testing::ValuesIn(kScenarioGolden),
+    [](const ::testing::TestParamInfo<ScenarioGolden>& info) {
+      return std::string(info.param.family);
     });
 
 }  // namespace

@@ -1,0 +1,211 @@
+// Structural unit tests of the scenario-generation subsystem: the family
+// registry, the shape invariants of every generator, and byte-level
+// determinism of the (family, kernels, seed) coordinates.
+#include "scenario/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dag/serialize.hpp"
+
+namespace apt {
+namespace {
+
+const dag::KernelPool& pool() {
+  static const dag::KernelPool p = dag::KernelPool::paper_pool();
+  return p;
+}
+
+TEST(ScenarioRegistry, ContainsTheSevenFamilies) {
+  const auto names = scenario::family_names();
+  ASSERT_EQ(names.size(), 7u);
+  for (const char* expected : {"type1", "type2", "layered", "forkjoin",
+                               "intree", "outtree", "cholesky"}) {
+    EXPECT_TRUE(scenario::has_family(expected)) << expected;
+  }
+  EXPECT_FALSE(scenario::has_family("mystery"));
+}
+
+TEST(ScenarioRegistry, LookupIsCaseInsensitiveAndTrimmed) {
+  EXPECT_STREQ(scenario::family("  ForkJoin ").name(), "forkjoin");
+  EXPECT_STREQ(scenario::family("CHOLESKY").name(), "cholesky");
+  EXPECT_THROW(scenario::family("nope"), std::invalid_argument);
+}
+
+TEST(ScenarioRegistry, GenerateBelowMinimumThrows) {
+  for (const scenario::ScenarioFamily* family : scenario::all_families()) {
+    ASSERT_GE(family->min_kernels(), 2u);
+    EXPECT_THROW(family->generate(family->min_kernels() - 1, 1, pool()),
+                 std::invalid_argument)
+        << family->name();
+    EXPECT_NO_THROW(family->generate(family->min_kernels(), 1, pool()))
+        << family->name();
+  }
+}
+
+TEST(ScenarioRegistry, EveryFamilyProducesTheRequestedNodeCount) {
+  for (const scenario::ScenarioFamily* family : scenario::all_families()) {
+    for (const std::size_t n : {16, 46, 73}) {
+      const dag::Dag graph = family->generate(n, 11, pool());
+      EXPECT_EQ(graph.node_count(), n) << family->name();
+      EXPECT_TRUE(graph.is_weakly_connected()) << family->name() << " n=" << n;
+      // Every kernel/size pair must come from the pool (i.e. be costable).
+      for (dag::NodeId i = 0; i < graph.node_count(); ++i) {
+        const dag::Node& node = graph.node(i);
+        bool known = false;
+        for (const auto& item : pool().items) {
+          if (item.kernel != node.kernel) continue;
+          for (const auto size : item.sizes)
+            if (size == node.data_size) known = true;
+        }
+        EXPECT_TRUE(known) << family->name() << " node " << i;
+      }
+    }
+  }
+}
+
+TEST(ScenarioRegistry, SameCoordinatesYieldByteIdenticalGraphs) {
+  for (const scenario::ScenarioFamily* family : scenario::all_families()) {
+    const dag::Dag a = family->generate(32, 5, pool());
+    const dag::Dag b = family->generate(32, 5, pool());
+    EXPECT_EQ(dag::to_text(a), dag::to_text(b)) << family->name();
+    EXPECT_EQ(dag::structure_hash(a), dag::structure_hash(b))
+        << family->name();
+    // A different seed must move the structure hash (kernel labels change
+    // even when the shape is fixed).
+    const dag::Dag c = family->generate(32, 6, pool());
+    EXPECT_NE(dag::structure_hash(a), dag::structure_hash(c))
+        << family->name();
+  }
+}
+
+TEST(ScenarioRegistry, PaperFamiliesMatchTheLegacyGenerators) {
+  // The subsystem subsumes dag::generate: type1/type2 at the same
+  // coordinates reproduce the legacy output byte for byte.
+  for (const auto type : {dag::DfgType::Type1, dag::DfgType::Type2}) {
+    const auto* name = type == dag::DfgType::Type1 ? "type1" : "type2";
+    const dag::Dag legacy = dag::generate(type, 46, 12, pool());
+    const dag::Dag scenario = scenario::generate(name, 46, 12, pool());
+    EXPECT_EQ(dag::to_text(legacy), dag::to_text(scenario)) << name;
+  }
+}
+
+// --- Per-family shape invariants ----------------------------------------------
+
+TEST(ForkJoin, AlternatesForksAndJoins) {
+  const dag::Dag graph = scenario::generate("forkjoin", 46, 3, pool());
+  EXPECT_EQ(graph.entry_nodes(), std::vector<dag::NodeId>{0});
+  EXPECT_EQ(graph.exit_nodes().size(), 1u);
+  EXPECT_GE(graph.depth(), 3u);
+  // Stage interior nodes have exactly one predecessor (the fork head) and
+  // one successor (the join); their width is 2..8.
+  for (dag::NodeId i = 0; i < graph.node_count(); ++i) {
+    if (graph.in_degree(i) == 1 && graph.out_degree(i) == 1) {
+      const dag::NodeId head = graph.predecessors(i)[0];
+      EXPECT_LE(graph.out_degree(head), 8u);
+    }
+  }
+}
+
+TEST(InTree, EveryNodeButTheRootHasExactlyOneSuccessor) {
+  const dag::Dag graph = scenario::generate("intree", 46, 3, pool());
+  const dag::NodeId root = static_cast<dag::NodeId>(graph.node_count() - 1);
+  EXPECT_EQ(graph.edge_count(), graph.node_count() - 1);  // a tree
+  for (dag::NodeId i = 0; i < graph.node_count(); ++i) {
+    EXPECT_LE(graph.in_degree(i), 3u) << "fan-in cap";
+    if (i == root) {
+      EXPECT_EQ(graph.out_degree(i), 0u);
+    } else {
+      ASSERT_EQ(graph.out_degree(i), 1u) << i;
+      EXPECT_GT(graph.successors(i)[0], i) << "edges point toward the root";
+    }
+  }
+}
+
+TEST(OutTree, EveryNodeButTheRootHasExactlyOnePredecessor) {
+  const dag::Dag graph = scenario::generate("outtree", 46, 3, pool());
+  EXPECT_EQ(graph.edge_count(), graph.node_count() - 1);
+  EXPECT_EQ(graph.entry_nodes(), std::vector<dag::NodeId>{0});
+  for (dag::NodeId i = 0; i < graph.node_count(); ++i) {
+    EXPECT_LE(graph.out_degree(i), 3u) << "fan-out cap";
+    if (i == 0) {
+      EXPECT_EQ(graph.in_degree(i), 0u);
+    } else {
+      ASSERT_EQ(graph.in_degree(i), 1u) << i;
+      EXPECT_LT(graph.predecessors(i)[0], i);
+    }
+  }
+}
+
+TEST(Cholesky, TaskCountsFollowTheTetrahedralNumbers) {
+  EXPECT_EQ(dag::cholesky_task_count(2), 4u);
+  EXPECT_EQ(dag::cholesky_task_count(3), 10u);
+  EXPECT_EQ(dag::cholesky_task_count(4), 20u);
+  EXPECT_EQ(dag::cholesky_task_count(5), 35u);
+  EXPECT_EQ(dag::cholesky_tiles_for(4), 2u);
+  EXPECT_EQ(dag::cholesky_tiles_for(19), 3u);
+  EXPECT_EQ(dag::cholesky_tiles_for(20), 4u);
+  EXPECT_EQ(dag::cholesky_tiles_for(46), 5u);
+  EXPECT_THROW(dag::cholesky_tiles_for(3), std::invalid_argument);
+}
+
+TEST(Cholesky, ExactTileGridHasTheFactorisationShape) {
+  // n = 20 is exactly the 4-tile factorisation: single entry (the first
+  // POTRF), single exit (the last POTRF), depth 3(T-1)+1 = 10 along the
+  // critical path POTRF->TRSM->GEMM chain.
+  const dag::Dag graph = scenario::generate("cholesky", 20, 9, pool());
+  EXPECT_EQ(graph.entry_nodes(), std::vector<dag::NodeId>{0});
+  EXPECT_EQ(graph.exit_nodes().size(), 1u);
+  EXPECT_EQ(graph.depth(), 10u);
+}
+
+TEST(Cholesky, LeftoverKernelsHangOffTheFinalFactorisation) {
+  const dag::Dag graph = scenario::generate("cholesky", 26, 9, pool());
+  // Tiles = 4 (20 tasks); the 6 leftovers are post-factorisation tasks that
+  // all depend on the final POTRF (node 19) and nothing else.
+  for (dag::NodeId i = 20; i < 26; ++i) {
+    ASSERT_EQ(graph.in_degree(i), 1u);
+    EXPECT_EQ(graph.predecessors(i)[0], 19u);
+    EXPECT_EQ(graph.out_degree(i), 0u);
+  }
+}
+
+TEST(Layered, RespectsTheLayerStructure) {
+  const dag::Dag graph = scenario::generate("layered", 46, 3, pool());
+  const auto layers = static_cast<std::size_t>(std::lround(std::sqrt(46.0)));
+  EXPECT_GE(graph.depth(), 2u);
+  EXPECT_LE(graph.depth(), layers);
+}
+
+// --- structure_hash -----------------------------------------------------------
+
+TEST(StructureHash, DistinguishesLabelsEdgesAndReleases) {
+  dag::Dag a;
+  a.add_node("mm", 4);
+  a.add_node("mi", 8);
+  a.add_edge(0, 1);
+  dag::Dag same;
+  same.add_node("mm", 4);
+  same.add_node("mi", 8);
+  same.add_edge(0, 1);
+  EXPECT_EQ(dag::structure_hash(a), dag::structure_hash(same));
+
+  dag::Dag no_edge;
+  no_edge.add_node("mm", 4);
+  no_edge.add_node("mi", 8);
+  EXPECT_NE(dag::structure_hash(a), dag::structure_hash(no_edge));
+
+  dag::Dag other_size;
+  other_size.add_node("mm", 5);
+  other_size.add_node("mi", 8);
+  other_size.add_edge(0, 1);
+  EXPECT_NE(dag::structure_hash(a), dag::structure_hash(other_size));
+
+  dag::Dag released = same;
+  released.set_release_ms(0, 1.5);
+  EXPECT_NE(dag::structure_hash(a), dag::structure_hash(released));
+}
+
+}  // namespace
+}  // namespace apt

@@ -1,0 +1,222 @@
+// Property-based scenario harness: every registered policy must produce a
+// violation-free schedule on every generated scenario — 250 seeded
+// scenarios per family (mixing graph sizes, link rates, and paper/synthetic
+// platforms), so each policy is validated on 1750 schedules — and the
+// scenario batch path must stay bit-identical for any worker count.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/batch.hpp"
+#include "core/policy_factory.hpp"
+#include "dag/serialize.hpp"
+#include "lut/paper_data.hpp"
+#include "lut/synthetic.hpp"
+#include "scenario/scenario.hpp"
+#include "sim/engine.hpp"
+#include "sim/precomputed_cost_model.hpp"
+#include "sim/validate.hpp"
+#include "util/rng.hpp"
+
+namespace apt {
+namespace {
+
+constexpr std::size_t kScenariosPerFamily = 250;
+
+/// Concrete spec of every registered policy (the factory's full menu).
+const std::vector<std::string>& policy_specs() {
+  static const std::vector<std::string> specs = {
+      "apt:1.5", "apt:4",    "apt:16",    "apt-r:4", "apt-ranked:4",
+      "met",     "spn",      "ss",        "ag",      "ag:recent",
+      "olb",     "random",   "minmin",    "maxmin",  "sufferage",
+      "heft",    "peft"};
+  return specs;
+}
+
+/// One platform the harness cycles through: a lookup table, the pool the
+/// generators sample from it, and a prebuilt system+cost per link rate.
+struct Platform {
+  lut::LookupTable table;
+  dag::KernelPool pool;
+  std::vector<sim::System> systems;          // [rate]
+  std::vector<sim::LutCostModel> costs;      // [rate]
+
+  explicit Platform(lut::LookupTable t)
+      : table(std::move(t)), pool(dag::KernelPool::from_lookup_table(table)) {
+    for (const double rate : {4.0, 8.0}) {
+      systems.emplace_back(sim::SystemConfig::paper_default(rate));
+      costs.emplace_back(table, systems.back());
+    }
+  }
+};
+
+/// The paper's measured platform plus three synthetic corners of the
+/// (CCR, heterogeneity) cube, built once for the whole suite.
+const std::vector<Platform>& platforms() {
+  static const std::vector<Platform>* cases = [] {
+    auto* v = new std::vector<Platform>();
+    v->emplace_back(lut::paper_lookup_table());
+    const double corners[][2] = {{0.05, 1.0}, {1.0, 4.0}, {8.0, 64.0}};
+    for (const auto& [ccr, hetero] : corners) {
+      lut::SyntheticLutSpec spec;
+      spec.ccr = ccr;
+      spec.heterogeneity = hetero;
+      spec.seed = 0xC0FFEE;
+      v->emplace_back(lut::synthetic_lookup_table(spec));
+    }
+    return v;
+  }();
+  return *cases;
+}
+
+class FamilyProperty : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FamilyProperty, EveryPolicyValidOnEveryScenario) {
+  const scenario::ScenarioFamily& family = scenario::family(GetParam());
+  std::size_t family_index = 0;
+  for (const auto& name : scenario::family_names()) {
+    if (name == GetParam()) break;
+    ++family_index;
+  }
+  const std::size_t sizes[] = {12, 16, 20, 24, 32, 46};
+
+  std::size_t validated = 0;
+  std::size_t violation_count = 0;
+  std::string first_violation;
+  for (std::size_t s = 0; s < kScenariosPerFamily; ++s) {
+    const Platform& platform = platforms()[s % platforms().size()];
+    const std::size_t rate_index = (s / platforms().size()) % 2;
+    const sim::System& system = platform.systems[rate_index];
+    const std::size_t kernels = std::max(
+        family.min_kernels(), sizes[s % (sizeof(sizes) / sizeof(sizes[0]))]);
+    const std::uint64_t seed =
+        util::stream_seed(0xACE0 + family_index, s);
+    const dag::Dag graph = family.generate(kernels, seed, platform.pool);
+    // One densified cost table per scenario, shared by all policies.
+    const sim::PrecomputedCostModel cost(graph, system,
+                                         platform.costs[rate_index]);
+    const double bound =
+        sim::critical_path_lower_bound_ms(graph, system, cost);
+
+    for (const std::string& spec : policy_specs()) {
+      const auto policy = core::make_policy(spec);
+      sim::Engine engine(graph, system, cost);
+      const sim::SimResult result = engine.run(*policy);
+      const auto violations =
+          sim::validate_schedule(graph, system, cost, result);
+      if (!violations.empty()) {
+        violation_count += violations.size();
+        if (first_violation.empty()) {
+          first_violation = spec + " on " + GetParam() + " scenario " +
+                            std::to_string(s) + ": " + violations[0].message;
+        }
+      }
+      EXPECT_GE(result.makespan + 1e-9, bound)
+          << spec << " beat the critical-path bound on scenario " << s;
+      ++validated;
+    }
+  }
+  EXPECT_EQ(violation_count, 0u) << "first violation: " << first_violation;
+  EXPECT_EQ(validated, kScenariosPerFamily * policy_specs().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, FamilyProperty,
+                         ::testing::ValuesIn(scenario::family_names()),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           return i.param;
+                         });
+
+// --- Determinism of the scenario batch path ----------------------------------
+
+core::ExperimentPlan small_scenario_plan() {
+  core::ScenarioSweepSpec spec;
+  spec.families = scenario::family_names();
+  spec.graphs_per_family = 2;
+  spec.kernel_counts = {16, 24};
+  spec.graph_seed = 5;
+  lut::SyntheticLutSpec platform;
+  platform.ccr = 1.0;
+  platform.heterogeneity = 8.0;
+  platform.seed = 5;
+  spec.synthetic = platform;
+  core::ExperimentPlan plan = core::make_scenario_plan(
+      spec, {"apt:4", "random:{seed}"}, {4.0, 8.0});
+  plan.replications = 2;
+  plan.base_seed = 3;
+  return plan;
+}
+
+TEST(ScenarioDeterminism, SweepBitIdenticalAcrossJobCounts) {
+  const core::ExperimentPlan plan = small_scenario_plan();
+  const core::BatchResult serial = core::BatchRunner(1).run(plan);
+  const core::BatchResult parallel = core::BatchRunner(8).run(plan);
+  ASSERT_EQ(serial.cells.size(), parallel.cells.size());
+  for (std::size_t i = 0; i < serial.cells.size(); ++i) {
+    EXPECT_EQ(serial.cells[i].makespan_ms, parallel.cells[i].makespan_ms);
+    EXPECT_EQ(serial.cells[i].lambda_total_ms,
+              parallel.cells[i].lambda_total_ms);
+    EXPECT_EQ(serial.cells[i].lambda_avg_ms, parallel.cells[i].lambda_avg_ms);
+    EXPECT_EQ(serial.cells[i].lambda_stddev_ms,
+              parallel.cells[i].lambda_stddev_ms);
+    EXPECT_EQ(serial.cells[i].alternative_count,
+              parallel.cells[i].alternative_count);
+    EXPECT_EQ(serial.cells[i].alternative_by_kernel,
+              parallel.cells[i].alternative_by_kernel);
+  }
+}
+
+TEST(ScenarioDeterminism, PlansBuiltTwiceAreByteIdentical) {
+  const core::ExperimentPlan a = small_scenario_plan();
+  const core::ExperimentPlan b = small_scenario_plan();
+  ASSERT_EQ(a.graphs.size(), b.graphs.size());
+  for (std::size_t g = 0; g < a.graphs.size(); ++g)
+    EXPECT_EQ(dag::to_text(a.graphs[g]), dag::to_text(b.graphs[g]));
+  EXPECT_EQ(a.table.to_csv(), b.table.to_csv());
+}
+
+// --- Plan expansion ----------------------------------------------------------
+
+TEST(ScenarioPlan, RejectsBadAxes) {
+  core::ScenarioSweepSpec spec;
+  spec.families.clear();
+  EXPECT_THROW(core::make_scenario_plan(spec, {"met"}), std::invalid_argument);
+  spec.families = {"unknown-family"};
+  EXPECT_THROW(core::make_scenario_plan(spec, {"met"}), std::invalid_argument);
+  spec.families = {"type1"};
+  spec.graphs_per_family = 0;
+  EXPECT_THROW(core::make_scenario_plan(spec, {"met"}), std::invalid_argument);
+  spec.graphs_per_family = 1;
+  spec.kernel_counts.clear();
+  EXPECT_THROW(core::make_scenario_plan(spec, {"met"}), std::invalid_argument);
+}
+
+TEST(ScenarioPlan, RaisesKernelCountsToTheFamilyMinimum) {
+  core::ScenarioSweepSpec spec;
+  spec.families = {"type2"};
+  spec.graphs_per_family = 1;
+  spec.kernel_counts = {2};  // below type2's minimum of 15
+  const core::ExperimentPlan plan = core::make_scenario_plan(spec, {"met"});
+  ASSERT_EQ(plan.graphs.size(), 1u);
+  EXPECT_EQ(plan.graphs[0].node_count(), 15u);
+}
+
+TEST(ScenarioPlan, CyclesKernelCountsAndVariesSeeds) {
+  core::ScenarioSweepSpec spec;
+  spec.families = {"layered", "intree"};
+  spec.graphs_per_family = 3;
+  spec.kernel_counts = {16, 24};
+  const core::ExperimentPlan plan = core::make_scenario_plan(spec, {"met"});
+  ASSERT_EQ(plan.graphs.size(), 6u);
+  EXPECT_EQ(plan.graphs[0].node_count(), 16u);
+  EXPECT_EQ(plan.graphs[1].node_count(), 24u);
+  EXPECT_EQ(plan.graphs[2].node_count(), 16u);
+  // Same family and size, different stream: distinct structures.
+  EXPECT_NE(dag::structure_hash(plan.graphs[0]),
+            dag::structure_hash(plan.graphs[2]));
+  // The plan's table defaults to the paper's when no synthetic spec is set.
+  EXPECT_TRUE(plan.table.contains("mm", 1000000));
+}
+
+}  // namespace
+}  // namespace apt
