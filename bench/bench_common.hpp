@@ -47,6 +47,21 @@ inline std::size_t jobs_from_args(int argc, char** argv) {
   return 1;
 }
 
+/// Parses `--json FILE` from a bench's argv; "" when absent. Exits with a
+/// usage message when the value is missing instead of silently dropping
+/// the export (CI would otherwise fail later on the absent file).
+inline std::string json_path_from_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") != 0) continue;
+    if (i + 1 >= argc) {
+      std::cerr << argv[0] << ": error: --json needs a value\n";
+      std::exit(2);
+    }
+    return argv[i + 1];
+  }
+  return "";
+}
+
 /// Wall-clock timer for the before/after speedup numbers the benches print.
 class Stopwatch {
  public:

@@ -14,18 +14,6 @@ namespace {
 
 using namespace apt;
 
-std::string json_path_from_args(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") != 0) continue;
-    if (i + 1 >= argc) {
-      std::cerr << argv[0] << ": error: --json needs a value\n";
-      std::exit(2);
-    }
-    return argv[i + 1];
-  }
-  return "";
-}
-
 struct FamilyRow {
   std::string family;
   double wall_ms = 0.0;
@@ -36,7 +24,7 @@ struct FamilyRow {
 
 int main(int argc, char** argv) {
   const std::size_t jobs = bench::jobs_from_args(argc, argv);
-  const std::string json_path = json_path_from_args(argc, argv);
+  const std::string json_path = bench::json_path_from_args(argc, argv);
   const std::vector<std::string> policies = {"apt:4", "met", "heft", "peft"};
 
   bench::heading(

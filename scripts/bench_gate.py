@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Performance-regression gate over google-benchmark-style JSON files.
+
+Usage:
+    bench_gate.py [--threshold 1.25] BASELINE CURRENT [BASELINE CURRENT ...]
+
+Each (baseline, current) pair is a benchmark trajectory file: either real
+google-benchmark output (BENCH_policy_overhead.json, including
+aggregates-only runs) or the compatible shape bench_streaming --json emits.
+Benchmarks are matched by name; the comparison statistic is each
+benchmark's median real_time (the median aggregate when the file carries
+aggregates, the median over repeated raw entries otherwise), normalised to
+milliseconds.
+
+Pass/fail rule: a pair FAILS when the *median ratio* (current / baseline)
+across its matched benchmarks exceeds the threshold (default 1.25, i.e. a
+>25% median regression). Gating on the median — not the worst benchmark —
+keeps one noisy cell on a shared CI runner from failing the build while
+still catching uniform slowdowns of the simulator hot path.
+
+Benchmarks present on only one side are reported but never fail the gate,
+so adding or renaming benchmarks does not require touching the baselines in
+the same commit.
+
+Refreshing baselines: download the BENCH_* artifacts from a green run of
+the main branch and commit them over bench/baselines/. When an intentional
+regression must merge first (or runner hardware shifted), apply the PR
+label `perf-regression-ok` — the workflow skips this gate for labelled PRs.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+_UNIT_TO_MS = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
+
+
+def load_median_times(path):
+    """Maps benchmark name -> median real_time in ms."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    samples = {}
+    has_aggregates = any(
+        entry.get("run_type") == "aggregate" for entry in doc.get("benchmarks", [])
+    )
+    for entry in doc.get("benchmarks", []):
+        name = entry.get("name", "")
+        run_type = entry.get("run_type", "iteration")
+        aggregate = entry.get("aggregate_name", "")
+        if has_aggregates:
+            # Aggregates-only google-benchmark output: keep exactly the
+            # median rows, stripping the "_median" suffix from the name.
+            if run_type != "aggregate" or aggregate != "median":
+                continue
+            if name.endswith("_median"):
+                name = name[: -len("_median")]
+        real_time = entry.get("real_time")
+        unit = entry.get("time_unit", "ns")
+        if real_time is None or unit not in _UNIT_TO_MS:
+            continue
+        samples.setdefault(name, []).append(float(real_time) * _UNIT_TO_MS[unit])
+    return {name: statistics.median(times) for name, times in samples.items()}
+
+
+def compare_pair(baseline_path, current_path, threshold):
+    """Returns True when the pair passes the gate."""
+    baseline = load_median_times(baseline_path)
+    current = load_median_times(current_path)
+    matched = sorted(set(baseline) & set(current))
+    only_baseline = sorted(set(baseline) - set(current))
+    only_current = sorted(set(current) - set(baseline))
+
+    print(f"== {current_path} vs {baseline_path}")
+    if not matched:
+        print("   no matched benchmarks — nothing to gate (PASS)")
+        for name in only_current:
+            print(f"   new (unguarded): {name}")
+        return True
+
+    ratios = []
+    rows = []
+    for name in matched:
+        base_ms, cur_ms = baseline[name], current[name]
+        ratio = cur_ms / base_ms if base_ms > 0 else float("inf")
+        ratios.append(ratio)
+        rows.append((ratio, name, base_ms, cur_ms))
+    median_ratio = statistics.median(ratios)
+
+    for ratio, name, base_ms, cur_ms in sorted(rows, reverse=True):
+        flag = " <-- regressed" if ratio > threshold else ""
+        print(f"   {ratio:6.3f}x  {base_ms:12.3f} -> {cur_ms:12.3f} ms  {name}{flag}")
+    for name in only_baseline:
+        print(f"   missing from current (not gated): {name}")
+    for name in only_current:
+        print(f"   new benchmark (not gated): {name}")
+
+    verdict = "PASS" if median_ratio <= threshold else "FAIL"
+    print(
+        f"   median ratio {median_ratio:.3f}x over {len(matched)} benchmarks, "
+        f"threshold {threshold:.2f}x -> {verdict}"
+    )
+    return median_ratio <= threshold
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--threshold", type=float, default=1.25)
+    parser.add_argument("files", nargs="+", help="baseline/current path pairs")
+    args = parser.parse_args(argv)
+    if len(args.files) % 2 != 0:
+        parser.error("expected BASELINE CURRENT path pairs")
+    if args.threshold <= 1.0:
+        parser.error("--threshold must be > 1.0")
+
+    ok = True
+    for i in range(0, len(args.files), 2):
+        ok &= compare_pair(args.files[i], args.files[i + 1], args.threshold)
+    if not ok:
+        print(
+            "bench gate FAILED: median regression beyond threshold. If this "
+            "is intentional, label the PR `perf-regression-ok` and refresh "
+            "bench/baselines/ from a green main-branch artifact."
+        )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -24,6 +24,7 @@
 #include "core/policy_factory.hpp"
 #include "core/report.hpp"
 #include "core/runner.hpp"
+#include "core/stream_plan.hpp"
 #include "dag/generator.hpp"
 #include "dag/serialize.hpp"
 #include "lut/paper_data.hpp"
@@ -291,14 +292,7 @@ int cmd_compare(const Args& args) {
   return 0;
 }
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
-  }
-  return out;
-}
+using util::json_escape;
 
 /// Visits every cell of the result cube in task order with its axis
 /// coordinates — the one loop both exporters feed from.
@@ -496,6 +490,150 @@ int cmd_sweep(const Args& args) {
   return 0;
 }
 
+/// Splits a comma-separated option into trimmed, non-empty tokens.
+std::vector<std::string> csv_tokens(const Args& args, const std::string& key,
+                                    const std::string& fallback) {
+  std::vector<std::string> out;
+  for (const auto& token : util::split(args.get(key, fallback), ','))
+    if (!util::trim(token).empty()) out.push_back(util::trim(token));
+  return out;
+}
+
+int cmd_stream(const Args& args) {
+  core::StreamPlan plan;
+  plan.families = csv_tokens(args, "family", "type1");
+  plan.rates_per_ms.clear();
+  for (const auto& r : csv_tokens(args, "rate", "0.01"))
+    plan.rates_per_ms.push_back(util::parse_double(r));
+  plan.policy_specs = csv_tokens(args, "policies", "apt:4,met,spn,ag");
+  plan.kernels =
+      static_cast<std::size_t>(util::parse_uint(args.get("kernels", "46")));
+  plan.arrival_kind =
+      stream::parse_arrival_kind(args.get("arrival", "poisson"));
+  plan.max_apps =
+      static_cast<std::size_t>(util::parse_uint(args.get("max-apps", "0")));
+  plan.horizon_ms = util::parse_double(args.get("duration", "60000"));
+  // Warmup default: the first tenth of the admission horizon, so
+  // steady-state metrics are not biased by the initial empty-system ramp.
+  plan.warmup_ms = args.has("warmup")
+                       ? util::parse_double(args.get("warmup", ""))
+                       : plan.horizon_ms * 0.1;
+  plan.base_seed = util::parse_uint(args.get("seed", "0"));
+  const double link_rate = util::parse_double(args.get("link-rate", "4"));
+  plan.base_system = sim::SystemConfig::paper_default(link_rate);
+  plan.table = table_from_args(args, {link_rate});
+
+  const std::size_t jobs =
+      static_cast<std::size_t>(util::parse_uint(args.get("jobs", "1")));
+  const core::BatchRunner runner(jobs);
+  const auto t0 = std::chrono::steady_clock::now();
+  const core::StreamBatchResult result = core::run_stream_plan(plan, runner);
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::cout << "stream, " << result.families.size() << " families x "
+            << result.rates_per_ms.size() << " rates x "
+            << result.policy_names.size() << " policies = "
+            << result.cells.size() << " cells in "
+            << util::format_double(elapsed_ms, 1) << " ms (" << runner.jobs()
+            << " jobs), arrivals " << stream::to_string(plan.arrival_kind)
+            << ", horizon " << util::format_double(plan.horizon_ms, 0)
+            << " ms, warmup " << util::format_double(plan.warmup_ms, 0)
+            << " ms\n";
+  util::TablePrinter table({"family", "rate/ms", "policy", "apps",
+                            "thrpt/s", "flow avg ms", "flow p95 ms",
+                            "slowdown", "util %", "qdepth avg"});
+  for (const core::StreamCellResult& cell : result.cells) {
+    const sim::StreamMetrics& m = cell.metrics;
+    table.add_row({cell.family, util::format_double(cell.rate_per_ms, 6),
+                   cell.policy_name, std::to_string(m.apps_measured),
+                   util::format_double(m.throughput_apps_per_s, 2),
+                   util::format_double(m.flow_ms.avg, 1),
+                   util::format_double(m.flow_ms.p95, 1),
+                   util::format_double(m.slowdown.avg, 2),
+                   util::format_double(m.avg_utilization * 100.0, 1),
+                   util::format_double(m.queue_depth_avg, 2)});
+  }
+  std::cout << table.to_string();
+
+  if (args.has("csv")) {
+    util::CsvTable csv(
+        {"family", "rate_per_ms", "policy", "spec", "apps_arrived",
+         "apps_completed", "apps_measured", "throughput_apps_per_s",
+         "flow_avg_ms", "flow_p50_ms", "flow_p95_ms", "flow_max_ms",
+         "slowdown_avg", "slowdown_p50", "slowdown_p95", "slowdown_max",
+         "avg_utilization", "queue_depth_avg", "queue_depth_max",
+         "live_apps_avg", "live_apps_max", "warmup_ms", "end_ms"});
+    for (const core::StreamCellResult& cell : result.cells) {
+      const sim::StreamMetrics& m = cell.metrics;
+      csv.add_row({cell.family, util::format_double(cell.rate_per_ms, 6),
+                   cell.policy_name, cell.policy_spec,
+                   std::to_string(m.apps_arrived),
+                   std::to_string(m.apps_completed),
+                   std::to_string(m.apps_measured),
+                   util::format_double(m.throughput_apps_per_s, 6),
+                   util::format_double(m.flow_ms.avg, 6),
+                   util::format_double(m.flow_ms.p50, 6),
+                   util::format_double(m.flow_ms.p95, 6),
+                   util::format_double(m.flow_ms.max, 6),
+                   util::format_double(m.slowdown.avg, 6),
+                   util::format_double(m.slowdown.p50, 6),
+                   util::format_double(m.slowdown.p95, 6),
+                   util::format_double(m.slowdown.max, 6),
+                   util::format_double(m.avg_utilization, 6),
+                   util::format_double(m.queue_depth_avg, 6),
+                   std::to_string(m.queue_depth_max),
+                   util::format_double(m.live_apps_avg, 6),
+                   std::to_string(m.live_apps_max),
+                   util::format_double(m.warmup_ms, 3),
+                   util::format_double(m.end_ms, 3)});
+    }
+    util::write_csv_file(csv, args.get("csv", ""));
+    std::cout << "cells written to " << args.get("csv", "") << "\n";
+  }
+  if (args.has("json")) {
+    std::ofstream out(args.get("json", ""), std::ios::binary);
+    if (!out)
+      throw std::runtime_error("stream: cannot open '" +
+                               args.get("json", "") + "'");
+    out << "{\n  \"workload\": \"stream\",\n  \"arrivals\": \""
+        << stream::to_string(plan.arrival_kind) << "\",\n  \"cells\": [\n";
+    for (std::size_t i = 0; i < result.cells.size(); ++i) {
+      const core::StreamCellResult& cell = result.cells[i];
+      const sim::StreamMetrics& m = cell.metrics;
+      out << "    {\"family\": \"" << json_escape(cell.family)
+          << "\", \"rate_per_ms\": "
+          << util::format_double(cell.rate_per_ms, 6) << ", \"policy\": \""
+          << json_escape(cell.policy_name) << "\", \"spec\": \""
+          << json_escape(cell.policy_spec)
+          << "\", \"apps_measured\": " << m.apps_measured
+          << ", \"throughput_apps_per_s\": "
+          << util::format_double(m.throughput_apps_per_s, 6)
+          << ", \"flow_avg_ms\": " << util::format_double(m.flow_ms.avg, 6)
+          << ", \"flow_p95_ms\": " << util::format_double(m.flow_ms.p95, 6)
+          << ", \"slowdown_avg\": " << util::format_double(m.slowdown.avg, 6)
+          << ", \"avg_utilization\": "
+          << util::format_double(m.avg_utilization, 6)
+          << ", \"queue_depth_avg\": "
+          << util::format_double(m.queue_depth_avg, 6)
+          << ", \"queue_depth_max\": " << m.queue_depth_max
+          << ", \"queue_depth_samples\": [";
+      for (std::size_t s = 0; s < m.queue_depth_samples.size(); ++s) {
+        if (s) out << ", ";
+        out << "["
+            << util::format_double(m.queue_depth_samples[s].first, 3) << ", "
+            << m.queue_depth_samples[s].second << "]";
+      }
+      out << "]}" << (i + 1 < result.cells.size() ? ",\n" : "\n");
+    }
+    out << "  ]\n}\n";
+    std::cout << "cells written to " << args.get("json", "") << "\n";
+  }
+  return 0;
+}
+
 int cmd_lut(const Args& args) {
   const lut::LookupTable table = lut::paper_lookup_table();
   if (args.has("csv")) {
@@ -553,6 +691,13 @@ void usage() {
       "               [--lut-seed S]] [--policies SPEC,...]\n"
       "               [--alphas 1.5,2,4] [--rates 4,8] [--jobs N] [--reps R]\n"
       "               [--seed S] [--csv F] [--json F]\n"
+      "  aptsim stream [--family NAME,...] [--rate L,... (apps/ms)]\n"
+      "               [--policies SPEC,...] [--kernels N]\n"
+      "               [--arrival poisson|deterministic] [--duration MS]\n"
+      "               [--warmup MS] [--max-apps N] [--seed S]\n"
+      "               [--link-rate GBPS]\n"
+      "               [--lut F.csv | --ccr X --hetero H --lut-seed S]\n"
+      "               [--jobs N] [--csv F] [--json F]\n"
       "  aptsim families\n"
       "  aptsim lut [--csv F]\n"
       "  aptsim report [--out-dir D] [--alpha A]\n"
@@ -571,6 +716,7 @@ int main(int argc, char** argv) {
     if (args.command == "run") return cmd_run(args);
     if (args.command == "compare") return cmd_compare(args);
     if (args.command == "sweep") return cmd_sweep(args);
+    if (args.command == "stream") return cmd_stream(args);
     if (args.command == "lut") return cmd_lut(args);
     if (args.command == "report") return cmd_report(args);
     if (args.command == "policies") return cmd_policies();

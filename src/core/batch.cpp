@@ -241,19 +241,23 @@ BatchResult BatchRunner::run(const ExperimentPlan& plan) const {
   result.cells.resize(plan.task_count());
   // Every task writes only its own pre-sized slot, so any interleaving of
   // workers yields the same cube as the serial loop.
-  const auto body = [&](std::size_t i) {
+  for_each_index(result.cells.size(), [&](std::size_t i) {
     result.cells[i] = run_single_task(plan, shared, plan.task(i));
-  };
-  if (jobs_ <= 1 || result.cells.size() <= 1) {
-    for (std::size_t i = 0; i < result.cells.size(); ++i) body(i);
-  } else {
-    if (!pool_) {
-      pool_ = std::make_unique<util::ThreadPool>(
-          std::min(jobs_, result.cells.size()));
-    }
-    pool_->for_each_index(result.cells.size(), body);
-  }
+  });
   return result;
+}
+
+void BatchRunner::for_each_index(
+    std::size_t count, const std::function<void(std::size_t)>& body) const {
+  if (jobs_ <= 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  // Sized to jobs_, not min(jobs_, count): the pool is created once and
+  // reused for every later call, so sizing it to the first (possibly
+  // small) fan-out would cap all subsequent, larger grids.
+  if (!pool_) pool_ = std::make_unique<util::ThreadPool>(jobs_);
+  pool_->for_each_index(count, body);
 }
 
 }  // namespace apt::core

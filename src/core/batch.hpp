@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -148,9 +149,17 @@ class BatchRunner {
 
   BatchResult run(const ExperimentPlan& plan) const;
 
+  /// Runs body(0) .. body(count-1) over this runner's workers (inline on
+  /// the caller when jobs <= 1), reusing the lazily created pool. The
+  /// primitive behind run() — exposed so other plan shapes (the streaming
+  /// grid of core/stream_plan.hpp) fan out under the same determinism
+  /// contract: bodies must write only their own pre-allocated slot.
+  void for_each_index(std::size_t count,
+                      const std::function<void(std::size_t)>& body) const;
+
  private:
   std::size_t jobs_;
-  /// Lazily sized to min(jobs, first parallel run's task count).
+  /// Created on the first parallel call, sized to jobs, reused after.
   mutable std::unique_ptr<util::ThreadPool> pool_;
 };
 

@@ -1,0 +1,113 @@
+// Open-system sweep orchestration: a declarative (family × arrival-rate ×
+// policy) grid of independent StreamEngine runs, fanned over BatchRunner's
+// workers.
+//
+// Every cell is one complete open-system simulation — its own arrival
+// sequence, application instances, policy instance, and metrics — whose
+// inputs derive only from the plan and the cell's flat index (seed =
+// util::stream_seed(base_seed, index)). Cells write pre-allocated result
+// slots, so the grid is bit-for-bit identical for any worker count, the
+// same contract ExperimentPlan enjoys.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/batch.hpp"
+#include "lut/lookup_table.hpp"
+#include "sim/metrics.hpp"
+#include "sim/system.hpp"
+#include "stream/arrival.hpp"
+
+namespace apt::core {
+
+/// Axes of an open-system sweep.
+struct StreamPlan {
+  /// Registered scenario-family names; each cell draws its application
+  /// instances from one family.
+  std::vector<std::string> families = {"type1"};
+
+  /// Arrival intensities λ in applications per millisecond (mean
+  /// inter-arrival gap = 1/λ ms).
+  std::vector<double> rates_per_ms = {0.01};
+
+  /// Policy specs (core::make_policy). Streaming requires dynamic
+  /// policies; validate() rejects static ones.
+  std::vector<std::string> policy_specs = {"apt:4"};
+
+  /// Kernels per application instance (raised to the family minimum).
+  std::size_t kernels = 46;
+
+  stream::ArrivalKind arrival_kind = stream::ArrivalKind::Poisson;
+
+  /// Admission bounds and warmup truncation, as in stream::StreamOptions.
+  std::size_t max_apps = 0;
+  sim::TimeMs horizon_ms = 60000.0;
+  sim::TimeMs warmup_ms = 0.0;
+
+  std::uint64_t base_seed = 0;
+
+  /// Platform template and cost table (empty table = the paper's).
+  sim::SystemConfig base_system = sim::SystemConfig::paper_default();
+  lut::LookupTable table;
+
+  std::size_t cell_count() const noexcept {
+    return families.size() * rates_per_ms.size() * policy_specs.size();
+  }
+
+  /// Throws std::invalid_argument on empty axes, non-positive rates, an
+  /// unbounded run, unknown families, malformed or static policy specs;
+  /// returns the resolved policy display names.
+  std::vector<std::string> validate() const;
+};
+
+/// Coordinates of one cell. Row-major over (family, rate, policy), policy
+/// fastest — so column p's first cell has flat index p and seeded policy
+/// specs resolve in validate() exactly as they will in the run.
+///
+/// Two seeds per cell: the workload seed depends only on (family, rate), so
+/// every policy column of a row faces the *identical* arrival sequence and
+/// application instances (the streaming analogue of ExperimentPlan sharing
+/// its graphs across policy columns); the policy seed is per-cell and feeds
+/// "{seed}" placeholders in stochastic policy specs.
+struct StreamCellCoords {
+  std::size_t family = 0;
+  std::size_t rate = 0;
+  std::size_t policy = 0;
+  std::size_t index = 0;
+  std::uint64_t seed = 0;           ///< util::stream_seed(base_seed, index)
+  std::uint64_t workload_seed = 0;  ///< shared by the row's policy columns
+};
+
+StreamCellCoords stream_cell_coords(const StreamPlan& plan,
+                                    std::size_t flat_index);
+
+/// One finished cell: its coordinates by value (self-describing rows for
+/// exporters) plus the aggregated open-system metrics.
+struct StreamCellResult {
+  std::string family;
+  double rate_per_ms = 0.0;
+  std::string policy_name;
+  std::string policy_spec;
+  sim::StreamMetrics metrics;
+};
+
+/// Dense result grid in plan cell order.
+struct StreamBatchResult {
+  std::vector<std::string> families;
+  std::vector<double> rates_per_ms;
+  std::vector<std::string> policy_names;
+  std::vector<std::string> policy_specs;
+  std::vector<StreamCellResult> cells;
+
+  const StreamCellResult& at(std::size_t family, std::size_t rate,
+                             std::size_t policy) const;
+};
+
+/// Executes every cell of the plan over the runner's workers. Results are
+/// bit-identical for any job count.
+StreamBatchResult run_stream_plan(const StreamPlan& plan,
+                                  const BatchRunner& runner);
+
+}  // namespace apt::core

@@ -155,11 +155,14 @@ void apply_poisson_arrivals(Dag& dag, double mean_interarrival_ms,
   if (!(mean_interarrival_ms > 0.0))
     throw std::invalid_argument(
         "apply_poisson_arrivals: mean inter-arrival must be positive");
+  // Seed contract (shared with stream::ArrivalProcess): the k-th gap is the
+  // k-th exponential_interval_ms draw of util::Rng(seed), consumed in
+  // ascending entry-node-id order — one uniform per entry, nothing else
+  // touches the generator. Same seed, same arrival sequence, everywhere.
   util::Rng rng(seed);
   double clock = 0.0;
   for (NodeId entry : dag.entry_nodes()) {
-    // Inverse-CDF sampling of Exp(1/mean); uniform01() < 1 keeps log finite.
-    clock += -mean_interarrival_ms * std::log(1.0 - rng.uniform01());
+    clock += util::exponential_interval_ms(rng, mean_interarrival_ms);
     dag.set_release_ms(entry, clock);
   }
 }

@@ -136,6 +136,13 @@ Dag make_cholesky(const std::vector<Node>& series);
 /// the given mean (a Poisson arrival process), in ascending node-id order.
 /// Non-entry kernels keep release 0 (they are gated by their
 /// dependencies). Deterministic per seed; mean must be positive.
+///
+/// Seed contract: the k-th gap is the k-th util::exponential_interval_ms
+/// draw of util::Rng(seed) — one uniform01() per entry node, consumed in
+/// ascending entry-id order, nothing else drawn from the generator. This is
+/// the same contract stream::ArrivalProcess uses for its Poisson mode, so a
+/// seed names one arrival sequence across both the single-graph shaper and
+/// the open-system stream engine.
 void apply_poisson_arrivals(Dag& dag, double mean_interarrival_ms,
                             std::uint64_t seed);
 

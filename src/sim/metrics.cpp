@@ -1,5 +1,7 @@
 #include "sim/metrics.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "util/stats.hpp"
@@ -59,6 +61,136 @@ SimMetrics compute_metrics(const dag::Dag& dag, const System& system,
         m.lambda.total_ms / static_cast<double>(lambdas.size());
     m.lambda.stddev_ms = util::stddev_about(lambdas, m.lambda.avg_ms);
   }
+  return m;
+}
+
+// --- Open-system (streaming) metrics -----------------------------------------
+
+LevelTrace::LevelTrace(std::size_t max_samples)
+    : max_samples_(std::max<std::size_t>(max_samples, 2)) {}
+
+void LevelTrace::set_window_start(TimeMs start) { window_start_ = start; }
+
+void LevelTrace::account_segment(TimeMs upto) {
+  // Integrate last_level_ over [last_time_, upto] ∩ [window_start_, ∞).
+  const TimeMs from = std::max(last_time_, window_start_);
+  if (upto > from) {
+    integral_ += static_cast<double>(last_level_) * (upto - from);
+    max_level_ = std::max(max_level_, last_level_);
+  }
+}
+
+void LevelTrace::push_sample(TimeMs now, std::size_t level) {
+  if (observe_count_++ % sample_stride_ != 0) return;
+  samples_.emplace_back(now, level);
+  if (samples_.size() < max_samples_) return;
+  // Halve resolution: keep every other sample, double the stride.
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < samples_.size(); i += 2)
+    samples_[out++] = samples_[i];
+  samples_.resize(out);
+  sample_stride_ *= 2;
+}
+
+void LevelTrace::observe(TimeMs now, std::size_t level) {
+  account_segment(now);
+  // Peaks count the moment they are attained — even levels that vanish
+  // within the same event instant (ready kernels assigned immediately)
+  // register in max_level(), though only persisted levels carry weight in
+  // the integral.
+  if (now >= window_start_) max_level_ = std::max(max_level_, level);
+  last_time_ = now;
+  last_level_ = level;
+  end_ = std::max(end_, now);
+  push_sample(now, level);
+}
+
+void LevelTrace::finish(TimeMs end) {
+  account_segment(end);
+  last_time_ = std::max(last_time_, end);
+  end_ = std::max(end_, last_time_);
+  if (end_ >= window_start_ && last_level_ > 0)
+    max_level_ = std::max(max_level_, last_level_);
+}
+
+double LevelTrace::time_weighted_avg() const {
+  const TimeMs span = end_ - window_start_;
+  return span > 0.0 ? integral_ / span : 0.0;
+}
+
+namespace {
+
+/// Nearest-rank percentile of a sorted, non-empty vector.
+double percentile(const std::vector<double>& sorted, double q) {
+  const std::size_t n = sorted.size();
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(n)));
+  return sorted[std::min(n - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+DistSummary summarize(std::vector<double> values) {
+  DistSummary s;
+  if (values.empty()) return s;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  s.avg = sum / static_cast<double>(values.size());
+  std::sort(values.begin(), values.end());
+  s.p50 = percentile(values, 0.50);
+  s.p95 = percentile(values, 0.95);
+  s.max = values.back();
+  return s;
+}
+
+}  // namespace
+
+StreamMetrics compute_stream_metrics(const System& system,
+                                     const StreamObservation& observation) {
+  if (observation.busy_in_window_ms.size() != system.proc_count() ||
+      observation.kernels_in_window.size() != system.proc_count())
+    throw std::invalid_argument(
+        "compute_stream_metrics: per-processor arrays do not match the "
+        "system");
+
+  StreamMetrics m;
+  m.apps_arrived = observation.apps_arrived;
+  m.apps_completed = observation.completed.size();
+  m.warmup_ms = observation.warmup_ms;
+  m.end_ms = observation.end_ms;
+  m.observed_ms = std::max(0.0, observation.end_ms - observation.warmup_ms);
+
+  std::vector<double> flows;
+  std::vector<double> slowdowns;
+  for (const StreamAppStats& app : observation.completed) {
+    m.kernels_completed += app.kernels;
+    if (app.arrival_ms < observation.warmup_ms) continue;  // warmup truncation
+    ++m.apps_measured;
+    flows.push_back(app.flow_ms());
+    slowdowns.push_back(app.slowdown());
+  }
+  m.flow_ms = summarize(std::move(flows));
+  m.slowdown = summarize(std::move(slowdowns));
+  if (m.observed_ms > 0.0)
+    m.throughput_apps_per_s =
+        static_cast<double>(m.apps_measured) / m.observed_ms * 1000.0;
+
+  m.per_proc.resize(system.proc_count());
+  double util_sum = 0.0;
+  for (ProcId p = 0; p < system.proc_count(); ++p) {
+    ProcBreakdown& pb = m.per_proc[p];
+    pb.name = system.processor(p).name;
+    pb.compute_ms = observation.busy_in_window_ms[p];
+    pb.kernel_count = observation.kernels_in_window[p];
+    pb.idle_ms = std::max(0.0, m.observed_ms - pb.compute_ms);
+    if (m.observed_ms > 0.0) util_sum += pb.compute_ms / m.observed_ms;
+  }
+  if (system.proc_count() > 0)
+    m.avg_utilization = util_sum / static_cast<double>(system.proc_count());
+
+  m.queue_depth_avg = observation.queue_depth.time_weighted_avg();
+  m.queue_depth_max = observation.queue_depth.max_level();
+  m.live_apps_avg = observation.live_apps.time_weighted_avg();
+  m.live_apps_max = observation.live_apps.max_level();
+  m.queue_depth_samples = observation.queue_depth.samples();
   return m;
 }
 

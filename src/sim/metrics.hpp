@@ -6,6 +6,7 @@
 
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "dag/graph.hpp"
@@ -49,5 +50,136 @@ struct SimMetrics {
 /// positive (the N of Eq. 11).
 SimMetrics compute_metrics(const dag::Dag& dag, const System& system,
                            const SimResult& result);
+
+// --- Open-system (streaming) metrics -----------------------------------------
+//
+// A closed-system run reports a makespan; an open system — many DAG
+// instances arriving over time and contending for one platform — is judged
+// by per-application flow time (finish - arrival), slowdown (flow divided
+// by the app's isolated critical-path lower bound), sustained throughput,
+// processor utilization, and backlog (queue depth) over time. All
+// aggregates honour a warmup truncation: applications arriving before
+// `warmup_ms` and processor time before it are excluded, so transient
+// ramp-up does not bias steady-state estimates.
+
+/// Time-weighted trace of an integer level (ready-kernel count, live-app
+/// count) over simulated time, clipped to an observation window. Keeps O(1)
+/// aggregates plus a bounded, stride-decimated sample series: when the
+/// sample buffer would exceed its cap, every other sample is dropped and
+/// the sampling stride doubles, so long runs stay bounded while short runs
+/// keep full resolution.
+class LevelTrace {
+ public:
+  explicit LevelTrace(std::size_t max_samples = 512);
+
+  /// Start of the observation window (the warmup boundary). Must be called
+  /// before the first observe().
+  void set_window_start(TimeMs start);
+
+  /// The level changed to `level` at time `now` (non-decreasing calls).
+  void observe(TimeMs now, std::size_t level);
+
+  /// Closes the integral at `end` (the last segment extends to it).
+  void finish(TimeMs end);
+
+  /// Integral of the level over the window divided by the window length;
+  /// 0 for an empty window.
+  double time_weighted_avg() const;
+
+  /// Maximum level attained within the window, including zero-duration
+  /// instants (a spike observed and cleared at the same timestamp counts).
+  std::size_t max_level() const noexcept { return max_level_; }
+
+  /// Decimated (time, level) samples, chronological.
+  const std::vector<std::pair<TimeMs, std::size_t>>& samples() const noexcept {
+    return samples_;
+  }
+
+ private:
+  void account_segment(TimeMs upto);
+  void push_sample(TimeMs now, std::size_t level);
+
+  std::size_t max_samples_;
+  TimeMs window_start_ = 0.0;
+  TimeMs last_time_ = 0.0;
+  std::size_t last_level_ = 0;
+  TimeMs end_ = 0.0;
+  double integral_ = 0.0;  ///< level × ms, window-clipped
+  std::size_t max_level_ = 0;
+  std::size_t observe_count_ = 0;
+  std::size_t sample_stride_ = 1;
+  std::vector<std::pair<TimeMs, std::size_t>> samples_;
+};
+
+/// One retired application of a stream run.
+struct StreamAppStats {
+  std::size_t index = 0;        ///< arrival order, 0-based
+  TimeMs arrival_ms = 0.0;      ///< admission instant
+  TimeMs finish_ms = 0.0;       ///< last kernel completion
+  TimeMs lower_bound_ms = 0.0;  ///< isolated makespan_lower_bound_ms
+  std::size_t kernels = 0;
+
+  TimeMs flow_ms() const noexcept { return finish_ms - arrival_ms; }
+
+  /// Flow time relative to the app's best possible isolated makespan
+  /// (>= 1 up to scheduling overheads); 1 when the bound is degenerate.
+  double slowdown() const noexcept {
+    return lower_bound_ms > 0.0 ? flow_ms() / lower_bound_ms : 1.0;
+  }
+};
+
+/// Everything the stream engine records for the aggregator: per-app
+/// outcomes, per-processor busy time clipped to the observation window, and
+/// the backlog traces.
+struct StreamObservation {
+  std::vector<StreamAppStats> completed;  ///< retirement order
+  std::size_t apps_arrived = 0;           ///< admitted (completed or not)
+  std::vector<TimeMs> busy_in_window_ms;  ///< per proc, exec time ∩ window
+  std::vector<std::size_t> kernels_in_window;  ///< per proc, finishes ∩ window
+  TimeMs warmup_ms = 0.0;
+  TimeMs end_ms = 0.0;  ///< last completion (the warmup boundary when
+                        ///< nothing ran after it)
+  LevelTrace queue_depth;  ///< ready-but-unassigned kernels over time
+  LevelTrace live_apps;    ///< admitted-but-unfinished apps over time
+};
+
+/// Average / median / tail summary of a per-app distribution.
+struct DistSummary {
+  double avg = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+};
+
+/// Aggregate open-system metrics of one stream run.
+struct StreamMetrics {
+  std::size_t apps_arrived = 0;
+  std::size_t apps_completed = 0;
+  std::size_t apps_measured = 0;  ///< completed AND arrived after warmup
+  std::size_t kernels_completed = 0;
+  TimeMs warmup_ms = 0.0;
+  TimeMs end_ms = 0.0;
+  TimeMs observed_ms = 0.0;  ///< max(end - warmup, 0)
+
+  double throughput_apps_per_s = 0.0;  ///< measured apps / observed span
+
+  DistSummary flow_ms;   ///< over measured apps
+  DistSummary slowdown;  ///< over measured apps
+
+  std::vector<ProcBreakdown> per_proc;  ///< compute/idle within the window
+  double avg_utilization = 0.0;         ///< mean busy fraction across procs
+
+  double queue_depth_avg = 0.0;
+  std::size_t queue_depth_max = 0;
+  double live_apps_avg = 0.0;
+  std::size_t live_apps_max = 0;
+  std::vector<std::pair<TimeMs, std::size_t>> queue_depth_samples;
+};
+
+/// Aggregates a finished stream observation. Measured apps are those
+/// arriving at or after the warmup boundary; utilization is busy time
+/// within [warmup, end] over that span.
+StreamMetrics compute_stream_metrics(const System& system,
+                                     const StreamObservation& observation);
 
 }  // namespace apt::sim

@@ -84,6 +84,86 @@ std::vector<Violation> validate_schedule(const dag::Dag& dag,
   return out;
 }
 
+std::vector<Violation> validate_stream_schedule(
+    const System& system, const std::vector<StreamAppView>& apps) {
+  std::vector<Violation> out;
+  auto fail = [&](std::string msg) { out.push_back(Violation{std::move(msg)}); };
+
+  /// Occupation interval of one kernel, remembered across applications.
+  struct Span {
+    std::size_t app;
+    dag::NodeId node;
+    TimeMs from;
+    TimeMs to;
+  };
+  std::vector<std::vector<Span>> by_proc(system.proc_count());
+
+  for (std::size_t a = 0; a < apps.size(); ++a) {
+    const StreamAppView& view = apps[a];
+    const std::string app_tag = "app " + std::to_string(a);
+    if (view.dag == nullptr || view.result == nullptr) {
+      fail(app_tag + ": null dag/result");
+      continue;
+    }
+    const dag::Dag& dag = *view.dag;
+    const SimResult& result = *view.result;
+    if (result.schedule.size() != dag.node_count()) {
+      fail(app_tag + ": schedule size " +
+           std::to_string(result.schedule.size()) + " != node count " +
+           std::to_string(dag.node_count()));
+      continue;
+    }
+    for (dag::NodeId n = 0; n < dag.node_count(); ++n) {
+      const ScheduledKernel& k = result.schedule[n];
+      const std::string tag = app_tag + " node " + std::to_string(n);
+      if (k.node != n) fail(tag + ": record/node index mismatch");
+      if (k.proc == kInvalidProc || k.proc >= system.proc_count()) {
+        fail(tag + ": invalid processor");
+        continue;
+      }
+      const TimeMs release = view.arrival_ms + dag.node(n).release_ms;
+      if (k.ready_time + kTol < release)
+        fail(tag + ": ready before its arrival/release instant");
+      if (k.assign_time + kTol < k.ready_time)
+        fail(tag + ": assigned before ready");
+      if (k.exec_start + kTol < k.assign_time)
+        fail(tag + ": execution before assignment");
+      if (!close(k.finish_time, k.exec_start + k.exec_ms))
+        fail(tag + ": finish != exec_start + exec_ms");
+      for (dag::NodeId pred : dag.predecessors(n)) {
+        const ScheduledKernel& pk = result.schedule[pred];
+        if (k.exec_start + kTol < pk.finish_time)
+          fail(tag + ": starts before predecessor " + std::to_string(pred) +
+               " finishes");
+        if (k.ready_time + kTol < pk.finish_time)
+          fail(tag + ": marked ready before predecessor " +
+               std::to_string(pred) + " finished");
+      }
+      by_proc[k.proc].push_back(Span{a, n, k.occupied_from(), k.finish_time});
+    }
+  }
+
+  // Cross-instance exclusivity: kernels of *different* applications share
+  // the processors, so the overlap check must pool every span.
+  for (ProcId p = 0; p < system.proc_count(); ++p) {
+    std::vector<Span>& spans = by_proc[p];
+    std::sort(spans.begin(), spans.end(), [](const Span& a, const Span& b) {
+      if (a.from != b.from) return a.from < b.from;
+      if (a.app != b.app) return a.app < b.app;
+      return a.node < b.node;
+    });
+    for (std::size_t i = 1; i < spans.size(); ++i) {
+      if (spans[i].from + kTol < spans[i - 1].to)
+        fail("processor " + system.processor(p).name + ": app " +
+             std::to_string(spans[i - 1].app) + " kernel " +
+             std::to_string(spans[i - 1].node) + " overlaps app " +
+             std::to_string(spans[i].app) + " kernel " +
+             std::to_string(spans[i].node));
+    }
+  }
+  return out;
+}
+
 TimeMs critical_path_lower_bound_ms(const dag::Dag& dag, const System& system,
                                     const CostModel& cost) {
   if (dag.empty()) return 0.0;
@@ -103,6 +183,20 @@ TimeMs critical_path_lower_bound_ms(const dag::Dag& dag, const System& system,
       longest[s] = std::max(longest[s], longest[n]);
   }
   return bound;
+}
+
+TimeMs makespan_lower_bound_ms(const dag::Dag& dag, const System& system,
+                               const CostModel& cost) {
+  if (dag.empty() || system.proc_count() == 0) return 0.0;
+  TimeMs total_best = 0.0;
+  for (dag::NodeId n = 0; n < dag.node_count(); ++n) {
+    TimeMs b = std::numeric_limits<TimeMs>::infinity();
+    for (const Processor& p : system.processors())
+      b = std::min(b, cost.exec_time_ms(dag, n, p));
+    total_best += b;
+  }
+  const TimeMs area = total_best / static_cast<double>(system.proc_count());
+  return std::max(area, critical_path_lower_bound_ms(dag, system, cost));
 }
 
 }  // namespace apt::sim

@@ -38,4 +38,31 @@ std::vector<Violation> validate_schedule(const dag::Dag& dag,
 TimeMs critical_path_lower_bound_ms(const dag::Dag& dag, const System& system,
                                     const CostModel& cost);
 
+/// Tighter makespan lower bound: the larger of the critical-path bound and
+/// the area bound (total best-case work divided by the processor count — P
+/// processors cannot retire work faster than P-way parallelism). The
+/// denominator of the stream engine's per-application slowdown metric.
+TimeMs makespan_lower_bound_ms(const dag::Dag& dag, const System& system,
+                               const CostModel& cost);
+
+/// One application of a stream run, as the stream engine records it with
+/// StreamOptions::record_schedules: times absolute, nodes indexed locally
+/// in `dag`. The referenced objects must outlive the validation call.
+struct StreamAppView {
+  const dag::Dag* dag = nullptr;
+  TimeMs arrival_ms = 0.0;
+  const SimResult* result = nullptr;
+};
+
+/// Checks a finished multi-instance (open-system) schedule:
+///  * per application, the same per-kernel timeline and precedence
+///    invariants validate_schedule enforces, with readiness additionally
+///    gated on the application's arrival instant (ready >= arrival +
+///    release offset);
+///  * exclusivity ACROSS instances: the occupation intervals of kernels
+///    sharing a processor never overlap, regardless of which application
+///    they belong to — the invariant a single-DAG validation cannot see.
+std::vector<Violation> validate_stream_schedule(
+    const System& system, const std::vector<StreamAppView>& apps);
+
 }  // namespace apt::sim

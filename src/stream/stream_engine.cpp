@@ -1,0 +1,633 @@
+#include "stream/stream_engine.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <map>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <stdexcept>
+
+#include "sim/precomputed_cost_model.hpp"
+#include "sim/validate.hpp"
+
+namespace apt::stream {
+
+void StreamOptions::validate() const {
+  arrivals.validate();
+  if (arrivals.kind != ArrivalKind::Trace && max_apps == 0 &&
+      !(horizon_ms > 0.0))
+    throw std::invalid_argument(
+        "StreamOptions: an endless arrival process needs max_apps or "
+        "horizon_ms to bound the run");
+  if (warmup_ms < 0.0 || horizon_ms < 0.0)
+    throw std::invalid_argument(
+        "StreamOptions: warmup/horizon must be >= 0");
+  if (max_live_apps == 0)
+    throw std::invalid_argument("StreamOptions: max_live_apps must be >= 1");
+}
+
+namespace {
+
+/// Timestamped event keyed by global slot id; min-heap order (earliest
+/// first, ties by ascending slot).
+struct Event {
+  sim::TimeMs time;
+  dag::NodeId slot;
+
+  bool operator>(const Event& other) const noexcept {
+    if (time != other.time) return time > other.time;
+    return slot > other.slot;
+  }
+};
+
+using EventQueue =
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>;
+
+}  // namespace
+
+/// All mutable state of one stream run; implements the SchedulerContext the
+/// policy schedules against. Per-node arrays are indexed by global slot id;
+/// a retired instance's slot range returns to the free-range allocator.
+class StreamEngine::Context final : public sim::SchedulerContext {
+ public:
+  Context(const sim::System& system, const sim::CostModel& base_cost,
+          const DagSource& source, const StreamOptions& options,
+          sim::Policy& policy)
+      : system_(system),
+        base_cost_(base_cost),
+        source_(source),
+        options_(options),
+        policy_(policy),
+        proc_state_(system.proc_count()) {
+    observation_.warmup_ms = options.warmup_ms;
+    observation_.busy_in_window_ms.assign(system.proc_count(), 0.0);
+    observation_.kernels_in_window.assign(system.proc_count(), 0);
+    observation_.queue_depth.set_window_start(options.warmup_ms);
+    observation_.live_apps.set_window_start(options.warmup_ms);
+    idle_cache_.reserve(system.proc_count());
+  }
+
+  StreamOutcome simulate() {
+    ArrivalProcess arrivals(options_.arrivals);
+    pull_next_arrival(arrivals);
+    process_arrivals(arrivals);  // a trace may start at t = 0
+    for (;;) {
+      policy_.on_event(*this);
+      drain_queues();
+      const bool quiescent =
+          events_.empty() && releases_.empty() && !next_arrival_;
+      if (live_count_ == 0 && quiescent) break;
+      if (quiescent) {
+        throw std::logic_error("StreamEngine: policy '" + policy_.name() +
+                               "' stalled: work remains but nothing is "
+                               "executing and no arrival is pending");
+      }
+      advance_to_next_event(arrivals);
+    }
+    observation_.end_ms = std::max(now_, options_.warmup_ms);
+    observation_.queue_depth.finish(observation_.end_ms);
+    observation_.live_apps.finish(observation_.end_ms);
+    StreamOutcome outcome;
+    outcome.metrics = sim::compute_stream_metrics(system_, observation_);
+    outcome.schedules = std::move(schedules_);
+    return outcome;
+  }
+
+  // --- SchedulerContext -----------------------------------------------------
+
+  sim::TimeMs now() const override { return now_; }
+
+  const dag::Dag& dag() const override {
+    throw std::logic_error(
+        "StreamEngine: SchedulerContext::dag() is unavailable in stream "
+        "contexts (the ready set spans many DAG instances)");
+  }
+
+  const sim::System& system() const override { return system_; }
+  const sim::CostModel& cost_model() const override { return base_cost_; }
+
+  const std::vector<dag::NodeId>& ready() const override {
+    if (ready_tombstones_ > 0) compact_ready();
+    return ready_;
+  }
+
+  bool is_idle(sim::ProcId proc) const override {
+    const ProcState& ps = proc_state_.at(proc);
+    return !ps.running.has_value() && ps.queue.empty();
+  }
+
+  const std::vector<sim::ProcId>& idle_processors() const override {
+    if (idle_dirty_) {
+      idle_cache_.clear();
+      for (sim::ProcId p = 0; p < proc_state_.size(); ++p) {
+        if (is_idle(p)) idle_cache_.push_back(p);
+      }
+      idle_dirty_ = false;
+    }
+    return idle_cache_;
+  }
+
+  sim::TimeMs busy_until(sim::ProcId proc) const override {
+    const ProcState& ps = proc_state_.at(proc);
+    if (!ps.running.has_value() && ps.queue.empty()) return now_;
+    sim::TimeMs t =
+        ps.running ? node_state_[*ps.running].record.finish_time : now_;
+    for (const QueuedKernel& q : ps.queue) t += q.exec_ms;
+    return t;
+  }
+
+  std::size_t queue_length(sim::ProcId proc) const override {
+    return proc_state_.at(proc).queue.size();
+  }
+
+  sim::TimeMs queued_work_ms(sim::ProcId proc) const override {
+    const ProcState& ps = proc_state_.at(proc);
+    sim::TimeMs work = 0.0;
+    if (ps.running)
+      work +=
+          std::max(0.0, node_state_[*ps.running].record.finish_time - now_);
+    for (const QueuedKernel& q : ps.queue) work += q.exec_ms;
+    return work;
+  }
+
+  sim::TimeMs recent_avg_exec_ms(sim::ProcId proc,
+                                 std::size_t k) const override {
+    const ProcState& ps = proc_state_.at(proc);
+    if (ps.exec_history.empty() || k == 0) return 0.0;
+    const std::size_t take = std::min(k, ps.exec_history.size());
+    double sum = 0.0;
+    for (std::size_t i = ps.exec_history.size() - take;
+         i < ps.exec_history.size(); ++i)
+      sum += ps.exec_history[i];
+    return sum / static_cast<double>(take);
+  }
+
+  sim::TimeMs exec_time_ms(dag::NodeId slot,
+                           sim::ProcId proc) const override {
+    const App& app = app_of(slot);
+    return app.cost->exec_time_ms(app.dag, slot - app.base,
+                                  system_.processor(proc));
+  }
+
+  sim::TimeMs input_transfer_ms(dag::NodeId slot,
+                                sim::ProcId proc) const override {
+    const App& app = app_of(slot);
+    const dag::NodeId local = slot - app.base;
+    sim::TimeMs worst = 0.0;
+    const sim::Processor& to = system_.processor(proc);
+    for (dag::NodeId pred : app.dag.predecessors(local)) {
+      const sim::ScheduledKernel& rec = node_state_[app.base + pred].record;
+      if (rec.proc == sim::kInvalidProc)
+        throw std::logic_error("StreamEngine: predecessor not yet scheduled");
+      worst = std::max(
+          worst, app.cost->transfer_time_ms(app.dag, pred, local,
+                                            system_.processor(rec.proc), to));
+    }
+    return worst;
+  }
+
+  void assign(dag::NodeId slot, sim::ProcId proc, bool alternative) override {
+    if (!is_idle(proc))
+      throw std::logic_error("StreamEngine::assign: processor " +
+                             system_.processor(proc).name + " is not idle");
+    take_from_ready(slot);
+    start_kernel(slot, proc, alternative);
+  }
+
+  void enqueue(dag::NodeId slot, sim::ProcId proc, bool alternative) override {
+    take_from_ready(slot);
+    NodeState& ns = node_state_[slot];
+    ns.record.assign_time = now_ + system_.config().decision_overhead_ms;
+    ns.record.alternative = alternative;
+    ns.enqueued_at = now_;
+    proc_state_.at(proc).queue.push_back({slot, exec_time_ms(slot, proc)});
+    idle_dirty_ = true;
+  }
+
+ private:
+  static constexpr std::size_t kNoPos = static_cast<std::size_t>(-1);
+  static constexpr std::uint32_t kNoApp = static_cast<std::uint32_t>(-1);
+  /// Bounded per-processor execution history (memory over long runs).
+  static constexpr std::size_t kHistoryCap = 1024;
+
+  struct NodeState {
+    sim::ScheduledKernel record;  ///< record.node holds the LOCAL node id
+    bool ready = false;
+    bool assigned = false;
+    bool done = false;
+    std::uint32_t app = kNoApp;  ///< owning slot in apps_
+    std::size_t remaining_preds = 0;
+    sim::TimeMs enqueued_at = std::numeric_limits<sim::TimeMs>::quiet_NaN();
+  };
+
+  struct QueuedKernel {
+    dag::NodeId slot;
+    sim::TimeMs exec_ms;
+  };
+
+  struct ProcState {
+    std::optional<dag::NodeId> running;
+    std::deque<QueuedKernel> queue;
+    std::deque<sim::TimeMs> exec_history;  ///< newest at the back, capped
+  };
+
+  /// One live application instance.
+  struct App {
+    std::size_t index = 0;  ///< global arrival index
+    sim::TimeMs arrival_ms = 0.0;
+    dag::Dag dag;
+    std::unique_ptr<sim::PrecomputedCostModel> cost;
+    dag::NodeId base = dag::kInvalidNode;  ///< first global slot
+    std::size_t remaining = 0;             ///< kernels not yet completed
+    std::size_t remaining_total = 0;       ///< kernel count (survives dag move)
+    sim::TimeMs lower_bound_ms = 0.0;
+  };
+
+  const App& app_of(dag::NodeId slot) const {
+    const std::uint32_t a = node_state_.at(slot).app;
+    if (a == kNoApp)
+      throw std::logic_error("StreamEngine: slot has no live application");
+    return *apps_[a];
+  }
+
+  // --- slot-range allocator -------------------------------------------------
+
+  /// First-fit over the retired ranges (lowest base wins — deterministic),
+  /// growing the arrays when nothing fits. Ranges merge on release, so a
+  /// steady-state stream of same-sized instances recycles one range
+  /// forever and memory stays proportional to the live backlog.
+  dag::NodeId allocate_slots(std::size_t n) {
+    for (auto it = free_ranges_.begin(); it != free_ranges_.end(); ++it) {
+      if (it->second < n) continue;
+      const dag::NodeId base = it->first;
+      const std::size_t len = it->second;
+      free_ranges_.erase(it);
+      if (len > n)
+        free_ranges_.emplace(base + static_cast<dag::NodeId>(n), len - n);
+      return base;
+    }
+    const dag::NodeId base = static_cast<dag::NodeId>(node_state_.size());
+    node_state_.resize(node_state_.size() + n);
+    ready_pos_.resize(node_state_.size(), kNoPos);
+    return base;
+  }
+
+  void release_slots(dag::NodeId base, std::size_t n) {
+    auto [it, inserted] = free_ranges_.emplace(base, n);
+    (void)inserted;
+    // Merge with the successor range, then with the predecessor.
+    auto next = std::next(it);
+    if (next != free_ranges_.end() &&
+        it->first + static_cast<dag::NodeId>(it->second) == next->first) {
+      it->second += next->second;
+      free_ranges_.erase(next);
+    }
+    if (it != free_ranges_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->first + static_cast<dag::NodeId>(prev->second) == it->first) {
+        prev->second += it->second;
+        free_ranges_.erase(it);
+      }
+    }
+  }
+
+  // --- ready-set bookkeeping (sim::Engine's tombstone scheme) ---------------
+
+  void mark_ready(dag::NodeId slot) {
+    NodeState& ns = node_state_[slot];
+    ns.ready = true;
+    ns.record.ready_time = now_;
+    ready_pos_[slot] = ready_.size();
+    ready_.push_back(slot);
+    ++ready_count_;
+    observation_.queue_depth.observe(now_, ready_count_);
+  }
+
+  void take_from_ready(dag::NodeId slot) {
+    NodeState& ns = node_state_.at(slot);
+    if (!ns.ready || ns.assigned)
+      throw std::logic_error("StreamEngine: slot " + std::to_string(slot) +
+                             " is not in the ready set");
+    ns.assigned = true;
+    ready_[ready_pos_[slot]] = dag::kInvalidNode;
+    ready_pos_[slot] = kNoPos;
+    ++ready_tombstones_;
+    --ready_count_;
+    observation_.queue_depth.observe(now_, ready_count_);
+  }
+
+  void compact_ready() const {
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < ready_.size(); ++i) {
+      const dag::NodeId slot = ready_[i];
+      if (slot == dag::kInvalidNode) continue;
+      ready_pos_[slot] = out;
+      ready_[out++] = slot;
+    }
+    ready_.resize(out);
+    ready_tombstones_ = 0;
+  }
+
+  // --- kernel lifecycle (mirrors sim::Engine) -------------------------------
+
+  void start_kernel(dag::NodeId slot, sim::ProcId proc, bool alternative) {
+    NodeState& ns = node_state_[slot];
+    const sim::SystemConfig& cfg = system_.config();
+    ns.record.proc = proc;
+    ns.record.alternative = alternative;
+    ns.record.assign_time = now_ + cfg.decision_overhead_ms;
+    const sim::TimeMs dispatched =
+        ns.record.assign_time + cfg.dispatch_overhead_ms;
+    ns.record.transfer_ms = transfer_delay(slot, proc, dispatched);
+    ns.record.exec_start = dispatched + ns.record.transfer_ms;
+    ns.record.exec_ms = exec_time_ms(slot, proc);
+    ns.record.finish_time = ns.record.exec_start + ns.record.exec_ms;
+    proc_state_[proc].running = slot;
+    idle_dirty_ = true;
+    events_.push(Event{ns.record.finish_time, slot});
+  }
+
+  void drain_queues() {
+    for (sim::ProcId p = 0; p < proc_state_.size(); ++p) {
+      ProcState& ps = proc_state_[p];
+      if (ps.running.has_value() || ps.queue.empty()) continue;
+      const QueuedKernel next = ps.queue.front();
+      ps.queue.pop_front();
+      start_queued_kernel(next, p);
+    }
+  }
+
+  void start_queued_kernel(const QueuedKernel& queued, sim::ProcId proc) {
+    NodeState& ns = node_state_[queued.slot];
+    const sim::SystemConfig& cfg = system_.config();
+    const sim::TimeMs transfer = input_transfer_ms(queued.slot, proc);
+    const sim::TimeMs data_ready = ns.enqueued_at + cfg.decision_overhead_ms +
+                                   cfg.dispatch_overhead_ms + transfer;
+    ns.record.proc = proc;
+    ns.record.exec_start = std::max(now_, data_ready);
+    ns.record.transfer_ms = std::max(0.0, data_ready - now_);
+    ns.record.exec_ms = queued.exec_ms;
+    ns.record.finish_time = ns.record.exec_start + ns.record.exec_ms;
+    proc_state_[proc].running = queued.slot;
+    idle_dirty_ = true;
+    events_.push(Event{ns.record.finish_time, queued.slot});
+  }
+
+  sim::TimeMs transfer_delay(dag::NodeId slot, sim::ProcId proc,
+                             sim::TimeMs from_time) {
+    if (policy_.transfer_semantics() == sim::TransferSemantics::AtAssignment)
+      return input_transfer_ms(slot, proc);
+    const App& app = app_of(slot);
+    const dag::NodeId local = slot - app.base;
+    sim::TimeMs data_ready = from_time;
+    const sim::Processor& to = system_.processor(proc);
+    for (dag::NodeId pred : app.dag.predecessors(local)) {
+      const sim::ScheduledKernel& rec = node_state_[app.base + pred].record;
+      const sim::TimeMs arrival =
+          rec.finish_time +
+          app.cost->transfer_time_ms(app.dag, pred, local,
+                                     system_.processor(rec.proc), to);
+      data_ready = std::max(data_ready, arrival);
+    }
+    return data_ready - from_time;
+  }
+
+  // --- event loop -----------------------------------------------------------
+
+  void advance_to_next_event(ArrivalProcess& arrivals) {
+    sim::TimeMs t = std::numeric_limits<sim::TimeMs>::infinity();
+    if (!events_.empty()) t = std::min(t, events_.top().time);
+    if (!releases_.empty()) t = std::min(t, releases_.top().time);
+    if (next_arrival_) t = std::min(t, *next_arrival_);
+    now_ = t;
+    while (!events_.empty() && events_.top().time == t) {
+      const dag::NodeId slot = events_.top().slot;
+      events_.pop();
+      complete_kernel(slot);
+    }
+    while (!releases_.empty() && releases_.top().time <= t) {
+      const dag::NodeId slot = releases_.top().slot;
+      releases_.pop();
+      if (node_state_[slot].remaining_preds == 0) mark_ready(slot);
+    }
+    process_arrivals(arrivals);
+    drain_queues();
+  }
+
+  void complete_kernel(dag::NodeId slot) {
+    NodeState& ns = node_state_[slot];
+    ns.done = true;
+    const std::uint32_t app_slot = ns.app;
+    App& app = *apps_[app_slot];
+    --app.remaining;
+
+    ProcState& ps = proc_state_[ns.record.proc];
+    ps.running.reset();
+    idle_dirty_ = true;
+    ps.exec_history.push_back(ns.record.exec_ms);
+    if (ps.exec_history.size() > kHistoryCap) ps.exec_history.pop_front();
+
+    // Window-clipped utilization accounting, folded in as kernels finish so
+    // nothing per-kernel must be retained.
+    const sim::TimeMs busy_from =
+        std::max(ns.record.exec_start, options_.warmup_ms);
+    if (ns.record.finish_time > busy_from) {
+      observation_.busy_in_window_ms[ns.record.proc] +=
+          ns.record.finish_time - busy_from;
+    }
+    if (ns.record.finish_time >= options_.warmup_ms)
+      ++observation_.kernels_in_window[ns.record.proc];
+
+    for (dag::NodeId succ : app.dag.successors(slot - app.base)) {
+      const dag::NodeId succ_slot = app.base + succ;
+      NodeState& ss = node_state_[succ_slot];
+      if (--ss.remaining_preds == 0) {
+        const sim::TimeMs release =
+            app.arrival_ms + app.dag.node(succ).release_ms;
+        if (release <= now_) {
+          mark_ready(succ_slot);
+        } else {
+          releases_.push(Event{release, succ_slot});
+        }
+      }
+    }
+    if (app.remaining == 0) retire(app_slot);
+  }
+
+  void retire(std::uint32_t app_slot) {
+    App& app = *apps_[app_slot];
+    observation_.completed.push_back(sim::StreamAppStats{
+        app.index, app.arrival_ms, now_, app.lower_bound_ms,
+        app.dag.node_count()});
+    if (options_.record_schedules) {
+      StreamAppSchedule schedule;
+      schedule.index = app.index;
+      schedule.arrival_ms = app.arrival_ms;
+      schedule.result.schedule.resize(app.dag.node_count());
+      sim::TimeMs last = 0.0;
+      for (dag::NodeId local = 0; local < app.dag.node_count(); ++local) {
+        schedule.result.schedule[local] = node_state_[app.base + local].record;
+        last = std::max(last, schedule.result.schedule[local].finish_time);
+      }
+      schedule.result.makespan = last;
+      schedule.dag = std::move(app.dag);
+      schedules_.push_back(std::move(schedule));
+    }
+    // Clear ownership before releasing so stale queries fault loudly.
+    for (dag::NodeId local = 0; local < app.remaining_total; ++local)
+      node_state_[app.base + local].app = kNoApp;
+    release_slots(app.base, app.remaining_total);
+    apps_[app_slot].reset();
+    free_app_slots_.push_back(app_slot);
+    --live_count_;
+    observation_.live_apps.observe(now_, live_count_);
+  }
+
+  // --- admission ------------------------------------------------------------
+
+  void pull_next_arrival(ArrivalProcess& arrivals) {
+    if (options_.max_apps != 0 &&
+        observation_.apps_arrived >= options_.max_apps) {
+      next_arrival_ = std::nullopt;
+      return;
+    }
+    next_arrival_ = arrivals.next();
+    if (next_arrival_ && options_.horizon_ms > 0.0 &&
+        *next_arrival_ > options_.horizon_ms)
+      next_arrival_ = std::nullopt;
+  }
+
+  void process_arrivals(ArrivalProcess& arrivals) {
+    while (next_arrival_ && *next_arrival_ <= now_) {
+      admit(*next_arrival_);
+      pull_next_arrival(arrivals);
+    }
+  }
+
+  void admit(sim::TimeMs arrival_ms) {
+    const std::size_t index = observation_.apps_arrived++;
+    dag::Dag dag = source_(index);
+
+    if (dag.empty()) {
+      // A zero-kernel application completes the instant it arrives.
+      observation_.completed.push_back(
+          sim::StreamAppStats{index, arrival_ms, arrival_ms, 0.0, 0});
+      if (options_.record_schedules) {
+        StreamAppSchedule schedule;
+        schedule.index = index;
+        schedule.arrival_ms = arrival_ms;
+        schedules_.push_back(std::move(schedule));
+      }
+      return;
+    }
+    if (live_count_ + 1 > options_.max_live_apps)
+      throw std::runtime_error(
+          "StreamEngine: live-application guard tripped (" +
+          std::to_string(options_.max_live_apps) +
+          " concurrent apps) — the arrival rate exceeds the platform's "
+          "capacity");
+
+    std::uint32_t app_slot;
+    if (!free_app_slots_.empty()) {
+      app_slot = free_app_slots_.back();
+      free_app_slots_.pop_back();
+    } else {
+      app_slot = static_cast<std::uint32_t>(apps_.size());
+      apps_.emplace_back();
+    }
+    apps_[app_slot] = std::make_unique<App>();
+    App& app = *apps_[app_slot];
+    app.index = index;
+    app.arrival_ms = arrival_ms;
+    app.dag = std::move(dag);
+    app.cost = std::make_unique<sim::PrecomputedCostModel>(app.dag, system_,
+                                                           base_cost_);
+    app.lower_bound_ms =
+        sim::makespan_lower_bound_ms(app.dag, system_, *app.cost);
+    app.remaining = app.dag.node_count();
+    app.remaining_total = app.dag.node_count();
+    app.base = allocate_slots(app.dag.node_count());
+
+    for (dag::NodeId local = 0; local < app.dag.node_count(); ++local) {
+      const dag::NodeId slot = app.base + local;
+      NodeState& ns = node_state_[slot];
+      ns = NodeState{};
+      ns.record.node = local;
+      ns.app = app_slot;
+      ns.remaining_preds = app.dag.in_degree(local);
+      if (ns.remaining_preds == 0) {
+        const sim::TimeMs release =
+            arrival_ms + app.dag.node(local).release_ms;
+        if (release <= now_) {
+          mark_ready(slot);
+        } else {
+          releases_.push(Event{release, slot});
+        }
+      }
+    }
+    ++live_count_;
+    observation_.live_apps.observe(now_, live_count_);
+  }
+
+  const sim::System& system_;
+  const sim::CostModel& base_cost_;
+  const DagSource& source_;
+  const StreamOptions& options_;
+  sim::Policy& policy_;
+
+  sim::TimeMs now_ = 0.0;
+  std::vector<NodeState> node_state_;  ///< global slot arrays
+  std::vector<ProcState> proc_state_;
+
+  /// Retired slot ranges, base -> length, adjacent ranges merged.
+  std::map<dag::NodeId, std::size_t> free_ranges_;
+
+  std::vector<std::unique_ptr<App>> apps_;  ///< live table (stable addresses)
+  std::vector<std::uint32_t> free_app_slots_;
+  std::size_t live_count_ = 0;
+
+  mutable std::vector<dag::NodeId> ready_;
+  mutable std::vector<std::size_t> ready_pos_;
+  mutable std::size_t ready_tombstones_ = 0;
+  std::size_t ready_count_ = 0;
+
+  mutable std::vector<sim::ProcId> idle_cache_;
+  mutable bool idle_dirty_ = true;
+
+  EventQueue events_;    ///< kernel completions
+  EventQueue releases_;  ///< future release instants (arrival + offset)
+  std::optional<sim::TimeMs> next_arrival_;
+
+  sim::StreamObservation observation_;
+  std::vector<StreamAppSchedule> schedules_;
+};
+
+StreamEngine::StreamEngine(const sim::System& system,
+                           const sim::CostModel& base_cost, DagSource source,
+                           StreamOptions options)
+    : system_(system),
+      base_cost_(base_cost),
+      source_(std::move(source)),
+      options_(std::move(options)) {
+  options_.validate();
+  if (!source_)
+    throw std::invalid_argument("StreamEngine: DagSource must be callable");
+}
+
+StreamOutcome StreamEngine::run(sim::Policy& policy) {
+  if (!policy.is_dynamic())
+    throw std::invalid_argument(
+        "StreamEngine: policy '" + policy.name() +
+        "' plans statically from the whole DAG, which does not exist in an "
+        "open system — use a dynamic policy");
+  // The same lifecycle every policy sees in the closed-system engine; the
+  // DAG is empty because instances only materialize as they arrive.
+  const dag::Dag no_dag;
+  policy.prepare(no_dag, system_, base_cost_);
+  Context ctx(system_, base_cost_, source_, options_, policy);
+  return ctx.simulate();
+}
+
+}  // namespace apt::stream

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <array>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <stdexcept>
@@ -146,6 +147,20 @@ inline constexpr std::uint64_t stream_seed(std::uint64_t base_seed,
 inline constexpr Rng stream_rng(std::uint64_t base_seed,
                                 std::uint64_t stream) noexcept {
   return Rng(stream_seed(base_seed, stream));
+}
+
+/// One exponentially distributed interval with the given mean, by inverse
+/// CDF: -mean * log(1 - u) where u is exactly one uniform01() draw.
+///
+/// This is THE project-wide Poisson-gap sampler — the deterministic seed
+/// contract shared by dag::apply_poisson_arrivals and
+/// stream::ArrivalProcess: given util::Rng(seed), the k-th arrival gap is
+/// the k-th call of this function, so the same seed always produces the
+/// same arrival sequence in both the single-graph shaper and the
+/// open-system stream engine. uniform01() < 1 keeps the log finite, hence
+/// the gap strictly positive.
+inline double exponential_interval_ms(Rng& rng, double mean_ms) {
+  return -mean_ms * std::log(1.0 - rng.uniform01());
 }
 
 }  // namespace apt::util

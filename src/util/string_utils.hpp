@@ -25,6 +25,11 @@ std::string join(const std::vector<std::string>& parts, const std::string& sep);
 /// Fixed-precision double formatting ("%.3f" style, no trailing garbage).
 std::string format_double(double value, int precision = 3);
 
+/// Escapes a string for embedding in a JSON string literal: quotes,
+/// backslashes, and control characters (the one escaper behind every
+/// hand-rolled JSON exporter in the tree).
+std::string json_escape(const std::string& s);
+
 /// Strict full-string parses; throw std::invalid_argument on failure.
 double parse_double(const std::string& s);
 std::int64_t parse_int(const std::string& s);

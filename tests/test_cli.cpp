@@ -276,6 +276,48 @@ TEST(Cli, SweepUnknownFamilyFails) {
   EXPECT_NE(run_cli("sweep --family not-a-family --policies met"), 0);
 }
 
+TEST(Cli, StreamReportsOpenSystemMetrics) {
+  const std::string out = ::testing::TempDir() + "/aptsim_stream.txt";
+  ASSERT_EQ(run_cli("stream --family type1 --rate 0.002 --duration 4000 "
+                    "--policies apt:4,met --seed 5",
+                    out),
+            0);
+  const std::string text = slurp(out);
+  EXPECT_NE(text.find("thrpt/s"), std::string::npos);
+  EXPECT_NE(text.find("slowdown"), std::string::npos);
+  EXPECT_NE(text.find("APT(alpha=4.00)"), std::string::npos);
+  std::filesystem::remove(out);
+}
+
+TEST(Cli, StreamIsBitIdenticalAcrossJobCounts) {
+  // The acceptance bar: the full exported cell grid — every flow/slowdown/
+  // utilization digit — must match byte for byte between worker counts.
+  const std::string csv1 = ::testing::TempDir() + "/aptsim_stream_j1.csv";
+  const std::string csv8 = ::testing::TempDir() + "/aptsim_stream_j8.csv";
+  const std::string json1 = ::testing::TempDir() + "/aptsim_stream_j1.json";
+  const std::string json8 = ::testing::TempDir() + "/aptsim_stream_j8.json";
+  const std::string flags =
+      "stream --family layered,forkjoin --rate 0.002,0.01 "
+      "--policies apt:4,met,ag --kernels 18 --duration 3000 --seed 7 ";
+  ASSERT_EQ(run_cli(flags + "--jobs 1 --csv " + quoted(csv1) + " --json " +
+                    quoted(json1)),
+            0);
+  ASSERT_EQ(run_cli(flags + "--jobs 8 --csv " + quoted(csv8) + " --json " +
+                    quoted(json8)),
+            0);
+  const std::string text1 = slurp(csv1);
+  EXPECT_EQ(text1, slurp(csv8));
+  EXPECT_FALSE(text1.empty());
+  EXPECT_EQ(slurp(json1), slurp(json8));
+  for (const auto& f : {csv1, csv8, json1, json8})
+    std::filesystem::remove(f);
+}
+
+TEST(Cli, StreamRejectsStaticPolicies) {
+  EXPECT_NE(run_cli("stream --family type1 --policies heft --duration 1000"),
+            0);
+}
+
 TEST(Cli, PoliciesListsSpecs) {
   const std::string out = ::testing::TempDir() + "/aptsim_policies.txt";
   ASSERT_EQ(run_cli("policies", out), 0);
