@@ -1,0 +1,123 @@
+// Contention-path benchmark: wall-clock of the engines with the src/net
+// comm phase engaged, across the topology zoo — the CI trajectory and
+// perf-regression gate for the interconnect subsystem.
+//
+// Two workloads per topology:
+//   * a closed-system scenario sweep (layered + type2 graphs, APT/AG/HEFT
+//     columns) through core::BatchRunner — the list-scheduler + engine
+//     comm hot path;
+//   * an open-system stream slice (Poisson arrivals, APT/AG) through
+//     core::run_stream_plan — the slot-engine comm hot path.
+// The ideal rows benchmark the zero-cost fast path, so a regression that
+// slows the legacy engines (not just the new comm phase) is caught too.
+//
+//   bench_net_contention [--jobs N] [--json FILE]
+//
+// --json writes google-benchmark-shaped rows (bench::TrajectoryJson) diffed
+// by scripts/bench_gate.py against bench/baselines/BENCH_net_contention.json
+// (>25% median regression fails CI).
+#include "bench_common.hpp"
+
+#include "core/batch.hpp"
+#include "core/stream_plan.hpp"
+#include "net/topology.hpp"
+
+using namespace apt;
+
+int main(int argc, char** argv) {
+  const std::size_t jobs = bench::jobs_from_args(argc, argv);
+  const std::string json_path = bench::json_path_from_args(argc, argv);
+
+  bench::heading(
+      "Interconnect contention — engine wall-clock across the topology "
+      "zoo");
+  bench::note(
+      "Closed: 12 layered+type2 graphs x {apt:4, ag, heft} on a synthetic\n"
+      "platform (ccr 1, hetero 4). Open: Poisson stream, 60 s horizon,\n"
+      "{apt:4, ag}. Bandwidth 1 GB/s, latency 0.05 ms on contended kinds.");
+
+  const std::vector<std::string> topologies = {"ideal", "bus", "crossbar",
+                                               "hier:2"};
+  const core::BatchRunner runner(jobs);
+  bench::TrajectoryJson trajectory("bench_net_contention", jobs);
+  util::TablePrinter table(
+      {"topology", "sweep wall ms", "avg makespan ms", "stream wall ms",
+       "stream flow avg ms"});
+
+  const bench::Stopwatch total;
+  for (const std::string& name : topologies) {
+    net::TopologySpec topology = net::parse_topology_spec(name);
+    if (topology.kind != net::TopologyKind::Ideal) {
+      topology.bandwidth_gbps = 1.0;
+      topology.latency_ms = 0.05;
+    }
+
+    // Closed-system sweep.
+    core::ScenarioSweepSpec spec;
+    spec.families = {"layered", "type2"};
+    spec.graphs_per_family = 6;
+    spec.kernel_counts = {24, 46};
+    spec.graph_seed = 11;
+    lut::SyntheticLutSpec platform;
+    platform.ccr = 1.0;
+    platform.heterogeneity = 4.0;
+    platform.seed = 11;
+    spec.synthetic = platform;
+    spec.topology = topology;
+    const core::ExperimentPlan plan =
+        core::make_scenario_plan(spec, {"apt:4", "ag", "heft"}, {4.0});
+    const bench::Stopwatch sweep_clock;
+    const core::BatchResult result = runner.run(plan);
+    const double sweep_ms = sweep_clock.elapsed_ms();
+    double makespan_sum = 0.0;
+    for (const core::Cell& cell : result.cells)
+      makespan_sum += cell.makespan_ms;
+    const double avg_makespan =
+        makespan_sum / static_cast<double>(result.cells.size());
+
+    // Open-system stream slice.
+    core::StreamPlan stream_plan;
+    stream_plan.families = {"layered"};
+    stream_plan.rates_per_ms = {0.0001};
+    stream_plan.policy_specs = {"apt:4", "ag"};
+    stream_plan.kernels = 46;
+    stream_plan.horizon_ms = 60000.0;
+    stream_plan.warmup_ms = 6000.0;
+    stream_plan.base_seed = 11;
+    stream_plan.table = lut::synthetic_lookup_table(platform);
+    stream_plan.base_system.topology = topology;
+    const bench::Stopwatch stream_clock;
+    const core::StreamBatchResult stream_result =
+        core::run_stream_plan(stream_plan, runner);
+    const double stream_ms = stream_clock.elapsed_ms();
+    double flow_sum = 0.0;
+    for (const core::StreamCellResult& cell : stream_result.cells)
+      flow_sum += cell.metrics.flow_ms.avg;
+    const double avg_flow =
+        flow_sum / static_cast<double>(stream_result.cells.size());
+
+    const std::string label = topology.label();
+    table.add_row({label, util::format_double(sweep_ms, 2),
+                   util::format_double(avg_makespan, 1),
+                   util::format_double(stream_ms, 2),
+                   util::format_double(avg_flow, 1)});
+    trajectory.add("net/sweep/" + label, sweep_ms,
+                   {{"avg_makespan_ms", avg_makespan}});
+    trajectory.add("net/stream/" + label, stream_ms,
+                   {{"flow_avg_ms", avg_flow}});
+  }
+  const double total_ms = total.elapsed_ms();
+  std::cout << table.to_string();
+  bench::report_wall_clock(total_ms, jobs);
+  bench::note(
+      "Reading: the ideal rows are the legacy zero-cost fast path; the\n"
+      "contended rows add the transfer-manager comm phase. Makespans and\n"
+      "flows grow from ideal -> crossbar -> hier -> bus as the fabric\n"
+      "serialises more of the edge traffic.");
+
+  if (!json_path.empty()) {
+    trajectory.add("net/total", total_ms);
+    if (!trajectory.write(json_path)) return 1;
+  }
+  return 0;
+}

@@ -4,8 +4,10 @@
 // CI trajectory artifact for the scenario-generation subsystem.
 //
 //   bench_scenario_families [--jobs N] [--json FILE]
-#include <fstream>
-
+//
+// --json writes the rows in google-benchmark shape (bench::TrajectoryJson,
+// one row per family with avg-makespan ride-alongs), the same parser
+// surface as bench_streaming and bench_net_contention.
 #include "bench_common.hpp"
 #include "core/batch.hpp"
 #include "scenario/scenario.hpp"
@@ -78,25 +80,16 @@ int main(int argc, char** argv) {
   bench::report_wall_clock(total_ms, jobs);
 
   if (!json_path.empty()) {
-    std::ofstream out(json_path, std::ios::binary);
-    if (!out) {
-      std::cerr << argv[0] << ": error: cannot open '" << json_path << "'\n";
-      return 1;
+    bench::TrajectoryJson trajectory("bench_scenario_families", jobs);
+    for (const FamilyRow& row : rows) {
+      std::vector<std::pair<std::string, double>> extras;
+      for (std::size_t p = 0; p < policies.size(); ++p)
+        extras.emplace_back("avg_makespan_ms/" + policies[p],
+                            row.avg_makespan_ms[p]);
+      trajectory.add("scenario/" + row.family, row.wall_ms, extras);
     }
-    out << "{\n  \"jobs\": " << jobs << ",\n  \"total_wall_ms\": "
-        << util::format_double(total_ms, 3) << ",\n  \"families\": [\n";
-    for (std::size_t f = 0; f < rows.size(); ++f) {
-      out << "    {\"family\": \"" << rows[f].family << "\", \"wall_ms\": "
-          << util::format_double(rows[f].wall_ms, 3) << ", \"policies\": [";
-      for (std::size_t p = 0; p < policies.size(); ++p) {
-        if (p) out << ", ";
-        out << "{\"spec\": \"" << policies[p] << "\", \"avg_makespan_ms\": "
-            << util::format_double(rows[f].avg_makespan_ms[p], 6) << "}";
-      }
-      out << "]}" << (f + 1 < rows.size() ? "," : "") << "\n";
-    }
-    out << "  ]\n}\n";
-    std::cout << "trajectory written to " << json_path << "\n";
+    trajectory.add("scenario/total", total_ms);
+    if (!trajectory.write(json_path)) return 1;
   }
   return 0;
 }

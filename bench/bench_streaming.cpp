@@ -17,8 +17,6 @@
 // tracking.
 #include "bench_common.hpp"
 
-#include <fstream>
-
 #include "core/stream_plan.hpp"
 
 using namespace apt;
@@ -93,38 +91,21 @@ int main(int argc, char** argv) {
       "DAG.");
 
   if (!json_path.empty()) {
-    std::ofstream out(json_path, std::ios::binary);
-    if (!out) {
-      std::cerr << argv[0] << ": error: cannot open '" << json_path << "'\n";
-      return 1;
-    }
-    out << "{\n  \"context\": {\"executable\": \"bench_streaming\", "
-        << "\"jobs\": " << jobs << "},\n  \"benchmarks\": [\n";
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      const Row& row = rows[i];
-      out << "    {\"name\": \"" << util::json_escape(row.name)
-          << "\", \"run_type\": \"iteration\", \"real_time\": "
-          << util::format_double(row.wall_ms, 3)
-          << ", \"cpu_time\": " << util::format_double(row.wall_ms, 3)
-          << ", \"time_unit\": \"ms\"";
+    bench::TrajectoryJson trajectory("bench_streaming", jobs);
+    for (const Row& row : rows) {
+      std::vector<std::pair<std::string, double>> extras;
       for (const core::StreamCellResult& cell : row.cells) {
-        const sim::StreamMetrics& m = cell.metrics;
-        out << ", \"flow_avg_ms/" << util::json_escape(cell.policy_name)
-            << "\": " << util::format_double(m.flow_ms.avg, 3)
-            << ", \"slowdown_avg/" << util::json_escape(cell.policy_name)
-            << "\": " << util::format_double(m.slowdown.avg, 4);
+        extras.emplace_back("flow_avg_ms/" + cell.policy_name,
+                            cell.metrics.flow_ms.avg);
+        extras.emplace_back("slowdown_avg/" + cell.policy_name,
+                            cell.metrics.slowdown.avg);
       }
-      out << "}" << (i + 1 < rows.size() ? ",\n" : "\n");
+      trajectory.add(row.name, row.wall_ms, extras);
     }
     // One whole-grid entry so the gate sees an aggregate even if the grid
     // changes shape.
-    out << "  ,\n    {\"name\": \"stream/total\", \"run_type\": "
-           "\"iteration\", \"real_time\": "
-        << util::format_double(total_ms, 3)
-        << ", \"cpu_time\": " << util::format_double(total_ms, 3)
-        << ", \"time_unit\": \"ms\"}\n";
-    out << "  ]\n}\n";
-    std::cout << "benchmarks written to " << json_path << "\n";
+    trajectory.add("stream/total", total_ms);
+    if (!trajectory.write(json_path)) return 1;
   }
   return 0;
 }

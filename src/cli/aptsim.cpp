@@ -29,6 +29,7 @@
 #include "dag/serialize.hpp"
 #include "lut/paper_data.hpp"
 #include "lut/synthetic.hpp"
+#include "net/topology.hpp"
 #include "scenario/scenario.hpp"
 #include "sim/analysis.hpp"
 #include "sim/gantt.hpp"
@@ -71,6 +72,19 @@ Args parse_args(int argc, char** argv) {
     args.options[key] = argv[++i];
   }
   return args;
+}
+
+/// The interconnect described by --topology/--bandwidth/--latency (see
+/// src/net): ideal (default, uncontended), bus, crossbar, or hier[:S].
+/// --bandwidth 0 (the default) tracks the link rate, so --rates sweeps the
+/// fabric too.
+net::TopologySpec topology_from_args(const Args& args) {
+  net::TopologySpec spec =
+      net::parse_topology_spec(args.get("topology", "ideal"));
+  spec.bandwidth_gbps = util::parse_double(args.get("bandwidth", "0"));
+  spec.latency_ms = util::parse_double(args.get("latency", "0"));
+  spec.validate();
+  return spec;
 }
 
 /// The synthetic platform described by --ccr / --hetero / --lut-seed,
@@ -190,11 +204,14 @@ int cmd_run(const Args& args) {
   const dag::Dag graph =
       graph_from_args(args, dag::KernelPool::from_lookup_table(table));
   const std::string spec = args.get("policy", "apt:4");
-  const sim::System system(sim::SystemConfig::paper_default(rate));
+  sim::SystemConfig config = sim::SystemConfig::paper_default(rate);
+  config.topology = topology_from_args(args);
+  const sim::System system(config);
   const auto policy = core::make_policy(spec);
   const auto outcome = core::run_policy(*policy, graph, system, table);
 
   std::cout << "policy:    " << outcome.policy_name << "\n";
+  std::cout << "topology:  " << system.topology().spec().label() << "\n";
   std::cout << "kernels:   " << graph.node_count() << "\n";
   std::cout << "makespan:  " << util::format_double(outcome.metrics.makespan, 3)
             << " ms\n";
@@ -223,6 +240,21 @@ int cmd_run(const Args& args) {
   std::cout << "energy:    "
             << util::format_double(outcome.metrics.total_energy_j, 1)
             << " J\n";
+  if (!outcome.metrics.per_link.empty()) {
+    std::cout << "comm:      busy "
+              << util::format_double(outcome.metrics.comm_busy_ms, 3)
+              << " ms, overlap with compute "
+              << util::format_double(outcome.metrics.comm_compute_overlap_ms,
+                                     3)
+              << " ms\n";
+    for (const auto& link : outcome.metrics.per_link) {
+      std::cout << "  link " << link.name << ": busy "
+                << util::format_double(link.busy_ms, 3) << " ms ("
+                << util::format_double(link.utilization * 100.0, 1) << "%), "
+                << util::format_double(link.bytes / 1e6, 2) << " MB over "
+                << link.transfer_count << " transfers\n";
+    }
+  }
   if (args.has("trace")) {
     std::cout << "\n"
               << sim::format_trace(system,
@@ -311,8 +343,10 @@ void for_each_sweep_cell(const core::BatchResult& result, Fn&& fn) {
 /// knowing the plan's expansion order.
 std::string sweep_to_json(const core::BatchResult& result,
                           const std::string& type_name,
-                          const std::vector<std::string>& graph_labels) {
+                          const std::vector<std::string>& graph_labels,
+                          const std::string& topology_label) {
   std::string out = "{\n  \"workload\": \"" + json_escape(type_name) + "\",\n";
+  out += "  \"topology\": \"" + json_escape(topology_label) + "\",\n";
   out += "  \"policies\": [";
   for (std::size_t p = 0; p < result.policy_count; ++p) {
     if (p) out += ", ";
@@ -380,11 +414,13 @@ int cmd_sweep(const Args& args) {
     rates.push_back(util::parse_double(r));
 
   const std::uint64_t seed = util::parse_uint(args.get("seed", "0"));
+  const net::TopologySpec topology = topology_from_args(args);
   std::string workload_name;
   std::vector<std::string> graph_labels;  // per-graph, for the exporters
   core::ExperimentPlan plan;
   if (family_mode) {
     core::ScenarioSweepSpec spec;
+    spec.topology = topology;
     spec.families.clear();
     for (const auto& f : util::split(args.get("family", ""), ','))
       if (!util::trim(f).empty()) spec.families.push_back(util::trim(f));
@@ -402,6 +438,7 @@ int cmd_sweep(const Args& args) {
     graph_labels = core::scenario_graph_labels(spec);
   } else {
     plan = core::ExperimentPlan::paper(dfg, specs, rates);
+    plan.base_system.topology = topology;
     workload_name = dag::to_string(dfg);
     graph_labels.assign(plan.graphs.size(), workload_name);
   }
@@ -451,25 +488,28 @@ int cmd_sweep(const Args& args) {
                      std::to_string(wins)});
     }
   }
-  std::cout << "sweep, " << workload_name << ", "
-            << result.graph_count << " graphs x " << result.policy_count
-            << " policies x " << result.rate_count << " rates x "
-            << result.replications << " reps = " << result.cells.size()
-            << " runs in " << util::format_double(elapsed_ms, 1) << " ms ("
-            << runner.jobs() << " jobs)\n"
+  std::cout << "sweep, " << workload_name << ", topology "
+            << topology.label() << ", " << result.graph_count << " graphs x "
+            << result.policy_count << " policies x " << result.rate_count
+            << " rates x " << result.replications << " reps = "
+            << result.cells.size() << " runs in "
+            << util::format_double(elapsed_ms, 1) << " ms (" << runner.jobs()
+            << " jobs)\n"
             << table.to_string();
 
   if (args.has("csv")) {
-    util::CsvTable csv({"replication", "rate_gbps", "graph", "workload",
-                        "policy", "spec", "makespan_ms", "lambda_total_ms",
-                        "lambda_avg_ms", "lambda_stddev_ms", "alternatives"});
+    util::CsvTable csv({"replication", "rate_gbps", "topology", "graph",
+                        "workload", "policy", "spec", "makespan_ms",
+                        "lambda_total_ms", "lambda_avg_ms",
+                        "lambda_stddev_ms", "alternatives"});
     for_each_sweep_cell(result, [&](std::size_t rep, std::size_t r,
                                     std::size_t g, std::size_t p,
                                     const core::Cell& cell) {
       csv.add_row({std::to_string(rep),
                    util::format_double(result.rates_gbps[r], 3),
-                   std::to_string(g + 1), graph_labels.at(g),
-                   result.policy_names[p], result.policy_specs[p],
+                   topology.label(), std::to_string(g + 1),
+                   graph_labels.at(g), result.policy_names[p],
+                   result.policy_specs[p],
                    util::format_double(cell.makespan_ms, 6),
                    util::format_double(cell.lambda_total_ms, 6),
                    util::format_double(cell.lambda_avg_ms, 6),
@@ -484,7 +524,8 @@ int cmd_sweep(const Args& args) {
     if (!out)
       throw std::runtime_error("sweep: cannot open '" +
                                args.get("json", "") + "'");
-    out << sweep_to_json(result, workload_name, graph_labels);
+    out << sweep_to_json(result, workload_name, graph_labels,
+                         topology.label());
     std::cout << "cells written to " << args.get("json", "") << "\n";
   }
   return 0;
@@ -521,7 +562,9 @@ int cmd_stream(const Args& args) {
   plan.base_seed = util::parse_uint(args.get("seed", "0"));
   const double link_rate = util::parse_double(args.get("link-rate", "4"));
   plan.base_system = sim::SystemConfig::paper_default(link_rate);
+  plan.base_system.topology = topology_from_args(args);
   plan.table = table_from_args(args, {link_rate});
+  const std::string topology_label = plan.base_system.topology.label();
 
   const std::size_t jobs =
       static_cast<std::size_t>(util::parse_uint(args.get("jobs", "1")));
@@ -539,9 +582,9 @@ int cmd_stream(const Args& args) {
             << result.cells.size() << " cells in "
             << util::format_double(elapsed_ms, 1) << " ms (" << runner.jobs()
             << " jobs), arrivals " << stream::to_string(plan.arrival_kind)
-            << ", horizon " << util::format_double(plan.horizon_ms, 0)
-            << " ms, warmup " << util::format_double(plan.warmup_ms, 0)
-            << " ms\n";
+            << ", topology " << topology_label << ", horizon "
+            << util::format_double(plan.horizon_ms, 0) << " ms, warmup "
+            << util::format_double(plan.warmup_ms, 0) << " ms\n";
   util::TablePrinter table({"family", "rate/ms", "policy", "apps",
                             "thrpt/s", "flow avg ms", "flow p95 ms",
                             "slowdown", "util %", "qdepth avg"});
@@ -560,7 +603,8 @@ int cmd_stream(const Args& args) {
 
   if (args.has("csv")) {
     util::CsvTable csv(
-        {"family", "rate_per_ms", "policy", "spec", "apps_arrived",
+        {"family", "rate_per_ms", "topology", "policy", "spec",
+         "apps_arrived",
          "apps_completed", "apps_measured", "throughput_apps_per_s",
          "flow_avg_ms", "flow_p50_ms", "flow_p95_ms", "flow_max_ms",
          "slowdown_avg", "slowdown_p50", "slowdown_p95", "slowdown_max",
@@ -569,7 +613,7 @@ int cmd_stream(const Args& args) {
     for (const core::StreamCellResult& cell : result.cells) {
       const sim::StreamMetrics& m = cell.metrics;
       csv.add_row({cell.family, util::format_double(cell.rate_per_ms, 6),
-                   cell.policy_name, cell.policy_spec,
+                   topology_label, cell.policy_name, cell.policy_spec,
                    std::to_string(m.apps_arrived),
                    std::to_string(m.apps_completed),
                    std::to_string(m.apps_measured),
@@ -599,7 +643,8 @@ int cmd_stream(const Args& args) {
       throw std::runtime_error("stream: cannot open '" +
                                args.get("json", "") + "'");
     out << "{\n  \"workload\": \"stream\",\n  \"arrivals\": \""
-        << stream::to_string(plan.arrival_kind) << "\",\n  \"cells\": [\n";
+        << stream::to_string(plan.arrival_kind) << "\",\n  \"topology\": \""
+        << json_escape(topology_label) << "\",\n  \"cells\": [\n";
     for (std::size_t i = 0; i < result.cells.size(); ++i) {
       const core::StreamCellResult& cell = result.cells[i];
       const sim::StreamMetrics& m = cell.metrics;
@@ -671,6 +716,22 @@ int cmd_policies() {
   return 0;
 }
 
+// Build info injected by CMake (git describe + CMAKE_BUILD_TYPE); the
+// fallbacks keep non-CMake builds (e.g. a bare compiler invocation)
+// working.
+#ifndef APTSIM_GIT_DESCRIBE
+#define APTSIM_GIT_DESCRIBE "unknown"
+#endif
+#ifndef APTSIM_BUILD_TYPE
+#define APTSIM_BUILD_TYPE "unknown"
+#endif
+
+int cmd_version() {
+  std::cout << "aptsim " << APTSIM_GIT_DESCRIBE << " (" << APTSIM_BUILD_TYPE
+            << " build)\n";
+  return 0;
+}
+
 void usage() {
   std::cout <<
       "aptsim — heterogeneous-scheduling simulator (APT reproduction)\n"
@@ -683,6 +744,8 @@ void usage() {
       "  aptsim run --policy SPEC [--graph F | --family NAME | --type T]\n"
       "             [--kernels N] [--seed S] [--rate GBPS]\n"
       "             [--lut F.csv | --ccr X --hetero H --lut-seed S]\n"
+      "             [--topology ideal|bus|crossbar|hier[:S]]\n"
+      "             [--bandwidth GBPS] [--latency MS]\n"
       "             [--arrivals MEAN_MS] [--trace] [--gantt] [--analyze]\n"
       "             [--csv F]\n"
       "  aptsim compare [--type T] [--alpha A] [--rate GBPS]\n"
@@ -690,6 +753,8 @@ void usage() {
       "               [--kernels N,...] [--ccr X] [--hetero H]\n"
       "               [--lut-seed S]] [--policies SPEC,...]\n"
       "               [--alphas 1.5,2,4] [--rates 4,8] [--jobs N] [--reps R]\n"
+      "               [--topology ideal|bus|crossbar|hier[:S]]\n"
+      "               [--bandwidth GBPS] [--latency MS]\n"
       "               [--seed S] [--csv F] [--json F]\n"
       "  aptsim stream [--family NAME,...] [--rate L,... (apps/ms)]\n"
       "               [--policies SPEC,...] [--kernels N]\n"
@@ -697,11 +762,14 @@ void usage() {
       "               [--warmup MS] [--max-apps N] [--seed S]\n"
       "               [--link-rate GBPS]\n"
       "               [--lut F.csv | --ccr X --hetero H --lut-seed S]\n"
+      "               [--topology ideal|bus|crossbar|hier[:S]]\n"
+      "               [--bandwidth GBPS] [--latency MS]\n"
       "               [--jobs N] [--csv F] [--json F]\n"
       "  aptsim families\n"
       "  aptsim lut [--csv F]\n"
       "  aptsim report [--out-dir D] [--alpha A]\n"
-      "  aptsim policies\n";
+      "  aptsim policies\n"
+      "  aptsim version | --version\n";
 }
 
 }  // namespace
@@ -720,6 +788,8 @@ int main(int argc, char** argv) {
     if (args.command == "lut") return cmd_lut(args);
     if (args.command == "report") return cmd_report(args);
     if (args.command == "policies") return cmd_policies();
+    if (args.command == "version" || args.command == "--version")
+      return cmd_version();
     usage();
     return args.command.empty() ? 0 : 1;
   } catch (const std::exception& e) {

@@ -116,6 +116,12 @@ struct ScenarioSweepSpec {
   /// pool come from synthetic_lookup_table(*synthetic); otherwise the
   /// paper's measured table.
   std::optional<lut::SyntheticLutSpec> synthetic;
+
+  /// Interconnect topology of the platform (src/net). Default ideal keeps
+  /// the uncontended behaviour; any other kind turns the scenario cube
+  /// into family × CCR × heterogeneity × topology, with the plan's rate
+  /// axis sweeping the fabric bandwidth when the spec's own bandwidth is 0.
+  net::TopologySpec topology;
 };
 
 /// Expands a scenario spec into a plan with graphs and table filled in.

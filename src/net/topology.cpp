@@ -1,0 +1,187 @@
+#include "net/topology.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/string_utils.hpp"
+
+namespace apt::net {
+
+const char* to_string(TopologyKind kind) noexcept {
+  switch (kind) {
+    case TopologyKind::Ideal:
+      return "ideal";
+    case TopologyKind::Bus:
+      return "bus";
+    case TopologyKind::Crossbar:
+      return "crossbar";
+    case TopologyKind::Hierarchical:
+      return "hier";
+  }
+  return "?";
+}
+
+std::string TopologySpec::label() const {
+  std::string out = to_string(kind);
+  if (kind == TopologyKind::Hierarchical)
+    out += std::to_string(socket_size);
+  return out;
+}
+
+void TopologySpec::validate() const {
+  if (bandwidth_gbps < 0.0)
+    throw std::invalid_argument("TopologySpec: bandwidth must be >= 0");
+  if (latency_ms < 0.0)
+    throw std::invalid_argument("TopologySpec: latency must be >= 0");
+  if (kind == TopologyKind::Hierarchical && socket_size == 0)
+    throw std::invalid_argument("TopologySpec: socket size must be >= 1");
+}
+
+TopologySpec parse_topology_spec(const std::string& name) {
+  const std::string token = util::to_lower(util::trim(name));
+  TopologySpec spec;
+  if (token == "ideal" || token.empty()) {
+    spec.kind = TopologyKind::Ideal;
+    return spec;
+  }
+  if (token == "bus") {
+    spec.kind = TopologyKind::Bus;
+    return spec;
+  }
+  if (token == "crossbar" || token == "xbar") {
+    spec.kind = TopologyKind::Crossbar;
+    return spec;
+  }
+  // "hier" / "hier:S" / "hierS" (the label() form, so exported topology
+  // columns round-trip back through --topology) — likewise for "socket".
+  const auto parse_hier = [&spec, &token](const std::string& prefix) {
+    if (token.compare(0, prefix.size(), prefix) != 0) return false;
+    std::string arg = token.substr(prefix.size());
+    if (!arg.empty() && arg.front() == ':') arg.erase(0, 1);
+    spec.kind = TopologyKind::Hierarchical;
+    if (!arg.empty()) {
+      // Digits only: strtoul would silently wrap "-1" to ULONG_MAX, which
+      // collapses every processor into one socket (a free-comm machine).
+      char* end = nullptr;
+      const unsigned long v =
+          arg.find_first_not_of("0123456789") == std::string::npos
+              ? std::strtoul(arg.c_str(), &end, 10)
+              : 0;
+      if (end == nullptr || *end != '\0' || v == 0)
+        throw std::invalid_argument(
+            "parse_topology_spec: bad socket size in '" + token + "'");
+      spec.socket_size = static_cast<std::size_t>(v);
+    }
+    return true;
+  };
+  if (parse_hier("hier") || parse_hier("socket")) return spec;
+  throw std::invalid_argument(
+      "parse_topology_spec: unknown topology '" + name +
+      "' (known: ideal, bus, crossbar, hier[:S])");
+}
+
+Topology::Topology(const TopologySpec& spec, std::size_t proc_count,
+                   double default_bandwidth_gbps)
+    : spec_(spec), proc_count_(proc_count) {
+  spec_.validate();
+  if (proc_count_ == 0)
+    throw std::invalid_argument("Topology: need at least one processor");
+  bandwidth_gbps_ = spec_.bandwidth_gbps > 0.0 ? spec_.bandwidth_gbps
+                                               : default_bandwidth_gbps;
+  if (contended() && !(bandwidth_gbps_ > 0.0))
+    throw std::invalid_argument(
+        "Topology: contended kinds need a positive bandwidth");
+
+  const std::size_t p = proc_count_;
+  link_of_.assign(p * p, kNoLink);
+  if (spec_.kind == TopologyKind::Bus) {
+    for (std::size_t from = 0; from < p; ++from)
+      for (std::size_t to = 0; to < p; ++to)
+        if (from != to) link_of_[from * p + to] = 0;
+    link_count_ = p > 1 ? 1 : 0;
+    if (link_count_ > 0) link_names_.push_back("bus");
+  } else if (spec_.kind == TopologyKind::Crossbar) {
+    LinkId next = 0;
+    for (std::size_t from = 0; from < p; ++from) {
+      for (std::size_t to = 0; to < p; ++to) {
+        if (from == to) continue;
+        link_of_[from * p + to] = next;
+        link_names_.push_back("P" + std::to_string(from) + ">P" +
+                              std::to_string(to));
+        ++next;
+      }
+    }
+    link_count_ = next;
+  } else if (spec_.kind == TopologyKind::Hierarchical) {
+    const std::size_t sockets =
+        (p + spec_.socket_size - 1) / spec_.socket_size;
+    // One link per ordered socket pair, allocated in (from, to) order so
+    // link ids are deterministic.
+    std::vector<LinkId> socket_link(sockets * sockets, kNoLink);
+    LinkId next = 0;
+    for (std::size_t sf = 0; sf < sockets; ++sf) {
+      for (std::size_t st = 0; st < sockets; ++st) {
+        if (sf == st) continue;
+        socket_link[sf * sockets + st] = next;
+        link_names_.push_back("S" + std::to_string(sf) + ">S" +
+                              std::to_string(st));
+        ++next;
+      }
+    }
+    for (std::size_t from = 0; from < p; ++from) {
+      for (std::size_t to = 0; to < p; ++to) {
+        if (from == to) continue;
+        const std::size_t sf = from / spec_.socket_size;
+        const std::size_t st = to / spec_.socket_size;
+        if (sf == st) continue;  // same socket: local
+        link_of_[from * p + to] = socket_link[sf * sockets + st];
+      }
+    }
+    link_count_ = next;
+  }
+  // A "contended" fabric with no links on a multi-processor platform is a
+  // silent free-communication machine (every pair local) — certainly not
+  // what a user asking for a hierarchy meant. Single-processor platforms
+  // are exempt: they have no pairs to connect under any kind.
+  if (contended() && link_count_ == 0 && proc_count_ > 1)
+    throw std::invalid_argument(
+        "Topology: hier socket size " + std::to_string(spec_.socket_size) +
+        " covers all " + std::to_string(proc_count_) +
+        " processors — every transfer would be free; use 'ideal' or a "
+        "smaller socket");
+}
+
+LinkId Topology::link(ProcId from, ProcId to) const {
+  if (from >= proc_count_ || to >= proc_count_)
+    throw std::out_of_range("Topology: processor id out of range");
+  return link_of_[static_cast<std::size_t>(from) * proc_count_ + to];
+}
+
+double Topology::bandwidth_gbps(LinkId link) const {
+  if (link >= link_count_)
+    throw std::out_of_range("Topology: link id out of range");
+  return bandwidth_gbps_;
+}
+
+TimeMs Topology::latency_ms(LinkId link) const {
+  if (link >= link_count_)
+    throw std::out_of_range("Topology: link id out of range");
+  return spec_.latency_ms;
+}
+
+std::string Topology::link_name(LinkId link) const {
+  if (link >= link_count_)
+    throw std::out_of_range("Topology: link id out of range");
+  return link_names_[link];
+}
+
+TimeMs Topology::transfer_time_ms(double bytes, ProcId from, ProcId to) const {
+  if (bytes < 0.0)
+    throw std::invalid_argument("Topology: negative byte count");
+  const LinkId l = link(from, to);
+  if (l == kNoLink) return 0.0;
+  // GB/s == bytes/ns; ms = bytes / (rate_GBps * 1e6).
+  return spec_.latency_ms + bytes / (bandwidth_gbps(l) * 1e6);
+}
+
+}  // namespace apt::net

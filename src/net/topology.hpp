@@ -1,0 +1,116 @@
+// Interconnect topologies: which link (if any) a processor-pair transfer
+// occupies, and how fast that link is.
+//
+// The paper's cost model prices every transfer against an uncontended
+// point-to-point PCIe rate, so schedules implicitly assume an infinitely
+// parallel fabric. This module makes the fabric a first-class, *contended*
+// resource: a Topology maps each ordered processor pair to a shared link
+// with a bandwidth and latency (or declares the pair local, i.e. free), and
+// net::TransferManager simulates the messages that flow over those links
+// with fair bandwidth sharing.
+//
+// Four topology kinds:
+//   ideal     no links at all — transfers are whatever the cost model says,
+//             uncontended (the pre-net engine behaviour, bit for bit)
+//   bus       one link shared by every inter-processor transfer
+//   crossbar  one private link per ordered processor pair (full bisection;
+//             contention only between transfers of the same pair)
+//   hier      two-level socket model: processors are grouped into sockets
+//             of `socket_size`; intra-socket transfers are local (free),
+//             inter-socket transfers share one link per ordered socket pair
+//
+// This header sits below sim/ in the layer stack (sim/system.hpp embeds a
+// Topology), so it deliberately redefines the two primitive aliases instead
+// of including sim headers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace apt::net {
+
+using ProcId = std::uint32_t;   ///< == sim::ProcId
+using TimeMs = double;          ///< == sim::TimeMs
+using LinkId = std::uint32_t;
+inline constexpr LinkId kNoLink = static_cast<LinkId>(-1);
+
+enum class TopologyKind { Ideal, Bus, Crossbar, Hierarchical };
+
+const char* to_string(TopologyKind kind) noexcept;
+
+/// Everything needed to instantiate a Topology for any processor count.
+struct TopologySpec {
+  TopologyKind kind = TopologyKind::Ideal;
+
+  /// Per-link bandwidth; 0 (the default) tracks the owning system's
+  /// link_rate_gbps, so a sweep's rate axis doubles as a bandwidth axis.
+  double bandwidth_gbps = 0.0;
+
+  /// Fixed per-message head latency before bytes start flowing.
+  TimeMs latency_ms = 0.0;
+
+  /// Hierarchical only: processors per socket (>= 1).
+  std::size_t socket_size = 2;
+
+  /// Display label, e.g. "ideal", "bus", "hier2".
+  std::string label() const;
+
+  /// Throws std::invalid_argument on negative knobs or a zero socket size.
+  void validate() const;
+};
+
+/// Parses a topology name: "ideal", "bus", "crossbar", or "hier[:S]" /
+/// "socket[:S]" with S = socket size. Case-insensitive, trimmed. Throws
+/// std::invalid_argument naming the known kinds on a miss. Bandwidth and
+/// latency stay at their defaults — callers set them from their own flags.
+TopologySpec parse_topology_spec(const std::string& name);
+
+/// A spec instantiated for a concrete processor count: the link table the
+/// engines and the transfer manager index.
+class Topology {
+ public:
+  /// `default_bandwidth_gbps` substitutes a spec bandwidth of 0 (the
+  /// "track the system link rate" convention). Throws std::invalid_argument
+  /// on an invalid spec, zero processors, or a non-positive resolved
+  /// bandwidth for a contended kind.
+  Topology(const TopologySpec& spec, std::size_t proc_count,
+           double default_bandwidth_gbps);
+
+  const TopologySpec& spec() const noexcept { return spec_; }
+  std::size_t proc_count() const noexcept { return proc_count_; }
+  std::size_t link_count() const noexcept { return link_count_; }
+
+  /// True for every kind but Ideal: transfers occupy shared links and the
+  /// engines must run their contention-aware comm phase.
+  bool contended() const noexcept {
+    return spec_.kind != TopologyKind::Ideal;
+  }
+
+  /// The link a from -> to transfer occupies; kNoLink when the pair is
+  /// local (same processor, same socket, or an ideal topology).
+  LinkId link(ProcId from, ProcId to) const;
+
+  bool is_local(ProcId from, ProcId to) const {
+    return link(from, to) == kNoLink;
+  }
+
+  double bandwidth_gbps(LinkId link) const;
+  TimeMs latency_ms(LinkId link) const;
+  std::string link_name(LinkId link) const;
+
+  /// Uncontended transfer estimate: latency + bytes / bandwidth, 0 when the
+  /// pair is local. The figure policies plan with; actual transfers can
+  /// only be slower (fair sharing under contention).
+  TimeMs transfer_time_ms(double bytes, ProcId from, ProcId to) const;
+
+ private:
+  TopologySpec spec_;
+  std::size_t proc_count_ = 0;
+  std::size_t link_count_ = 0;
+  double bandwidth_gbps_ = 0.0;
+  std::vector<LinkId> link_of_;          ///< [from * P + to]
+  std::vector<std::string> link_names_;  ///< [link]
+};
+
+}  // namespace apt::net

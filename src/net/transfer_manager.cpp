@@ -1,0 +1,158 @@
+#include "net/transfer_manager.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace apt::net {
+
+namespace {
+constexpr TimeMs kInf = std::numeric_limits<TimeMs>::infinity();
+
+/// Completion tolerance: absolute floor plus a relative term so multi-GB
+/// messages survive the float drift of many rate-change drains.
+double done_eps(double bytes) { return std::max(1e-6, 1e-12 * bytes); }
+}  // namespace
+
+TransferManager::TransferManager(const Topology& topology)
+    : topology_(topology) {
+  if (!topology_.contended())
+    throw std::invalid_argument(
+        "TransferManager: an ideal topology has no links to simulate");
+  link_active_.resize(topology_.link_count());
+  link_updated_ms_.assign(topology_.link_count(), 0.0);
+  link_busy_ms_.assign(topology_.link_count(), 0.0);
+  link_delivered_bytes_.assign(topology_.link_count(), 0.0);
+  link_delivered_counts_.assign(topology_.link_count(), 0);
+}
+
+void TransferManager::start(std::uint64_t tag, double bytes, ProcId from,
+                            ProcId to, TimeMs at_time) {
+  if (bytes < 0.0)
+    throw std::invalid_argument("TransferManager: negative byte count");
+  if (at_time < now_)
+    throw std::invalid_argument(
+        "TransferManager: messages cannot start in the past");
+  const LinkId link = topology_.link(from, to);
+  if (link == kNoLink)
+    throw std::invalid_argument(
+        "TransferManager: the processor pair is local — no message needed");
+
+  std::size_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = messages_.size();
+    messages_.emplace_back();
+  }
+  Message& m = messages_[slot];
+  m.tag = tag;
+  m.link = link;
+  m.bytes = bytes;
+  m.remaining = bytes;
+  m.activates_ms = at_time + topology_.latency_ms(link);
+  pending_.push_back(slot);
+  ++live_count_;
+  ++started_count_;
+}
+
+TimeMs TransferManager::next_internal_event() const {
+  TimeMs t = kInf;
+  for (const std::size_t slot : pending_)
+    t = std::min(t, messages_[slot].activates_ms);
+  for (LinkId l = 0; l < link_active_.size(); ++l) {
+    const std::vector<std::size_t>& active = link_active_[l];
+    if (active.empty()) continue;
+    double min_remaining = kInf;
+    for (const std::size_t slot : active)
+      min_remaining = std::min(min_remaining, messages_[slot].remaining);
+    // Equal sharing: every message drains at bandwidth / n, so the next
+    // delivery on the link is the smallest remainder at that rate.
+    const double rate_ms =
+        topology_.bandwidth_gbps(l) * 1e6 / static_cast<double>(active.size());
+    t = std::min(t, link_updated_ms_[l] + min_remaining / rate_ms);
+  }
+  return t;
+}
+
+TimeMs TransferManager::next_event_ms() const { return next_internal_event(); }
+
+void TransferManager::drain_links_to(TimeMs t) {
+  for (LinkId l = 0; l < link_active_.size(); ++l) {
+    std::vector<std::size_t>& active = link_active_[l];
+    const TimeMs dt = t - link_updated_ms_[l];
+    link_updated_ms_[l] = t;
+    if (active.empty() || dt <= 0.0) continue;
+    const double rate_ms =
+        topology_.bandwidth_gbps(l) * 1e6 / static_cast<double>(active.size());
+    for (const std::size_t slot : active)
+      messages_[slot].remaining -= rate_ms * dt;
+    link_busy_ms_[l] += dt;
+  }
+}
+
+void TransferManager::complete_ripe(TimeMs t, std::vector<Delivery>& out) {
+  for (LinkId l = 0; l < link_active_.size(); ++l) {
+    std::vector<std::size_t>& active = link_active_[l];
+    if (active.empty()) continue;
+    const double rate_ms =
+        topology_.bandwidth_gbps(l) * 1e6 / static_cast<double>(active.size());
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      const std::size_t slot = active[i];
+      Message& m = messages_[slot];
+      // Ripe when within tolerance of empty — or when the remainder is so
+      // small that draining it would not even advance the double-precision
+      // clock (guards against an event loop that cannot make progress).
+      const bool ripe =
+          m.remaining <= done_eps(m.bytes) ||
+          link_updated_ms_[l] + m.remaining / rate_ms <= link_updated_ms_[l];
+      if (!ripe) {
+        active[keep++] = slot;
+        continue;
+      }
+      out.push_back(Delivery{m.tag, m.link, m.bytes, t});
+      link_delivered_bytes_[l] += m.bytes;
+      ++link_delivered_counts_[l];
+      free_slots_.push_back(slot);
+      --live_count_;
+      ++delivered_count_;
+    }
+    active.resize(keep);
+  }
+}
+
+void TransferManager::activate_due(TimeMs t) {
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    const std::size_t slot = pending_[i];
+    Message& m = messages_[slot];
+    if (m.activates_ms > t) {
+      pending_[keep++] = slot;
+      continue;
+    }
+    link_active_[m.link].push_back(slot);
+  }
+  pending_.resize(keep);
+}
+
+std::vector<Delivery> TransferManager::advance_to(TimeMs t) {
+  if (t < now_)
+    throw std::invalid_argument("TransferManager: time must not go backwards");
+  std::vector<Delivery> out;
+  for (;;) {
+    const TimeMs e = next_internal_event();
+    if (!(e <= t)) break;
+    drain_links_to(e);
+    complete_ripe(e, out);
+    activate_due(e);
+  }
+  drain_links_to(t);
+  now_ = t;
+  std::sort(out.begin(), out.end(),
+            [](const Delivery& a, const Delivery& b) { return a.tag < b.tag; });
+  return out;
+}
+
+}  // namespace apt::net

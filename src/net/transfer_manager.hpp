@@ -1,0 +1,106 @@
+// Contended message simulation over a Topology.
+//
+// A TransferManager owns the in-flight messages of one simulation run. Each
+// message occupies exactly one link (the Topology's from -> to link) and,
+// after a fixed per-link head latency, drains its bytes at the link's fair
+// share: a link with n draining messages gives each bandwidth / n — equal
+// (max-min) sharing, recomputed whenever a message joins or leaves the
+// link. Progress therefore only changes at discrete instants, so the
+// engines fold next_event_ms() into their event loops and the whole
+// simulation stays discrete.
+//
+// Determinism: message ids/tags are caller-supplied and deliveries at one
+// instant are reported in ascending tag order; all arithmetic is plain
+// double math with no iteration-order dependence.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace apt::net {
+
+/// One completed message, reported by advance_to().
+struct Delivery {
+  std::uint64_t tag = 0;  ///< caller's handle from start()
+  LinkId link = kNoLink;
+  double bytes = 0.0;
+  TimeMs delivered_ms = 0.0;
+};
+
+class TransferManager {
+ public:
+  /// The topology must outlive the manager and be contended() — an ideal
+  /// topology has no links to simulate (std::invalid_argument).
+  explicit TransferManager(const Topology& topology);
+
+  const Topology& topology() const noexcept { return topology_; }
+
+  /// Schedules a message of `bytes` from -> to, entering its link at
+  /// `at_time` (+ the link latency before bytes flow). `at_time` may lie in
+  /// the future — the activation is itself a progress event. The pair must
+  /// not be local (std::invalid_argument) and `at_time` must not precede
+  /// the last advance_to() instant. `tag` is returned verbatim with the
+  /// delivery; callers use it to find the waiting kernel.
+  void start(std::uint64_t tag, double bytes, ProcId from, ProcId to,
+             TimeMs at_time);
+
+  /// True while any message is pending activation or draining.
+  bool busy() const noexcept { return live_count_ > 0; }
+
+  /// Earliest instant at which link rates change or a message delivers
+  /// (+infinity when idle). The engines merge this into their event clocks.
+  TimeMs next_event_ms() const;
+
+  /// Advances the shared-progress simulation to `t` (>= the previous call),
+  /// returning every message delivered at or before `t`, ascending by tag.
+  std::vector<Delivery> advance_to(TimeMs t);
+
+  // --- per-link accounting (for metrics) -------------------------------------
+
+  /// Time each link spent with at least one draining message.
+  const std::vector<TimeMs>& link_busy_ms() const noexcept {
+    return link_busy_ms_;
+  }
+  /// Bytes delivered over each link.
+  const std::vector<double>& link_delivered_bytes() const noexcept {
+    return link_delivered_bytes_;
+  }
+  /// Messages delivered over each link.
+  const std::vector<std::size_t>& link_delivered_counts() const noexcept {
+    return link_delivered_counts_;
+  }
+  std::size_t started_count() const noexcept { return started_count_; }
+  std::size_t delivered_count() const noexcept { return delivered_count_; }
+
+ private:
+  struct Message {
+    std::uint64_t tag = 0;
+    LinkId link = kNoLink;
+    double bytes = 0.0;
+    double remaining = 0.0;
+    TimeMs activates_ms = 0.0;  ///< joins the link here (start + latency)
+  };
+
+  TimeMs next_internal_event() const;
+  void drain_links_to(TimeMs t);
+  void complete_ripe(TimeMs t, std::vector<Delivery>& out);
+  void activate_due(TimeMs t);
+
+  const Topology& topology_;
+  std::vector<Message> messages_;     ///< slot arena, slots reused
+  std::vector<std::size_t> free_slots_;
+  std::vector<std::vector<std::size_t>> link_active_;  ///< [link] -> slots
+  std::vector<std::size_t> pending_;  ///< inactive slots awaiting activation
+  std::vector<TimeMs> link_updated_ms_;
+  std::vector<TimeMs> link_busy_ms_;
+  std::vector<double> link_delivered_bytes_;
+  std::vector<std::size_t> link_delivered_counts_;
+  TimeMs now_ = 0.0;
+  std::size_t live_count_ = 0;
+  std::size_t started_count_ = 0;
+  std::size_t delivered_count_ = 0;
+};
+
+}  // namespace apt::net

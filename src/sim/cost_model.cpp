@@ -57,9 +57,28 @@ TimeMs LutCostModel::transfer_time_ms(const dag::Dag& dag, dag::NodeId src,
                                       const Processor& to) const {
   (void)dst;  // the producing node's output size determines the payload
   if (from.id == to.id) return 0.0;
-  const double bytes =
-      static_cast<double>(dag.node(src).data_size) * bytes_per_element_;
-  return interconnect_.transfer_time_ms(bytes, from.id, to.id);
+  return interconnect_.transfer_time_ms(
+      edge_payload_bytes(dag, src, bytes_per_element_), from.id, to.id);
+}
+
+TopologyCostModel::TopologyCostModel(const CostModel& base,
+                                     const System& system)
+    : base_(base), system_(system) {}
+
+TimeMs TopologyCostModel::exec_time_ms(const dag::Dag& dag, dag::NodeId node,
+                                       const Processor& proc) const {
+  return base_.exec_time_ms(dag, node, proc);
+}
+
+TimeMs TopologyCostModel::transfer_time_ms(const dag::Dag& dag,
+                                           dag::NodeId src, dag::NodeId dst,
+                                           const Processor& from,
+                                           const Processor& to) const {
+  (void)dst;  // the producing node's output size determines the payload
+  if (from.id == to.id) return 0.0;
+  return system_.topology().transfer_time_ms(
+      edge_payload_bytes(dag, src, system_.config().bytes_per_element),
+      from.id, to.id);
 }
 
 MatrixCostModel::MatrixCostModel(std::vector<std::vector<TimeMs>> exec)

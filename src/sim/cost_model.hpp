@@ -19,6 +19,16 @@
 
 namespace apt::sim {
 
+/// Payload of the edge out of `src`: the producer's output, data_size
+/// elements at `bytes_per_element` bytes each. The one formula the cost
+/// models, both engines, and the validator's capacity math must share —
+/// message sizes and transfer estimates would silently desynchronize if
+/// any of them computed it differently.
+inline double edge_payload_bytes(const dag::Dag& dag, dag::NodeId src,
+                                 double bytes_per_element) {
+  return static_cast<double>(dag.node(src).data_size) * bytes_per_element;
+}
+
 /// Abstract interface consumed by every policy and by the engine.
 class CostModel {
  public:
@@ -72,6 +82,30 @@ class LutCostModel final : public CostModel {
   Interconnect interconnect_;
   double bytes_per_element_;
   bool strict_;
+};
+
+/// Topology-aware adapter: execution times from a base model, transfer
+/// times from the system's net::Topology (uncontended estimate: latency +
+/// bytes / link bandwidth, 0 for local pairs). Under a contended topology
+/// the engines hand this to the policies, so static planners (HEFT/PEFT)
+/// price edges against the actual fabric and dynamic policies' transfer
+/// queries reflect it too. The base model, system, and their referents
+/// must outlive the adapter.
+class TopologyCostModel final : public CostModel {
+ public:
+  TopologyCostModel(const CostModel& base, const System& system);
+
+  TimeMs exec_time_ms(const dag::Dag& dag, dag::NodeId node,
+                      const Processor& proc) const override;
+  TimeMs transfer_time_ms(const dag::Dag& dag, dag::NodeId src,
+                          dag::NodeId dst, const Processor& from,
+                          const Processor& to) const override;
+
+  const CostModel& base() const noexcept { return base_; }
+
+ private:
+  const CostModel& base_;
+  const System& system_;
 };
 
 /// Literature-style cost matrices for controlled tests.

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <stdexcept>
 
+#include "net/transfer_manager.hpp"
 #include "sim/precomputed_cost_model.hpp"
 
 namespace apt::sim {
@@ -42,10 +44,13 @@ class Engine::Context final : public SchedulerContext {
         system_(system),
         cost_(cost),
         policy_(policy),
+        topology_(system.topology()),
+        contended_(topology_.contended()),
         node_state_(dag.node_count()),
         proc_state_(system.proc_count()),
         ready_pos_(dag.node_count(), kNoPos) {
     idle_cache_.reserve(system.proc_count());
+    if (contended_) tm_.emplace(topology_);
   }
 
   SimResult simulate() {
@@ -54,7 +59,7 @@ class Engine::Context final : public SchedulerContext {
       policy_.on_event(*this);
       drain_queues();
       if (done_count_ == dag_.node_count()) break;
-      if (events_.empty() && releases_.empty()) {
+      if (events_.empty() && releases_.empty() && !(tm_ && tm_->busy())) {
         throw std::logic_error(
             "Engine: policy '" + policy_.name() +
             "' stalled: work remains but nothing is executing");
@@ -69,6 +74,7 @@ class Engine::Context final : public SchedulerContext {
       makespan = std::max(makespan, node_state_[n].record.finish_time);
     }
     result.makespan = makespan;
+    result.transfers = std::move(transfer_records_);
     return result;
   }
 
@@ -103,7 +109,13 @@ class Engine::Context final : public SchedulerContext {
   TimeMs busy_until(ProcId proc) const override {
     const ProcState& ps = proc_state_.at(proc);
     if (!ps.running.has_value() && ps.queue.empty()) return now_;
-    TimeMs t = ps.running ? node_state_[*ps.running].record.finish_time : now_;
+    // A running kernel still stalled on contended input data has no finish
+    // time yet; estimate with its (known) execution time from now.
+    TimeMs t = now_;
+    if (ps.running) {
+      const NodeState& rs = node_state_[*ps.running];
+      t = rs.exec_started ? rs.record.finish_time : now_ + rs.record.exec_ms;
+    }
     for (const QueuedKernel& q : ps.queue) t += q.exec_ms;
     return t;
   }
@@ -115,8 +127,12 @@ class Engine::Context final : public SchedulerContext {
   TimeMs queued_work_ms(ProcId proc) const override {
     const ProcState& ps = proc_state_.at(proc);
     TimeMs work = 0.0;
-    if (ps.running)
-      work += std::max(0.0, node_state_[*ps.running].record.finish_time - now_);
+    if (ps.running) {
+      const NodeState& rs = node_state_[*ps.running];
+      work += rs.exec_started
+                  ? std::max(0.0, rs.record.finish_time - now_)
+                  : rs.record.exec_ms;
+    }
     for (const QueuedKernel& q : ps.queue) work += q.exec_ms;
     return work;
   }
@@ -137,6 +153,10 @@ class Engine::Context final : public SchedulerContext {
   }
 
   TimeMs input_transfer_ms(dag::NodeId node, ProcId proc) const override {
+    // Comm-adjusted automatically under a contended topology: run()
+    // installs a TopologyCostModel as cost_, so this prices edges against
+    // the fabric (the uncontended share — the simulated transfer can only
+    // be slower under contention).
     TimeMs worst = 0.0;
     const Processor& to = system_.processor(proc);
     for (dag::NodeId pred : dag_.predecessors(node)) {
@@ -169,6 +189,14 @@ class Engine::Context final : public SchedulerContext {
     proc_state_.at(proc).queue.push_back(
         {node, cost_.exec_time_ms(dag_, node, system_.processor(proc))});
     idle_dirty_ = true;
+    // The enqueue fixed the destination, so under a contended topology the
+    // input data starts moving now — it may arrive while the kernel is
+    // still waiting in the queue (the prefetch the legacy path models
+    // analytically).
+    if (contended_)
+      begin_comm(node, proc,
+                 now_ + system_.config().decision_overhead_ms +
+                     system_.config().dispatch_overhead_ms);
     // drain_queues() (called right after the policy pass) starts it if the
     // processor is actually free.
   }
@@ -183,6 +211,13 @@ class Engine::Context final : public SchedulerContext {
     bool done = false;
     std::size_t remaining_preds = 0;
     TimeMs enqueued_at = std::numeric_limits<TimeMs>::quiet_NaN();
+
+    // --- contended-topology comm phase (unused under ideal) ---
+    bool exec_started = false;   ///< computation has begun (finish_time set)
+    bool holds_proc = false;     ///< occupies its processor, maybe stalled
+    std::size_t pending_msgs = 0;  ///< input messages still in flight
+    TimeMs occupied_at = 0.0;    ///< when the processor was dedicated
+    TimeMs data_ready_at = 0.0;  ///< latest input delivery (or dispatch)
   };
 
   /// A kernel waiting in a processor's FIFO queue with its (destination
@@ -247,6 +282,62 @@ class Engine::Context final : public SchedulerContext {
     ready_tombstones_ = 0;
   }
 
+  /// Payload of the edge out of `pred`: its output in bytes.
+  double edge_bytes(dag::NodeId pred) const {
+    return edge_payload_bytes(dag_, pred,
+                              system_.config().bytes_per_element);
+  }
+
+  /// Contended mode: creates one link message per non-local input edge,
+  /// entering the fabric at the node's dispatch instant. Called exactly
+  /// once per node, when the policy commits it (assign or enqueue fixes
+  /// the destination).
+  void begin_comm(dag::NodeId node, ProcId proc, TimeMs dispatched) {
+    NodeState& ns = node_state_[node];
+    ns.data_ready_at = dispatched;
+    for (dag::NodeId pred : dag_.predecessors(node)) {
+      const ScheduledKernel& rec = node_state_[pred].record;
+      const net::LinkId link = topology_.link(rec.proc, proc);
+      if (link == net::kNoLink) continue;  // same processor or socket
+      const double bytes = edge_bytes(pred);
+      const std::uint64_t tag = transfer_records_.size();
+      TransferRecord record;
+      record.src = pred;
+      record.dst = node;
+      record.from = rec.proc;
+      record.to = proc;
+      record.link = link;
+      record.bytes = bytes;
+      record.start = dispatched;
+      record.drain_start = dispatched + topology_.latency_ms(link);
+      transfer_records_.push_back(record);
+      tm_->start(tag, bytes, rec.proc, proc, dispatched);
+      ++ns.pending_msgs;
+    }
+  }
+
+  /// Contended mode: all inputs are in — computation begins at `at`.
+  void begin_exec(dag::NodeId node, TimeMs at) {
+    NodeState& ns = node_state_[node];
+    ns.exec_started = true;
+    ns.record.exec_start = at;
+    ns.record.transfer_ms = at - ns.occupied_at;
+    ns.record.finish_time = at + ns.record.exec_ms;
+    events_.push(Completion{ns.record.finish_time, node});
+  }
+
+  /// One input message delivered; start the kernel when it was the last
+  /// and the kernel already holds its processor.
+  void on_delivery(const net::Delivery& delivery) {
+    TransferRecord& record = transfer_records_[delivery.tag];
+    record.finish = now_;
+    NodeState& ns = node_state_[record.dst];
+    --ns.pending_msgs;
+    ns.data_ready_at = std::max(ns.data_ready_at, now_);
+    if (ns.pending_msgs == 0 && ns.holds_proc)
+      begin_exec(record.dst, std::max(ns.occupied_at, ns.data_ready_at));
+  }
+
   /// Starts `node` on the idle processor `proc` at the current time.
   void start_kernel(dag::NodeId node, ProcId proc, bool alternative) {
     NodeState& ns = node_state_[node];
@@ -255,10 +346,24 @@ class Engine::Context final : public SchedulerContext {
     ns.record.alternative = alternative;
     ns.record.assign_time = now_ + cfg.decision_overhead_ms;
     const TimeMs dispatched = ns.record.assign_time + cfg.dispatch_overhead_ms;
+    if (contended_) {
+      // The processor is dedicated from dispatch; computation begins when
+      // the simulated input messages are all delivered.
+      ns.record.exec_ms =
+          cost_.exec_time_ms(dag_, node, system_.processor(proc));
+      ns.occupied_at = dispatched;
+      ns.holds_proc = true;
+      proc_state_[proc].running = node;
+      idle_dirty_ = true;
+      begin_comm(node, proc, dispatched);
+      if (ns.pending_msgs == 0) begin_exec(node, ns.data_ready_at);
+      return;
+    }
     ns.record.transfer_ms = transfer_delay(node, proc, dispatched);
     ns.record.exec_start = dispatched + ns.record.transfer_ms;
     ns.record.exec_ms = cost_.exec_time_ms(dag_, node, system_.processor(proc));
     ns.record.finish_time = ns.record.exec_start + ns.record.exec_ms;
+    ns.exec_started = true;
     proc_state_[proc].running = node;
     idle_dirty_ = true;
     events_.push(Completion{ns.record.finish_time, node});
@@ -280,6 +385,19 @@ class Engine::Context final : public SchedulerContext {
   void start_queued_kernel(const QueuedKernel& queued, ProcId proc) {
     NodeState& ns = node_state_[queued.node];
     const SystemConfig& cfg = system_.config();
+    if (contended_) {
+      // Messages have been in flight since the enqueue; the processor
+      // picks the kernel up now and stalls until the last one lands.
+      ns.record.proc = proc;
+      ns.record.exec_ms = queued.exec_ms;
+      ns.occupied_at = now_;
+      ns.holds_proc = true;
+      proc_state_[proc].running = queued.node;
+      idle_dirty_ = true;
+      if (ns.pending_msgs == 0)
+        begin_exec(queued.node, std::max(now_, ns.data_ready_at));
+      return;
+    }
     const TimeMs transfer = input_transfer_ms(queued.node, proc);
     const TimeMs data_ready =
         ns.enqueued_at + cfg.decision_overhead_ms + cfg.dispatch_overhead_ms +
@@ -291,6 +409,7 @@ class Engine::Context final : public SchedulerContext {
     ns.record.transfer_ms = std::max(0.0, data_ready - now_);
     ns.record.exec_ms = queued.exec_ms;
     ns.record.finish_time = ns.record.exec_start + ns.record.exec_ms;
+    ns.exec_started = true;
     proc_state_[proc].running = queued.node;
     idle_dirty_ = true;
     events_.push(Completion{ns.record.finish_time, queued.node});
@@ -322,11 +441,16 @@ class Engine::Context final : public SchedulerContext {
     TimeMs t = std::numeric_limits<TimeMs>::infinity();
     if (!events_.empty()) t = std::min(t, events_.top().time);
     if (!releases_.empty()) t = std::min(t, releases_.top().time);
+    if (tm_) t = std::min(t, tm_->next_event_ms());
     now_ = t;
     while (!events_.empty() && events_.top().time == t) {
       const dag::NodeId node = events_.top().node;
       events_.pop();
       complete_kernel(node);
+    }
+    if (tm_) {
+      for (const net::Delivery& delivery : tm_->advance_to(t))
+        on_delivery(delivery);
     }
     while (!releases_.empty() && releases_.top().time <= t) {
       const dag::NodeId node = releases_.top().node;
@@ -360,6 +484,13 @@ class Engine::Context final : public SchedulerContext {
   const System& system_;
   const CostModel& cost_;
   Policy& policy_;
+
+  /// Contended-topology comm phase (tm_ engaged only when contended_).
+  const net::Topology& topology_;
+  const bool contended_;
+  std::optional<net::TransferManager> tm_;
+  /// Message log in creation order; index == TransferManager tag.
+  std::vector<TransferRecord> transfer_records_;
 
   TimeMs now_ = 0.0;
   std::size_t done_count_ = 0;
@@ -396,11 +527,18 @@ SimResult Engine::run(Policy& policy) {
   const auto* pre = dynamic_cast<const PrecomputedCostModel*>(&cost_);
   std::optional<PrecomputedCostModel> local;
   if (pre == nullptr) pre = &local.emplace(dag_, system_, cost_);
+  // Under a contended topology the policies must price edges against the
+  // fabric, not the cost model's uncontended point-to-point links — this
+  // is what makes HEFT/PEFT EFT estimates topology-aware.
+  std::optional<TopologyCostModel> topo_cost;
+  const CostModel* effective = pre;
+  if (system_.topology().contended())
+    effective = &topo_cost.emplace(*pre, system_);
   // prepare() runs even for an empty DAG so every policy sees the same
   // lifecycle regardless of input.
-  policy.prepare(dag_, system_, *pre);
+  policy.prepare(dag_, system_, *effective);
   if (dag_.empty()) return SimResult{};
-  Context ctx(dag_, system_, *pre, policy);
+  Context ctx(dag_, system_, *effective, policy);
   return ctx.simulate();
 }
 

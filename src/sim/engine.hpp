@@ -3,6 +3,18 @@
 // Drives a Policy over a DAG on a System with a CostModel and produces the
 // per-kernel schedule. Deterministic: identical inputs give identical
 // results (events at equal timestamps are processed in ascending node id).
+//
+// Communication: under the default ideal topology, transfer stalls are the
+// cost model's analytic point-to-point times (uncontended — the paper's
+// model). When the system carries a contended net::Topology, the engine
+// instead simulates each non-local input edge as a sized message through a
+// net::TransferManager (fair bandwidth sharing on shared links): the
+// policy's commitment fixes the destination and starts the messages at the
+// kernel's dispatch instant, the processor is held through the stall, and
+// execution begins when the last message lands. Every message is recorded
+// in SimResult::transfers for validation and link metrics. Static policies'
+// prefetch assumption cannot hold on a contended fabric (data cannot move
+// retroactively), so their plans become estimates — which is the point.
 #pragma once
 
 #include <deque>

@@ -1,0 +1,57 @@
+// Interval-union arithmetic shared by the metrics aggregator and the
+// schedule validator (per-link busy time, comm/compute overlap). One
+// implementation so the two layers can never disagree about merge
+// semantics (touching endpoints coalesce).
+#pragma once
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "sim/system.hpp"
+
+namespace apt::sim {
+
+using Interval = std::pair<TimeMs, TimeMs>;
+
+/// Sorts and merges `intervals` in place into disjoint ascending order
+/// (empty/negative spans dropped, touching endpoints coalesced); returns
+/// the union's total length.
+inline TimeMs merge_union(std::vector<Interval>& intervals) {
+  std::sort(intervals.begin(), intervals.end());
+  TimeMs total = 0.0;
+  std::size_t out = 0;
+  for (const Interval& iv : intervals) {
+    if (iv.second <= iv.first) continue;
+    if (out > 0 && iv.first <= intervals[out - 1].second) {
+      intervals[out - 1].second =
+          std::max(intervals[out - 1].second, iv.second);
+    } else {
+      intervals[out++] = iv;
+    }
+  }
+  intervals.resize(out);
+  for (const Interval& iv : intervals) total += iv.second - iv.first;
+  return total;
+}
+
+/// Length of the intersection of two merged (disjoint, sorted) unions.
+inline TimeMs union_overlap(const std::vector<Interval>& a,
+                            const std::vector<Interval>& b) {
+  TimeMs total = 0.0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    const TimeMs lo = std::max(a[i].first, b[j].first);
+    const TimeMs hi = std::min(a[i].second, b[j].second);
+    if (hi > lo) total += hi - lo;
+    if (a[i].second < b[j].second) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return total;
+}
+
+}  // namespace apt::sim

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "sim/intervals.hpp"
 #include "util/stats.hpp"
 
 namespace apt::sim {
@@ -60,6 +61,39 @@ SimMetrics compute_metrics(const dag::Dag& dag, const System& system,
     m.lambda.avg_ms =
         m.lambda.total_ms / static_cast<double>(lambdas.size());
     m.lambda.stddev_ms = util::stddev_about(lambdas, m.lambda.avg_ms);
+  }
+
+  // Interconnect breakdown from the simulated link messages (contended
+  // topologies only — result.transfers is empty under ideal).
+  const net::Topology& topology = system.topology();
+  if (!result.transfers.empty()) {
+    m.per_link.resize(topology.link_count());
+    for (net::LinkId l = 0; l < topology.link_count(); ++l)
+      m.per_link[l].name = topology.link_name(l);
+    std::vector<std::vector<Interval>> drain_by_link(topology.link_count());
+    std::vector<Interval> comm;
+    comm.reserve(result.transfers.size());
+    for (const TransferRecord& t : result.transfers) {
+      if (t.link >= topology.link_count())
+        throw std::invalid_argument("compute_metrics: bad link id");
+      LinkBreakdown& lb = m.per_link[t.link];
+      lb.bytes += t.bytes;
+      ++lb.transfer_count;
+      drain_by_link[t.link].emplace_back(t.drain_start, t.finish);
+      comm.emplace_back(t.drain_start, t.finish);
+    }
+    for (net::LinkId l = 0; l < topology.link_count(); ++l) {
+      m.per_link[l].busy_ms = merge_union(drain_by_link[l]);
+      if (m.makespan > 0.0)
+        m.per_link[l].utilization = m.per_link[l].busy_ms / m.makespan;
+    }
+    std::vector<Interval> compute;
+    compute.reserve(result.schedule.size());
+    for (const ScheduledKernel& k : result.schedule)
+      compute.emplace_back(k.exec_start, k.finish_time);
+    m.comm_busy_ms = merge_union(comm);
+    merge_union(compute);
+    m.comm_compute_overlap_ms = union_overlap(comm, compute);
   }
   return m;
 }
@@ -191,6 +225,21 @@ StreamMetrics compute_stream_metrics(const System& system,
   m.live_apps_avg = observation.live_apps.time_weighted_avg();
   m.live_apps_max = observation.live_apps.max_level();
   m.queue_depth_samples = observation.queue_depth.samples();
+
+  if (observation.link_busy_ms.size() != observation.link_bytes.size() ||
+      observation.link_busy_ms.size() != observation.link_transfers.size() ||
+      observation.link_busy_ms.size() != observation.link_names.size())
+    throw std::invalid_argument(
+        "compute_stream_metrics: per-link arrays disagree");
+  m.per_link.resize(observation.link_busy_ms.size());
+  for (std::size_t l = 0; l < m.per_link.size(); ++l) {
+    LinkBreakdown& lb = m.per_link[l];
+    lb.name = observation.link_names[l];
+    lb.busy_ms = observation.link_busy_ms[l];
+    lb.bytes = observation.link_bytes[l];
+    lb.transfer_count = observation.link_transfers[l];
+    if (m.end_ms > 0.0) lb.utilization = lb.busy_ms / m.end_ms;
+  }
   return m;
 }
 

@@ -15,6 +15,16 @@
 
 namespace apt::sim {
 
+/// Per-link interconnect breakdown (contended topologies only; the per-run
+/// vectors are empty under the ideal topology, which simulates no links).
+struct LinkBreakdown {
+  std::string name;          ///< Topology::link_name
+  TimeMs busy_ms = 0.0;      ///< time with >= 1 draining message
+  double bytes = 0.0;        ///< payload delivered over the link
+  double utilization = 0.0;  ///< busy_ms over the observation span
+  std::size_t transfer_count = 0;
+};
+
 /// Per-processor time breakdown; busy + transfer + idle == makespan.
 struct ProcBreakdown {
   std::string name;
@@ -41,6 +51,13 @@ struct SimMetrics {
   std::size_t alternative_count = 0;  ///< APT second-best assignments
   std::map<std::string, std::size_t> alternative_by_kernel;
   double total_energy_j = 0.0;  ///< sum of per-processor energies
+
+  // --- interconnect (contended topologies; empty/zero under ideal) ---
+  std::vector<LinkBreakdown> per_link;
+  TimeMs comm_busy_ms = 0.0;  ///< time >= 1 message was draining (any link)
+  /// Time at least one message was draining while at least one kernel was
+  /// executing — the comm/compute overlap a good schedule maximises.
+  TimeMs comm_compute_overlap_ms = 0.0;
 };
 
 /// Computes all aggregates from a finished run. The λ delay of a kernel is
@@ -141,6 +158,14 @@ struct StreamObservation {
                         ///< nothing ran after it)
   LevelTrace queue_depth;  ///< ready-but-unassigned kernels over time
   LevelTrace live_apps;    ///< admitted-but-unfinished apps over time
+
+  /// Per-link accounting over the WHOLE run (not warmup-clipped — the
+  /// transfer manager folds busy time as messages complete). Empty under
+  /// the ideal topology.
+  std::vector<TimeMs> link_busy_ms;
+  std::vector<double> link_bytes;
+  std::vector<std::size_t> link_transfers;
+  std::vector<std::string> link_names;
 };
 
 /// Average / median / tail summary of a per-app distribution.
@@ -174,6 +199,10 @@ struct StreamMetrics {
   double live_apps_avg = 0.0;
   std::size_t live_apps_max = 0;
   std::vector<std::pair<TimeMs, std::size_t>> queue_depth_samples;
+
+  /// Interconnect links over the whole run (utilization over end_ms);
+  /// empty under the ideal topology.
+  std::vector<LinkBreakdown> per_link;
 };
 
 /// Aggregates a finished stream observation. Measured apps are those

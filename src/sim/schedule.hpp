@@ -48,10 +48,33 @@ struct ScheduledKernel {
   TimeMs occupied_from() const noexcept { return exec_start - transfer_ms; }
 };
 
+/// One simulated data transfer over a contended interconnect link (only
+/// recorded when the system's topology is non-ideal; local edges move no
+/// message). Times are absolute simulation instants:
+///
+///   start        the message was created (the consumer's dispatch instant)
+///   drain_start  start + link latency — bytes begin flowing, the message
+///                occupies the link from here
+///   finish       last byte delivered; the consumer may begin executing
+struct TransferRecord {
+  dag::NodeId src = dag::kInvalidNode;  ///< producer kernel
+  dag::NodeId dst = dag::kInvalidNode;  ///< consumer kernel
+  ProcId from = kInvalidProc;
+  ProcId to = kInvalidProc;
+  net::LinkId link = net::kNoLink;
+  double bytes = 0.0;
+  TimeMs start = 0.0;
+  TimeMs drain_start = 0.0;
+  TimeMs finish = 0.0;
+};
+
 /// Full result of one run, indexed by node id.
 struct SimResult {
   TimeMs makespan = 0.0;
   std::vector<ScheduledKernel> schedule;  ///< size == dag.node_count()
+  /// Simulated link messages in creation order; empty under an ideal
+  /// topology (no contention phase ran).
+  std::vector<TransferRecord> transfers;
 };
 
 }  // namespace apt::sim

@@ -51,7 +51,10 @@ SystemConfig SystemConfig::paper_default(double rate_gbps) {
 System::System(SystemConfig config)
     : config_(std::move(config)),
       interconnect_(config_.processors.empty() ? 1 : config_.processors.size(),
-                    config_.link_rate_gbps) {
+                    config_.link_rate_gbps),
+      topology_(config_.topology,
+                config_.processors.empty() ? 1 : config_.processors.size(),
+                config_.link_rate_gbps) {
   if (config_.processors.empty())
     throw std::invalid_argument("System: need at least one processor");
   if (!(config_.bytes_per_element > 0.0))

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "lut/proc_type.hpp"
+#include "net/topology.hpp"
 
 namespace apt::sim {
 
@@ -73,6 +74,14 @@ struct SystemConfig {
   std::array<double, lut::kNumProcTypes> active_power_w = {95.0, 225.0, 25.0};
   std::array<double, lut::kNumProcTypes> idle_power_w = {15.0, 25.0, 2.0};
 
+  /// Interconnect topology (src/net). The default (ideal) keeps the
+  /// pre-net behaviour bit for bit: transfers cost what the cost model
+  /// says and never contend. Any other kind switches the engines to the
+  /// contention-aware comm phase over the topology's shared links. A spec
+  /// bandwidth of 0 tracks `link_rate_gbps`, so sweeping the rate axis
+  /// sweeps the fabric too.
+  net::TopologySpec topology;
+
   /// The paper's platform: one CPU + one GPU + one FPGA at `rate_gbps`.
   static SystemConfig paper_default(double rate_gbps = 4.0);
 };
@@ -90,6 +99,10 @@ class System {
   Interconnect& interconnect() noexcept { return interconnect_; }
   const Interconnect& interconnect() const noexcept { return interconnect_; }
 
+  /// The instantiated interconnect topology (config().topology resolved
+  /// for this processor count and link rate).
+  const net::Topology& topology() const noexcept { return topology_; }
+
   /// Number of instances of a category.
   std::size_t count_of(lut::ProcType type) const noexcept;
 
@@ -100,6 +113,7 @@ class System {
   SystemConfig config_;
   std::vector<Processor> procs_;
   Interconnect interconnect_;
+  net::Topology topology_;
 };
 
 }  // namespace apt::sim

@@ -4,12 +4,94 @@
 #include <cmath>
 #include <limits>
 
+#include "sim/intervals.hpp"
+
 namespace apt::sim {
 
 namespace {
 constexpr double kTol = 1e-9;
 
 bool close(double a, double b) { return std::abs(a - b) <= kTol * std::max({1.0, std::abs(a), std::abs(b)}); }
+
+/// Per-link transfer aggregation for the capacity check: under fair
+/// sharing a link is work-conserving, so the bytes it delivers can never
+/// exceed bandwidth × (time it spent with >= 1 draining message). The
+/// check pools every transfer's drain interval [drain_start, finish],
+/// merges the union, and compares total bytes against capacity over it —
+/// an invariant that holds for any schedule the transfer manager can
+/// produce and fails for any over-capacity one.
+struct LinkLoad {
+  double bytes = 0.0;
+  std::vector<Interval> drains;
+};
+
+/// Checks one run's transfer records (times already absolute). `tag`
+/// prefixes messages; `exec_start_of(dst)` resolves the consumer's start.
+template <typename ExecStartFn>
+void check_transfers(const std::vector<TransferRecord>& transfers,
+                     const System& system, const std::string& tag,
+                     const ExecStartFn& exec_start_of,
+                     std::vector<LinkLoad>& loads,
+                     std::vector<Violation>& out) {
+  const net::Topology& topology = system.topology();
+  auto fail = [&](std::string msg) {
+    out.push_back(Violation{std::move(msg)});
+  };
+  for (std::size_t i = 0; i < transfers.size(); ++i) {
+    const TransferRecord& t = transfers[i];
+    const std::string ttag = tag + " transfer " + std::to_string(i);
+    if (t.link == net::kNoLink || t.link >= topology.link_count()) {
+      fail(ttag + ": invalid link id");
+      continue;
+    }
+    if (t.bytes < 0.0) fail(ttag + ": negative byte count");
+    if (t.drain_start + kTol < t.start || t.finish + kTol < t.drain_start)
+      fail(ttag + ": start/drain/finish out of order");
+    if (!close(t.drain_start, t.start + topology.latency_ms(t.link)))
+      fail(ttag + ": drain_start != start + link latency");
+    // No transfer can beat the whole link to itself.
+    const TimeMs min_duration =
+        topology.latency_ms(t.link) +
+        t.bytes / (topology.bandwidth_gbps(t.link) * 1e6);
+    if (t.finish - t.start + kTol * std::max(1.0, min_duration) <
+        min_duration)
+      fail(ttag + ": faster than the uncontended link");
+    const TimeMs consumer_start = exec_start_of(t.dst);
+    if (consumer_start + kTol < t.finish)
+      fail(ttag + ": consumer kernel " + std::to_string(t.dst) +
+           " starts before the message is delivered");
+    LinkLoad& load = loads[t.link];
+    load.bytes += t.bytes;
+    load.drains.emplace_back(t.drain_start, t.finish);
+  }
+}
+
+/// Resolves a transfer's consumer kernel to its exec_start (lowest() for an
+/// out-of-range id, which check_transfers then reports) — the one rule both
+/// the closed- and open-system validators share.
+auto exec_start_resolver(const SimResult& result) {
+  return [&result](dag::NodeId dst) {
+    return dst < result.schedule.size()
+               ? result.schedule[dst].exec_start
+               : std::numeric_limits<TimeMs>::lowest();
+  };
+}
+
+void check_link_capacity(const System& system, std::vector<LinkLoad>& loads,
+                         std::vector<Violation>& out) {
+  const net::Topology& topology = system.topology();
+  for (net::LinkId l = 0; l < loads.size(); ++l) {
+    LinkLoad& load = loads[l];
+    if (load.drains.empty()) continue;
+    const TimeMs busy = merge_union(load.drains);
+    const double capacity = topology.bandwidth_gbps(l) * 1e6 * busy;
+    if (load.bytes > capacity + kTol * std::max(1.0, capacity))
+      out.push_back(Violation{
+          "link " + topology.link_name(l) + ": delivered " +
+          std::to_string(load.bytes) + " bytes in " + std::to_string(busy) +
+          " busy ms — exceeds capacity " + std::to_string(capacity)});
+  }
+}
 }  // namespace
 
 std::vector<Violation> validate_schedule(const dag::Dag& dag,
@@ -81,6 +163,14 @@ std::vector<Violation> validate_schedule(const dag::Dag& dag,
   if (!dag.empty() && !close(result.makespan, latest))
     fail("makespan " + std::to_string(result.makespan) +
          " != latest finish " + std::to_string(latest));
+
+  // Interconnect invariants (contended topologies record link messages).
+  if (!result.transfers.empty()) {
+    std::vector<LinkLoad> loads(system.topology().link_count());
+    check_transfers(result.transfers, system, "",
+                    exec_start_resolver(result), loads, out);
+    check_link_capacity(system, loads, out);
+  }
   return out;
 }
 
@@ -97,6 +187,7 @@ std::vector<Violation> validate_stream_schedule(
     TimeMs to;
   };
   std::vector<std::vector<Span>> by_proc(system.proc_count());
+  std::vector<LinkLoad> link_loads(system.topology().link_count());
 
   for (std::size_t a = 0; a < apps.size(); ++a) {
     const StreamAppView& view = apps[a];
@@ -141,7 +232,12 @@ std::vector<Violation> validate_stream_schedule(
       }
       by_proc[k.proc].push_back(Span{a, n, k.occupied_from(), k.finish_time});
     }
+    // Per-app transfer sanity; loads pool ACROSS apps (the links are as
+    // shared as the processors).
+    check_transfers(result.transfers, system, app_tag,
+                    exec_start_resolver(result), link_loads, out);
   }
+  check_link_capacity(system, link_loads, out);
 
   // Cross-instance exclusivity: kernels of *different* applications share
   // the processors, so the overlap check must pool every span.

@@ -8,7 +8,9 @@
 #include <optional>
 #include <queue>
 #include <stdexcept>
+#include <unordered_map>
 
+#include "net/transfer_manager.hpp"
 #include "sim/precomputed_cost_model.hpp"
 #include "sim/validate.hpp"
 
@@ -60,7 +62,13 @@ class StreamEngine::Context final : public sim::SchedulerContext {
         source_(source),
         options_(options),
         policy_(policy),
+        topology_(system.topology()),
+        contended_(topology_.contended()),
         proc_state_(system.proc_count()) {
+    if (contended_) {
+      tm_.emplace(topology_);
+      topo_cost_.emplace(base_cost_, system_);
+    }
     observation_.warmup_ms = options.warmup_ms;
     observation_.busy_in_window_ms.assign(system.proc_count(), 0.0);
     observation_.kernels_in_window.assign(system.proc_count(), 0);
@@ -76,8 +84,8 @@ class StreamEngine::Context final : public sim::SchedulerContext {
     for (;;) {
       policy_.on_event(*this);
       drain_queues();
-      const bool quiescent =
-          events_.empty() && releases_.empty() && !next_arrival_;
+      const bool quiescent = events_.empty() && releases_.empty() &&
+                             !next_arrival_ && !(tm_ && tm_->busy());
       if (live_count_ == 0 && quiescent) break;
       if (quiescent) {
         throw std::logic_error("StreamEngine: policy '" + policy_.name() +
@@ -89,6 +97,14 @@ class StreamEngine::Context final : public sim::SchedulerContext {
     observation_.end_ms = std::max(now_, options_.warmup_ms);
     observation_.queue_depth.finish(observation_.end_ms);
     observation_.live_apps.finish(observation_.end_ms);
+    if (tm_) {
+      observation_.link_busy_ms = tm_->link_busy_ms();
+      observation_.link_bytes = tm_->link_delivered_bytes();
+      observation_.link_transfers = tm_->link_delivered_counts();
+      observation_.link_names.reserve(topology_.link_count());
+      for (net::LinkId l = 0; l < topology_.link_count(); ++l)
+        observation_.link_names.push_back(topology_.link_name(l));
+    }
     StreamOutcome outcome;
     outcome.metrics = sim::compute_stream_metrics(system_, observation_);
     outcome.schedules = std::move(schedules_);
@@ -106,7 +122,12 @@ class StreamEngine::Context final : public sim::SchedulerContext {
   }
 
   const sim::System& system() const override { return system_; }
-  const sim::CostModel& cost_model() const override { return base_cost_; }
+  const sim::CostModel& cost_model() const override {
+    // Contended runs price transfers against the fabric, not the base
+    // model's uncontended point-to-point links.
+    return contended_ ? static_cast<const sim::CostModel&>(*topo_cost_)
+                      : base_cost_;
+  }
 
   const std::vector<dag::NodeId>& ready() const override {
     if (ready_tombstones_ > 0) compact_ready();
@@ -132,8 +153,13 @@ class StreamEngine::Context final : public sim::SchedulerContext {
   sim::TimeMs busy_until(sim::ProcId proc) const override {
     const ProcState& ps = proc_state_.at(proc);
     if (!ps.running.has_value() && ps.queue.empty()) return now_;
-    sim::TimeMs t =
-        ps.running ? node_state_[*ps.running].record.finish_time : now_;
+    // A running kernel still stalled on contended input data has no finish
+    // time yet; estimate with its (known) execution time from now.
+    sim::TimeMs t = now_;
+    if (ps.running) {
+      const NodeState& rs = node_state_[*ps.running];
+      t = rs.exec_started ? rs.record.finish_time : now_ + rs.record.exec_ms;
+    }
     for (const QueuedKernel& q : ps.queue) t += q.exec_ms;
     return t;
   }
@@ -145,9 +171,11 @@ class StreamEngine::Context final : public sim::SchedulerContext {
   sim::TimeMs queued_work_ms(sim::ProcId proc) const override {
     const ProcState& ps = proc_state_.at(proc);
     sim::TimeMs work = 0.0;
-    if (ps.running)
-      work +=
-          std::max(0.0, node_state_[*ps.running].record.finish_time - now_);
+    if (ps.running) {
+      const NodeState& rs = node_state_[*ps.running];
+      work += rs.exec_started ? std::max(0.0, rs.record.finish_time - now_)
+                              : rs.record.exec_ms;
+    }
     for (const QueuedKernel& q : ps.queue) work += q.exec_ms;
     return work;
   }
@@ -181,9 +209,16 @@ class StreamEngine::Context final : public sim::SchedulerContext {
       const sim::ScheduledKernel& rec = node_state_[app.base + pred].record;
       if (rec.proc == sim::kInvalidProc)
         throw std::logic_error("StreamEngine: predecessor not yet scheduled");
-      worst = std::max(
-          worst, app.cost->transfer_time_ms(app.dag, pred, local,
-                                            system_.processor(rec.proc), to));
+      if (contended_) {
+        // Comm-adjusted estimate from the topology (uncontended share).
+        worst = std::max(worst,
+                         topology_.transfer_time_ms(
+                             edge_bytes(app, pred), rec.proc, proc));
+      } else {
+        worst = std::max(worst, app.cost->transfer_time_ms(
+                                    app.dag, pred, local,
+                                    system_.processor(rec.proc), to));
+      }
     }
     return worst;
   }
@@ -204,6 +239,12 @@ class StreamEngine::Context final : public sim::SchedulerContext {
     ns.enqueued_at = now_;
     proc_state_.at(proc).queue.push_back({slot, exec_time_ms(slot, proc)});
     idle_dirty_ = true;
+    // The destination is fixed, so contended input data starts moving now
+    // and may prefetch while the kernel waits in the queue.
+    if (contended_)
+      begin_comm(slot, proc,
+                 now_ + system_.config().decision_overhead_ms +
+                     system_.config().dispatch_overhead_ms);
   }
 
  private:
@@ -220,6 +261,13 @@ class StreamEngine::Context final : public sim::SchedulerContext {
     std::uint32_t app = kNoApp;  ///< owning slot in apps_
     std::size_t remaining_preds = 0;
     sim::TimeMs enqueued_at = std::numeric_limits<sim::TimeMs>::quiet_NaN();
+
+    // --- contended-topology comm phase (unused under ideal) ---
+    bool exec_started = false;     ///< computation has begun
+    bool holds_proc = false;       ///< occupies its processor, maybe stalled
+    std::size_t pending_msgs = 0;  ///< input messages still in flight
+    sim::TimeMs occupied_at = 0.0;
+    sim::TimeMs data_ready_at = 0.0;
   };
 
   struct QueuedKernel {
@@ -243,6 +291,10 @@ class StreamEngine::Context final : public sim::SchedulerContext {
     std::size_t remaining = 0;             ///< kernels not yet completed
     std::size_t remaining_total = 0;       ///< kernel count (survives dag move)
     sim::TimeMs lower_bound_ms = 0.0;
+    /// Completed/in-flight link messages, local node ids, absolute times.
+    /// Only populated when StreamOptions::record_schedules (memory stays
+    /// bounded by the live backlog otherwise).
+    std::vector<sim::TransferRecord> transfers;
   };
 
   const App& app_of(dag::NodeId slot) const {
@@ -332,6 +384,74 @@ class StreamEngine::Context final : public sim::SchedulerContext {
 
   // --- kernel lifecycle (mirrors sim::Engine) -------------------------------
 
+  /// Payload of the edge out of `pred` (a local node id) in `app`.
+  double edge_bytes(const App& app, dag::NodeId pred) const {
+    return sim::edge_payload_bytes(app.dag, pred,
+                                   system_.config().bytes_per_element);
+  }
+
+  /// Contended mode: creates one link message per non-local input edge of
+  /// `slot`, entering the fabric at the dispatch instant. Called exactly
+  /// once per kernel, when the policy commits it.
+  void begin_comm(dag::NodeId slot, sim::ProcId proc,
+                  sim::TimeMs dispatched) {
+    NodeState& ns = node_state_[slot];
+    if (ns.app == kNoApp)
+      throw std::logic_error("StreamEngine: slot has no live application");
+    App& app = *apps_[ns.app];
+    const dag::NodeId local = slot - app.base;
+    ns.data_ready_at = dispatched;
+    for (dag::NodeId pred : app.dag.predecessors(local)) {
+      const sim::ScheduledKernel& rec = node_state_[app.base + pred].record;
+      const net::LinkId link = topology_.link(rec.proc, proc);
+      if (link == net::kNoLink) continue;  // same processor or socket
+      const double bytes = edge_bytes(app, pred);
+      const std::uint64_t tag = next_transfer_tag_++;
+      if (options_.record_schedules) {
+        sim::TransferRecord record;
+        record.src = pred;
+        record.dst = local;
+        record.from = rec.proc;
+        record.to = proc;
+        record.link = link;
+        record.bytes = bytes;
+        record.start = dispatched;
+        record.drain_start = dispatched + topology_.latency_ms(link);
+        inflight_[tag] = InFlight{slot, app.transfers.size()};
+        app.transfers.push_back(std::move(record));
+      } else {
+        inflight_[tag] = InFlight{slot, kNoRecord};
+      }
+      tm_->start(tag, bytes, rec.proc, proc, dispatched);
+      ++ns.pending_msgs;
+    }
+  }
+
+  /// Contended mode: all inputs are in — computation begins at `at`.
+  void begin_exec(dag::NodeId slot, sim::TimeMs at) {
+    NodeState& ns = node_state_[slot];
+    ns.exec_started = true;
+    ns.record.exec_start = at;
+    ns.record.transfer_ms = at - ns.occupied_at;
+    ns.record.finish_time = at + ns.record.exec_ms;
+    events_.push(Event{ns.record.finish_time, slot});
+  }
+
+  void on_delivery(const net::Delivery& delivery) {
+    const auto it = inflight_.find(delivery.tag);
+    if (it == inflight_.end())
+      throw std::logic_error("StreamEngine: delivery for unknown transfer");
+    const InFlight flight = it->second;
+    inflight_.erase(it);
+    NodeState& ns = node_state_[flight.slot];
+    if (flight.record != kNoRecord)
+      apps_[ns.app]->transfers[flight.record].finish = now_;
+    --ns.pending_msgs;
+    ns.data_ready_at = std::max(ns.data_ready_at, now_);
+    if (ns.pending_msgs == 0 && ns.holds_proc)
+      begin_exec(flight.slot, std::max(ns.occupied_at, ns.data_ready_at));
+  }
+
   void start_kernel(dag::NodeId slot, sim::ProcId proc, bool alternative) {
     NodeState& ns = node_state_[slot];
     const sim::SystemConfig& cfg = system_.config();
@@ -340,10 +460,21 @@ class StreamEngine::Context final : public sim::SchedulerContext {
     ns.record.assign_time = now_ + cfg.decision_overhead_ms;
     const sim::TimeMs dispatched =
         ns.record.assign_time + cfg.dispatch_overhead_ms;
+    if (contended_) {
+      ns.record.exec_ms = exec_time_ms(slot, proc);
+      ns.occupied_at = dispatched;
+      ns.holds_proc = true;
+      proc_state_[proc].running = slot;
+      idle_dirty_ = true;
+      begin_comm(slot, proc, dispatched);
+      if (ns.pending_msgs == 0) begin_exec(slot, ns.data_ready_at);
+      return;
+    }
     ns.record.transfer_ms = transfer_delay(slot, proc, dispatched);
     ns.record.exec_start = dispatched + ns.record.transfer_ms;
     ns.record.exec_ms = exec_time_ms(slot, proc);
     ns.record.finish_time = ns.record.exec_start + ns.record.exec_ms;
+    ns.exec_started = true;
     proc_state_[proc].running = slot;
     idle_dirty_ = true;
     events_.push(Event{ns.record.finish_time, slot});
@@ -362,6 +493,19 @@ class StreamEngine::Context final : public sim::SchedulerContext {
   void start_queued_kernel(const QueuedKernel& queued, sim::ProcId proc) {
     NodeState& ns = node_state_[queued.slot];
     const sim::SystemConfig& cfg = system_.config();
+    if (contended_) {
+      // Messages have been in flight since the enqueue; the processor
+      // picks the kernel up now and stalls until the last one lands.
+      ns.record.proc = proc;
+      ns.record.exec_ms = queued.exec_ms;
+      ns.occupied_at = now_;
+      ns.holds_proc = true;
+      proc_state_[proc].running = queued.slot;
+      idle_dirty_ = true;
+      if (ns.pending_msgs == 0)
+        begin_exec(queued.slot, std::max(now_, ns.data_ready_at));
+      return;
+    }
     const sim::TimeMs transfer = input_transfer_ms(queued.slot, proc);
     const sim::TimeMs data_ready = ns.enqueued_at + cfg.decision_overhead_ms +
                                    cfg.dispatch_overhead_ms + transfer;
@@ -370,6 +514,7 @@ class StreamEngine::Context final : public sim::SchedulerContext {
     ns.record.transfer_ms = std::max(0.0, data_ready - now_);
     ns.record.exec_ms = queued.exec_ms;
     ns.record.finish_time = ns.record.exec_start + ns.record.exec_ms;
+    ns.exec_started = true;
     proc_state_[proc].running = queued.slot;
     idle_dirty_ = true;
     events_.push(Event{ns.record.finish_time, queued.slot});
@@ -401,11 +546,16 @@ class StreamEngine::Context final : public sim::SchedulerContext {
     if (!events_.empty()) t = std::min(t, events_.top().time);
     if (!releases_.empty()) t = std::min(t, releases_.top().time);
     if (next_arrival_) t = std::min(t, *next_arrival_);
+    if (tm_) t = std::min(t, tm_->next_event_ms());
     now_ = t;
     while (!events_.empty() && events_.top().time == t) {
       const dag::NodeId slot = events_.top().slot;
       events_.pop();
       complete_kernel(slot);
+    }
+    if (tm_) {
+      for (const net::Delivery& delivery : tm_->advance_to(t))
+        on_delivery(delivery);
     }
     while (!releases_.empty() && releases_.top().time <= t) {
       const dag::NodeId slot = releases_.top().slot;
@@ -472,6 +622,7 @@ class StreamEngine::Context final : public sim::SchedulerContext {
         last = std::max(last, schedule.result.schedule[local].finish_time);
       }
       schedule.result.makespan = last;
+      schedule.result.transfers = std::move(app.transfers);
       schedule.dag = std::move(app.dag);
       schedules_.push_back(std::move(schedule));
     }
@@ -577,6 +728,21 @@ class StreamEngine::Context final : public sim::SchedulerContext {
   const StreamOptions& options_;
   sim::Policy& policy_;
 
+  /// Contended-topology comm phase (tm_ engaged only when contended_).
+  const net::Topology& topology_;
+  const bool contended_;
+  std::optional<net::TransferManager> tm_;
+  std::optional<sim::TopologyCostModel> topo_cost_;
+  static constexpr std::size_t kNoRecord = static_cast<std::size_t>(-1);
+  /// One in-flight message: the waiting kernel's slot and (when schedules
+  /// are recorded) the index into its app's transfer log.
+  struct InFlight {
+    dag::NodeId slot = dag::kInvalidNode;
+    std::size_t record = kNoRecord;
+  };
+  std::unordered_map<std::uint64_t, InFlight> inflight_;
+  std::uint64_t next_transfer_tag_ = 0;
+
   sim::TimeMs now_ = 0.0;
   std::vector<NodeState> node_state_;  ///< global slot arrays
   std::vector<ProcState> proc_state_;
@@ -624,9 +790,12 @@ StreamOutcome StreamEngine::run(sim::Policy& policy) {
         "open system — use a dynamic policy");
   // The same lifecycle every policy sees in the closed-system engine; the
   // DAG is empty because instances only materialize as they arrive.
+  // prepare() receives the context's own cost model (topology-priced
+  // under a contended fabric), so a policy that caches the reference sees
+  // the same object SchedulerContext::cost_model() later returns.
   const dag::Dag no_dag;
-  policy.prepare(no_dag, system_, base_cost_);
   Context ctx(system_, base_cost_, source_, options_, policy);
+  policy.prepare(no_dag, system_, ctx.cost_model());
   return ctx.simulate();
 }
 

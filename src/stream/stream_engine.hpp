@@ -32,8 +32,15 @@
 //
 // Determinism: identical inputs give identical results. Events sharing a
 // timestamp are processed completions-first (ascending slot id), then
-// releases, then admissions — single-arrival streams therefore reproduce
-// sim::Engine's schedule exactly.
+// transfer deliveries, then releases, then admissions — single-arrival
+// streams therefore reproduce sim::Engine's schedule exactly.
+//
+// Communication: exactly sim::Engine's model — ideal topologies keep the
+// analytic uncontended transfer stalls, contended ones (see net/) simulate
+// per-edge messages with fair bandwidth sharing, with the links shared
+// ACROSS application instances just like the processors. Per-app transfer
+// logs are retained only under record_schedules; per-link busy/byte totals
+// always land in the metrics.
 #pragma once
 
 #include <cstdint>

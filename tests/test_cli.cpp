@@ -327,4 +327,67 @@ TEST(Cli, PoliciesListsSpecs) {
   std::filesystem::remove(out);
 }
 
+TEST(Cli, VersionPrintsBuildInfo) {
+  // Both spellings, and the line must carry the git describe (never empty
+  // or the literal "unknown" in a CMake build) plus the build type.
+  for (const std::string& spelling : {"--version", "version"}) {
+    const std::string out = ::testing::TempDir() + "/aptsim_version.txt";
+    ASSERT_EQ(run_cli(spelling, out), 0) << spelling;
+    const std::string text = slurp(out);
+    EXPECT_EQ(text.rfind("aptsim ", 0), 0u) << text;
+    EXPECT_NE(text.find(" build)"), std::string::npos) << text;
+    EXPECT_EQ(text.find("aptsim unknown"), std::string::npos) << text;
+    EXPECT_GT(text.size(), std::string("aptsim  ( build)\n").size());
+    std::filesystem::remove(out);
+  }
+}
+
+TEST(Cli, RunWithBusTopologyReportsLinkUtilization) {
+  const std::string out = ::testing::TempDir() + "/aptsim_run_bus.txt";
+  ASSERT_EQ(run_cli("run --policy heft --type 2 --kernels 24 --seed 3 "
+                    "--topology bus --bandwidth 0.5 --latency 0.05",
+                    out),
+            0);
+  const std::string text = slurp(out);
+  EXPECT_NE(text.find("topology:  bus"), std::string::npos);
+  EXPECT_NE(text.find("link bus"), std::string::npos);
+  EXPECT_NE(text.find("overlap with compute"), std::string::npos);
+  std::filesystem::remove(out);
+}
+
+TEST(Cli, RunRejectsUnknownTopology) {
+  EXPECT_NE(run_cli("run --policy met --type 1 --kernels 10 --topology "
+                    "torus"),
+            0);
+}
+
+TEST(Cli, SweepCarriesTopologyColumn) {
+  const std::string csv = ::testing::TempDir() + "/aptsim_sweep_topo.csv";
+  ASSERT_EQ(run_cli("sweep --family layered --graphs 2 --kernels 18 "
+                    "--policies apt:4,heft --rates 4,1 --topology hier:2 "
+                    "--csv " +
+                        quoted(csv)),
+            0);
+  const std::string text = slurp(csv);
+  EXPECT_NE(text.find("topology"), std::string::npos);
+  EXPECT_NE(text.find("hier2"), std::string::npos);
+  std::filesystem::remove(csv);
+}
+
+TEST(Cli, StreamWithTopologyIsBitIdenticalAcrossJobCounts) {
+  // The determinism contract must survive the contended comm phase.
+  const std::string csv1 = ::testing::TempDir() + "/aptsim_stream_topo1.csv";
+  const std::string csv8 = ::testing::TempDir() + "/aptsim_stream_topo8.csv";
+  const std::string flags =
+      "stream --family layered --rate 0.002 --policies apt:4,ag "
+      "--kernels 18 --duration 3000 --seed 7 --topology bus --bandwidth 1 ";
+  ASSERT_EQ(run_cli(flags + "--jobs 1 --csv " + quoted(csv1)), 0);
+  ASSERT_EQ(run_cli(flags + "--jobs 8 --csv " + quoted(csv8)), 0);
+  const std::string text1 = slurp(csv1);
+  EXPECT_EQ(text1, slurp(csv8));
+  EXPECT_NE(text1.find("bus"), std::string::npos);
+  std::filesystem::remove(csv1);
+  std::filesystem::remove(csv8);
+}
+
 }  // namespace

@@ -1,0 +1,135 @@
+// Unit tests of net::Topology: spec parsing, link tables per kind,
+// locality, and the uncontended transfer estimate.
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace apt::net {
+namespace {
+
+TEST(TopologySpec, ParseKnownKinds) {
+  EXPECT_EQ(parse_topology_spec("ideal").kind, TopologyKind::Ideal);
+  EXPECT_EQ(parse_topology_spec("bus").kind, TopologyKind::Bus);
+  EXPECT_EQ(parse_topology_spec("crossbar").kind, TopologyKind::Crossbar);
+  EXPECT_EQ(parse_topology_spec("xbar").kind, TopologyKind::Crossbar);
+  EXPECT_EQ(parse_topology_spec("hier").kind, TopologyKind::Hierarchical);
+  EXPECT_EQ(parse_topology_spec("socket").kind, TopologyKind::Hierarchical);
+  EXPECT_EQ(parse_topology_spec("  BUS  ").kind, TopologyKind::Bus);
+}
+
+TEST(TopologySpec, ParseSocketSize) {
+  const TopologySpec spec = parse_topology_spec("hier:4");
+  EXPECT_EQ(spec.kind, TopologyKind::Hierarchical);
+  EXPECT_EQ(spec.socket_size, 4u);
+  EXPECT_EQ(parse_topology_spec("hier").socket_size, 2u);  // default
+}
+
+TEST(TopologySpec, LabelsRoundTripThroughTheParser) {
+  for (const std::string name : {"ideal", "bus", "crossbar", "hier:3"}) {
+    const TopologySpec spec = parse_topology_spec(name);
+    const TopologySpec reparsed = parse_topology_spec(spec.label());
+    EXPECT_EQ(reparsed.kind, spec.kind) << name;
+    EXPECT_EQ(reparsed.socket_size, spec.socket_size) << name;
+  }
+}
+
+TEST(TopologySpec, ParseRejectsUnknown) {
+  EXPECT_THROW(parse_topology_spec("torus"), std::invalid_argument);
+  EXPECT_THROW(parse_topology_spec("hier:0"), std::invalid_argument);
+  EXPECT_THROW(parse_topology_spec("hier:x"), std::invalid_argument);
+  // strtoul would wrap a negative to ULONG_MAX (one giant socket — a
+  // silently free-communication machine); the parser must reject it.
+  EXPECT_THROW(parse_topology_spec("hier:-1"), std::invalid_argument);
+  EXPECT_THROW(parse_topology_spec("hier:2x"), std::invalid_argument);
+}
+
+TEST(TopologySpec, Labels) {
+  EXPECT_EQ(parse_topology_spec("ideal").label(), "ideal");
+  EXPECT_EQ(parse_topology_spec("bus").label(), "bus");
+  EXPECT_EQ(parse_topology_spec("hier:3").label(), "hier3");
+}
+
+TEST(Topology, IdealHasNoLinksAndIsUncontended) {
+  const Topology topo(TopologySpec{}, 3, 4.0);
+  EXPECT_FALSE(topo.contended());
+  EXPECT_EQ(topo.link_count(), 0u);
+  for (ProcId a = 0; a < 3; ++a)
+    for (ProcId b = 0; b < 3; ++b) {
+      EXPECT_TRUE(topo.is_local(a, b));
+      EXPECT_DOUBLE_EQ(topo.transfer_time_ms(1e6, a, b), 0.0);
+    }
+}
+
+TEST(Topology, BusSharesOneLink) {
+  const Topology topo(parse_topology_spec("bus"), 3, 4.0);
+  EXPECT_TRUE(topo.contended());
+  EXPECT_EQ(topo.link_count(), 1u);
+  EXPECT_EQ(topo.link(0, 1), 0u);
+  EXPECT_EQ(topo.link(2, 0), 0u);
+  EXPECT_EQ(topo.link(1, 1), kNoLink);  // same processor: local
+  EXPECT_EQ(topo.link_name(0), "bus");
+}
+
+TEST(Topology, CrossbarHasOneLinkPerOrderedPair) {
+  const Topology topo(parse_topology_spec("crossbar"), 3, 4.0);
+  EXPECT_EQ(topo.link_count(), 6u);  // 3 * 2 ordered pairs
+  // Every ordered pair gets a distinct link.
+  EXPECT_NE(topo.link(0, 1), topo.link(1, 0));
+  EXPECT_NE(topo.link(0, 1), topo.link(0, 2));
+  EXPECT_EQ(topo.link(0, 0), kNoLink);
+}
+
+TEST(Topology, HierarchicalSocketsAreLocal) {
+  TopologySpec spec = parse_topology_spec("hier:2");
+  const Topology topo(spec, 4, 4.0);  // sockets {0,1} and {2,3}
+  EXPECT_TRUE(topo.is_local(0, 1));
+  EXPECT_TRUE(topo.is_local(3, 2));
+  EXPECT_FALSE(topo.is_local(1, 2));
+  EXPECT_EQ(topo.link_count(), 2u);  // S0>S1 and S1>S0
+  EXPECT_EQ(topo.link(0, 2), topo.link(1, 3));  // same socket pair
+  EXPECT_NE(topo.link(0, 2), topo.link(2, 0));  // directions differ
+  EXPECT_EQ(topo.link_name(topo.link(0, 2)), "S0>S1");
+}
+
+TEST(Topology, BandwidthDefaultTracksLinkRate) {
+  TopologySpec spec = parse_topology_spec("bus");
+  const Topology tracking(spec, 3, 8.0);
+  EXPECT_DOUBLE_EQ(tracking.bandwidth_gbps(0), 8.0);
+  spec.bandwidth_gbps = 2.0;
+  const Topology fixed(spec, 3, 8.0);
+  EXPECT_DOUBLE_EQ(fixed.bandwidth_gbps(0), 2.0);
+}
+
+TEST(Topology, TransferEstimateIsLatencyPlusBytesOverBandwidth) {
+  TopologySpec spec = parse_topology_spec("bus");
+  spec.bandwidth_gbps = 4.0;
+  spec.latency_ms = 0.5;
+  const Topology topo(spec, 2, 4.0);
+  // 4 GB/s == 4e6 bytes/ms; 8e6 bytes -> 2 ms + 0.5 ms latency.
+  EXPECT_DOUBLE_EQ(topo.transfer_time_ms(8e6, 0, 1), 2.5);
+  EXPECT_DOUBLE_EQ(topo.transfer_time_ms(8e6, 1, 1), 0.0);
+}
+
+TEST(Topology, RejectsBadConfigurations) {
+  EXPECT_THROW(Topology(parse_topology_spec("bus"), 0, 4.0),
+               std::invalid_argument);
+  EXPECT_THROW(Topology(parse_topology_spec("bus"), 2, 0.0),
+               std::invalid_argument);
+  TopologySpec negative;
+  negative.latency_ms = -1.0;
+  EXPECT_THROW(Topology(negative, 2, 4.0), std::invalid_argument);
+  // A hier socket covering every processor would make all communication
+  // free under a nominally contended fabric — rejected on multi-processor
+  // platforms, allowed on the degenerate single-processor one.
+  EXPECT_THROW(Topology(parse_topology_spec("hier:8"), 3, 4.0),
+               std::invalid_argument);
+  EXPECT_NO_THROW(Topology(parse_topology_spec("hier:8"), 1, 4.0));
+  const Topology topo(parse_topology_spec("bus"), 2, 4.0);
+  EXPECT_THROW(topo.link(2, 0), std::out_of_range);
+  EXPECT_THROW(topo.bandwidth_gbps(1), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace apt::net

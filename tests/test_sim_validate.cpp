@@ -141,5 +141,90 @@ TEST(CriticalPath, LowerBoundsEveryRealSchedule) {
             critical_path_lower_bound_ms(graph, sys, cost) - 1e-9);
 }
 
+// --- validate_stream_schedule edge cases -------------------------------------
+
+/// One-kernel application executing [start, start + exec) on `proc`.
+struct OneKernelApp {
+  dag::Dag dag;
+  SimResult result;
+
+  OneKernelApp(TimeMs arrival, ProcId proc, TimeMs start, TimeMs exec) {
+    dag.add_node("k", 1);
+    ScheduledKernel k;
+    k.node = 0;
+    k.proc = proc;
+    k.ready_time = arrival;
+    k.assign_time = start;
+    k.exec_start = start;
+    k.exec_ms = exec;
+    k.finish_time = start + exec;
+    result.schedule = {k};
+    result.makespan = k.finish_time;
+  }
+
+  StreamAppView view(TimeMs arrival) const {
+    return StreamAppView{&dag, arrival, &result};
+  }
+};
+
+TEST(ValidateStream, AcceptsZeroDurationKernels) {
+  // Three zero-duration kernels from three apps at the SAME instant on the
+  // same processor: all occupation intervals are empty, nothing overlaps.
+  const System sys = test::generic_system(1);
+  const OneKernelApp a(0.0, 0, 5.0, 0.0);
+  const OneKernelApp b(0.0, 0, 5.0, 0.0);
+  const OneKernelApp c(0.0, 0, 5.0, 0.0);
+  const auto violations = validate_stream_schedule(
+      sys, {a.view(0.0), b.view(0.0), c.view(0.0)});
+  for (const auto& v : violations) ADD_FAILURE() << v.message;
+}
+
+TEST(ValidateStream, AcceptsZeroDurationKernelInsideABusyStretch) {
+  // A zero-duration kernel exactly at another app's finish boundary.
+  const System sys = test::generic_system(1);
+  const OneKernelApp busy(0.0, 0, 0.0, 7.0);
+  const OneKernelApp instant(0.0, 0, 7.0, 0.0);
+  const OneKernelApp next(0.0, 0, 7.0, 3.0);
+  const auto violations = validate_stream_schedule(
+      sys, {busy.view(0.0), instant.view(0.0), next.view(0.0)});
+  for (const auto& v : violations) ADD_FAILURE() << v.message;
+}
+
+TEST(ValidateStream, AcceptsBackToBackReuseAtIdenticalTimestamps) {
+  // App B picks the processor up at the exact instant app A releases it —
+  // the [from, to) convention makes the shared timestamp legal.
+  const System sys = test::generic_system(1);
+  const OneKernelApp a(0.0, 0, 0.0, 5.0);
+  const OneKernelApp b(0.0, 0, 5.0, 5.0);
+  const OneKernelApp c(0.0, 0, 10.0, 5.0);
+  const auto violations =
+      validate_stream_schedule(sys, {a.view(0.0), b.view(0.0), c.view(0.0)});
+  for (const auto& v : violations) ADD_FAILURE() << v.message;
+}
+
+TEST(ValidateStream, RejectsCrossInstanceOverlap) {
+  // App B starts 1 ms before app A finishes on the same processor — the
+  // invariant only a pooled, cross-instance check can see.
+  const System sys = test::generic_system(1);
+  const OneKernelApp a(0.0, 0, 0.0, 5.0);
+  const OneKernelApp b(0.0, 0, 4.0, 5.0);
+  const auto violations =
+      validate_stream_schedule(sys, {a.view(0.0), b.view(0.0)});
+  ASSERT_FALSE(violations.empty());
+  bool mentions_overlap = false;
+  for (const auto& v : violations)
+    mentions_overlap =
+        mentions_overlap || v.message.find("overlap") != std::string::npos;
+  EXPECT_TRUE(mentions_overlap);
+}
+
+TEST(ValidateStream, RejectsReadinessBeforeArrival) {
+  // The kernel claims readiness at 0 but its application arrived at 10.
+  const System sys = test::generic_system(1);
+  const OneKernelApp a(0.0, 0, 0.0, 1.0);
+  const auto violations = validate_stream_schedule(sys, {a.view(10.0)});
+  ASSERT_FALSE(violations.empty());
+}
+
 }  // namespace
 }  // namespace apt::sim
