@@ -75,9 +75,11 @@ Args parse_args(int argc, char** argv) {
 }
 
 /// The interconnect described by --topology/--bandwidth/--latency (see
-/// src/net): ideal (default, uncontended), bus, crossbar, or hier[:S].
-/// --bandwidth 0 (the default) tracks the link rate, so --rates sweeps the
-/// fabric too.
+/// src/net): ideal (default, uncontended), bus, crossbar, hier[:S], or the
+/// routed kinds ring[:N], mesh:RxC, fattree[:K] whose transfers occupy a
+/// multi-hop path. --bandwidth 0 (the default) tracks the link rate, so
+/// --rates sweeps the fabric too. Unknown kinds and malformed shapes
+/// (mesh:3x, fattree:0) throw and surface as a CLI error.
 net::TopologySpec topology_from_args(const Args& args) {
   net::TopologySpec spec =
       net::parse_topology_spec(args.get("topology", "ideal"));
@@ -252,7 +254,11 @@ int cmd_run(const Args& args) {
                 << util::format_double(link.busy_ms, 3) << " ms ("
                 << util::format_double(link.utilization * 100.0, 1) << "%), "
                 << util::format_double(link.bytes / 1e6, 2) << " MB over "
-                << link.transfer_count << " transfers\n";
+                << link.transfer_count << " transfers";
+      if (link.avg_hops > 1.0)
+        std::cout << " (avg route " << util::format_double(link.avg_hops, 2)
+                  << " hops)";
+      std::cout << "\n";
     }
   }
   if (args.has("trace")) {
@@ -744,7 +750,8 @@ void usage() {
       "  aptsim run --policy SPEC [--graph F | --family NAME | --type T]\n"
       "             [--kernels N] [--seed S] [--rate GBPS]\n"
       "             [--lut F.csv | --ccr X --hetero H --lut-seed S]\n"
-      "             [--topology ideal|bus|crossbar|hier[:S]]\n"
+      "             [--topology ideal|bus|crossbar|hier[:S]|\n"
+      "                  ring[:N]|mesh:RxC|fattree[:K]]\n"
       "             [--bandwidth GBPS] [--latency MS]\n"
       "             [--arrivals MEAN_MS] [--trace] [--gantt] [--analyze]\n"
       "             [--csv F]\n"
@@ -753,7 +760,8 @@ void usage() {
       "               [--kernels N,...] [--ccr X] [--hetero H]\n"
       "               [--lut-seed S]] [--policies SPEC,...]\n"
       "               [--alphas 1.5,2,4] [--rates 4,8] [--jobs N] [--reps R]\n"
-      "               [--topology ideal|bus|crossbar|hier[:S]]\n"
+      "               [--topology ideal|bus|crossbar|hier[:S]|\n"
+      "                  ring[:N]|mesh:RxC|fattree[:K]]\n"
       "               [--bandwidth GBPS] [--latency MS]\n"
       "               [--seed S] [--csv F] [--json F]\n"
       "  aptsim stream [--family NAME,...] [--rate L,... (apps/ms)]\n"
@@ -762,7 +770,8 @@ void usage() {
       "               [--warmup MS] [--max-apps N] [--seed S]\n"
       "               [--link-rate GBPS]\n"
       "               [--lut F.csv | --ccr X --hetero H --lut-seed S]\n"
-      "               [--topology ideal|bus|crossbar|hier[:S]]\n"
+      "               [--topology ideal|bus|crossbar|hier[:S]|\n"
+      "                  ring[:N]|mesh:RxC|fattree[:K]]\n"
       "               [--bandwidth GBPS] [--latency MS]\n"
       "               [--jobs N] [--csv F] [--json F]\n"
       "  aptsim families\n"

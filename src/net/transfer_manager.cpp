@@ -8,10 +8,6 @@ namespace apt::net {
 
 namespace {
 constexpr TimeMs kInf = std::numeric_limits<TimeMs>::infinity();
-
-/// Completion tolerance: absolute floor plus a relative term so multi-GB
-/// messages survive the float drift of many rate-change drains.
-double done_eps(double bytes) { return std::max(1e-6, 1e-12 * bytes); }
 }  // namespace
 
 TransferManager::TransferManager(const Topology& topology)
@@ -19,11 +15,30 @@ TransferManager::TransferManager(const Topology& topology)
   if (!topology_.contended())
     throw std::invalid_argument(
         "TransferManager: an ideal topology has no links to simulate");
-  link_active_.resize(topology_.link_count());
-  link_updated_ms_.assign(topology_.link_count(), 0.0);
-  link_busy_ms_.assign(topology_.link_count(), 0.0);
-  link_delivered_bytes_.assign(topology_.link_count(), 0.0);
-  link_delivered_counts_.assign(topology_.link_count(), 0);
+  const std::size_t links = topology_.link_count();
+  link_flows_.resize(links);
+  solve_cap_.assign(links, 0.0);
+  solve_unfrozen_.assign(links, 0);
+  link_active_count_.assign(links, 0);
+  link_busy_since_.assign(links, 0.0);
+  link_busy_ms_.assign(links, 0.0);
+  link_busy_in_window_ms_.assign(links, 0.0);
+  link_delivered_bytes_.assign(links, 0.0);
+  link_bytes_in_window_.assign(links, 0.0);
+  link_delivered_counts_.assign(links, 0);
+  link_counts_in_window_.assign(links, 0);
+  link_hops_in_window_.assign(links, 0);
+}
+
+void TransferManager::set_window_start(TimeMs start) {
+  if (start < 0.0)
+    throw std::invalid_argument(
+        "TransferManager: window start must be >= 0");
+  if (started_count_ > 0)
+    throw std::logic_error(
+        "TransferManager: the observation window must be set before the "
+        "first message starts");
+  window_start_ = start;
 }
 
 void TransferManager::start(std::uint64_t tag, double bytes, ProcId from,
@@ -33,8 +48,8 @@ void TransferManager::start(std::uint64_t tag, double bytes, ProcId from,
   if (at_time < now_)
     throw std::invalid_argument(
         "TransferManager: messages cannot start in the past");
-  const LinkId link = topology_.link(from, to);
-  if (link == kNoLink)
+  const Topology::Route route = topology_.route(from, to);
+  if (route.empty())
     throw std::invalid_argument(
         "TransferManager: the processor pair is local — no message needed");
 
@@ -46,95 +61,171 @@ void TransferManager::start(std::uint64_t tag, double bytes, ProcId from,
     slot = messages_.size();
     messages_.emplace_back();
   }
+  // Slots are reused: every field is reassigned except `stamp`, which must
+  // keep growing so heap projections of the previous occupant stay stale.
   Message& m = messages_[slot];
   m.tag = tag;
-  m.link = link;
   m.bytes = bytes;
   m.remaining = bytes;
-  m.activates_ms = at_time + topology_.latency_ms(link);
-  pending_.push_back(slot);
+  m.rate_ms = 0.0;
+  m.anchor_ms = at_time;
+  m.activates_ms = at_time + topology_.route_latency_ms(from, to);
+  m.solve_round = 0;
+  m.active = false;
+  m.path.assign(route.begin(), route.end());
+  m.link_pos.assign(m.path.size(), 0);
+  activations_.push(HeapEntry{m.activates_ms, slot, m.stamp});
   ++live_count_;
   ++started_count_;
 }
 
-TimeMs TransferManager::next_internal_event() const {
-  TimeMs t = kInf;
-  for (const std::size_t slot : pending_)
-    t = std::min(t, messages_[slot].activates_ms);
-  for (LinkId l = 0; l < link_active_.size(); ++l) {
-    const std::vector<std::size_t>& active = link_active_[l];
-    if (active.empty()) continue;
-    double min_remaining = kInf;
-    for (const std::size_t slot : active)
-      min_remaining = std::min(min_remaining, messages_[slot].remaining);
-    // Equal sharing: every message drains at bandwidth / n, so the next
-    // delivery on the link is the smallest remainder at that rate.
-    const double rate_ms =
-        topology_.bandwidth_gbps(l) * 1e6 / static_cast<double>(active.size());
-    t = std::min(t, link_updated_ms_[l] + min_remaining / rate_ms);
+void TransferManager::prune_stale_projections() const {
+  while (!projections_.empty()) {
+    const HeapEntry& top = projections_.top();
+    if (messages_[top.slot].stamp == top.stamp) return;
+    projections_.pop();
   }
+}
+
+TimeMs TransferManager::next_event_ms() const {
+  prune_stale_projections();
+  TimeMs t = kInf;
+  if (!activations_.empty()) t = activations_.top().time;
+  if (!projections_.empty()) t = std::min(t, projections_.top().time);
   return t;
 }
 
-TimeMs TransferManager::next_event_ms() const { return next_internal_event(); }
-
-void TransferManager::drain_links_to(TimeMs t) {
-  for (LinkId l = 0; l < link_active_.size(); ++l) {
-    std::vector<std::size_t>& active = link_active_[l];
-    const TimeMs dt = t - link_updated_ms_[l];
-    link_updated_ms_[l] = t;
-    if (active.empty() || dt <= 0.0) continue;
-    const double rate_ms =
-        topology_.bandwidth_gbps(l) * 1e6 / static_cast<double>(active.size());
-    for (const std::size_t slot : active)
-      messages_[slot].remaining -= rate_ms * dt;
-    link_busy_ms_[l] += dt;
+void TransferManager::activate(std::size_t slot, TimeMs at) {
+  Message& m = messages_[slot];
+  m.active = true;
+  m.anchor_ms = at;
+  for (std::size_t hop = 0; hop < m.path.size(); ++hop) {
+    const LinkId l = m.path[hop];
+    m.link_pos[hop] = link_flows_[l].size();
+    link_flows_[l].push_back(slot);
+    if (link_active_count_[l]++ == 0) link_busy_since_[l] = at;
   }
+  ++active_flow_count_;
 }
 
-void TransferManager::complete_ripe(TimeMs t, std::vector<Delivery>& out) {
-  for (LinkId l = 0; l < link_active_.size(); ++l) {
-    std::vector<std::size_t>& active = link_active_[l];
-    if (active.empty()) continue;
-    const double rate_ms =
-        topology_.bandwidth_gbps(l) * 1e6 / static_cast<double>(active.size());
-    std::size_t keep = 0;
-    for (std::size_t i = 0; i < active.size(); ++i) {
-      const std::size_t slot = active[i];
-      Message& m = messages_[slot];
-      // Ripe when within tolerance of empty — or when the remainder is so
-      // small that draining it would not even advance the double-precision
-      // clock (guards against an event loop that cannot make progress).
-      const bool ripe =
-          m.remaining <= done_eps(m.bytes) ||
-          link_updated_ms_[l] + m.remaining / rate_ms <= link_updated_ms_[l];
-      if (!ripe) {
-        active[keep++] = slot;
-        continue;
+void TransferManager::deliver(std::size_t slot, TimeMs at,
+                              std::vector<Delivery>& out) {
+  Message& m = messages_[slot];
+  const bool in_window = at >= window_start_;
+  for (std::size_t hop = 0; hop < m.path.size(); ++hop) {
+    const LinkId l = m.path[hop];
+    // Swap-remove from the link's flow list; the displaced flow learns its
+    // new position (routes are simple paths, so it holds `l` exactly once).
+    std::vector<std::size_t>& flows = link_flows_[l];
+    const std::size_t pos = m.link_pos[hop];
+    const std::size_t moved = flows.back();
+    flows[pos] = moved;
+    flows.pop_back();
+    if (pos < flows.size()) {
+      Message& other = messages_[moved];
+      for (std::size_t j = 0; j < other.path.size(); ++j) {
+        if (other.path[j] == l) {
+          other.link_pos[j] = pos;
+          break;
+        }
       }
-      out.push_back(Delivery{m.tag, m.link, m.bytes, t});
-      link_delivered_bytes_[l] += m.bytes;
-      ++link_delivered_counts_[l];
-      free_slots_.push_back(slot);
-      --live_count_;
-      ++delivered_count_;
     }
-    active.resize(keep);
+    if (--link_active_count_[l] == 0) {
+      link_busy_ms_[l] += at - link_busy_since_[l];
+      const TimeMs from = std::max(link_busy_since_[l], window_start_);
+      if (at > from) link_busy_in_window_ms_[l] += at - from;
+    }
+    link_delivered_bytes_[l] += m.bytes;
+    ++link_delivered_counts_[l];
+    if (in_window) {
+      link_bytes_in_window_[l] += m.bytes;
+      ++link_counts_in_window_[l];
+      link_hops_in_window_[l] += m.path.size();
+    }
   }
+  out.push_back(Delivery{m.tag, m.bytes, m.path.size(), at});
+  ++m.stamp;  // any leftover projection of this slot is now stale
+  m.active = false;
+  free_slots_.push_back(slot);
+  --active_flow_count_;
+  --live_count_;
+  ++delivered_count_;
 }
 
-void TransferManager::activate_due(TimeMs t) {
-  std::size_t keep = 0;
-  for (std::size_t i = 0; i < pending_.size(); ++i) {
-    const std::size_t slot = pending_[i];
-    Message& m = messages_[slot];
-    if (m.activates_ms > t) {
-      pending_[keep++] = slot;
-      continue;
-    }
-    link_active_[m.link].push_back(slot);
+/// Applies one solved rate: re-anchors the remainder at `at` under the old
+/// rate, then projects the finish under the new one. A flow whose rate did
+/// not change keeps its anchor and its existing (still exact) projection.
+void TransferManager::freeze_flow(std::size_t slot, double rate, TimeMs at) {
+  Message& m = messages_[slot];
+  m.solve_round = solve_round_;
+  if (m.rate_ms == rate) return;
+  if (m.rate_ms > 0.0 && at > m.anchor_ms) {
+    m.remaining -= m.rate_ms * (at - m.anchor_ms);
+    if (m.remaining < 0.0) m.remaining = 0.0;
   }
-  pending_.resize(keep);
+  m.anchor_ms = at;
+  m.rate_ms = rate;
+  // Ripe within tolerance — or so close that the projection cannot even
+  // advance the double-precision clock — delivers at this very instant;
+  // the event loop picks the projection up before time moves again.
+  TimeMs finish = at;
+  if (m.remaining > done_eps(m.bytes)) {
+    finish = at + m.remaining / rate;
+    if (!(finish > at)) finish = at;
+  }
+  projections_.push(HeapEntry{finish, slot, ++m.stamp});
+}
+
+/// Max-min fair allocation by progressive filling: raise every flow's rate
+/// together until a link saturates, freeze that link's flows at the
+/// saturation level, remove their share, repeat. A flow's rate is the
+/// level of its bottleneck link; on a single link this is exactly the
+/// equal split bandwidth / n. Runs at every membership event; iteration
+/// order is fixed (link id, then the link's flow list), so the arithmetic
+/// is deterministic.
+void TransferManager::resolve_rates(TimeMs at) {
+  ++solve_round_;
+  std::size_t unfrozen_total = active_flow_count_;
+  if (unfrozen_total == 0) return;
+  const std::size_t links = link_flows_.size();
+  for (std::size_t l = 0; l < links; ++l) {
+    if (link_flows_[l].empty()) continue;
+    solve_cap_[l] = topology_.bandwidth_gbps(static_cast<LinkId>(l)) * 1e6;
+    solve_unfrozen_[l] = link_flows_[l].size();
+  }
+  while (unfrozen_total > 0) {
+    double level = kInf;
+    for (std::size_t l = 0; l < links; ++l) {
+      if (link_flows_[l].empty() || solve_unfrozen_[l] == 0) continue;
+      level = std::min(
+          level, solve_cap_[l] / static_cast<double>(solve_unfrozen_[l]));
+    }
+    // Exact arithmetic keeps every unfrozen link's level positive; only
+    // float drift of the cascading subtractions could break that, and a
+    // zero rate would stall the event loop — floor it instead. The freeze
+    // pass below matches with <=, so a drift-flattened link (ratio 0 <
+    // floored level) still freezes and the loop always terminates.
+    if (!(level > 0.0)) level = 1e-6;
+    for (std::size_t l = 0; l < links; ++l) {
+      if (link_flows_[l].empty() || solve_unfrozen_[l] == 0) continue;
+      // The argmin links compare exactly equal; drifted-below ones (see
+      // the floor above, or caps nudged by an earlier freeze this round)
+      // must freeze too or the round could freeze nothing.
+      if (solve_cap_[l] / static_cast<double>(solve_unfrozen_[l]) > level)
+        continue;
+      for (const std::size_t slot : link_flows_[l]) {
+        Message& m = messages_[slot];
+        if (m.solve_round == solve_round_) continue;  // frozen already
+        for (const LinkId hop : m.path) {
+          solve_cap_[hop] -= level;
+          if (solve_cap_[hop] < 0.0) solve_cap_[hop] = 0.0;
+          --solve_unfrozen_[hop];
+        }
+        freeze_flow(slot, level, at);
+        --unfrozen_total;
+      }
+    }
+  }
 }
 
 std::vector<Delivery> TransferManager::advance_to(TimeMs t) {
@@ -142,14 +233,27 @@ std::vector<Delivery> TransferManager::advance_to(TimeMs t) {
     throw std::invalid_argument("TransferManager: time must not go backwards");
   std::vector<Delivery> out;
   for (;;) {
-    const TimeMs e = next_internal_event();
+    const TimeMs e = next_event_ms();
     if (!(e <= t)) break;
-    drain_links_to(e);
-    complete_ripe(e, out);
-    activate_due(e);
+    bool membership_changed = false;
+    prune_stale_projections();
+    while (!projections_.empty() && projections_.top().time <= e) {
+      const HeapEntry entry = projections_.top();
+      projections_.pop();
+      deliver(entry.slot, e, out);
+      membership_changed = true;
+      prune_stale_projections();
+    }
+    while (!activations_.empty() && activations_.top().time <= e) {
+      const HeapEntry entry = activations_.top();
+      activations_.pop();
+      activate(entry.slot, e);
+      membership_changed = true;
+    }
+    if (membership_changed) resolve_rates(e);
+    now_ = e;
   }
-  drain_links_to(t);
-  now_ = t;
+  if (t > now_) now_ = t;
   std::sort(out.begin(), out.end(),
             [](const Delivery& a, const Delivery& b) { return a.tag < b.tag; });
   return out;

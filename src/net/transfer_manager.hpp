@@ -1,31 +1,52 @@
 // Contended message simulation over a Topology.
 //
 // A TransferManager owns the in-flight messages of one simulation run. Each
-// message occupies exactly one link (the Topology's from -> to link) and,
-// after a fixed per-link head latency, drains its bytes at the link's fair
-// share: a link with n draining messages gives each bandwidth / n — equal
-// (max-min) sharing, recomputed whenever a message joins or leaves the
-// link. Progress therefore only changes at discrete instants, so the
-// engines fold next_event_ms() into their event loops and the whole
-// simulation stays discrete.
+// message occupies the *route* of its processor pair (one link for the
+// single-hop kinds, a multi-link path for ring/mesh/fattree) and, after the
+// route's head latency, drains its bytes at its max-min fair rate:
+// progressive filling assigns every message the largest rate such that no
+// link exceeds its bandwidth and no message could go faster without
+// starving a slower one — on a single link this degenerates to the equal
+// split bandwidth / n. Rates only change when a message joins or leaves the
+// fabric, so progress is piecewise linear, the next delivery is a pure
+// projection, and the engines fold next_event_ms() into their event loops
+// while the whole simulation stays discrete.
+//
+// Event lookup is heap-backed: pending activations sit in one min-heap and
+// projected completions in another (stale projections are invalidated by a
+// per-message stamp and discarded lazily), so next_event_ms() costs
+// amortized O(log n) instead of scanning every active message, and time
+// only advances message state at membership events — an engine event that
+// fires between two transfer events no longer touches the fabric at all.
 //
 // Determinism: message ids/tags are caller-supplied and deliveries at one
-// instant are reported in ascending tag order; all arithmetic is plain
-// double math with no iteration-order dependence.
+// instant are reported in ascending tag order; the rate solver iterates
+// links and messages in fixed index order with no iteration-order-dependent
+// arithmetic.
 #pragma once
 
 #include <cstdint>
+#include <queue>
 #include <vector>
 
 #include "net/topology.hpp"
 
 namespace apt::net {
 
+/// Completion tolerance of the drain loop: a message is deliverable once
+/// its remainder is within this of zero — an absolute floor plus a
+/// relative term so multi-GB messages survive the float drift of many
+/// rate-change re-anchors, while zero-byte (latency-only) messages deliver
+/// exactly at activation. Exposed so tests can pin the contract.
+inline double done_eps(double bytes) {
+  return bytes * 1e-12 > 1e-6 ? bytes * 1e-12 : 1e-6;
+}
+
 /// One completed message, reported by advance_to().
 struct Delivery {
   std::uint64_t tag = 0;  ///< caller's handle from start()
-  LinkId link = kNoLink;
   double bytes = 0.0;
+  std::size_t hops = 0;  ///< links the route traversed
   TimeMs delivered_ms = 0.0;
 };
 
@@ -37,20 +58,25 @@ class TransferManager {
 
   const Topology& topology() const noexcept { return topology_; }
 
-  /// Schedules a message of `bytes` from -> to, entering its link at
-  /// `at_time` (+ the link latency before bytes flow). `at_time` may lie in
-  /// the future — the activation is itself a progress event. The pair must
-  /// not be local (std::invalid_argument) and `at_time` must not precede
-  /// the last advance_to() instant. `tag` is returned verbatim with the
-  /// delivery; callers use it to find the waiting kernel.
+  /// Start of the observation window for the *_in_window accounting
+  /// (steady-state metrics exclude warmup). Defaults to 0 (everything
+  /// observed); must be set before the first message starts.
+  void set_window_start(TimeMs start);
+
+  /// Schedules a message of `bytes` from -> to, entering its route at
+  /// `at_time` + the route's head latency. `at_time` may lie in the future
+  /// — the activation is itself a progress event. The pair must not be
+  /// local (std::invalid_argument) and `at_time` must not precede the last
+  /// advance_to() instant. `tag` is returned verbatim with the delivery;
+  /// callers use it to find the waiting kernel.
   void start(std::uint64_t tag, double bytes, ProcId from, ProcId to,
              TimeMs at_time);
 
   /// True while any message is pending activation or draining.
   bool busy() const noexcept { return live_count_ > 0; }
 
-  /// Earliest instant at which link rates change or a message delivers
-  /// (+infinity when idle). The engines merge this into their event clocks.
+  /// Earliest instant at which a message activates or delivers (+infinity
+  /// when idle). The engines merge this into their event clocks.
   TimeMs next_event_ms() const;
 
   /// Advances the shared-progress simulation to `t` (>= the previous call),
@@ -58,18 +84,39 @@ class TransferManager {
   std::vector<Delivery> advance_to(TimeMs t);
 
   // --- per-link accounting (for metrics) -------------------------------------
+  //
+  // A multi-hop message counts fully against every link of its route (it
+  // occupies them all while draining). The plain accessors cover the whole
+  // run; the *_in_window variants clip busy time to [window_start, ...) and
+  // count only messages delivered at or after the window start — the
+  // warmup-free numbers steady-state link utilization must be computed
+  // from. Only meaningful once the fabric is idle (!busy()).
 
   /// Time each link spent with at least one draining message.
   const std::vector<TimeMs>& link_busy_ms() const noexcept {
     return link_busy_ms_;
   }
+  const std::vector<TimeMs>& link_busy_in_window_ms() const noexcept {
+    return link_busy_in_window_ms_;
+  }
   /// Bytes delivered over each link.
   const std::vector<double>& link_delivered_bytes() const noexcept {
     return link_delivered_bytes_;
   }
+  const std::vector<double>& link_bytes_in_window() const noexcept {
+    return link_bytes_in_window_;
+  }
   /// Messages delivered over each link.
   const std::vector<std::size_t>& link_delivered_counts() const noexcept {
     return link_delivered_counts_;
+  }
+  const std::vector<std::size_t>& link_counts_in_window() const noexcept {
+    return link_counts_in_window_;
+  }
+  /// Sum of route hop counts of the messages delivered over each link
+  /// (divide by the count for the mean — 1 on single-hop kinds).
+  const std::vector<std::size_t>& link_hops_in_window() const noexcept {
+    return link_hops_in_window_;
   }
   std::size_t started_count() const noexcept { return started_count_; }
   std::size_t delivered_count() const noexcept { return delivered_count_; }
@@ -77,27 +124,68 @@ class TransferManager {
  private:
   struct Message {
     std::uint64_t tag = 0;
-    LinkId link = kNoLink;
     double bytes = 0.0;
     double remaining = 0.0;
-    TimeMs activates_ms = 0.0;  ///< joins the link here (start + latency)
+    double rate_ms = 0.0;   ///< bytes per ms under the current allocation
+    TimeMs anchor_ms = 0.0;  ///< instant `remaining` refers to
+    TimeMs activates_ms = 0.0;  ///< joins the route here (start + latency)
+    std::uint64_t stamp = 0;    ///< invalidates superseded heap projections
+    std::uint64_t solve_round = 0;  ///< frozen marker of the rate solver
+    bool active = false;
+    std::vector<LinkId> path;         ///< route links (reused with the slot)
+    std::vector<std::size_t> link_pos;  ///< position in link_flows_[path[i]]
   };
 
-  TimeMs next_internal_event() const;
-  void drain_links_to(TimeMs t);
-  void complete_ripe(TimeMs t, std::vector<Delivery>& out);
-  void activate_due(TimeMs t);
+  /// Min-heap entry; `stamp` must match the slot's message for the entry
+  /// to still be meaningful (projections are superseded, never erased).
+  struct HeapEntry {
+    TimeMs time;
+    std::size_t slot;
+    std::uint64_t stamp;
+
+    bool operator>(const HeapEntry& other) const noexcept {
+      return time > other.time;
+    }
+  };
+  using EventHeap =
+      std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                          std::greater<HeapEntry>>;
+
+  void prune_stale_projections() const;
+  void activate(std::size_t slot, TimeMs at);
+  void deliver(std::size_t slot, TimeMs at, std::vector<Delivery>& out);
+  void resolve_rates(TimeMs at);
+  void freeze_flow(std::size_t slot, double rate, TimeMs at);
 
   const Topology& topology_;
-  std::vector<Message> messages_;     ///< slot arena, slots reused
+  std::vector<Message> messages_;  ///< slot arena, slots reused
   std::vector<std::size_t> free_slots_;
-  std::vector<std::vector<std::size_t>> link_active_;  ///< [link] -> slots
-  std::vector<std::size_t> pending_;  ///< inactive slots awaiting activation
-  std::vector<TimeMs> link_updated_ms_;
+  std::vector<std::vector<std::size_t>> link_flows_;  ///< [link] -> slots
+
+  EventHeap activations_;           ///< pending messages by activation time
+  mutable EventHeap projections_;   ///< active messages by projected finish
+                                    ///< (mutable: lazy pruning from const
+                                    ///< next_event_ms)
+
+  // Rate-solver scratch, sized once ([link]).
+  std::vector<double> solve_cap_;
+  std::vector<std::size_t> solve_unfrozen_;
+  std::uint64_t solve_round_ = 0;
+
+  // Busy intervals fold as link occupancy transitions 0 <-> >0.
+  std::vector<std::size_t> link_active_count_;
+  std::vector<TimeMs> link_busy_since_;
   std::vector<TimeMs> link_busy_ms_;
+  std::vector<TimeMs> link_busy_in_window_ms_;
   std::vector<double> link_delivered_bytes_;
+  std::vector<double> link_bytes_in_window_;
   std::vector<std::size_t> link_delivered_counts_;
+  std::vector<std::size_t> link_counts_in_window_;
+  std::vector<std::size_t> link_hops_in_window_;
+
+  TimeMs window_start_ = 0.0;
   TimeMs now_ = 0.0;
+  std::size_t active_flow_count_ = 0;  ///< activated and not yet delivered
   std::size_t live_count_ = 0;
   std::size_t started_count_ = 0;
   std::size_t delivered_count_ = 0;

@@ -288,8 +288,8 @@ class Engine::Context final : public SchedulerContext {
                               system_.config().bytes_per_element);
   }
 
-  /// Contended mode: creates one link message per non-local input edge,
-  /// entering the fabric at the node's dispatch instant. Called exactly
+  /// Contended mode: creates one fabric message per non-local input edge,
+  /// entering its route at the node's dispatch instant. Called exactly
   /// once per node, when the policy commits it (assign or enqueue fixes
   /// the destination).
   void begin_comm(dag::NodeId node, ProcId proc, TimeMs dispatched) {
@@ -297,8 +297,8 @@ class Engine::Context final : public SchedulerContext {
     ns.data_ready_at = dispatched;
     for (dag::NodeId pred : dag_.predecessors(node)) {
       const ScheduledKernel& rec = node_state_[pred].record;
-      const net::LinkId link = topology_.link(rec.proc, proc);
-      if (link == net::kNoLink) continue;  // same processor or socket
+      const net::Topology::Route route = topology_.route(rec.proc, proc);
+      if (route.empty()) continue;  // same processor, socket, or cell
       const double bytes = edge_bytes(pred);
       const std::uint64_t tag = transfer_records_.size();
       TransferRecord record;
@@ -306,11 +306,12 @@ class Engine::Context final : public SchedulerContext {
       record.dst = node;
       record.from = rec.proc;
       record.to = proc;
-      record.link = link;
+      record.path.assign(route.begin(), route.end());
       record.bytes = bytes;
       record.start = dispatched;
-      record.drain_start = dispatched + topology_.latency_ms(link);
-      transfer_records_.push_back(record);
+      record.drain_start =
+          dispatched + topology_.route_latency_ms(rec.proc, proc);
+      transfer_records_.push_back(std::move(record));
       tm_->start(tag, bytes, rec.proc, proc, dispatched);
       ++ns.pending_msgs;
     }

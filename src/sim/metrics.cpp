@@ -71,21 +71,30 @@ SimMetrics compute_metrics(const dag::Dag& dag, const System& system,
     for (net::LinkId l = 0; l < topology.link_count(); ++l)
       m.per_link[l].name = topology.link_name(l);
     std::vector<std::vector<Interval>> drain_by_link(topology.link_count());
+    std::vector<std::size_t> hops_by_link(topology.link_count(), 0);
     std::vector<Interval> comm;
     comm.reserve(result.transfers.size());
     for (const TransferRecord& t : result.transfers) {
-      if (t.link >= topology.link_count())
-        throw std::invalid_argument("compute_metrics: bad link id");
-      LinkBreakdown& lb = m.per_link[t.link];
-      lb.bytes += t.bytes;
-      ++lb.transfer_count;
-      drain_by_link[t.link].emplace_back(t.drain_start, t.finish);
+      // A message occupies every link of its route for its whole drain.
+      for (const net::LinkId link : t.path) {
+        if (link >= topology.link_count())
+          throw std::invalid_argument("compute_metrics: bad link id");
+        LinkBreakdown& lb = m.per_link[link];
+        lb.bytes += t.bytes;
+        ++lb.transfer_count;
+        hops_by_link[link] += t.hops();
+        drain_by_link[link].emplace_back(t.drain_start, t.finish);
+      }
       comm.emplace_back(t.drain_start, t.finish);
     }
     for (net::LinkId l = 0; l < topology.link_count(); ++l) {
       m.per_link[l].busy_ms = merge_union(drain_by_link[l]);
       if (m.makespan > 0.0)
         m.per_link[l].utilization = m.per_link[l].busy_ms / m.makespan;
+      if (m.per_link[l].transfer_count > 0)
+        m.per_link[l].avg_hops =
+            static_cast<double>(hops_by_link[l]) /
+            static_cast<double>(m.per_link[l].transfer_count);
     }
     std::vector<Interval> compute;
     compute.reserve(result.schedule.size());
@@ -226,19 +235,26 @@ StreamMetrics compute_stream_metrics(const System& system,
   m.live_apps_max = observation.live_apps.max_level();
   m.queue_depth_samples = observation.queue_depth.samples();
 
-  if (observation.link_busy_ms.size() != observation.link_bytes.size() ||
-      observation.link_busy_ms.size() != observation.link_transfers.size() ||
-      observation.link_busy_ms.size() != observation.link_names.size())
+  const std::size_t links = observation.link_busy_in_window_ms.size();
+  if (links != observation.link_bytes_in_window.size() ||
+      links != observation.link_transfers_in_window.size() ||
+      links != observation.link_hops_in_window.size() ||
+      links != observation.link_names.size())
     throw std::invalid_argument(
         "compute_stream_metrics: per-link arrays disagree");
-  m.per_link.resize(observation.link_busy_ms.size());
-  for (std::size_t l = 0; l < m.per_link.size(); ++l) {
+  m.per_link.resize(links);
+  for (std::size_t l = 0; l < links; ++l) {
     LinkBreakdown& lb = m.per_link[l];
     lb.name = observation.link_names[l];
-    lb.busy_ms = observation.link_busy_ms[l];
-    lb.bytes = observation.link_bytes[l];
-    lb.transfer_count = observation.link_transfers[l];
-    if (m.end_ms > 0.0) lb.utilization = lb.busy_ms / m.end_ms;
+    lb.busy_ms = observation.link_busy_in_window_ms[l];
+    lb.bytes = observation.link_bytes_in_window[l];
+    lb.transfer_count = observation.link_transfers_in_window[l];
+    // Utilization over the observation window — whole-run division would
+    // let warmup traffic bias the steady-state estimate.
+    if (m.observed_ms > 0.0) lb.utilization = lb.busy_ms / m.observed_ms;
+    if (lb.transfer_count > 0)
+      lb.avg_hops = static_cast<double>(observation.link_hops_in_window[l]) /
+                    static_cast<double>(lb.transfer_count);
   }
   return m;
 }

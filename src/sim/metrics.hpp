@@ -17,12 +17,16 @@ namespace apt::sim {
 
 /// Per-link interconnect breakdown (contended topologies only; the per-run
 /// vectors are empty under the ideal topology, which simulates no links).
+/// A multi-hop transfer counts fully against every link of its route.
 struct LinkBreakdown {
   std::string name;          ///< Topology::link_name
   TimeMs busy_ms = 0.0;      ///< time with >= 1 draining message
   double bytes = 0.0;        ///< payload delivered over the link
   double utilization = 0.0;  ///< busy_ms over the observation span
   std::size_t transfer_count = 0;
+  /// Mean route length (in links) of the transfers that traversed this
+  /// link — 1 on single-hop kinds, > 1 where routed traffic relays.
+  double avg_hops = 0.0;
 };
 
 /// Per-processor time breakdown; busy + transfer + idle == makespan.
@@ -159,12 +163,14 @@ struct StreamObservation {
   LevelTrace queue_depth;  ///< ready-but-unassigned kernels over time
   LevelTrace live_apps;    ///< admitted-but-unfinished apps over time
 
-  /// Per-link accounting over the WHOLE run (not warmup-clipped — the
-  /// transfer manager folds busy time as messages complete). Empty under
+  /// Per-link accounting clipped to the observation window, exactly like
+  /// busy_in_window_ms: busy time ∩ [warmup, end], bytes/counts/hop sums
+  /// of messages delivered at or after the warmup boundary. Empty under
   /// the ideal topology.
-  std::vector<TimeMs> link_busy_ms;
-  std::vector<double> link_bytes;
-  std::vector<std::size_t> link_transfers;
+  std::vector<TimeMs> link_busy_in_window_ms;
+  std::vector<double> link_bytes_in_window;
+  std::vector<std::size_t> link_transfers_in_window;
+  std::vector<std::size_t> link_hops_in_window;
   std::vector<std::string> link_names;
 };
 
@@ -200,8 +206,9 @@ struct StreamMetrics {
   std::size_t live_apps_max = 0;
   std::vector<std::pair<TimeMs, std::size_t>> queue_depth_samples;
 
-  /// Interconnect links over the whole run (utilization over end_ms);
-  /// empty under the ideal topology.
+  /// Interconnect links within the observation window (utilization over
+  /// observed_ms, like processor utilization — warmup traffic does not
+  /// bias it); empty under the ideal topology.
   std::vector<LinkBreakdown> per_link;
 };
 

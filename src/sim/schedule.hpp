@@ -48,24 +48,28 @@ struct ScheduledKernel {
   TimeMs occupied_from() const noexcept { return exec_start - transfer_ms; }
 };
 
-/// One simulated data transfer over a contended interconnect link (only
+/// One simulated data transfer over a contended interconnect route (only
 /// recorded when the system's topology is non-ideal; local edges move no
 /// message). Times are absolute simulation instants:
 ///
 ///   start        the message was created (the consumer's dispatch instant)
-///   drain_start  start + link latency — bytes begin flowing, the message
-///                occupies the link from here
+///   drain_start  start + the route's head latency (sum over hops) — bytes
+///                begin flowing, the message occupies every route link
+///                from here until finish
 ///   finish       last byte delivered; the consumer may begin executing
 struct TransferRecord {
   dag::NodeId src = dag::kInvalidNode;  ///< producer kernel
   dag::NodeId dst = dag::kInvalidNode;  ///< consumer kernel
   ProcId from = kInvalidProc;
   ProcId to = kInvalidProc;
-  net::LinkId link = net::kNoLink;
+  /// Route links in traversal order (single-hop kinds record one link).
+  std::vector<net::LinkId> path;
   double bytes = 0.0;
   TimeMs start = 0.0;
   TimeMs drain_start = 0.0;
   TimeMs finish = 0.0;
+
+  std::size_t hops() const noexcept { return path.size(); }
 };
 
 /// Full result of one run, indexed by node id.

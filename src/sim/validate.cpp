@@ -40,29 +40,47 @@ void check_transfers(const std::vector<TransferRecord>& transfers,
   for (std::size_t i = 0; i < transfers.size(); ++i) {
     const TransferRecord& t = transfers[i];
     const std::string ttag = tag + " transfer " + std::to_string(i);
-    if (t.link == net::kNoLink || t.link >= topology.link_count()) {
-      fail(ttag + ": invalid link id");
+    if (t.path.empty()) {
+      fail(ttag + ": empty route (local pairs move no message)");
       continue;
     }
+    bool links_ok = true;
+    TimeMs route_latency = 0.0;
+    double bottleneck_gbps = std::numeric_limits<double>::infinity();
+    for (const net::LinkId link : t.path) {
+      if (link == net::kNoLink || link >= topology.link_count()) {
+        fail(ttag + ": invalid link id");
+        links_ok = false;
+        break;
+      }
+      route_latency += topology.latency_ms(link);
+      bottleneck_gbps = std::min(bottleneck_gbps,
+                                 topology.bandwidth_gbps(link));
+    }
+    if (!links_ok) continue;
     if (t.bytes < 0.0) fail(ttag + ": negative byte count");
     if (t.drain_start + kTol < t.start || t.finish + kTol < t.drain_start)
       fail(ttag + ": start/drain/finish out of order");
-    if (!close(t.drain_start, t.start + topology.latency_ms(t.link)))
-      fail(ttag + ": drain_start != start + link latency");
-    // No transfer can beat the whole link to itself.
+    if (!close(t.drain_start, t.start + route_latency))
+      fail(ttag + ": drain_start != start + route head latency");
+    // No transfer can beat its whole uncontended route to itself: head
+    // latency summed over the hops, bytes at the bottleneck link's rate.
     const TimeMs min_duration =
-        topology.latency_ms(t.link) +
-        t.bytes / (topology.bandwidth_gbps(t.link) * 1e6);
+        route_latency + t.bytes / (bottleneck_gbps * 1e6);
     if (t.finish - t.start + kTol * std::max(1.0, min_duration) <
         min_duration)
-      fail(ttag + ": faster than the uncontended link");
+      fail(ttag + ": faster than the uncontended route");
     const TimeMs consumer_start = exec_start_of(t.dst);
     if (consumer_start + kTol < t.finish)
       fail(ttag + ": consumer kernel " + std::to_string(t.dst) +
            " starts before the message is delivered");
-    LinkLoad& load = loads[t.link];
-    load.bytes += t.bytes;
-    load.drains.emplace_back(t.drain_start, t.finish);
+    // The message occupies every link of its route for its whole drain, so
+    // its bytes and busy interval count against each hop's capacity.
+    for (const net::LinkId link : t.path) {
+      LinkLoad& load = loads[link];
+      load.bytes += t.bytes;
+      load.drains.emplace_back(t.drain_start, t.finish);
+    }
   }
 }
 

@@ -67,6 +67,10 @@ class StreamEngine::Context final : public sim::SchedulerContext {
         proc_state_(system.proc_count()) {
     if (contended_) {
       tm_.emplace(topology_);
+      // Per-link busy/bytes clip to the observation window exactly like
+      // processor busy time, so steady-state link utilization is unbiased
+      // by warmup traffic.
+      tm_->set_window_start(options.warmup_ms);
       topo_cost_.emplace(base_cost_, system_);
     }
     observation_.warmup_ms = options.warmup_ms;
@@ -98,9 +102,10 @@ class StreamEngine::Context final : public sim::SchedulerContext {
     observation_.queue_depth.finish(observation_.end_ms);
     observation_.live_apps.finish(observation_.end_ms);
     if (tm_) {
-      observation_.link_busy_ms = tm_->link_busy_ms();
-      observation_.link_bytes = tm_->link_delivered_bytes();
-      observation_.link_transfers = tm_->link_delivered_counts();
+      observation_.link_busy_in_window_ms = tm_->link_busy_in_window_ms();
+      observation_.link_bytes_in_window = tm_->link_bytes_in_window();
+      observation_.link_transfers_in_window = tm_->link_counts_in_window();
+      observation_.link_hops_in_window = tm_->link_hops_in_window();
       observation_.link_names.reserve(topology_.link_count());
       for (net::LinkId l = 0; l < topology_.link_count(); ++l)
         observation_.link_names.push_back(topology_.link_name(l));
@@ -403,8 +408,8 @@ class StreamEngine::Context final : public sim::SchedulerContext {
     ns.data_ready_at = dispatched;
     for (dag::NodeId pred : app.dag.predecessors(local)) {
       const sim::ScheduledKernel& rec = node_state_[app.base + pred].record;
-      const net::LinkId link = topology_.link(rec.proc, proc);
-      if (link == net::kNoLink) continue;  // same processor or socket
+      const net::Topology::Route route = topology_.route(rec.proc, proc);
+      if (route.empty()) continue;  // same processor, socket, or cell
       const double bytes = edge_bytes(app, pred);
       const std::uint64_t tag = next_transfer_tag_++;
       if (options_.record_schedules) {
@@ -413,10 +418,11 @@ class StreamEngine::Context final : public sim::SchedulerContext {
         record.dst = local;
         record.from = rec.proc;
         record.to = proc;
-        record.link = link;
+        record.path.assign(route.begin(), route.end());
         record.bytes = bytes;
         record.start = dispatched;
-        record.drain_start = dispatched + topology_.latency_ms(link);
+        record.drain_start =
+            dispatched + topology_.route_latency_ms(rec.proc, proc);
         inflight_[tag] = InFlight{slot, app.transfers.size()};
         app.transfers.push_back(std::move(record));
       } else {

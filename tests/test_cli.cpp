@@ -361,6 +361,68 @@ TEST(Cli, RunRejectsUnknownTopology) {
             0);
 }
 
+TEST(Cli, RunRejectsMalformedTopologyShapes) {
+  // Malformed shape arguments must surface as a CLI error (exit != 0),
+  // never a silent fallback to some default fabric.
+  for (const std::string bad :
+       {"mesh", "mesh:3x", "mesh:x3", "mesh:0x2", "fattree:0", "fattree:1",
+        "ring:0", "ring:2x", "hier:0"}) {
+    EXPECT_NE(run_cli("run --policy met --type 1 --kernels 10 --topology " +
+                      bad),
+              0)
+        << bad;
+  }
+}
+
+TEST(Cli, RunWithRoutedTopologiesReportsMultiHopLinks) {
+  // ring / mesh / fattree end to end through `run`: the per-link report
+  // must appear, and the routed fabrics must show multi-hop routes.
+  const std::string out = ::testing::TempDir() + "/aptsim_run_routed.txt";
+  for (const std::string topo : {"ring:5", "mesh:2x2", "fattree:2"}) {
+    ASSERT_EQ(run_cli("run --policy heft --type 2 --kernels 24 --seed 3 "
+                      "--topology " +
+                          topo + " --bandwidth 0.5 --latency 0.05",
+                      out),
+              0)
+        << topo;
+    const std::string text = slurp(out);
+    EXPECT_NE(text.find("topology:  " + topo.substr(0, topo.find(':'))),
+              std::string::npos)
+        << topo;
+    EXPECT_NE(text.find("link "), std::string::npos) << topo;
+    EXPECT_NE(text.find("avg route"), std::string::npos) << topo;
+    std::filesystem::remove(out);
+  }
+}
+
+TEST(Cli, SweepAcceptsRoutedTopology) {
+  const std::string csv = ::testing::TempDir() + "/aptsim_sweep_routed.csv";
+  ASSERT_EQ(run_cli("sweep --family layered --graphs 2 --kernels 18 "
+                    "--policies apt:4,heft --rates 4 --topology mesh:2x2 "
+                    "--bandwidth 1 --csv " +
+                    quoted(csv)),
+            0);
+  const std::string text = slurp(csv);
+  EXPECT_NE(text.find("mesh2x2"), std::string::npos);
+  std::filesystem::remove(csv);
+}
+
+TEST(Cli, StreamWithRoutedTopologyIsBitIdenticalAcrossJobCounts) {
+  const std::string csv1 = ::testing::TempDir() + "/aptsim_stream_ring1.csv";
+  const std::string csv8 = ::testing::TempDir() + "/aptsim_stream_ring8.csv";
+  const std::string flags =
+      "stream --family layered --rate 0.002 --policies apt:4,ag "
+      "--kernels 18 --duration 3000 --seed 7 --topology ring:5 "
+      "--bandwidth 4 ";
+  ASSERT_EQ(run_cli(flags + "--jobs 1 --csv " + quoted(csv1)), 0);
+  ASSERT_EQ(run_cli(flags + "--jobs 8 --csv " + quoted(csv8)), 0);
+  const std::string text1 = slurp(csv1);
+  EXPECT_EQ(text1, slurp(csv8));
+  EXPECT_NE(text1.find("ring5"), std::string::npos);
+  std::filesystem::remove(csv1);
+  std::filesystem::remove(csv8);
+}
+
 TEST(Cli, SweepCarriesTopologyColumn) {
   const std::string csv = ::testing::TempDir() + "/aptsim_sweep_topo.csv";
   ASSERT_EQ(run_cli("sweep --family layered --graphs 2 --kernels 18 "

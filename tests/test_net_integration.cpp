@@ -273,8 +273,220 @@ TEST(NetIntegration, SingleArrivalStreamMatchesEngineUnderBus) {
   ASSERT_EQ(open.transfers.size(), closed.transfers.size());
   for (std::size_t i = 0; i < open.transfers.size(); ++i) {
     EXPECT_EQ(open.transfers[i].finish, closed.transfers[i].finish) << i;
-    EXPECT_EQ(open.transfers[i].link, closed.transfers[i].link) << i;
+    EXPECT_EQ(open.transfers[i].path, closed.transfers[i].path) << i;
   }
+}
+
+// Routed-topology property: ring / mesh / fattree scenarios across the
+// family cube, every schedule validator-clean — the per-link capacity
+// check now unions busy time over every hop of each multi-link route, so
+// a transfer manager that oversubscribed any relay link would fail here.
+TEST(NetIntegration, RoutedSchedulesAreValidatorCleanAcrossScenarioCube) {
+  const lut::LookupTable table = test_table();
+  const dag::KernelPool pool = dag::KernelPool::from_lookup_table(table);
+  const std::vector<std::string> families = {"layered", "forkjoin", "intree",
+                                             "type2"};
+  const std::vector<std::string> topologies = {"ring:5", "mesh:2x2",
+                                               "fattree:2"};
+  const std::vector<std::string> specs = {"apt:4", "ag", "heft"};
+  std::size_t scenarios = 0;
+  std::size_t transfers_seen = 0;
+  std::size_t multi_hop_seen = 0;
+  for (const std::string& topology : topologies) {
+    const sim::System system = make_system(topology, 1.0, 0.05);
+    const sim::LutCostModel cost(table, system);
+    for (const std::string& family : families) {
+      for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        const dag::Dag graph = scenario::generate(family, 24, seed, pool);
+        ++scenarios;
+        for (const std::string& spec : specs) {
+          auto policy = core::make_policy(spec);
+          const sim::SimResult result =
+              sim::Engine(graph, system, cost).run(*policy);
+          for (const sim::TransferRecord& t : result.transfers) {
+            ++transfers_seen;
+            if (t.hops() > 1) ++multi_hop_seen;
+          }
+          const auto violations =
+              sim::validate_schedule(graph, system, cost, result);
+          for (const auto& v : violations)
+            ADD_FAILURE() << topology << "/" << family << "/" << seed << "/"
+                          << spec << ": " << v.message;
+        }
+      }
+    }
+  }
+  EXPECT_GE(scenarios, 120u);
+  EXPECT_GT(transfers_seen, 1000u);
+  // The cube genuinely exercises relaying: plenty of routes span > 1 link.
+  EXPECT_GT(multi_hop_seen, 100u);
+}
+
+TEST(NetIntegration, SingleArrivalStreamMatchesEngineUnderRing) {
+  const lut::LookupTable table = test_table();
+  const dag::KernelPool pool = dag::KernelPool::from_lookup_table(table);
+  const dag::Dag graph = scenario::generate("type2", 30, 4, pool);
+  const sim::System system = make_system("ring:5", 1.0, 0.05);
+  const sim::LutCostModel cost(table, system);
+
+  auto engine_policy = core::make_policy("apt:4");
+  const sim::SimResult closed =
+      sim::Engine(graph, system, cost).run(*engine_policy);
+
+  stream::StreamOptions options;
+  options.arrivals = stream::ArrivalSpec::trace({0.0});
+  options.record_schedules = true;
+  stream::StreamEngine stream_engine(
+      system, cost, [&](std::size_t) { return graph; }, options);
+  auto stream_policy = core::make_policy("apt:4");
+  const stream::StreamOutcome outcome = stream_engine.run(*stream_policy);
+  ASSERT_EQ(outcome.schedules.size(), 1u);
+  const sim::SimResult& open = outcome.schedules[0].result;
+  for (dag::NodeId n = 0; n < graph.node_count(); ++n) {
+    ASSERT_EQ(open.schedule[n].proc, closed.schedule[n].proc) << n;
+    ASSERT_EQ(open.schedule[n].finish_time, closed.schedule[n].finish_time)
+        << n;
+  }
+  ASSERT_EQ(open.transfers.size(), closed.transfers.size());
+  for (std::size_t i = 0; i < open.transfers.size(); ++i) {
+    EXPECT_EQ(open.transfers[i].finish, closed.transfers[i].finish) << i;
+    EXPECT_EQ(open.transfers[i].path, closed.transfers[i].path) << i;
+  }
+}
+
+// --- done_eps completion contract through both engines -----------------------
+
+namespace {
+
+/// Two CPUs joined by a slow, lossy-latency bus; the matrix forces the
+/// chain's producer onto P0 and its consumer onto P1, so the one edge
+/// always crosses the link.
+sim::System two_proc_bus() {
+  sim::SystemConfig cfg;
+  cfg.processors.assign(2, lut::ProcType::CPU);
+  cfg.topology = net::parse_topology_spec("bus");
+  cfg.topology.bandwidth_gbps = 1.0;
+  cfg.topology.latency_ms = 0.1;
+  return sim::System(cfg);
+}
+
+dag::Dag crossing_chain(std::uint64_t producer_elements) {
+  dag::Dag d;
+  d.add_node(dag::Node{"produce", producer_elements});
+  d.add_node(dag::Node{"consume", 1});
+  d.add_edge(0, 1);
+  return d;
+}
+
+sim::MatrixCostModel crossing_cost() {
+  return sim::MatrixCostModel({{1.0, 100.0}, {100.0, 1.0}});
+}
+
+}  // namespace
+
+// A zero-byte (latency-only) edge and a multi-GB edge must both deliver
+// exactly once and never stall the closed-system event loop.
+TEST(NetIntegration, DoneEpsContractHoldsThroughEngine) {
+  const sim::System system = two_proc_bus();
+  for (const std::uint64_t elements : {std::uint64_t{0},
+                                       std::uint64_t{1000000000}}) {
+    const dag::Dag graph = crossing_chain(elements);
+    const sim::MatrixCostModel cost = crossing_cost();
+    auto policy = core::make_policy("met");
+    const sim::SimResult result =
+        sim::Engine(graph, system, cost).run(*policy);
+    ASSERT_EQ(result.transfers.size(), 1u) << elements;
+    const sim::TransferRecord& t = result.transfers[0];
+    const double bytes = static_cast<double>(elements) * 4.0;
+    EXPECT_DOUBLE_EQ(t.bytes, bytes);
+    // 1 GB/s == 1e6 bytes/ms; the lone message drains uncontended, so its
+    // finish is exactly drain_start + bytes / rate (0 for the latency-only
+    // edge: delivered at activation).
+    EXPECT_NEAR(t.finish, t.drain_start + bytes / 1e6,
+                1e-9 * std::max(1.0, bytes / 1e6));
+    EXPECT_DOUBLE_EQ(t.drain_start, t.start + 0.1);
+    const auto violations =
+        sim::validate_schedule(graph, system, cost, result);
+    for (const auto& v : violations) ADD_FAILURE() << v.message;
+  }
+}
+
+TEST(NetIntegration, DoneEpsContractHoldsThroughStreamEngine) {
+  const sim::System system = two_proc_bus();
+  for (const std::uint64_t elements : {std::uint64_t{0},
+                                       std::uint64_t{1000000000}}) {
+    const dag::Dag graph = crossing_chain(elements);
+    const sim::MatrixCostModel cost = crossing_cost();
+    stream::StreamOptions options;
+    options.arrivals = stream::ArrivalSpec::trace({0.0});
+    options.record_schedules = true;
+    stream::StreamEngine engine(
+        system, cost, [&](std::size_t) { return graph; }, options);
+    auto policy = core::make_policy("met");
+    const stream::StreamOutcome outcome = engine.run(*policy);
+    ASSERT_EQ(outcome.schedules.size(), 1u) << elements;
+    const sim::SimResult& result = outcome.schedules[0].result;
+    ASSERT_EQ(result.transfers.size(), 1u) << elements;
+    const double bytes = static_cast<double>(elements) * 4.0;
+    EXPECT_NEAR(result.transfers[0].finish,
+                result.transfers[0].drain_start + bytes / 1e6,
+                1e-9 * std::max(1.0, bytes / 1e6));
+    EXPECT_EQ(outcome.metrics.apps_completed, 1u);
+  }
+}
+
+// --- stream link-metrics warmup clipping (regression) ------------------------
+
+// All communication happens during warmup; one compute-only app after the
+// boundary keeps the run alive past it. The steady-state link utilization
+// must therefore be exactly zero — the old whole-run accounting divided
+// warmup busy time by end_ms and reported inflated utilization here.
+TEST(NetIntegration, StreamLinkMetricsClipToObservationWindow) {
+  const lut::LookupTable table = test_table();
+  const dag::KernelPool pool = dag::KernelPool::from_lookup_table(table);
+  const sim::System system = make_system("bus", 1.0, 0.05);
+  const sim::LutCostModel cost(table, system);
+  dag::Dag single;
+  single.add_node(
+      dag::Node{pool.items[0].kernel, pool.items[0].sizes.front()});
+
+  const auto run = [&](std::vector<double> arrivals, double warmup_ms) {
+    stream::StreamOptions options;
+    options.arrivals = stream::ArrivalSpec::trace(std::move(arrivals));
+    options.warmup_ms = warmup_ms;
+    stream::StreamEngine engine(
+        system, cost,
+        [&](std::size_t index) {
+          return index < 3 ? scenario::generate("layered", 24, 40 + index,
+                                                pool)
+                           : single;
+        },
+        options);
+    auto policy = core::make_policy("apt:4");
+    return engine.run(*policy);
+  };
+
+  // Probe: the three comm-heavy apps alone, whole run observed. This is
+  // the traffic the old whole-run accounting leaked into every window.
+  const stream::StreamOutcome biased = run({0.0, 1.0, 2.0}, 0.0);
+  ASSERT_FALSE(biased.metrics.per_link.empty());
+  EXPECT_GT(biased.metrics.per_link[0].busy_ms, 0.0);
+  EXPECT_GT(biased.metrics.per_link[0].bytes, 0.0);
+  EXPECT_GT(biased.metrics.per_link[0].utilization, 0.0);
+  const double all_done = biased.metrics.end_ms;
+
+  // Same comm apps, but the warmup boundary sits after their last byte and
+  // a compute-only app keeps the run alive beyond it.
+  const stream::StreamOutcome clipped =
+      run({0.0, 1.0, 2.0, all_done + 1000.0}, all_done + 500.0);
+  ASSERT_FALSE(clipped.metrics.per_link.empty());
+  EXPECT_GE(clipped.metrics.end_ms, all_done + 1000.0);
+  // ...but none of it belongs to the observation window: whole-run
+  // accounting (the old bias) would have reported the busy fraction above.
+  EXPECT_DOUBLE_EQ(clipped.metrics.per_link[0].busy_ms, 0.0);
+  EXPECT_DOUBLE_EQ(clipped.metrics.per_link[0].bytes, 0.0);
+  EXPECT_DOUBLE_EQ(clipped.metrics.per_link[0].utilization, 0.0);
+  EXPECT_EQ(clipped.metrics.per_link[0].transfer_count, 0u);
 }
 
 }  // namespace

@@ -131,5 +131,162 @@ TEST(Topology, RejectsBadConfigurations) {
   EXPECT_THROW(topo.bandwidth_gbps(1), std::out_of_range);
 }
 
+// --- routed kinds: ring / mesh / fattree -------------------------------------
+
+TEST(TopologySpec, ParseRoutedKinds) {
+  EXPECT_EQ(parse_topology_spec("ring").kind, TopologyKind::Ring);
+  EXPECT_EQ(parse_topology_spec("ring").ring_size, 0u);  // tracks proc count
+  EXPECT_EQ(parse_topology_spec("ring:6").ring_size, 6u);
+  EXPECT_EQ(parse_topology_spec("ring6").ring_size, 6u);  // label() form
+  const TopologySpec mesh = parse_topology_spec("mesh:2x3");
+  EXPECT_EQ(mesh.kind, TopologyKind::Mesh);
+  EXPECT_EQ(mesh.mesh_rows, 2u);
+  EXPECT_EQ(mesh.mesh_cols, 3u);
+  EXPECT_EQ(parse_topology_spec("mesh2x3").mesh_rows, 2u);
+  EXPECT_EQ(parse_topology_spec("fattree").fattree_arity, 2u);
+  EXPECT_EQ(parse_topology_spec("fattree:3").fattree_arity, 3u);
+  EXPECT_EQ(parse_topology_spec("fattree2").fattree_arity, 2u);
+}
+
+TEST(TopologySpec, ParseRejectsMalformedShapes) {
+  // Malformed shape arguments must throw — never fall back silently.
+  EXPECT_THROW(parse_topology_spec("mesh"), std::invalid_argument);
+  EXPECT_THROW(parse_topology_spec("mesh:3x"), std::invalid_argument);
+  EXPECT_THROW(parse_topology_spec("mesh:x3"), std::invalid_argument);
+  EXPECT_THROW(parse_topology_spec("mesh:0x2"), std::invalid_argument);
+  EXPECT_THROW(parse_topology_spec("mesh:2x0"), std::invalid_argument);
+  EXPECT_THROW(parse_topology_spec("mesh:2x-3"), std::invalid_argument);
+  EXPECT_THROW(parse_topology_spec("mesh:2x3x4"), std::invalid_argument);
+  EXPECT_THROW(parse_topology_spec("fattree:0"), std::invalid_argument);
+  EXPECT_THROW(parse_topology_spec("fattree:1"), std::invalid_argument);
+  EXPECT_THROW(parse_topology_spec("fattree:x"), std::invalid_argument);
+  EXPECT_THROW(parse_topology_spec("ring:0"), std::invalid_argument);
+  EXPECT_THROW(parse_topology_spec("ring:1"), std::invalid_argument);
+  EXPECT_THROW(parse_topology_spec("ring:2x"), std::invalid_argument);
+  EXPECT_THROW(parse_topology_spec("ring:-4"), std::invalid_argument);
+  // Out-of-range numbers must fail here with a clear parse error, not
+  // saturate through strtoul and blow up in the link-table constructor.
+  EXPECT_THROW(parse_topology_spec("ring:18446744073709551615"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_topology_spec("ring:99999999999999999999999"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_topology_spec("mesh:2x18446744073709551615"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_topology_spec("hier:10000001"), std::invalid_argument);
+}
+
+TEST(TopologySpec, RoutedLabelsRoundTripThroughTheParser) {
+  for (const std::string name :
+       {"ring", "ring:6", "mesh:2x3", "fattree:3"}) {
+    const TopologySpec spec = parse_topology_spec(name);
+    const TopologySpec reparsed = parse_topology_spec(spec.label());
+    EXPECT_EQ(reparsed.kind, spec.kind) << name;
+    EXPECT_EQ(reparsed.ring_size, spec.ring_size) << name;
+    EXPECT_EQ(reparsed.mesh_rows, spec.mesh_rows) << name;
+    EXPECT_EQ(reparsed.mesh_cols, spec.mesh_cols) << name;
+    EXPECT_EQ(reparsed.fattree_arity, spec.fattree_arity) << name;
+  }
+  EXPECT_EQ(parse_topology_spec("ring:6").label(), "ring6");
+  EXPECT_EQ(parse_topology_spec("mesh:2x3").label(), "mesh2x3");
+  EXPECT_EQ(parse_topology_spec("fattree:3").label(), "fattree3");
+}
+
+TEST(Topology, RingRoutesTakeTheShorterArc) {
+  // 4 processors on a 4-ring: clockwise links 0..3 then counter-clockwise
+  // 4..7, both directions one link per adjacent pair.
+  const Topology topo(parse_topology_spec("ring"), 4, 4.0);
+  EXPECT_EQ(topo.link_count(), 8u);
+  const Topology::Route one_hop = topo.route(0, 1);
+  ASSERT_EQ(one_hop.hops, 1u);
+  EXPECT_EQ(topo.link_name(one_hop[0]), "R0>R1");
+  // Opposite corner: tie between the arcs resolves clockwise.
+  const Topology::Route tie = topo.route(0, 2);
+  ASSERT_EQ(tie.hops, 2u);
+  EXPECT_EQ(topo.link_name(tie[0]), "R0>R1");
+  EXPECT_EQ(topo.link_name(tie[1]), "R1>R2");
+  // The short way round is counter-clockwise.
+  const Topology::Route back = topo.route(0, 3);
+  ASSERT_EQ(back.hops, 1u);
+  EXPECT_EQ(topo.link_name(back[0]), "R0>R3");
+  EXPECT_EQ(topo.diameter_hops(), 2u);
+  // link() serves single-hop routes and refuses multi-hop ones.
+  EXPECT_EQ(topo.link(0, 1), one_hop[0]);
+  EXPECT_THROW(topo.link(0, 2), std::logic_error);
+  EXPECT_FALSE(topo.is_local(0, 2));
+  EXPECT_TRUE(topo.is_local(1, 1));
+}
+
+TEST(Topology, RingSparePositionsRelay) {
+  // Three processors on a 6-ring: 0 -> 2 still walks clockwise over the
+  // occupied arc; the spare positions 3..5 carry the long way round.
+  TopologySpec spec = parse_topology_spec("ring:6");
+  const Topology topo(spec, 3, 4.0);
+  EXPECT_EQ(topo.link_count(), 12u);
+  EXPECT_EQ(topo.route(0, 2).hops, 2u);
+  EXPECT_EQ(topo.route(2, 0).hops, 2u);  // ccw beats the 4-hop cw arc
+  // A ring smaller than the platform cannot seat every processor.
+  EXPECT_THROW(Topology(parse_topology_spec("ring:2"), 3, 4.0),
+               std::invalid_argument);
+}
+
+TEST(Topology, MeshUsesDimensionOrderRouting) {
+  // 2x2 grid, processors fill row-major: P0=(0,0), P1=(0,1), P2=(1,0),
+  // P3=(1,1). X (column) first, then Y.
+  const Topology topo(parse_topology_spec("mesh:2x2"), 4, 4.0);
+  EXPECT_EQ(topo.link_count(), 8u);
+  const Topology::Route diag = topo.route(0, 3);
+  ASSERT_EQ(diag.hops, 2u);
+  EXPECT_EQ(topo.link_name(diag[0]), "M0,0>M0,1");
+  EXPECT_EQ(topo.link_name(diag[1]), "M0,1>M1,1");
+  const Topology::Route reverse = topo.route(3, 0);
+  ASSERT_EQ(reverse.hops, 2u);
+  EXPECT_EQ(topo.link_name(reverse[0]), "M1,1>M1,0");
+  EXPECT_EQ(topo.link_name(reverse[1]), "M1,0>M0,0");
+  EXPECT_EQ(topo.route(0, 1).hops, 1u);
+  EXPECT_EQ(topo.diameter_hops(), 2u);
+  // A 1x4 row degenerates to a line with longer routes.
+  const Topology line(parse_topology_spec("mesh:1x4"), 4, 4.0);
+  EXPECT_EQ(line.route(0, 3).hops, 3u);
+  // Too few cells for the platform.
+  EXPECT_THROW(Topology(parse_topology_spec("mesh:1x2"), 3, 4.0),
+               std::invalid_argument);
+}
+
+TEST(Topology, FatTreeClimbsToTheLowestCommonAncestor) {
+  // Arity-2 tree over 4 leaves: S1_0 covers {P0,P1}, S1_1 covers {P2,P3},
+  // S2_0 is the root. Sibling leaves meet one level up; the far pair
+  // crosses the root.
+  const Topology topo(parse_topology_spec("fattree:2"), 4, 4.0);
+  EXPECT_EQ(topo.link_count(), 12u);  // 4 + 2 tree edges, up + down each
+  const Topology::Route sibling = topo.route(0, 1);
+  ASSERT_EQ(sibling.hops, 2u);
+  EXPECT_EQ(topo.link_name(sibling[0]), "P0>S1_0");
+  EXPECT_EQ(topo.link_name(sibling[1]), "S1_0>P1");
+  const Topology::Route cross = topo.route(0, 2);
+  ASSERT_EQ(cross.hops, 4u);
+  EXPECT_EQ(topo.link_name(cross[0]), "P0>S1_0");
+  EXPECT_EQ(topo.link_name(cross[1]), "S1_0>S2_0");
+  EXPECT_EQ(topo.link_name(cross[2]), "S2_0>S1_1");
+  EXPECT_EQ(topo.link_name(cross[3]), "S1_1>P2");
+  EXPECT_EQ(topo.diameter_hops(), 4u);
+  // A wider arity flattens the tree: 4 leaves under one switch.
+  const Topology flat(parse_topology_spec("fattree:4"), 4, 4.0);
+  EXPECT_EQ(flat.route(0, 3).hops, 2u);
+  EXPECT_EQ(flat.diameter_hops(), 2u);
+}
+
+TEST(Topology, RoutedTransferEstimateUsesPathLatencyAndBottleneck) {
+  // 2 hops on a 4-ring: head latency accrues per hop, bytes at the (here
+  // uniform) bottleneck rate. 8e6 bytes at 4e6 bytes/ms + 2 x 0.5 ms.
+  TopologySpec spec = parse_topology_spec("ring");
+  spec.bandwidth_gbps = 4.0;
+  spec.latency_ms = 0.5;
+  const Topology topo(spec, 4, 4.0);
+  EXPECT_DOUBLE_EQ(topo.route_latency_ms(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(topo.transfer_time_ms(8e6, 0, 2), 3.0);
+  EXPECT_DOUBLE_EQ(topo.transfer_time_ms(8e6, 0, 1), 2.5);  // one hop
+  EXPECT_DOUBLE_EQ(topo.transfer_time_ms(8e6, 2, 2), 0.0);  // local
+}
+
 }  // namespace
 }  // namespace apt::net

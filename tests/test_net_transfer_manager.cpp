@@ -120,5 +120,172 @@ TEST(TransferManager, RejectsLocalPairsAndTimeTravel) {
   EXPECT_THROW(TransferManager bad(ideal), std::invalid_argument);
 }
 
+// --- multi-hop max-min fair sharing ------------------------------------------
+
+/// Three processors in a row (mesh:1x3): 0 -> 2 traverses both eastbound
+/// links, so its messages couple the two otherwise independent segments.
+Topology line_topology(double gbps, double latency_ms = 0.0) {
+  TopologySpec spec = parse_topology_spec("mesh:1x3");
+  spec.bandwidth_gbps = gbps;
+  spec.latency_ms = latency_ms;
+  return Topology(spec, 3, gbps);
+}
+
+// Hand-computed water-filling, 3 messages over 2 links: A (0 -> 2, 8e6)
+// shares link M0,0>M0,1 with B (0 -> 1, 4e6) and link M0,1>M0,2 with C
+// (1 -> 2, 4e6). Both links fill at 4e6/2 = 2e6 bytes/ms, so every
+// message drains at 2e6: B and C deliver at 2 ms; A then owns both links
+// (4e6 bytes/ms) and its remaining 4e6 bytes land at 3 ms.
+TEST(TransferManager, WaterFillingAcrossATwoLinkPath) {
+  const Topology topo = line_topology(4.0);
+  TransferManager tm(topo);
+  tm.start(0, 8e6, 0, 2, 0.0);
+  tm.start(1, 4e6, 0, 1, 0.0);
+  tm.start(2, 4e6, 1, 2, 0.0);
+  tm.advance_to(0.0);  // activate all three
+  EXPECT_DOUBLE_EQ(tm.next_event_ms(), 2.0);
+  auto deliveries = tm.advance_to(2.0);
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_EQ(deliveries[0].tag, 1u);
+  EXPECT_EQ(deliveries[1].tag, 2u);
+  EXPECT_DOUBLE_EQ(tm.next_event_ms(), 3.0);
+  deliveries = tm.advance_to(3.0);
+  ASSERT_EQ(deliveries.size(), 1u);
+  EXPECT_EQ(deliveries[0].tag, 0u);
+  EXPECT_EQ(deliveries[0].hops, 2u);
+  EXPECT_DOUBLE_EQ(deliveries[0].delivered_ms, 3.0);
+  // Both links were busy the whole 3 ms and carried A's bytes in full.
+  EXPECT_DOUBLE_EQ(tm.link_busy_ms()[0], 3.0);
+  EXPECT_DOUBLE_EQ(tm.link_delivered_bytes()[0], 12e6);  // A + B
+}
+
+// Progressive filling hands bottleneck slack to the flows that can use it:
+// link 1 carries {A, B, C} (level 4e6/3), link 2 carries {A, D}. A is
+// frozen by link 1 at 4/3e6, so D gets the rest of link 2 — 8/3e6, well
+// above the naive per-link equal split of 2e6. B, C (4e6 bytes at 4/3e6)
+// and D (8e6 bytes at 8/3e6) all deliver at 3 ms; A (8e6 at 4/3e6 = 4e6
+// drained, then alone at 4e6/ms) delivers at 4 ms.
+TEST(TransferManager, BottleneckSlackReallocatesMaxMin) {
+  const Topology topo = line_topology(4.0);
+  TransferManager tm(topo);
+  tm.start(0, 8e6, 0, 2, 0.0);  // A: both links
+  tm.start(1, 4e6, 0, 1, 0.0);  // B: link 1
+  tm.start(2, 4e6, 0, 1, 0.0);  // C: link 1
+  tm.start(3, 8e6, 1, 2, 0.0);  // D: link 2
+  tm.advance_to(0.0);
+  EXPECT_DOUBLE_EQ(tm.next_event_ms(), 3.0);
+  auto deliveries = tm.advance_to(3.0);
+  ASSERT_EQ(deliveries.size(), 3u);
+  EXPECT_EQ(deliveries[0].tag, 1u);
+  EXPECT_EQ(deliveries[1].tag, 2u);
+  EXPECT_EQ(deliveries[2].tag, 3u);  // D beat the equal split (4 ms)
+  deliveries = tm.advance_to(4.0);
+  ASSERT_EQ(deliveries.size(), 1u);
+  EXPECT_DOUBLE_EQ(deliveries[0].delivered_ms, 4.0);
+  // Capacity invariant, exactly at the boundary: each link moved
+  // 16e6 bytes in 4 busy ms at 4e6 bytes/ms.
+  EXPECT_DOUBLE_EQ(tm.link_busy_ms()[0], 4.0);
+  EXPECT_DOUBLE_EQ(tm.link_delivered_bytes()[0], 16e6);
+  const LinkId second = topo.route(1, 2)[0];
+  EXPECT_DOUBLE_EQ(tm.link_busy_ms()[second], 4.0);
+  EXPECT_DOUBLE_EQ(tm.link_delivered_bytes()[second], 16e6);
+}
+
+TEST(TransferManager, MultiHopLatencyAccruesPerHop) {
+  const Topology topo = line_topology(4.0, /*latency_ms=*/0.5);
+  TransferManager tm(topo);
+  tm.start(0, 4e6, 0, 2, 0.0);
+  // Head latency 2 x 0.5 ms, then 1 ms of draining at full rate.
+  EXPECT_DOUBLE_EQ(tm.next_event_ms(), 1.0);
+  tm.advance_to(1.0);
+  const auto deliveries = tm.advance_to(2.0);
+  ASSERT_EQ(deliveries.size(), 1u);
+  EXPECT_DOUBLE_EQ(deliveries[0].delivered_ms, 2.0);
+  EXPECT_DOUBLE_EQ(tm.link_busy_ms()[0], 1.0);  // only the drain occupies
+}
+
+// --- done_eps completion-tolerance contract ----------------------------------
+
+TEST(TransferManager, DoneEpsContractIsAbsoluteFloorPlusRelativeTerm) {
+  EXPECT_DOUBLE_EQ(done_eps(0.0), 1e-6);
+  EXPECT_DOUBLE_EQ(done_eps(1e6), 1e-6);    // boundary: relative == floor
+  EXPECT_DOUBLE_EQ(done_eps(4e12), 4.0);    // multi-TB: relative dominates
+}
+
+// A multi-GB message re-anchored by a stream of membership changes must
+// deliver exactly once, never stall, and land within tolerance of the
+// exact fluid finish time.
+TEST(TransferManager, MultiGbMessageSurvivesManyRateChanges) {
+  const Topology topo = bus_topology(4.0);
+  TransferManager tm(topo);
+  const double big = 8e9;  // 2000 ms alone at 4e6 bytes/ms
+  tm.start(0, big, 0, 1, 0.0);
+  // 100 small interlopers, each forcing two rate re-anchors.
+  for (std::uint64_t i = 0; i < 100; ++i)
+    tm.start(1 + i, 1e5, 2, 1, static_cast<TimeMs>(i));
+  std::size_t big_deliveries = 0;
+  std::size_t total = 0;
+  TimeMs big_time = 0.0;
+  TimeMs t = 0.0;
+  while (tm.busy()) {
+    const TimeMs e = tm.next_event_ms();
+    ASSERT_TRUE(std::isfinite(e)) << "event loop stalled";
+    ASSERT_GE(e, t);
+    t = e;
+    for (const Delivery& d : tm.advance_to(t)) {
+      ++total;
+      if (d.tag == 0) {
+        ++big_deliveries;
+        big_time = d.delivered_ms;
+      }
+    }
+  }
+  EXPECT_EQ(big_deliveries, 1u);
+  EXPECT_EQ(total, 101u);
+  // Work conservation: 8e9 + 100 x 1e5 bytes at 4e6 bytes/ms.
+  EXPECT_NEAR(big_time, (8e9 + 100.0 * 1e5) / 4e6, 1e-3);
+}
+
+// Zero-byte (latency-only) messages deliver exactly once at activation —
+// even when sharing the link with draining traffic.
+TEST(TransferManager, ZeroByteMessagesDeliverOnceAtActivation) {
+  const Topology topo = bus_topology(4.0, /*latency_ms=*/0.25);
+  TransferManager tm(topo);
+  tm.start(0, 8e6, 0, 1, 0.0);
+  tm.start(1, 0.0, 2, 1, 1.0);  // activates at 1.25 mid-drain
+  tm.advance_to(0.25);
+  auto deliveries = tm.advance_to(1.25);
+  ASSERT_EQ(deliveries.size(), 1u);
+  EXPECT_EQ(deliveries[0].tag, 1u);
+  EXPECT_DOUBLE_EQ(deliveries[0].delivered_ms, 1.25);
+  deliveries = tm.advance_to(10.0);
+  ASSERT_EQ(deliveries.size(), 1u);
+  EXPECT_EQ(deliveries[0].tag, 0u);
+  EXPECT_EQ(tm.delivered_count(), 2u);
+}
+
+// --- observation-window clipping ---------------------------------------------
+
+// The steady-state accessors must exclude warmup traffic: busy time is
+// clipped to [window, ...) and only messages delivered inside the window
+// count, exactly like processor busy time in the stream metrics.
+TEST(TransferManager, WindowClipsBusyAndBytes) {
+  const Topology topo = bus_topology(4.0);
+  TransferManager tm(topo);
+  tm.set_window_start(3.0);
+  tm.start(0, 8e6, 0, 1, 0.0);   // drains [0, 2] — fully warmup
+  tm.start(1, 8e6, 0, 1, 2.5);   // drains [2.5, 4.5] — straddles
+  tm.advance_to(10.0);
+  EXPECT_DOUBLE_EQ(tm.link_busy_ms()[0], 4.0);            // whole run
+  EXPECT_DOUBLE_EQ(tm.link_busy_in_window_ms()[0], 1.5);  // [3, 4.5]
+  EXPECT_DOUBLE_EQ(tm.link_delivered_bytes()[0], 16e6);
+  EXPECT_DOUBLE_EQ(tm.link_bytes_in_window()[0], 8e6);
+  EXPECT_EQ(tm.link_delivered_counts()[0], 2u);
+  EXPECT_EQ(tm.link_counts_in_window()[0], 1u);
+  EXPECT_EQ(tm.link_hops_in_window()[0], 1u);
+  // The window is part of the run's setup, not something to move later.
+  EXPECT_THROW(tm.set_window_start(1.0), std::logic_error);
+}
+
 }  // namespace
 }  // namespace apt::net
