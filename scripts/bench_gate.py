@@ -12,15 +12,20 @@ benchmark's median real_time (the median aggregate when the file carries
 aggregates, the median over repeated raw entries otherwise), normalised to
 milliseconds.
 
-Pass/fail rule: a pair FAILS when the *median ratio* (current / baseline)
-across its matched benchmarks exceeds the threshold (default 1.25, i.e. a
->25% median regression). Gating on the median — not the worst benchmark —
-keeps one noisy cell on a shared CI runner from failing the build while
-still catching uniform slowdowns of the simulator hot path.
+Pass/fail rules:
+  * a pair FAILS when the *median ratio* (current / baseline) across its
+    matched benchmarks exceeds the threshold (default 1.25, i.e. a >25%
+    median regression). Gating on the median — not the worst benchmark —
+    keeps one noisy cell on a shared CI runner from failing the build while
+    still catching uniform slowdowns of the simulator hot path.
+  * a pair FAILS when a current benchmark row has no baseline entry: every
+    row must be guarded, so adding or renaming rows requires regenerating
+    the checked-in baseline in the same commit (run the bench with --json
+    and copy the file over bench/baselines/). Rows present only in the
+    baseline (removed rows) are reported but never fail.
 
-Benchmarks present on only one side are reported but never fail the gate,
-so adding or renaming benchmarks does not require touching the baselines in
-the same commit.
+Per-row speedup ratios are printed, and when $GITHUB_STEP_SUMMARY is set a
+markdown table of the same rows is appended to the job summary.
 
 Refreshing baselines: download the BENCH_* artifacts from a green run of
 the main branch and commit them over bench/baselines/. When an intentional
@@ -30,6 +35,7 @@ label `perf-regression-ok` — the workflow skips this gate for labelled PRs.
 
 import argparse
 import json
+import os
 import statistics
 import sys
 
@@ -63,6 +69,15 @@ def load_median_times(path):
     return {name: statistics.median(times) for name, times in samples.items()}
 
 
+def append_step_summary(lines):
+    """Appends markdown lines to the GitHub job summary when available."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write("\n".join(lines) + "\n")
+
+
 def compare_pair(baseline_path, current_path, threshold):
     """Returns True when the pair passes the gate."""
     baseline = load_median_times(baseline_path)
@@ -72,35 +87,69 @@ def compare_pair(baseline_path, current_path, threshold):
     only_current = sorted(set(current) - set(baseline))
 
     print(f"== {current_path} vs {baseline_path}")
-    if not matched:
-        print("   no matched benchmarks — nothing to gate (PASS)")
+    summary = [
+        "",
+        f"### bench gate: `{os.path.basename(current_path)}` vs "
+        f"`{os.path.basename(baseline_path)}`",
+        "",
+        "| benchmark | baseline ms | current ms | ratio | speedup |",
+        "|---|---:|---:|---:|---:|",
+    ]
+
+    ok = True
+    if only_current:
+        ok = False
         for name in only_current:
-            print(f"   new (unguarded): {name}")
-        return True
+            print(f"   UNBASELINED (FAIL): {name} — no entry in {baseline_path}")
+            summary.append(f"| {name} | — | {current[name]:.3f} | — | **unbaselined** |")
+        print(
+            "   every current row must have a baseline entry: regenerate "
+            f"{baseline_path} (run the bench with --json and commit the file)."
+        )
 
-    ratios = []
-    rows = []
-    for name in matched:
-        base_ms, cur_ms = baseline[name], current[name]
-        ratio = cur_ms / base_ms if base_ms > 0 else float("inf")
-        ratios.append(ratio)
-        rows.append((ratio, name, base_ms, cur_ms))
-    median_ratio = statistics.median(ratios)
+    median_ratio = None
+    if matched:
+        rows = []
+        for name in matched:
+            base_ms, cur_ms = baseline[name], current[name]
+            ratio = cur_ms / base_ms if base_ms > 0 else float("inf")
+            rows.append((ratio, name, base_ms, cur_ms))
+        median_ratio = statistics.median(ratio for ratio, *_ in rows)
 
-    for ratio, name, base_ms, cur_ms in sorted(rows, reverse=True):
-        flag = " <-- regressed" if ratio > threshold else ""
-        print(f"   {ratio:6.3f}x  {base_ms:12.3f} -> {cur_ms:12.3f} ms  {name}{flag}")
+        for ratio, name, base_ms, cur_ms in sorted(rows, reverse=True):
+            flag = " <-- regressed" if ratio > threshold else ""
+            speedup = 1.0 / ratio if ratio > 0 else float("inf")
+            print(
+                f"   {ratio:6.3f}x  {base_ms:12.3f} -> {cur_ms:12.3f} ms  "
+                f"(speedup {speedup:.2f}x)  {name}{flag}"
+            )
+            summary.append(
+                f"| {name} | {base_ms:.3f} | {cur_ms:.3f} | {ratio:.3f}x "
+                f"| {speedup:.2f}x{' ⚠️' if ratio > threshold else ''} |"
+            )
+        if median_ratio > threshold:
+            ok = False
+    elif not only_current:
+        print("   no matched benchmarks — nothing to gate (PASS)")
+
     for name in only_baseline:
         print(f"   missing from current (not gated): {name}")
-    for name in only_current:
-        print(f"   new benchmark (not gated): {name}")
+        summary.append(f"| {name} | {baseline[name]:.3f} | — | — | removed |")
 
-    verdict = "PASS" if median_ratio <= threshold else "FAIL"
-    print(
-        f"   median ratio {median_ratio:.3f}x over {len(matched)} benchmarks, "
-        f"threshold {threshold:.2f}x -> {verdict}"
-    )
-    return median_ratio <= threshold
+    if median_ratio is not None:
+        verdict = "PASS" if ok else "FAIL"
+        print(
+            f"   median ratio {median_ratio:.3f}x over {len(matched)} benchmarks, "
+            f"threshold {threshold:.2f}x -> {verdict}"
+        )
+        summary.append(
+            f"\n**median ratio {median_ratio:.3f}x** over {len(matched)} rows, "
+            f"threshold {threshold:.2f}x → **{verdict}**"
+        )
+    elif only_current:
+        summary.append("\n**FAIL — unbaselined rows** (regenerate the baseline)")
+    append_step_summary(summary)
+    return ok
 
 
 def main(argv):
@@ -118,9 +167,11 @@ def main(argv):
         ok &= compare_pair(args.files[i], args.files[i + 1], args.threshold)
     if not ok:
         print(
-            "bench gate FAILED: median regression beyond threshold. If this "
-            "is intentional, label the PR `perf-regression-ok` and refresh "
-            "bench/baselines/ from a green main-branch artifact."
+            "bench gate FAILED: median regression beyond threshold or "
+            "unbaselined rows. If the regression is intentional, label the "
+            "PR `perf-regression-ok` and refresh bench/baselines/ from a "
+            "green main-branch artifact; for new rows, regenerate the "
+            "baseline file in this commit."
         )
     return 0 if ok else 1
 

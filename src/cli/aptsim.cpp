@@ -670,7 +670,12 @@ int cmd_stream(const Args& args) {
           << ", \"queue_depth_avg\": "
           << util::format_double(m.queue_depth_avg, 6)
           << ", \"queue_depth_max\": " << m.queue_depth_max
-          << ", \"queue_depth_samples\": [";
+          << ", \"tm_solver\": {\"full\": " << m.tm_solve_stats.full_solves
+          << ", \"incremental\": " << m.tm_solve_stats.incremental_solves
+          << ", \"fallback\": " << m.tm_solve_stats.fallback_solves
+          << ", \"flows_resolved\": " << m.tm_solve_stats.flows_resolved
+          << ", \"flows_active\": " << m.tm_solve_stats.flows_active
+          << "}, \"queue_depth_samples\": [";
       for (std::size_t s = 0; s < m.queue_depth_samples.size(); ++s) {
         if (s) out << ", ";
         out << "["

@@ -22,10 +22,17 @@ std::string Apt::name() const {
 }
 
 void Apt::on_event(sim::SchedulerContext& ctx) {
+  // Saturation fast path: both branches below act only through an idle
+  // processor, and assignments only ever consume idle processors — so with
+  // the idle set empty the whole pass is a no-op, and once it empties
+  // mid-pass the remaining iterations are too. At deep backlog this turns
+  // an O(ready) scan per event into O(assignments).
+  if (ctx.idle_processors().empty()) return;
   // Snapshot: assign() mutates the ready list; one pass suffices because
   // assignments never free a processor.
   const std::vector<dag::NodeId> ready = ctx.ready();
   for (dag::NodeId node : ready) {
+    if (ctx.idle_processors().empty()) break;
     // Line 5-8 of Algorithm 1: the best processor, taken when available.
     if (const auto pmin = policies::idle_optimal_proc(ctx, node)) {
       ctx.assign(node, *pmin);

@@ -188,4 +188,20 @@ std::uint64_t structure_hash(const Dag& dag) {
   return h;
 }
 
+bool identical(const Dag& a, const Dag& b) {
+  if (a.node_count() != b.node_count() || a.edge_count() != b.edge_count())
+    return false;
+  for (NodeId i = 0; i < a.node_count(); ++i) {
+    const Node& na = a.node(i);
+    const Node& nb = b.node(i);
+    // Bitwise release comparison, matching structure_hash: 0.0 and -0.0
+    // compare equal under == but hash (and serialise) differently.
+    if (na.kernel != nb.kernel || na.data_size != nb.data_size ||
+        std::memcmp(&na.release_ms, &nb.release_ms, sizeof(double)) != 0)
+      return false;
+    if (a.successors(i) != b.successors(i)) return false;
+  }
+  return true;
+}
+
 }  // namespace apt::dag

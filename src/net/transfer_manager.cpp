@@ -1,6 +1,8 @@
 #include "net/transfer_manager.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cassert>
 #include <limits>
 #include <stdexcept>
 
@@ -8,10 +10,25 @@ namespace apt::net {
 
 namespace {
 constexpr TimeMs kInf = std::numeric_limits<TimeMs>::infinity();
+
+std::atomic<TransferManager::SolveMode> g_default_solve_mode{
+    TransferManager::SolveMode::Auto};
+
+/// Below this many active flows the closure bookkeeping costs more than the
+/// full solve it would avoid.
+constexpr std::size_t kSmallSolve = 16;
 }  // namespace
 
+void TransferManager::set_default_solve_mode(SolveMode mode) noexcept {
+  g_default_solve_mode.store(mode, std::memory_order_relaxed);
+}
+
+TransferManager::SolveMode TransferManager::default_solve_mode() noexcept {
+  return g_default_solve_mode.load(std::memory_order_relaxed);
+}
+
 TransferManager::TransferManager(const Topology& topology)
-    : topology_(topology) {
+    : topology_(topology), solve_mode_(default_solve_mode()) {
   if (!topology_.contended())
     throw std::invalid_argument(
         "TransferManager: an ideal topology has no links to simulate");
@@ -19,6 +36,10 @@ TransferManager::TransferManager(const Topology& topology)
   link_flows_.resize(links);
   solve_cap_.assign(links, 0.0);
   solve_unfrozen_.assign(links, 0);
+  link_mark_.assign(links, 0);
+  dirty_links_.reserve(16);
+  solve_links_.reserve(16);
+  closure_stack_.reserve(16);
   link_active_count_.assign(links, 0);
   link_busy_since_.assign(links, 0.0);
   link_busy_ms_.assign(links, 0.0);
@@ -105,6 +126,7 @@ void TransferManager::activate(std::size_t slot, TimeMs at) {
     link_flows_[l].push_back(slot);
     if (link_active_count_[l]++ == 0) link_busy_since_[l] = at;
   }
+  mark_dirty(m.path);
   ++active_flow_count_;
 }
 
@@ -143,6 +165,7 @@ void TransferManager::deliver(std::size_t slot, TimeMs at,
       link_hops_in_window_[l] += m.path.size();
     }
   }
+  mark_dirty(m.path);
   out.push_back(Delivery{m.tag, m.bytes, m.path.size(), at});
   ++m.stamp;  // any leftover projection of this slot is now stale
   m.active = false;
@@ -176,17 +199,119 @@ void TransferManager::freeze_flow(std::size_t slot, double rate, TimeMs at) {
   projections_.push(HeapEntry{finish, slot, ++m.stamp});
 }
 
+void TransferManager::mark_dirty(const std::vector<LinkId>& path) {
+  dirty_links_.insert(dirty_links_.end(), path.begin(), path.end());
+}
+
 /// Max-min fair allocation by progressive filling: raise every flow's rate
 /// together until a link saturates, freeze that link's flows at the
 /// saturation level, remove their share, repeat. A flow's rate is the
 /// level of its bottleneck link; on a single link this is exactly the
-/// equal split bandwidth / n. Runs at every membership event; iteration
-/// order is fixed (link id, then the link's flow list), so the arithmetic
-/// is deterministic.
+/// equal split bandwidth / n. Runs at every membership event. This is the
+/// dispatcher: small fabrics and FullAlways mode run the full solve;
+/// otherwise the link<->flow component around the dirty links is closed
+/// and, unless it swallowed most of the active flows (fallback), the
+/// filling is restricted to that component. Iteration order is fixed
+/// either way (ascending link id, then the link's flow list), so the
+/// arithmetic is deterministic — and, per the header's component-
+/// independence argument, bit-identical between the two paths.
 void TransferManager::resolve_rates(TimeMs at) {
   ++solve_round_;
+  if (active_flow_count_ == 0) {
+    dirty_links_.clear();
+    return;
+  }
+  solve_stats_.flows_active += active_flow_count_;
+  if (solve_mode_ == SolveMode::FullAlways ||
+      active_flow_count_ < kSmallSolve) {
+    dirty_links_.clear();
+    resolve_rates_full(at);
+    ++solve_stats_.full_solves;
+    solve_stats_.flows_resolved += active_flow_count_;
+    return;
+  }
+
+  // Close the component: every link reachable from a dirty link through
+  // shared flows, and every flow on those links. Marks are stamped with
+  // mark_round_ so the arrays never need clearing.
+  ++mark_round_;
+  if (flow_mark_.size() < messages_.size())
+    flow_mark_.resize(messages_.size(), 0);
+  closure_stack_.clear();
+  solve_links_.clear();
+  auto push_link = [this](LinkId l) {
+    if (link_mark_[l] == mark_round_) return;
+    link_mark_[l] = mark_round_;
+    if (!link_flows_[l].empty()) {
+      closure_stack_.push_back(l);
+      solve_links_.push_back(l);
+    }
+  };
+  for (const LinkId l : dirty_links_) push_link(l);
+  dirty_links_.clear();
+  std::size_t component_flows = 0;
+  bool fallback = false;
+  for (std::size_t i = 0; i < closure_stack_.size() && !fallback; ++i) {
+    for (const std::size_t slot : link_flows_[closure_stack_[i]]) {
+      if (flow_mark_[slot] == mark_round_) continue;
+      flow_mark_[slot] = mark_round_;
+      ++component_flows;
+      for (const LinkId hop : messages_[slot].path) push_link(hop);
+    }
+    // Once the component holds most of the flows the restricted fill
+    // costs as much as the full one — stop closing and fall back.
+    if (component_flows * 2 > active_flow_count_) fallback = true;
+  }
+  if (fallback) {
+    resolve_rates_full(at);
+    ++solve_stats_.full_solves;
+    ++solve_stats_.fallback_solves;
+    solve_stats_.flows_resolved += active_flow_count_;
+    return;
+  }
+
+  std::sort(solve_links_.begin(), solve_links_.end());
+  std::size_t unfrozen_total = component_flows;
+  for (const LinkId l : solve_links_) {
+    solve_cap_[l] = topology_.bandwidth_gbps(l) * 1e6;
+    solve_unfrozen_[l] = link_flows_[l].size();
+  }
+  while (unfrozen_total > 0) {
+    double level = kInf;
+    for (const LinkId l : solve_links_) {
+      if (solve_unfrozen_[l] == 0) continue;
+      level = std::min(
+          level, solve_cap_[l] / static_cast<double>(solve_unfrozen_[l]));
+    }
+    if (!(level > 0.0)) level = 1e-6;
+    for (const LinkId l : solve_links_) {
+      if (solve_unfrozen_[l] == 0) continue;
+      if (solve_cap_[l] / static_cast<double>(solve_unfrozen_[l]) > level)
+        continue;
+      for (const std::size_t slot : link_flows_[l]) {
+        Message& m = messages_[slot];
+        if (m.solve_round == solve_round_) continue;  // frozen already
+        for (const LinkId hop : m.path) {
+          solve_cap_[hop] -= level;
+          if (solve_cap_[hop] < 0.0) solve_cap_[hop] = 0.0;
+          --solve_unfrozen_[hop];
+        }
+        freeze_flow(slot, level, at);
+        --unfrozen_total;
+      }
+    }
+  }
+  ++solve_stats_.incremental_solves;
+  solve_stats_.flows_resolved += component_flows;
+#ifndef NDEBUG
+  verify_incremental_solve(at);
+#endif
+}
+
+/// The legacy whole-fabric solve. Untouched arithmetic: every golden value
+/// in the test suite was produced by exactly this loop.
+void TransferManager::resolve_rates_full(TimeMs at) {
   std::size_t unfrozen_total = active_flow_count_;
-  if (unfrozen_total == 0) return;
   const std::size_t links = link_flows_.size();
   for (std::size_t l = 0; l < links; ++l) {
     if (link_flows_[l].empty()) continue;
@@ -228,10 +353,38 @@ void TransferManager::resolve_rates(TimeMs at) {
   }
 }
 
+#ifndef NDEBUG
+/// Debug-build cross-check: after an incremental solve, a full re-solve at
+/// the same instant must leave every rate untouched (freeze_flow with an
+/// equal rate is a no-op, so a passing check perturbs nothing observable).
+void TransferManager::verify_incremental_solve(TimeMs at) {
+  std::vector<std::pair<std::size_t, double>> before;
+  before.reserve(active_flow_count_);
+  for (std::size_t slot = 0; slot < messages_.size(); ++slot) {
+    if (messages_[slot].active)
+      before.emplace_back(slot, messages_[slot].rate_ms);
+  }
+  ++solve_round_;
+  resolve_rates_full(at);
+  for (const auto& [slot, rate] : before) {
+    (void)slot;
+    (void)rate;
+    assert(messages_[slot].rate_ms == rate &&
+           "incremental max-min solve diverged from the full solve");
+  }
+}
+#endif
+
 std::vector<Delivery> TransferManager::advance_to(TimeMs t) {
+  std::vector<Delivery> out;
+  advance_to(t, out);
+  return out;
+}
+
+void TransferManager::advance_to(TimeMs t, std::vector<Delivery>& out) {
   if (t < now_)
     throw std::invalid_argument("TransferManager: time must not go backwards");
-  std::vector<Delivery> out;
+  out.clear();
   for (;;) {
     const TimeMs e = next_event_ms();
     if (!(e <= t)) break;
@@ -256,7 +409,6 @@ std::vector<Delivery> TransferManager::advance_to(TimeMs t) {
   if (t > now_) now_ = t;
   std::sort(out.begin(), out.end(),
             [](const Delivery& a, const Delivery& b) { return a.tag < b.tag; });
-  return out;
 }
 
 }  // namespace apt::net

@@ -19,6 +19,20 @@
 // only advances message state at membership events — an engine event that
 // fires between two transfer events no longer touches the fabric at all.
 //
+// The rate solver is *incremental*: a membership event (a message joining
+// or leaving the fabric) can only move the saturation level of links
+// reachable from the changed message's route through shared flows. The
+// solver marks those links dirty, closes the link<->flow component around
+// them, and re-runs progressive filling over that component alone — every
+// flow outside it keeps its frozen rate, anchor, and projection. Because
+// max-min components are independent (no flow spans two components) and
+// the filling loop visits links in ascending id and flows in per-link list
+// order either way, the incremental rates are bit-identical to a full
+// re-solve — debug builds assert this after every incremental solve. When
+// the component closure swallows most of the active flows the solver falls
+// back to the plain full solve (same arithmetic, no closure overhead), and
+// SolveStats counts both paths for observability.
+//
 // Determinism: message ids/tags are caller-supplied and deliveries at one
 // instant are reported in ascending tag order; the rate solver iterates
 // links and messages in fixed index order with no iteration-order-dependent
@@ -50,8 +64,35 @@ struct Delivery {
   TimeMs delivered_ms = 0.0;
 };
 
+/// Rate-solver observability counters: how membership events were actually
+/// re-solved. `full_solves` counts runs of progressive filling over every
+/// active flow (first solves, FullAlways mode, and threshold fallbacks —
+/// the latter also counted in `fallback_solves`); `incremental_solves`
+/// counts component-restricted re-solves; `flows_resolved` sums the flows
+/// re-leveled across all solves and `flows_active` the flows that were live
+/// at those instants, so resolved/active is the touched fraction.
+struct SolveStats {
+  std::uint64_t full_solves = 0;
+  std::uint64_t incremental_solves = 0;
+  std::uint64_t fallback_solves = 0;
+  std::uint64_t flows_resolved = 0;
+  std::uint64_t flows_active = 0;
+};
+
 class TransferManager {
  public:
+  /// Auto runs the incremental component re-solve with a full-solve
+  /// fallback; FullAlways forces the full solve at every membership event.
+  /// Both produce bit-identical rates — FullAlways exists so equivalence
+  /// tests (and suspicious users) can diff the two paths end to end.
+  enum class SolveMode { Auto, FullAlways };
+
+  /// Process-wide default mode picked up by every subsequently constructed
+  /// manager — the hook tests use to force FullAlways inside engines that
+  /// construct their TransferManager internally. Not synchronized with
+  /// running managers; set it before the runs under test.
+  static void set_default_solve_mode(SolveMode mode) noexcept;
+  static SolveMode default_solve_mode() noexcept;
   /// The topology must outlive the manager and be contended() — an ideal
   /// topology has no links to simulate (std::invalid_argument).
   explicit TransferManager(const Topology& topology);
@@ -82,6 +123,15 @@ class TransferManager {
   /// Advances the shared-progress simulation to `t` (>= the previous call),
   /// returning every message delivered at or before `t`, ascending by tag.
   std::vector<Delivery> advance_to(TimeMs t);
+
+  /// Allocation-free variant for the engine hot loops: clears `out` and
+  /// fills it with the same deliveries advance_to(t) would return. The
+  /// caller owns the buffer and reuses it across events, so the per-event
+  /// vector churn disappears; capacity is only ever grown.
+  void advance_to(TimeMs t, std::vector<Delivery>& out);
+
+  /// Cumulative rate-solver counters for this manager (never reset).
+  const SolveStats& solve_stats() const noexcept { return solve_stats_; }
 
   // --- per-link accounting (for metrics) -------------------------------------
   //
@@ -154,8 +204,14 @@ class TransferManager {
   void prune_stale_projections() const;
   void activate(std::size_t slot, TimeMs at);
   void deliver(std::size_t slot, TimeMs at, std::vector<Delivery>& out);
+  void mark_dirty(const std::vector<LinkId>& path);
   void resolve_rates(TimeMs at);
+  void resolve_rates_full(TimeMs at);
+  void resolve_rates_incremental(TimeMs at);
   void freeze_flow(std::size_t slot, double rate, TimeMs at);
+#ifndef NDEBUG
+  void verify_incremental_solve(TimeMs at);
+#endif
 
   const Topology& topology_;
   std::vector<Message> messages_;  ///< slot arena, slots reused
@@ -171,6 +227,20 @@ class TransferManager {
   std::vector<double> solve_cap_;
   std::vector<std::size_t> solve_unfrozen_;
   std::uint64_t solve_round_ = 0;
+
+  // Incremental-solver state. dirty_links_ collects the links whose
+  // membership changed since the last solve; the mark arrays (stamped by
+  // mark_round_ so they never need clearing) track which links/flows the
+  // component closure has absorbed; solve_links_ is the sorted dirty
+  // component the restricted filling runs over.
+  SolveMode solve_mode_;
+  std::vector<LinkId> dirty_links_;
+  std::vector<std::uint64_t> link_mark_;   ///< [link] closure stamp
+  std::vector<std::uint64_t> flow_mark_;   ///< [slot] closure stamp
+  std::uint64_t mark_round_ = 0;
+  std::vector<LinkId> solve_links_;        ///< dirty component, ascending
+  std::vector<LinkId> closure_stack_;
+  SolveStats solve_stats_;
 
   // Busy intervals fold as link occupancy transitions 0 <-> >0.
   std::vector<std::size_t> link_active_count_;

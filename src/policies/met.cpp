@@ -5,10 +5,15 @@
 namespace apt::policies {
 
 void Met::on_event(sim::SchedulerContext& ctx) {
+  // Saturation fast path: idle_optimal_proc can only answer from the idle
+  // set, and assignments only consume idle processors — an empty idle set
+  // makes the rest of the pass a provable no-op, so skip it.
+  if (ctx.idle_processors().empty()) return;
   // Snapshot: assign() mutates the ready list. A single pass suffices —
   // assignments only consume idle processors, never create them.
   const std::vector<dag::NodeId> ready = ctx.ready();
   for (dag::NodeId node : ready) {
+    if (ctx.idle_processors().empty()) break;
     if (const auto proc = idle_optimal_proc(ctx, node)) {
       ctx.assign(node, *proc);
     }

@@ -1,30 +1,24 @@
 #include "policies/selection.hpp"
 
-#include <limits>
-
 namespace apt::policies {
 
 sim::TimeMs min_exec_time_ms(const sim::SchedulerContext& ctx,
                              dag::NodeId node) {
-  sim::TimeMs best = std::numeric_limits<sim::TimeMs>::infinity();
-  for (sim::ProcId p = 0; p < ctx.system().proc_count(); ++p)
-    best = std::min(best, ctx.exec_time_ms(node, p));
-  return best;
+  return ctx.min_exec_time_ms(node);
 }
 
 sim::ProcId min_exec_proc(const sim::SchedulerContext& ctx, dag::NodeId node) {
-  sim::ProcId best = 0;
-  for (sim::ProcId p = 1; p < ctx.system().proc_count(); ++p) {
-    if (ctx.exec_time_ms(node, p) < ctx.exec_time_ms(node, best)) best = p;
-  }
-  return best;
+  return ctx.min_exec_proc(node);
 }
 
 std::optional<sim::ProcId> idle_optimal_proc(const sim::SchedulerContext& ctx,
                                              dag::NodeId node) {
-  const sim::TimeMs best = min_exec_time_ms(ctx, node);
-  for (sim::ProcId p = 0; p < ctx.system().proc_count(); ++p) {
-    if (ctx.is_idle(p) && ctx.exec_time_ms(node, p) == best) return p;
+  // idle_processors() is the idle subset ascending by id, so scanning it is
+  // equivalent to the historical all-processors scan filtered by is_idle —
+  // same winner, without touching the busy majority.
+  const sim::TimeMs best = ctx.min_exec_time_ms(node);
+  for (const sim::ProcId p : ctx.idle_processors()) {
+    if (ctx.exec_time_ms(node, p) == best) return p;
   }
   return std::nullopt;
 }
@@ -32,8 +26,7 @@ std::optional<sim::ProcId> idle_optimal_proc(const sim::SchedulerContext& ctx,
 std::optional<sim::ProcId> idle_min_exec_proc(const sim::SchedulerContext& ctx,
                                               dag::NodeId node) {
   std::optional<sim::ProcId> best;
-  for (sim::ProcId p = 0; p < ctx.system().proc_count(); ++p) {
-    if (!ctx.is_idle(p)) continue;
+  for (const sim::ProcId p : ctx.idle_processors()) {
     if (!best || ctx.exec_time_ms(node, p) < ctx.exec_time_ms(node, *best))
       best = p;
   }

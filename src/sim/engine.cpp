@@ -152,6 +152,20 @@ class Engine::Context final : public SchedulerContext {
     return cost_.exec_time_ms(dag_, node, system_.processor(proc));
   }
 
+  // Execution times are fixed for the whole run, so the min/argmin scans
+  // the MET-family policies repeat for every ready node at every event are
+  // computed once per node and served from a cache thereafter. The fill
+  // loop is the base-class scan verbatim — same doubles, same tie-break.
+  TimeMs min_exec_time_ms(dag::NodeId node) const override {
+    fill_min_exec(node);
+    return min_exec_cache_[node];
+  }
+
+  ProcId min_exec_proc(dag::NodeId node) const override {
+    fill_min_exec(node);
+    return min_proc_cache_[node];
+  }
+
   TimeMs input_transfer_ms(dag::NodeId node, ProcId proc) const override {
     // Comm-adjusted automatically under a contended topology: run()
     // installs a TopologyCostModel as cost_, so this prices edges against
@@ -203,6 +217,26 @@ class Engine::Context final : public SchedulerContext {
 
  private:
   static constexpr std::size_t kNoPos = static_cast<std::size_t>(-1);
+
+  void fill_min_exec(dag::NodeId node) const {
+    if (min_exec_cache_.empty()) {
+      min_exec_cache_.assign(dag_.node_count(),
+                             std::numeric_limits<TimeMs>::quiet_NaN());
+      min_proc_cache_.assign(dag_.node_count(), 0);
+    }
+    if (!std::isnan(min_exec_cache_[node])) return;
+    TimeMs best = std::numeric_limits<TimeMs>::infinity();
+    ProcId best_proc = 0;
+    for (ProcId p = 0; p < system_.proc_count(); ++p) {
+      const TimeMs t = exec_time_ms(node, p);
+      if (t < best) {
+        best = t;
+        best_proc = p;
+      }
+    }
+    min_exec_cache_[node] = best;
+    min_proc_cache_[node] = best_proc;
+  }
 
   struct NodeState {
     ScheduledKernel record;
@@ -450,8 +484,8 @@ class Engine::Context final : public SchedulerContext {
       complete_kernel(node);
     }
     if (tm_) {
-      for (const net::Delivery& delivery : tm_->advance_to(t))
-        on_delivery(delivery);
+      tm_->advance_to(t, deliveries_);  // reused buffer, no per-event alloc
+      for (const net::Delivery& delivery : deliveries_) on_delivery(delivery);
     }
     while (!releases_.empty() && releases_.top().time <= t) {
       const dag::NodeId node = releases_.top().node;
@@ -492,6 +526,11 @@ class Engine::Context final : public SchedulerContext {
   std::optional<net::TransferManager> tm_;
   /// Message log in creation order; index == TransferManager tag.
   std::vector<TransferRecord> transfer_records_;
+  std::vector<net::Delivery> deliveries_;  ///< advance_to out-buffer, reused
+
+  /// Lazily-filled per-node minimum-execution cache (NaN = unfilled).
+  mutable std::vector<TimeMs> min_exec_cache_;
+  mutable std::vector<ProcId> min_proc_cache_;
 
   TimeMs now_ = 0.0;
   std::size_t done_count_ = 0;

@@ -256,6 +256,7 @@ StreamMetrics compute_stream_metrics(const System& system,
       lb.avg_hops = static_cast<double>(observation.link_hops_in_window[l]) /
                     static_cast<double>(lb.transfer_count);
   }
+  m.tm_solve_stats = observation.tm_solve_stats;
   return m;
 }
 

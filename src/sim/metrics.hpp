@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "dag/graph.hpp"
+#include "net/transfer_manager.hpp"
 #include "sim/schedule.hpp"
 #include "sim/system.hpp"
 
@@ -172,6 +173,10 @@ struct StreamObservation {
   std::vector<std::size_t> link_transfers_in_window;
   std::vector<std::size_t> link_hops_in_window;
   std::vector<std::string> link_names;
+
+  /// Rate-solver counters of the run's TransferManager (all zero under the
+  /// ideal topology, which simulates no fabric).
+  net::SolveStats tm_solve_stats;
 };
 
 /// Average / median / tail summary of a per-app distribution.
@@ -210,6 +215,10 @@ struct StreamMetrics {
   /// observed_ms, like processor utilization — warmup traffic does not
   /// bias it); empty under the ideal topology.
   std::vector<LinkBreakdown> per_link;
+
+  /// How the fabric's max-min rates were re-solved (observability for the
+  /// incremental solver; all zero under the ideal topology).
+  net::SolveStats tm_solve_stats;
 };
 
 /// Aggregates a finished stream observation. Measured apps are those

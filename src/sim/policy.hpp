@@ -8,7 +8,9 @@
 // policies precompute a plan in prepare() and release it step by step.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -71,6 +73,25 @@ class SchedulerContext {
 
   /// Execution time of a ready kernel on a processor (lookup-table query).
   virtual TimeMs exec_time_ms(dag::NodeId node, ProcId proc) const = 0;
+
+  /// Minimum execution time of `node` over every processor, and the lowest
+  /// processor id attaining it. The default implementations scan
+  /// exec_time_ms over all processors; engines override them with O(1)
+  /// precomputed lookups — the scan is the hottest loop of the MET-family
+  /// policies, which call these for every ready kernel at every event.
+  virtual TimeMs min_exec_time_ms(dag::NodeId node) const {
+    TimeMs best = std::numeric_limits<TimeMs>::infinity();
+    for (ProcId p = 0; p < system().proc_count(); ++p)
+      best = std::min(best, exec_time_ms(node, p));
+    return best;
+  }
+  virtual ProcId min_exec_proc(dag::NodeId node) const {
+    ProcId best = 0;
+    for (ProcId p = 1; p < system().proc_count(); ++p) {
+      if (exec_time_ms(node, p) < exec_time_ms(node, best)) best = p;
+    }
+    return best;
+  }
 
   /// Worst-case input-transfer stall if `node` were assigned to `proc` now:
   /// max over predecessors of the edge transfer time from the predecessor's

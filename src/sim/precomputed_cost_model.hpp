@@ -37,6 +37,28 @@ class PrecomputedCostModel final : public CostModel {
 
   const CostModel& base() const noexcept { return base_; }
 
+  // --- raw-table access for engine hot paths ---------------------------------
+  //
+  // The virtual queries above re-check the dag pointer and processor range
+  // on every call; the engines query millions of times with arguments known
+  // valid by construction, so they bake these row pointers into their slot
+  // arrays once per instance instead.
+
+  std::size_t table_proc_count() const noexcept { return proc_count_; }
+
+  /// Execution times of `node` on every processor: `row[proc]`.
+  const TimeMs* exec_row(dag::NodeId node) const {
+    return exec_.data() + static_cast<std::size_t>(node) * proc_count_;
+  }
+
+  /// Transfer times of the edge src -> successors(src)[succ_index] over
+  /// every ordered processor pair: `row[from * table_proc_count() + to]` —
+  /// the same doubles transfer_time_ms serves after its successor scan.
+  const TimeMs* transfer_row(dag::NodeId src, std::size_t succ_index) const {
+    return transfer_.data() +
+           (edge_offset_[src] + succ_index) * proc_count_ * proc_count_;
+  }
+
  private:
   const dag::Dag* dag_;
   const CostModel& base_;

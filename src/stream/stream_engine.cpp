@@ -64,6 +64,7 @@ class StreamEngine::Context final : public sim::SchedulerContext {
         policy_(policy),
         topology_(system.topology()),
         contended_(topology_.contended()),
+        proc_count_(system.proc_count()),
         proc_state_(system.proc_count()) {
     if (contended_) {
       tm_.emplace(topology_);
@@ -109,6 +110,7 @@ class StreamEngine::Context final : public sim::SchedulerContext {
       observation_.link_names.reserve(topology_.link_count());
       for (net::LinkId l = 0; l < topology_.link_count(); ++l)
         observation_.link_names.push_back(topology_.link_name(l));
+      observation_.tm_solve_stats = tm_->solve_stats();
     }
     StreamOutcome outcome;
     outcome.metrics = sim::compute_stream_metrics(system_, observation_);
@@ -197,33 +199,50 @@ class StreamEngine::Context final : public sim::SchedulerContext {
     return sum / static_cast<double>(take);
   }
 
+  // The hottest queries of the whole engine: every MET-family policy pass
+  // asks these for every ready kernel. They read the per-slot SoA slabs
+  // admit() baked from the instance's shared ShapeEntry — one load instead
+  // of the slot -> app -> cost-model -> dag-check virtual chain.
   sim::TimeMs exec_time_ms(dag::NodeId slot,
                            sim::ProcId proc) const override {
-    const App& app = app_of(slot);
-    return app.cost->exec_time_ms(app.dag, slot - app.base,
-                                  system_.processor(proc));
+    return exec_row_[slot][proc];
+  }
+
+  sim::TimeMs min_exec_time_ms(dag::NodeId slot) const override {
+    return min_exec_slab_[slot];
+  }
+
+  sim::ProcId min_exec_proc(dag::NodeId slot) const override {
+    return min_proc_slab_[slot];
   }
 
   sim::TimeMs input_transfer_ms(dag::NodeId slot,
                                 sim::ProcId proc) const override {
     const App& app = app_of(slot);
+    const ShapeEntry& shape = *app.shape;
     const dag::NodeId local = slot - app.base;
     sim::TimeMs worst = 0.0;
-    const sim::Processor& to = system_.processor(proc);
-    for (dag::NodeId pred : app.dag.predecessors(local)) {
-      const sim::ScheduledKernel& rec = node_state_[app.base + pred].record;
+    if (contended_) {
+      for (dag::NodeId pred : shape.dag.predecessors(local)) {
+        const sim::ScheduledKernel& rec = node_state_[app.base + pred].record;
+        if (rec.proc == sim::kInvalidProc)
+          throw std::logic_error(
+              "StreamEngine: predecessor not yet scheduled");
+        // Comm-adjusted estimate from the topology (uncontended share).
+        worst = std::max(worst, topology_.transfer_time_ms(
+                                    edge_bytes(app, pred), rec.proc, proc));
+      }
+      return worst;
+    }
+    // Ideal topology: the shape's predecessor CSR points straight at the
+    // cost model's transfer rows (same doubles, no successor scan).
+    for (std::size_t i = shape.pred_offset[local];
+         i < shape.pred_offset[local + 1]; ++i) {
+      const ShapeEntry::PredEdge& e = shape.pred_edges[i];
+      const sim::ScheduledKernel& rec = node_state_[app.base + e.pred].record;
       if (rec.proc == sim::kInvalidProc)
         throw std::logic_error("StreamEngine: predecessor not yet scheduled");
-      if (contended_) {
-        // Comm-adjusted estimate from the topology (uncontended share).
-        worst = std::max(worst,
-                         topology_.transfer_time_ms(
-                             edge_bytes(app, pred), rec.proc, proc));
-      } else {
-        worst = std::max(worst, app.cost->transfer_time_ms(
-                                    app.dag, pred, local,
-                                    system_.processor(rec.proc), to));
-      }
+      worst = std::max(worst, e.row[rec.proc * proc_count_ + proc]);
     }
     return worst;
   }
@@ -286,16 +305,95 @@ class StreamEngine::Context final : public sim::SchedulerContext {
     std::deque<sim::TimeMs> exec_history;  ///< newest at the back, capped
   };
 
-  /// One live application instance.
+  /// Immutable per-shape data shared by every live instance whose DAG is
+  /// structurally identical: the canonical graph, its densified cost
+  /// tables, the makespan lower bound, per-node minimum-execution tables,
+  /// and a predecessor CSR whose entries point straight at the cost
+  /// model's transfer rows. Heap-pinned behind a shared_ptr — the cost
+  /// model holds a pointer to `dag`, so entries never move; they die when
+  /// the last referencing instance retires and the pool has let go.
+  struct ShapeEntry {
+    dag::Dag dag;
+    sim::PrecomputedCostModel cost;  ///< references `dag` above
+    sim::TimeMs lower_bound_ms = 0.0;
+    std::vector<sim::TimeMs> min_exec;  ///< [local] min over processors
+    std::vector<sim::ProcId> min_proc;  ///< [local] lowest argmin
+    struct PredEdge {
+      dag::NodeId pred;        ///< local predecessor id
+      const sim::TimeMs* row;  ///< that edge's P×P transfer table
+    };
+    std::vector<std::size_t> pred_offset;  ///< [local + 1], CSR bounds
+    std::vector<PredEdge> pred_edges;      ///< in predecessors() order
+
+    ShapeEntry(dag::Dag d, const sim::System& system,
+               const sim::CostModel& base)
+        : dag(std::move(d)), cost(dag, system, base) {}
+  };
+
+  /// Returns the pooled entry for this exact graph, building (and pooling)
+  /// it on first sight. The structure hash is the lookup key; an exact
+  /// dag::identical() check confirms every hit, so a collision costs a
+  /// rebuild, never a wrong table. The pool is bounded: at the cap it is
+  /// generationally cleared — live instances keep their entries alive
+  /// through their own shared_ptrs, the pool merely stops deduplicating
+  /// shapes it has already seen.
+  std::shared_ptr<const ShapeEntry> acquire_shape(dag::Dag&& dag) {
+    const std::uint64_t hash = dag::structure_hash(dag);
+    if (auto it = shape_pool_.find(hash); it != shape_pool_.end()) {
+      for (const auto& entry : it->second) {
+        if (dag::identical(entry->dag, dag)) return entry;
+      }
+    }
+    if (shape_pool_size_ >= kShapePoolCap) {
+      shape_pool_.clear();
+      shape_pool_size_ = 0;
+    }
+    auto entry =
+        std::make_shared<ShapeEntry>(std::move(dag), system_, base_cost_);
+    entry->lower_bound_ms =
+        sim::makespan_lower_bound_ms(entry->dag, system_, entry->cost);
+    const std::size_t n = entry->dag.node_count();
+    entry->min_exec.resize(n);
+    entry->min_proc.resize(n);
+    for (dag::NodeId local = 0; local < n; ++local) {
+      const sim::TimeMs* row = entry->cost.exec_row(local);
+      sim::TimeMs best = row[0];
+      sim::ProcId best_proc = 0;
+      for (sim::ProcId p = 1; p < proc_count_; ++p) {
+        if (row[p] < best) {
+          best = row[p];
+          best_proc = p;
+        }
+      }
+      entry->min_exec[local] = best;
+      entry->min_proc[local] = best_proc;
+    }
+    entry->pred_offset.assign(n + 1, 0);
+    entry->pred_edges.reserve(entry->dag.edge_count());
+    for (dag::NodeId local = 0; local < n; ++local) {
+      for (dag::NodeId pred : entry->dag.predecessors(local)) {
+        const auto& succs = entry->dag.successors(pred);
+        std::size_t k = 0;
+        while (succs[k] != local) ++k;
+        entry->pred_edges.push_back(
+            ShapeEntry::PredEdge{pred, entry->cost.transfer_row(pred, k)});
+      }
+      entry->pred_offset[local + 1] = entry->pred_edges.size();
+    }
+    shape_pool_[hash].push_back(entry);
+    ++shape_pool_size_;
+    return entry;
+  }
+
+  /// One live application instance — a plain value in the reusable app
+  /// table; everything shape-dependent lives behind `shape`.
   struct App {
     std::size_t index = 0;  ///< global arrival index
     sim::TimeMs arrival_ms = 0.0;
-    dag::Dag dag;
-    std::unique_ptr<sim::PrecomputedCostModel> cost;
+    std::shared_ptr<const ShapeEntry> shape;
     dag::NodeId base = dag::kInvalidNode;  ///< first global slot
     std::size_t remaining = 0;             ///< kernels not yet completed
-    std::size_t remaining_total = 0;       ///< kernel count (survives dag move)
-    sim::TimeMs lower_bound_ms = 0.0;
+    std::size_t remaining_total = 0;       ///< kernel count
     /// Completed/in-flight link messages, local node ids, absolute times.
     /// Only populated when StreamOptions::record_schedules (memory stays
     /// bounded by the live backlog otherwise).
@@ -306,7 +404,7 @@ class StreamEngine::Context final : public sim::SchedulerContext {
     const std::uint32_t a = node_state_.at(slot).app;
     if (a == kNoApp)
       throw std::logic_error("StreamEngine: slot has no live application");
-    return *apps_[a];
+    return apps_[a];
   }
 
   // --- slot-range allocator -------------------------------------------------
@@ -328,6 +426,9 @@ class StreamEngine::Context final : public sim::SchedulerContext {
     const dag::NodeId base = static_cast<dag::NodeId>(node_state_.size());
     node_state_.resize(node_state_.size() + n);
     ready_pos_.resize(node_state_.size(), kNoPos);
+    exec_row_.resize(node_state_.size(), nullptr);
+    min_exec_slab_.resize(node_state_.size(), 0.0);
+    min_proc_slab_.resize(node_state_.size(), 0);
     return base;
   }
 
@@ -391,7 +492,7 @@ class StreamEngine::Context final : public sim::SchedulerContext {
 
   /// Payload of the edge out of `pred` (a local node id) in `app`.
   double edge_bytes(const App& app, dag::NodeId pred) const {
-    return sim::edge_payload_bytes(app.dag, pred,
+    return sim::edge_payload_bytes(app.shape->dag, pred,
                                    system_.config().bytes_per_element);
   }
 
@@ -403,10 +504,10 @@ class StreamEngine::Context final : public sim::SchedulerContext {
     NodeState& ns = node_state_[slot];
     if (ns.app == kNoApp)
       throw std::logic_error("StreamEngine: slot has no live application");
-    App& app = *apps_[ns.app];
+    App& app = apps_[ns.app];
     const dag::NodeId local = slot - app.base;
     ns.data_ready_at = dispatched;
-    for (dag::NodeId pred : app.dag.predecessors(local)) {
+    for (dag::NodeId pred : app.shape->dag.predecessors(local)) {
       const sim::ScheduledKernel& rec = node_state_[app.base + pred].record;
       const net::Topology::Route route = topology_.route(rec.proc, proc);
       if (route.empty()) continue;  // same processor, socket, or cell
@@ -451,7 +552,7 @@ class StreamEngine::Context final : public sim::SchedulerContext {
     inflight_.erase(it);
     NodeState& ns = node_state_[flight.slot];
     if (flight.record != kNoRecord)
-      apps_[ns.app]->transfers[flight.record].finish = now_;
+      apps_[ns.app].transfers[flight.record].finish = now_;
     --ns.pending_msgs;
     ns.data_ready_at = std::max(ns.data_ready_at, now_);
     if (ns.pending_msgs == 0 && ns.holds_proc)
@@ -531,15 +632,16 @@ class StreamEngine::Context final : public sim::SchedulerContext {
     if (policy_.transfer_semantics() == sim::TransferSemantics::AtAssignment)
       return input_transfer_ms(slot, proc);
     const App& app = app_of(slot);
+    const dag::Dag& dag = app.shape->dag;
     const dag::NodeId local = slot - app.base;
     sim::TimeMs data_ready = from_time;
     const sim::Processor& to = system_.processor(proc);
-    for (dag::NodeId pred : app.dag.predecessors(local)) {
+    for (dag::NodeId pred : dag.predecessors(local)) {
       const sim::ScheduledKernel& rec = node_state_[app.base + pred].record;
       const sim::TimeMs arrival =
           rec.finish_time +
-          app.cost->transfer_time_ms(app.dag, pred, local,
-                                     system_.processor(rec.proc), to);
+          app.shape->cost.transfer_time_ms(dag, pred, local,
+                                           system_.processor(rec.proc), to);
       data_ready = std::max(data_ready, arrival);
     }
     return data_ready - from_time;
@@ -560,8 +662,8 @@ class StreamEngine::Context final : public sim::SchedulerContext {
       complete_kernel(slot);
     }
     if (tm_) {
-      for (const net::Delivery& delivery : tm_->advance_to(t))
-        on_delivery(delivery);
+      tm_->advance_to(t, deliveries_);  // reused buffer, no per-event alloc
+      for (const net::Delivery& delivery : deliveries_) on_delivery(delivery);
     }
     while (!releases_.empty() && releases_.top().time <= t) {
       const dag::NodeId slot = releases_.top().slot;
@@ -576,7 +678,7 @@ class StreamEngine::Context final : public sim::SchedulerContext {
     NodeState& ns = node_state_[slot];
     ns.done = true;
     const std::uint32_t app_slot = ns.app;
-    App& app = *apps_[app_slot];
+    App& app = apps_[app_slot];
     --app.remaining;
 
     ProcState& ps = proc_state_[ns.record.proc];
@@ -596,12 +698,12 @@ class StreamEngine::Context final : public sim::SchedulerContext {
     if (ns.record.finish_time >= options_.warmup_ms)
       ++observation_.kernels_in_window[ns.record.proc];
 
-    for (dag::NodeId succ : app.dag.successors(slot - app.base)) {
+    for (dag::NodeId succ : app.shape->dag.successors(slot - app.base)) {
       const dag::NodeId succ_slot = app.base + succ;
       NodeState& ss = node_state_[succ_slot];
       if (--ss.remaining_preds == 0) {
         const sim::TimeMs release =
-            app.arrival_ms + app.dag.node(succ).release_ms;
+            app.arrival_ms + app.shape->dag.node(succ).release_ms;
         if (release <= now_) {
           mark_ready(succ_slot);
         } else {
@@ -613,30 +715,35 @@ class StreamEngine::Context final : public sim::SchedulerContext {
   }
 
   void retire(std::uint32_t app_slot) {
-    App& app = *apps_[app_slot];
+    App& app = apps_[app_slot];
     observation_.completed.push_back(sim::StreamAppStats{
-        app.index, app.arrival_ms, now_, app.lower_bound_ms,
-        app.dag.node_count()});
+        app.index, app.arrival_ms, now_, app.shape->lower_bound_ms,
+        app.shape->dag.node_count()});
     if (options_.record_schedules) {
       StreamAppSchedule schedule;
       schedule.index = app.index;
       schedule.arrival_ms = app.arrival_ms;
-      schedule.result.schedule.resize(app.dag.node_count());
+      schedule.result.schedule.resize(app.shape->dag.node_count());
       sim::TimeMs last = 0.0;
-      for (dag::NodeId local = 0; local < app.dag.node_count(); ++local) {
+      for (dag::NodeId local = 0; local < app.shape->dag.node_count();
+           ++local) {
         schedule.result.schedule[local] = node_state_[app.base + local].record;
         last = std::max(last, schedule.result.schedule[local].finish_time);
       }
       schedule.result.makespan = last;
       schedule.result.transfers = std::move(app.transfers);
-      schedule.dag = std::move(app.dag);
+      schedule.dag = app.shape->dag;  // the shape's canonical copy is shared
       schedules_.push_back(std::move(schedule));
     }
-    // Clear ownership before releasing so stale queries fault loudly.
-    for (dag::NodeId local = 0; local < app.remaining_total; ++local)
+    // Clear ownership (and the baked cost rows) before releasing so stale
+    // queries fault loudly instead of reading a retired instance's tables.
+    for (dag::NodeId local = 0; local < app.remaining_total; ++local) {
       node_state_[app.base + local].app = kNoApp;
+      exec_row_[app.base + local] = nullptr;
+    }
     release_slots(app.base, app.remaining_total);
-    apps_[app_slot].reset();
+    app.shape.reset();  // may free the ShapeEntry if the pool let go
+    app.transfers.clear();
     free_app_slots_.push_back(app_slot);
     --live_count_;
     observation_.live_apps.observe(now_, live_count_);
@@ -694,29 +801,32 @@ class StreamEngine::Context final : public sim::SchedulerContext {
       app_slot = static_cast<std::uint32_t>(apps_.size());
       apps_.emplace_back();
     }
-    apps_[app_slot] = std::make_unique<App>();
-    App& app = *apps_[app_slot];
+    App& app = apps_[app_slot];
     app.index = index;
     app.arrival_ms = arrival_ms;
-    app.dag = std::move(dag);
-    app.cost = std::make_unique<sim::PrecomputedCostModel>(app.dag, system_,
-                                                           base_cost_);
-    app.lower_bound_ms =
-        sim::makespan_lower_bound_ms(app.dag, system_, *app.cost);
-    app.remaining = app.dag.node_count();
-    app.remaining_total = app.dag.node_count();
-    app.base = allocate_slots(app.dag.node_count());
+    app.shape = acquire_shape(std::move(dag));
+    const ShapeEntry& shape = *app.shape;
+    const std::size_t n = shape.dag.node_count();
+    app.remaining = n;
+    app.remaining_total = n;
+    app.base = allocate_slots(n);
+    app.transfers.clear();
 
-    for (dag::NodeId local = 0; local < app.dag.node_count(); ++local) {
+    for (dag::NodeId local = 0; local < n; ++local) {
       const dag::NodeId slot = app.base + local;
       NodeState& ns = node_state_[slot];
       ns = NodeState{};
       ns.record.node = local;
       ns.app = app_slot;
-      ns.remaining_preds = app.dag.in_degree(local);
+      ns.remaining_preds = shape.dag.in_degree(local);
+      // Bake the shape's cost rows into the per-slot SoA slabs the
+      // scheduler queries hit.
+      exec_row_[slot] = shape.cost.exec_row(local);
+      min_exec_slab_[slot] = shape.min_exec[local];
+      min_proc_slab_[slot] = shape.min_proc[local];
       if (ns.remaining_preds == 0) {
         const sim::TimeMs release =
-            arrival_ms + app.dag.node(local).release_ms;
+            arrival_ms + shape.dag.node(local).release_ms;
         if (release <= now_) {
           mark_ready(slot);
         } else {
@@ -737,6 +847,7 @@ class StreamEngine::Context final : public sim::SchedulerContext {
   /// Contended-topology comm phase (tm_ engaged only when contended_).
   const net::Topology& topology_;
   const bool contended_;
+  const std::size_t proc_count_;
   std::optional<net::TransferManager> tm_;
   std::optional<sim::TopologyCostModel> topo_cost_;
   static constexpr std::size_t kNoRecord = static_cast<std::size_t>(-1);
@@ -748,17 +859,30 @@ class StreamEngine::Context final : public sim::SchedulerContext {
   };
   std::unordered_map<std::uint64_t, InFlight> inflight_;
   std::uint64_t next_transfer_tag_ = 0;
+  std::vector<net::Delivery> deliveries_;  ///< advance_to out-buffer, reused
 
   sim::TimeMs now_ = 0.0;
   std::vector<NodeState> node_state_;  ///< global slot arrays
   std::vector<ProcState> proc_state_;
 
+  // Per-slot SoA cost slabs (grown with node_state_, rebaked per admit):
+  // the policy-facing queries read these instead of chasing app pointers.
+  std::vector<const sim::TimeMs*> exec_row_;  ///< [slot] -> P exec times
+  std::vector<sim::TimeMs> min_exec_slab_;    ///< [slot] min exec time
+  std::vector<sim::ProcId> min_proc_slab_;    ///< [slot] lowest argmin
+
   /// Retired slot ranges, base -> length, adjacent ranges merged.
   std::map<dag::NodeId, std::size_t> free_ranges_;
 
-  std::vector<std::unique_ptr<App>> apps_;  ///< live table (stable addresses)
+  std::vector<App> apps_;  ///< reusable instance table (value slots)
   std::vector<std::uint32_t> free_app_slots_;
   std::size_t live_count_ = 0;
+
+  /// Shape pool: structure hash -> confirmed-identical entries.
+  static constexpr std::size_t kShapePoolCap = 128;
+  std::unordered_map<std::uint64_t, std::vector<std::shared_ptr<ShapeEntry>>>
+      shape_pool_;
+  std::size_t shape_pool_size_ = 0;
 
   mutable std::vector<dag::NodeId> ready_;
   mutable std::vector<std::size_t> ready_pos_;

@@ -11,12 +11,18 @@
 //
 // Mechanics: the engine reuses sim::Engine's hot-path design — O(1)
 // tombstoned ready-set bookkeeping, a cached idle-processor list, queued
-// kernels carrying their execution time, and one PrecomputedCostModel per
-// instance — but generalizes every per-node array to global *slots* spanning
-// the live instances. A retired instance (all kernels done) releases its
-// slot range back to a free-range allocator and its per-app statistics are
-// folded into bounded aggregates, so memory is bounded by the peak number
-// of concurrently-live instances, not by the length of the run.
+// kernels carrying their execution time — but generalizes every per-node
+// array to global *slots* spanning the live instances, laid out as
+// structure-of-arrays slabs (exec-time rows, min-exec tables) the
+// scheduler queries read directly. Cost tables are pooled by DAG shape:
+// structurally identical instances (the common case — generators emit a
+// fixed family) share one PrecomputedCostModel, lower bound, and
+// predecessor CSR instead of rebuilding them per arrival; the pool is
+// keyed by dag::structure_hash, every hit confirmed by dag::identical.
+// A retired instance (all kernels done) releases its slot range back to a
+// free-range allocator and its per-app statistics are folded into bounded
+// aggregates, so memory is bounded by the peak number of concurrently-live
+// instances (plus the bounded shape pool), not by the length of the run.
 //
 // Policies: any *dynamic* sim::Policy runs unmodified — the scheduler
 // context exposes ready kernels (as global ids), idle processors, and cost
@@ -107,8 +113,9 @@ struct StreamOutcome {
 
 class StreamEngine {
  public:
-  /// The system and base cost model must outlive the engine. Each admitted
-  /// instance densifies `base_cost` into its own PrecomputedCostModel.
+  /// The system and base cost model must outlive the engine. Admitted
+  /// instances densify `base_cost` into PrecomputedCostModels shared
+  /// across structurally identical DAGs (the shape pool).
   StreamEngine(const sim::System& system, const sim::CostModel& base_cost,
                DagSource source, StreamOptions options);
 

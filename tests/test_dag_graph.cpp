@@ -150,5 +150,46 @@ TEST(Dag, LargeFanInAndOut) {
   EXPECT_EQ(order.front(), hub);
 }
 
+// identical() is the serialise-identically relation structure_hash
+// fingerprints; the stream engine's shape pool relies on it to confirm
+// hash hits before sharing one cost model across instances.
+TEST(Dag, IdenticalMatchesStructureHash) {
+  auto make = [] {
+    Dag d;
+    d.add_node("mm", 100);
+    d.add_node("fft", 200);
+    d.add_node("mm", 300);
+    d.add_edge(0, 1);
+    d.add_edge(0, 2);
+    return d;
+  };
+  const Dag a = make();
+  EXPECT_TRUE(identical(a, a));
+  EXPECT_TRUE(identical(a, make()));
+  EXPECT_EQ(structure_hash(a), structure_hash(make()));
+
+  Dag edges = make();  // same nodes, one extra edge
+  edges.add_edge(1, 2);
+  EXPECT_FALSE(identical(a, edges));
+
+  Dag data = make();
+  data = Dag();
+  data.add_node("mm", 100);
+  data.add_node("fft", 201);  // data size differs
+  data.add_node("mm", 300);
+  data.add_edge(0, 1);
+  data.add_edge(0, 2);
+  EXPECT_FALSE(identical(a, data));
+
+  Dag release = make();
+  release.set_release_ms(1, 5.0);  // release times compare bitwise
+  EXPECT_FALSE(identical(a, release));
+  EXPECT_NE(structure_hash(a), structure_hash(release));
+
+  Dag smaller;
+  smaller.add_node("mm", 100);
+  EXPECT_FALSE(identical(a, smaller));
+}
+
 }  // namespace
 }  // namespace apt::dag

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/stream_plan.hpp"
+#include "net/topology.hpp"
 
 namespace apt {
 namespace {
@@ -113,6 +114,52 @@ TEST(StreamPlan, BitIdenticalAcrossJobCounts) {
       EXPECT_EQ(ma.per_proc[p].compute_ms, mb.per_proc[p].compute_ms);
       EXPECT_EQ(ma.per_proc[p].kernel_count, mb.per_proc[p].kernel_count);
     }
+  }
+}
+
+// The burst regime the perf work targets: 10x the densest sustained bench
+// rate on a contended routed topology, so the incremental TM re-solve, the
+// SoA slot slabs, and the shape pool are all live — and still bit-identical
+// for any worker count.
+TEST(StreamPlan, BitIdenticalAcrossJobCountsAtBurstRate) {
+  core::StreamPlan plan;
+  plan.families = {"type1"};
+  plan.rates_per_ms = {0.005};
+  plan.policy_specs = {"apt:4", "ag"};
+  plan.kernels = 46;
+  plan.max_apps = 25;  // burst cap bounds the run instead of a horizon
+  plan.horizon_ms = 0.0;
+  plan.warmup_ms = 0.0;
+  plan.base_seed = 7;
+  plan.base_system.topology = net::parse_topology_spec("mesh:2x2");
+  plan.base_system.topology.bandwidth_gbps = 1.0;
+  plan.base_system.topology.latency_ms = 0.05;
+
+  const core::BatchRunner serial(1);
+  const core::BatchRunner parallel(8);
+  const core::StreamBatchResult a = core::run_stream_plan(plan, serial);
+  const core::StreamBatchResult b = core::run_stream_plan(plan, parallel);
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    const sim::StreamMetrics& ma = a.cells[i].metrics;
+    const sim::StreamMetrics& mb = b.cells[i].metrics;
+    EXPECT_EQ(ma.apps_completed, mb.apps_completed);
+    // Bitwise double equality — not NEAR: the cells must be identical.
+    EXPECT_EQ(ma.end_ms, mb.end_ms) << i;
+    EXPECT_EQ(ma.flow_ms.avg, mb.flow_ms.avg) << i;
+    EXPECT_EQ(ma.flow_ms.max, mb.flow_ms.max) << i;
+    EXPECT_EQ(ma.slowdown.avg, mb.slowdown.avg) << i;
+    EXPECT_EQ(ma.avg_utilization, mb.avg_utilization) << i;
+    ASSERT_EQ(ma.per_link.size(), mb.per_link.size());
+    for (std::size_t l = 0; l < ma.per_link.size(); ++l) {
+      EXPECT_EQ(ma.per_link[l].busy_ms, mb.per_link[l].busy_ms) << i;
+      EXPECT_EQ(ma.per_link[l].bytes, mb.per_link[l].bytes) << i;
+    }
+    // Solver observability is deterministic too.
+    EXPECT_EQ(ma.tm_solve_stats.full_solves,
+              mb.tm_solve_stats.full_solves) << i;
+    EXPECT_EQ(ma.tm_solve_stats.incremental_solves,
+              mb.tm_solve_stats.incremental_solves) << i;
   }
 }
 
