@@ -546,6 +546,34 @@ std::vector<std::string> csv_tokens(const Args& args, const std::string& key,
   return out;
 }
 
+/// Reads an arrival-trace file: one absolute arrival instant (ms) per
+/// line; blank lines and '#' comments are skipped. Validation (ordering,
+/// sign) is the ArrivalSpec's job.
+std::vector<sim::TimeMs> read_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in)
+    throw std::runtime_error("stream: cannot open trace file '" + path + "'");
+  std::vector<sim::TimeMs> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string token = util::trim(line);
+    if (token.empty() || token[0] == '#') continue;
+    out.push_back(util::parse_double(token));
+  }
+  if (out.empty())
+    throw std::runtime_error("stream: trace file '" + path +
+                             "' holds no arrival instants");
+  return out;
+}
+
+/// One (tail-probability × hedging-mode) slice of the stream ablation: the
+/// whole grid rerun under those noise/hedging settings.
+struct StreamAblationRun {
+  double tail_prob = 0.0;
+  bool hedging = false;
+  core::StreamBatchResult result;
+};
+
 int cmd_stream(const Args& args) {
   core::StreamPlan plan;
   plan.families = csv_tokens(args, "family", "type1");
@@ -557,6 +585,12 @@ int cmd_stream(const Args& args) {
       static_cast<std::size_t>(util::parse_uint(args.get("kernels", "46")));
   plan.arrival_kind =
       stream::parse_arrival_kind(args.get("arrival", "poisson"));
+  if (plan.arrival_kind == stream::ArrivalKind::Trace) {
+    if (!args.has("trace-file"))
+      throw std::runtime_error(
+          "stream: --arrival trace needs --trace-file FILE");
+    plan.trace_arrivals = read_trace_file(args.get("trace-file", ""));
+  }
   plan.max_apps =
       static_cast<std::size_t>(util::parse_uint(args.get("max-apps", "0")));
   plan.horizon_ms = util::parse_double(args.get("duration", "60000"));
@@ -572,38 +606,82 @@ int cmd_stream(const Args& args) {
   plan.table = table_from_args(args, {link_rate});
   const std::string topology_label = plan.base_system.topology.label();
 
+  // Service-time noise + hedging ablation axes. All default to off, which
+  // reproduces noise-free streams bit-for-bit.
+  plan.noise.sigma = util::parse_double(args.get("noise-sigma", "0"));
+  plan.noise.heavy_tail_multiplier =
+      util::parse_double(args.get("tail-mult", "20"));
+  plan.noise.seed = util::parse_uint(args.get("noise-seed", "0"));
+  std::vector<double> tail_probs;
+  for (const auto& p : csv_tokens(args, "tail-prob", "0"))
+    tail_probs.push_back(util::parse_double(p));
+  const std::string hedging_mode = args.get("hedging", "off");
+  std::vector<bool> hedging_modes;
+  if (hedging_mode == "off")
+    hedging_modes = {false};
+  else if (hedging_mode == "on")
+    hedging_modes = {true};
+  else if (hedging_mode == "both")
+    hedging_modes = {false, true};
+  else
+    throw std::runtime_error("stream: --hedging must be on, off, or both");
+  plan.hedging.quantile =
+      util::parse_double(args.get("hedge-quantile", "0.95"));
+  plan.hedging.threshold_factor =
+      util::parse_double(args.get("hedge-factor", "1.5"));
+
   const std::size_t jobs =
       static_cast<std::size_t>(util::parse_uint(args.get("jobs", "1")));
   const core::BatchRunner runner(jobs);
   const auto t0 = std::chrono::steady_clock::now();
-  const core::StreamBatchResult result = core::run_stream_plan(plan, runner);
+  std::vector<StreamAblationRun> runs;
+  for (const double tail_prob : tail_probs) {
+    for (const bool hedging : hedging_modes) {
+      plan.noise.heavy_tail_prob = tail_prob;
+      plan.hedging.enabled = hedging;
+      runs.push_back(StreamAblationRun{
+          tail_prob, hedging, core::run_stream_plan(plan, runner)});
+    }
+  }
   const double elapsed_ms =
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - t0)
           .count();
 
-  std::cout << "stream, " << result.families.size() << " families x "
-            << result.rates_per_ms.size() << " rates x "
-            << result.policy_names.size() << " policies = "
-            << result.cells.size() << " cells in "
+  const core::StreamBatchResult& first = runs.front().result;
+  std::cout << "stream, " << first.families.size() << " families x "
+            << first.rates_per_ms.size() << " rates x "
+            << first.policy_names.size() << " policies x " << runs.size()
+            << " noise/hedging slices = "
+            << first.cells.size() * runs.size() << " cells in "
             << util::format_double(elapsed_ms, 1) << " ms (" << runner.jobs()
             << " jobs), arrivals " << stream::to_string(plan.arrival_kind)
             << ", topology " << topology_label << ", horizon "
             << util::format_double(plan.horizon_ms, 0) << " ms, warmup "
-            << util::format_double(plan.warmup_ms, 0) << " ms\n";
-  util::TablePrinter table({"family", "rate/ms", "policy", "apps",
-                            "thrpt/s", "flow avg ms", "flow p95 ms",
-                            "slowdown", "util %", "qdepth avg"});
-  for (const core::StreamCellResult& cell : result.cells) {
-    const sim::StreamMetrics& m = cell.metrics;
-    table.add_row({cell.family, util::format_double(cell.rate_per_ms, 6),
-                   cell.policy_name, std::to_string(m.apps_measured),
-                   util::format_double(m.throughput_apps_per_s, 2),
-                   util::format_double(m.flow_ms.avg, 1),
-                   util::format_double(m.flow_ms.p95, 1),
-                   util::format_double(m.slowdown.avg, 2),
-                   util::format_double(m.avg_utilization * 100.0, 1),
-                   util::format_double(m.queue_depth_avg, 2)});
+            << util::format_double(plan.warmup_ms, 0) << " ms, noise sigma "
+            << util::format_double(plan.noise.sigma, 3) << "\n";
+  util::TablePrinter table({"family", "rate/ms", "policy", "tail", "hedge",
+                            "apps", "thrpt/s", "flow avg ms", "flow p95 ms",
+                            "flow p99 ms", "slowdown", "util %",
+                            "hedges w/l"});
+  for (const StreamAblationRun& run : runs) {
+    for (const core::StreamCellResult& cell : run.result.cells) {
+      const sim::StreamMetrics& m = cell.metrics;
+      const std::size_t lost = m.hedges_launched - m.hedges_replica_won;
+      table.add_row({cell.family, util::format_double(cell.rate_per_ms, 6),
+                     cell.policy_name,
+                     util::format_double(run.tail_prob, 3),
+                     run.hedging ? "on" : "off",
+                     std::to_string(m.apps_measured),
+                     util::format_double(m.throughput_apps_per_s, 2),
+                     util::format_double(m.flow_ms.avg, 1),
+                     util::format_double(m.flow_ms.p95, 1),
+                     util::format_double(m.flow_ms.p99, 1),
+                     util::format_double(m.slowdown.avg, 2),
+                     util::format_double(m.avg_utilization * 100.0, 1),
+                     std::to_string(m.hedges_replica_won) + "/" +
+                         std::to_string(lost)});
+    }
   }
   std::cout << table.to_string();
 
@@ -612,33 +690,48 @@ int cmd_stream(const Args& args) {
         {"family", "rate_per_ms", "topology", "policy", "spec",
          "apps_arrived",
          "apps_completed", "apps_measured", "throughput_apps_per_s",
-         "flow_avg_ms", "flow_p50_ms", "flow_p95_ms", "flow_max_ms",
-         "slowdown_avg", "slowdown_p50", "slowdown_p95", "slowdown_max",
+         "flow_avg_ms", "flow_p50_ms", "flow_p95_ms", "flow_p99_ms",
+         "flow_max_ms",
+         "slowdown_avg", "slowdown_p50", "slowdown_p95", "slowdown_p99",
+         "slowdown_max",
          "avg_utilization", "queue_depth_avg", "queue_depth_max",
-         "live_apps_avg", "live_apps_max", "warmup_ms", "end_ms"});
-    for (const core::StreamCellResult& cell : result.cells) {
-      const sim::StreamMetrics& m = cell.metrics;
-      csv.add_row({cell.family, util::format_double(cell.rate_per_ms, 6),
-                   topology_label, cell.policy_name, cell.policy_spec,
-                   std::to_string(m.apps_arrived),
-                   std::to_string(m.apps_completed),
-                   std::to_string(m.apps_measured),
-                   util::format_double(m.throughput_apps_per_s, 6),
-                   util::format_double(m.flow_ms.avg, 6),
-                   util::format_double(m.flow_ms.p50, 6),
-                   util::format_double(m.flow_ms.p95, 6),
-                   util::format_double(m.flow_ms.max, 6),
-                   util::format_double(m.slowdown.avg, 6),
-                   util::format_double(m.slowdown.p50, 6),
-                   util::format_double(m.slowdown.p95, 6),
-                   util::format_double(m.slowdown.max, 6),
-                   util::format_double(m.avg_utilization, 6),
-                   util::format_double(m.queue_depth_avg, 6),
-                   std::to_string(m.queue_depth_max),
-                   util::format_double(m.live_apps_avg, 6),
-                   std::to_string(m.live_apps_max),
-                   util::format_double(m.warmup_ms, 3),
-                   util::format_double(m.end_ms, 3)});
+         "live_apps_avg", "live_apps_max", "warmup_ms", "end_ms",
+         "noise_sigma", "tail_prob", "tail_mult", "hedging",
+         "hedges_launched", "hedges_replica_won", "hedge_wasted_ms"});
+    for (const StreamAblationRun& run : runs) {
+      for (const core::StreamCellResult& cell : run.result.cells) {
+        const sim::StreamMetrics& m = cell.metrics;
+        csv.add_row({cell.family, util::format_double(cell.rate_per_ms, 6),
+                     topology_label, cell.policy_name, cell.policy_spec,
+                     std::to_string(m.apps_arrived),
+                     std::to_string(m.apps_completed),
+                     std::to_string(m.apps_measured),
+                     util::format_double(m.throughput_apps_per_s, 6),
+                     util::format_double(m.flow_ms.avg, 6),
+                     util::format_double(m.flow_ms.p50, 6),
+                     util::format_double(m.flow_ms.p95, 6),
+                     util::format_double(m.flow_ms.p99, 6),
+                     util::format_double(m.flow_ms.max, 6),
+                     util::format_double(m.slowdown.avg, 6),
+                     util::format_double(m.slowdown.p50, 6),
+                     util::format_double(m.slowdown.p95, 6),
+                     util::format_double(m.slowdown.p99, 6),
+                     util::format_double(m.slowdown.max, 6),
+                     util::format_double(m.avg_utilization, 6),
+                     util::format_double(m.queue_depth_avg, 6),
+                     std::to_string(m.queue_depth_max),
+                     util::format_double(m.live_apps_avg, 6),
+                     std::to_string(m.live_apps_max),
+                     util::format_double(m.warmup_ms, 3),
+                     util::format_double(m.end_ms, 3),
+                     util::format_double(plan.noise.sigma, 6),
+                     util::format_double(run.tail_prob, 6),
+                     util::format_double(plan.noise.heavy_tail_multiplier, 6),
+                     run.hedging ? "on" : "off",
+                     std::to_string(m.hedges_launched),
+                     std::to_string(m.hedges_replica_won),
+                     util::format_double(m.hedge_wasted_ms, 6)});
+      }
     }
     util::write_csv_file(csv, args.get("csv", ""));
     std::cout << "cells written to " << args.get("csv", "") << "\n";
@@ -650,39 +743,54 @@ int cmd_stream(const Args& args) {
                                args.get("json", "") + "'");
     out << "{\n  \"workload\": \"stream\",\n  \"arrivals\": \""
         << stream::to_string(plan.arrival_kind) << "\",\n  \"topology\": \""
-        << json_escape(topology_label) << "\",\n  \"cells\": [\n";
-    for (std::size_t i = 0; i < result.cells.size(); ++i) {
-      const core::StreamCellResult& cell = result.cells[i];
-      const sim::StreamMetrics& m = cell.metrics;
-      out << "    {\"family\": \"" << json_escape(cell.family)
-          << "\", \"rate_per_ms\": "
-          << util::format_double(cell.rate_per_ms, 6) << ", \"policy\": \""
-          << json_escape(cell.policy_name) << "\", \"spec\": \""
-          << json_escape(cell.policy_spec)
-          << "\", \"apps_measured\": " << m.apps_measured
-          << ", \"throughput_apps_per_s\": "
-          << util::format_double(m.throughput_apps_per_s, 6)
-          << ", \"flow_avg_ms\": " << util::format_double(m.flow_ms.avg, 6)
-          << ", \"flow_p95_ms\": " << util::format_double(m.flow_ms.p95, 6)
-          << ", \"slowdown_avg\": " << util::format_double(m.slowdown.avg, 6)
-          << ", \"avg_utilization\": "
-          << util::format_double(m.avg_utilization, 6)
-          << ", \"queue_depth_avg\": "
-          << util::format_double(m.queue_depth_avg, 6)
-          << ", \"queue_depth_max\": " << m.queue_depth_max
-          << ", \"tm_solver\": {\"full\": " << m.tm_solve_stats.full_solves
-          << ", \"incremental\": " << m.tm_solve_stats.incremental_solves
-          << ", \"fallback\": " << m.tm_solve_stats.fallback_solves
-          << ", \"flows_resolved\": " << m.tm_solve_stats.flows_resolved
-          << ", \"flows_active\": " << m.tm_solve_stats.flows_active
-          << "}, \"queue_depth_samples\": [";
-      for (std::size_t s = 0; s < m.queue_depth_samples.size(); ++s) {
-        if (s) out << ", ";
-        out << "["
-            << util::format_double(m.queue_depth_samples[s].first, 3) << ", "
-            << m.queue_depth_samples[s].second << "]";
+        << json_escape(topology_label) << "\",\n  \"noise_sigma\": "
+        << util::format_double(plan.noise.sigma, 6) << ",\n  \"cells\": [\n";
+    std::size_t emitted = 0;
+    const std::size_t total = first.cells.size() * runs.size();
+    for (const StreamAblationRun& run : runs) {
+      for (const core::StreamCellResult& cell : run.result.cells) {
+        const sim::StreamMetrics& m = cell.metrics;
+        out << "    {\"family\": \"" << json_escape(cell.family)
+            << "\", \"rate_per_ms\": "
+            << util::format_double(cell.rate_per_ms, 6) << ", \"policy\": \""
+            << json_escape(cell.policy_name) << "\", \"spec\": \""
+            << json_escape(cell.policy_spec)
+            << "\", \"tail_prob\": " << util::format_double(run.tail_prob, 6)
+            << ", \"hedging\": " << (run.hedging ? "true" : "false")
+            << ", \"apps_measured\": " << m.apps_measured
+            << ", \"throughput_apps_per_s\": "
+            << util::format_double(m.throughput_apps_per_s, 6)
+            << ", \"flow_avg_ms\": " << util::format_double(m.flow_ms.avg, 6)
+            << ", \"flow_p95_ms\": " << util::format_double(m.flow_ms.p95, 6)
+            << ", \"flow_p99_ms\": " << util::format_double(m.flow_ms.p99, 6)
+            << ", \"slowdown_avg\": "
+            << util::format_double(m.slowdown.avg, 6)
+            << ", \"slowdown_p99\": "
+            << util::format_double(m.slowdown.p99, 6)
+            << ", \"avg_utilization\": "
+            << util::format_double(m.avg_utilization, 6)
+            << ", \"queue_depth_avg\": "
+            << util::format_double(m.queue_depth_avg, 6)
+            << ", \"queue_depth_max\": " << m.queue_depth_max
+            << ", \"hedges_launched\": " << m.hedges_launched
+            << ", \"hedges_replica_won\": " << m.hedges_replica_won
+            << ", \"hedge_wasted_ms\": "
+            << util::format_double(m.hedge_wasted_ms, 6)
+            << ", \"tm_solver\": {\"full\": " << m.tm_solve_stats.full_solves
+            << ", \"incremental\": " << m.tm_solve_stats.incremental_solves
+            << ", \"fallback\": " << m.tm_solve_stats.fallback_solves
+            << ", \"flows_resolved\": " << m.tm_solve_stats.flows_resolved
+            << ", \"flows_active\": " << m.tm_solve_stats.flows_active
+            << "}, \"queue_depth_samples\": [";
+        for (std::size_t s = 0; s < m.queue_depth_samples.size(); ++s) {
+          if (s) out << ", ";
+          out << "["
+              << util::format_double(m.queue_depth_samples[s].first, 3)
+              << ", " << m.queue_depth_samples[s].second << "]";
+        }
+        ++emitted;
+        out << "]}" << (emitted < total ? ",\n" : "\n");
       }
-      out << "]}" << (i + 1 < result.cells.size() ? ",\n" : "\n");
     }
     out << "  ]\n}\n";
     std::cout << "cells written to " << args.get("json", "") << "\n";
@@ -771,9 +879,13 @@ void usage() {
       "               [--seed S] [--csv F] [--json F]\n"
       "  aptsim stream [--family NAME,...] [--rate L,... (apps/ms)]\n"
       "               [--policies SPEC,...] [--kernels N]\n"
-      "               [--arrival poisson|deterministic] [--duration MS]\n"
+      "               [--arrival poisson|deterministic|trace\n"
+      "                  [--trace-file F]] [--duration MS]\n"
       "               [--warmup MS] [--max-apps N] [--seed S]\n"
       "               [--link-rate GBPS]\n"
+      "               [--noise-sigma S] [--tail-prob P,...] [--tail-mult M]\n"
+      "               [--noise-seed S] [--hedging on|off|both]\n"
+      "               [--hedge-quantile Q] [--hedge-factor F]\n"
       "               [--lut F.csv | --ccr X --hetero H --lut-seed S]\n"
       "               [--topology ideal|bus|crossbar|hier[:S]|\n"
       "                  ring[:N]|mesh:RxC|fattree[:K]]\n"

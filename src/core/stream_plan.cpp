@@ -23,6 +23,11 @@ constexpr std::uint64_t kInstanceSeedSalt = 0x57AE4E6A11CE5EEDULL;
 /// policy seed family derived from the same base seed.
 constexpr std::uint64_t kWorkloadSeedSalt = 0xB10B5EA4B0A7F00DULL;
 
+/// Salt folding the plan's noise seed into each row's workload seed, so
+/// rows draw decorrelated noise but every policy column (and hedging mode)
+/// of one row faces the identical perturbations.
+constexpr std::uint64_t kNoiseSeedSalt = 0x4015E5EEDC3115A7ULL;
+
 }  // namespace
 
 std::vector<std::string> StreamPlan::validate() const {
@@ -34,16 +39,28 @@ std::vector<std::string> StreamPlan::validate() const {
     throw std::invalid_argument("StreamPlan: no policy specs");
   if (kernels == 0)
     throw std::invalid_argument("StreamPlan: kernels must be >= 1");
-  for (double rate : rates_per_ms) {
-    if (!(rate > 0.0))
+  if (arrival_kind == stream::ArrivalKind::Trace) {
+    // The rate axis is a label under a trace; the instants themselves must
+    // validate. Reuse the spec's own checks (non-negative, non-decreasing).
+    if (trace_arrivals.empty())
       throw std::invalid_argument(
-          "StreamPlan: arrival rates must be > 0 apps/ms");
+          "StreamPlan: trace arrivals need trace_arrivals instants");
+    stream::ArrivalSpec::trace(trace_arrivals).validate();
+  } else {
+    for (double rate : rates_per_ms) {
+      if (!(rate > 0.0))
+        throw std::invalid_argument(
+            "StreamPlan: arrival rates must be > 0 apps/ms");
+    }
   }
-  if (max_apps == 0 && !(horizon_ms > 0.0))
+  if (arrival_kind != stream::ArrivalKind::Trace && max_apps == 0 &&
+      !(horizon_ms > 0.0))
     throw std::invalid_argument(
         "StreamPlan: set max_apps or horizon_ms to bound the run");
   if (warmup_ms < 0.0)
     throw std::invalid_argument("StreamPlan: warmup must be >= 0");
+  noise.validate();
+  hedging.validate();
   for (const std::string& name : families)
     scenario::family(name);  // throws with the known-family list on a miss
 
@@ -122,9 +139,20 @@ StreamBatchResult run_stream_plan(const StreamPlan& plan,
     options.arrivals.kind = plan.arrival_kind;
     options.arrivals.rate_per_ms = plan.rates_per_ms[cell.rate];
     options.arrivals.seed = cell.workload_seed;
+    if (plan.arrival_kind == stream::ArrivalKind::Trace)
+      options.arrivals.arrival_times_ms = plan.trace_arrivals;
     options.max_apps = plan.max_apps;
     options.horizon_ms = plan.horizon_ms;
     options.warmup_ms = plan.warmup_ms;
+    options.noise = plan.noise;
+    options.hedging = plan.hedging;
+    // The effective noise seed is per row (workload seed), not per cell:
+    // every policy column — and a hedging-on rerun of the same plan — sees
+    // the identical perturbation of the identical workload, so column
+    // differences measure scheduling, not luck.
+    options.noise.seed =
+        util::stream_seed(cell.workload_seed ^ kNoiseSeedSalt,
+                          plan.noise.seed);
 
     // Instance k of the row is fully named by (workload seed, k): the same
     // coordinates regenerate the same application stream on any worker, and

@@ -17,6 +17,7 @@
 #include "core/batch.hpp"
 #include "lut/lookup_table.hpp"
 #include "sim/metrics.hpp"
+#include "sim/noise.hpp"
 #include "sim/system.hpp"
 #include "stream/arrival.hpp"
 
@@ -41,12 +42,32 @@ struct StreamPlan {
 
   stream::ArrivalKind arrival_kind = stream::ArrivalKind::Poisson;
 
+  /// Trace arrivals (arrival_kind == Trace only): absolute instants shared
+  /// by every cell — the rate axis degenerates to a label. Must be
+  /// non-empty, non-negative, and non-decreasing for a trace plan.
+  std::vector<sim::TimeMs> trace_arrivals;
+
   /// Admission bounds and warmup truncation, as in stream::StreamOptions.
   std::size_t max_apps = 0;
   sim::TimeMs horizon_ms = 60000.0;
   sim::TimeMs warmup_ms = 0.0;
 
   std::uint64_t base_seed = 0;
+
+  /// Service-time noise applied uniformly to every cell. Deliberately a
+  /// plan-level setting rather than a grid axis: axes shift flat cell
+  /// indices and therefore per-cell seeds, so making noise an axis would
+  /// silently change the workloads of existing sweeps. The effective
+  /// per-cell noise seed mixes noise.seed with the cell's workload seed
+  /// (see run_stream_plan), so every policy column of a row sees the
+  /// identical draws. Disabled by default — noise-off plans reproduce
+  /// pre-noise results bit-for-bit.
+  sim::NoiseSpec noise;
+
+  /// Straggler hedging applied uniformly to every cell (plan-level for the
+  /// same seed-stability reason as `noise`). Requires an uncontended
+  /// topology.
+  sim::HedgeSpec hedging;
 
   /// Platform template and cost table (empty table = the paper's).
   sim::SystemConfig base_system = sim::SystemConfig::paper_default();
@@ -56,8 +77,10 @@ struct StreamPlan {
     return families.size() * rates_per_ms.size() * policy_specs.size();
   }
 
-  /// Throws std::invalid_argument on empty axes, non-positive rates, an
-  /// unbounded run, unknown families, malformed or static policy specs;
+  /// Throws std::invalid_argument on empty axes, non-positive rates (for
+  /// the synthetic arrival kinds; a trace plan instead needs a valid
+  /// trace_arrivals sequence), an unbounded run, unknown families,
+  /// malformed or static policy specs, or malformed noise/hedging specs;
   /// returns the resolved policy display names.
   std::vector<std::string> validate() const;
 };

@@ -5,22 +5,38 @@
 #include <limits>
 #include <optional>
 #include <stdexcept>
+#include <utility>
 
 #include "net/transfer_manager.hpp"
 #include "sim/precomputed_cost_model.hpp"
+#include "util/rolling_quantile.hpp"
 
 namespace apt::sim {
 
 namespace {
 
-/// Completion event in the event queue.
+/// What a popped event means. The numeric order is the processing order at
+/// equal timestamps: primary completions resolve races before replica
+/// completions (a tie goes to the primary), and hedge checks only fire
+/// after every completion at that instant has retired its kernel (a kernel
+/// finishing exactly at its threshold is never hedged).
+enum class EventKind : std::uint8_t {
+  kCompletion = 0,
+  kReplica = 1,
+  kHedgeCheck = 2,
+};
+
+/// Timed event in the event queue.
 struct Completion {
   TimeMs time;
   dag::NodeId node;
+  EventKind kind = EventKind::kCompletion;
 
-  /// Min-heap ordering: earliest time first, ties by ascending node id.
+  /// Min-heap ordering: earliest time first, ties by kind then ascending
+  /// node id.
   bool operator>(const Completion& other) const noexcept {
     if (time != other.time) return time > other.time;
+    if (kind != other.kind) return kind > other.kind;
     return node > other.node;
   }
 };
@@ -39,11 +55,14 @@ struct Completion {
 class Engine::Context final : public SchedulerContext {
  public:
   Context(const dag::Dag& dag, const System& system, const CostModel& cost,
-          Policy& policy)
+          Policy& policy, const EngineOptions& options)
       : dag_(dag),
         system_(system),
         cost_(cost),
         policy_(policy),
+        noise_(options.noise),
+        hedging_(options.hedging),
+        hedge_window_(options.hedging.window),
         topology_(system.topology()),
         contended_(topology_.contended()),
         node_state_(dag.node_count()),
@@ -75,6 +94,7 @@ class Engine::Context final : public SchedulerContext {
     }
     result.makespan = makespan;
     result.transfers = std::move(transfer_records_);
+    result.hedges = std::move(hedges_);
     return result;
   }
 
@@ -246,6 +266,18 @@ class Engine::Context final : public SchedulerContext {
     std::size_t remaining_preds = 0;
     TimeMs enqueued_at = std::numeric_limits<TimeMs>::quiet_NaN();
 
+    // --- straggler hedging (unused when hedging is disabled) ---
+    TimeMs nominal_exec_ms = 0.0;  ///< pre-noise exec time on record.proc
+    bool hedged = false;           ///< a hedge decision was made (at most 1)
+    bool replica_outstanding = false;  ///< replica launched, race unresolved
+    std::size_t hedge_idx = kNoPos;    ///< index into hedges_
+    ProcId replica_proc = kInvalidProc;
+    TimeMs replica_exec_start = 0.0;
+    TimeMs replica_exec_ms = 0.0;
+    TimeMs replica_transfer_ms = 0.0;
+    TimeMs replica_finish = 0.0;
+    double replica_mult = 1.0;
+
     // --- contended-topology comm phase (unused under ideal) ---
     bool exec_started = false;   ///< computation has begun (finish_time set)
     bool holds_proc = false;     ///< occupies its processor, maybe stalled
@@ -373,6 +405,17 @@ class Engine::Context final : public SchedulerContext {
       begin_exec(record.dst, std::max(ns.occupied_at, ns.data_ready_at));
   }
 
+  /// Stamps the realized execution time of `node` on `proc`: the cost
+  /// model's nominal duration times the per-kernel noise multiplier
+  /// (exactly 1.0 — and no RNG consulted — when noise is disabled).
+  void stamp_exec_time(NodeState& ns, dag::NodeId node, TimeMs nominal) {
+    ns.nominal_exec_ms = nominal;
+    ns.record.noise_mult =
+        noise_.enabled() ? noise_multiplier(noise_, kNoiseInstance, node, 0)
+                         : 1.0;
+    ns.record.exec_ms = nominal * ns.record.noise_mult;
+  }
+
   /// Starts `node` on the idle processor `proc` at the current time.
   void start_kernel(dag::NodeId node, ProcId proc, bool alternative) {
     NodeState& ns = node_state_[node];
@@ -384,8 +427,8 @@ class Engine::Context final : public SchedulerContext {
     if (contended_) {
       // The processor is dedicated from dispatch; computation begins when
       // the simulated input messages are all delivered.
-      ns.record.exec_ms =
-          cost_.exec_time_ms(dag_, node, system_.processor(proc));
+      stamp_exec_time(ns, node,
+                      cost_.exec_time_ms(dag_, node, system_.processor(proc)));
       ns.occupied_at = dispatched;
       ns.holds_proc = true;
       proc_state_[proc].running = node;
@@ -396,12 +439,14 @@ class Engine::Context final : public SchedulerContext {
     }
     ns.record.transfer_ms = transfer_delay(node, proc, dispatched);
     ns.record.exec_start = dispatched + ns.record.transfer_ms;
-    ns.record.exec_ms = cost_.exec_time_ms(dag_, node, system_.processor(proc));
+    stamp_exec_time(ns, node,
+                    cost_.exec_time_ms(dag_, node, system_.processor(proc)));
     ns.record.finish_time = ns.record.exec_start + ns.record.exec_ms;
     ns.exec_started = true;
     proc_state_[proc].running = node;
     idle_dirty_ = true;
     events_.push(Completion{ns.record.finish_time, node});
+    if (hedging_.enabled) schedule_hedge_check(node);
   }
 
   /// Pops queue heads onto idle processors.
@@ -424,7 +469,7 @@ class Engine::Context final : public SchedulerContext {
       // Messages have been in flight since the enqueue; the processor
       // picks the kernel up now and stalls until the last one lands.
       ns.record.proc = proc;
-      ns.record.exec_ms = queued.exec_ms;
+      stamp_exec_time(ns, queued.node, queued.exec_ms);
       ns.occupied_at = now_;
       ns.holds_proc = true;
       proc_state_[proc].running = queued.node;
@@ -439,15 +484,18 @@ class Engine::Context final : public SchedulerContext {
         transfer;
     // assign_time was stamped at enqueue; the processor picks the kernel up
     // now, and computation starts once the (possibly prefetched) data is in.
+    // queued.exec_ms stayed nominal for the queue-estimate queries; the
+    // noise draw lands only now, on the realized duration.
     ns.record.proc = proc;
     ns.record.exec_start = std::max(now_, data_ready);
     ns.record.transfer_ms = std::max(0.0, data_ready - now_);
-    ns.record.exec_ms = queued.exec_ms;
+    stamp_exec_time(ns, queued.node, queued.exec_ms);
     ns.record.finish_time = ns.record.exec_start + ns.record.exec_ms;
     ns.exec_started = true;
     proc_state_[proc].running = queued.node;
     idle_dirty_ = true;
     events_.push(Completion{ns.record.finish_time, queued.node});
+    if (hedging_.enabled) schedule_hedge_check(queued.node);
   }
 
   /// Transfer stall for a direct assignment, honouring the policy's
@@ -469,9 +517,141 @@ class Engine::Context final : public SchedulerContext {
     return data_ready - from_time;
   }
 
-  /// Advances the clock to the earliest pending event (completion or
-  /// release), processes everything sharing that timestamp, then updates
-  /// queue heads.
+  // --- straggler hedging --------------------------------------------------
+
+  /// Elapsed primary runtime that triggers a hedge for a kernel with the
+  /// given nominal duration: nominal × (rolling tail inflation, once the
+  /// window is trustworthy) × the safety factor. Never below nominal ×
+  /// factor, so hedging only ever fires on kernels already running late.
+  TimeMs hedge_threshold_ms(TimeMs nominal) const {
+    double inflation = 1.0;
+    if (hedge_window_.count() >= hedging_.min_samples)
+      inflation = std::max(1.0, hedge_window_.quantile(hedging_.quantile));
+    return nominal * inflation * hedging_.threshold_factor;
+  }
+
+  void schedule_hedge_check(dag::NodeId node) {
+    const NodeState& ns = node_state_[node];
+    events_.push(Completion{
+        ns.record.exec_start + hedge_threshold_ms(ns.nominal_exec_ms), node,
+        EventKind::kHedgeCheck});
+  }
+
+  /// A hedge check came due at `t`. The threshold is re-derived from the
+  /// CURRENT rolling window (it may have grown since the check was armed);
+  /// if the kernel is not yet overdue under the fresh threshold the check
+  /// re-arms at the new instant, otherwise a replica launches — once per
+  /// kernel, and only if some processor is idle right now (hedging never
+  /// preempts or queues; a saturated platform has no spare capacity worth
+  /// burning on duplicates).
+  void process_hedge_check(dag::NodeId node, TimeMs t) {
+    NodeState& ns = node_state_[node];
+    if (ns.done || ns.hedged || !ns.exec_started) return;
+    const TimeMs due =
+        ns.record.exec_start + hedge_threshold_ms(ns.nominal_exec_ms);
+    if (due > t) {
+      events_.push(Completion{due, node, EventKind::kHedgeCheck});
+      return;
+    }
+    ns.hedged = true;  // one decision per kernel, launched or dropped
+    const std::vector<ProcId>& idle = idle_processors();
+    if (idle.empty()) return;
+    // Fastest idle destination by NOMINAL time (the realized duration is
+    // unknowable before it happens); idle list ascends, so ties break to
+    // the lowest processor id.
+    ProcId best = idle.front();
+    TimeMs best_ms = cost_.exec_time_ms(dag_, node, system_.processor(best));
+    for (std::size_t i = 1; i < idle.size(); ++i) {
+      const TimeMs ms =
+          cost_.exec_time_ms(dag_, node, system_.processor(idle[i]));
+      if (ms < best_ms) {
+        best = idle[i];
+        best_ms = ms;
+      }
+    }
+    launch_replica(node, best, best_ms, t);
+  }
+
+  /// Launches the hedged replica of `node` on idle `proc` at time `t`. The
+  /// replica pays the full reactive path — decision + dispatch overheads
+  /// and its input transfers from scratch (nothing was prefetched for it) —
+  /// and draws its own noise substream (replica id 1).
+  void launch_replica(dag::NodeId node, ProcId proc, TimeMs nominal,
+                      TimeMs t) {
+    NodeState& ns = node_state_[node];
+    const SystemConfig& cfg = system_.config();
+    const TimeMs dispatched =
+        t + cfg.decision_overhead_ms + cfg.dispatch_overhead_ms;
+    ns.replica_proc = proc;
+    ns.replica_transfer_ms = input_transfer_ms(node, proc);
+    ns.replica_exec_start = dispatched + ns.replica_transfer_ms;
+    ns.replica_mult =
+        noise_.enabled() ? noise_multiplier(noise_, kNoiseInstance, node, 1)
+                         : 1.0;
+    ns.replica_exec_ms = nominal * ns.replica_mult;
+    ns.replica_finish = ns.replica_exec_start + ns.replica_exec_ms;
+    ns.replica_outstanding = true;
+    ns.hedge_idx = hedges_.size();
+    HedgeRecord record;
+    record.node = node;
+    record.primary_proc = ns.record.proc;
+    record.replica_proc = proc;
+    record.launched_ms = t;
+    hedges_.push_back(record);
+    proc_state_[proc].running = node;
+    idle_dirty_ = true;
+    events_.push(Completion{ns.replica_finish, node, EventKind::kReplica});
+  }
+
+  /// Primary completion event. Skipped when stale (the replica already won
+  /// and retired the kernel); otherwise the primary wins any outstanding
+  /// race — the replica is cancelled at this instant and its processor
+  /// freed.
+  void complete_primary(dag::NodeId node) {
+    NodeState& ns = node_state_[node];
+    if (ns.done) return;
+    if (ns.replica_outstanding) {
+      ns.replica_outstanding = false;
+      proc_state_[ns.replica_proc].running.reset();
+      idle_dirty_ = true;
+      HedgeRecord& h = hedges_[ns.hedge_idx];
+      h.replica_won = false;
+      h.winner_finish_ms = ns.record.finish_time;
+      h.cancelled_ms = ns.record.finish_time;
+      h.loser_start_ms = ns.replica_exec_start - ns.replica_transfer_ms;
+    }
+    complete_kernel(node);
+  }
+
+  /// Replica completion event. Skipped when stale (the primary won first);
+  /// otherwise the replica wins: the straggling primary is cancelled now,
+  /// its processor freed, and the schedule record rewritten to describe
+  /// the winning attempt (the loser survives in the HedgeRecord).
+  void complete_replica(dag::NodeId node) {
+    NodeState& ns = node_state_[node];
+    if (ns.done || !ns.replica_outstanding) return;
+    ns.replica_outstanding = false;
+    proc_state_[ns.record.proc].running.reset();
+    idle_dirty_ = true;
+    HedgeRecord& h = hedges_[ns.hedge_idx];
+    h.replica_won = true;
+    h.winner_finish_ms = ns.replica_finish;
+    h.cancelled_ms = ns.replica_finish;
+    h.loser_start_ms = ns.record.occupied_from();
+    ns.record.proc = ns.replica_proc;
+    ns.record.assign_time =
+        h.launched_ms + system_.config().decision_overhead_ms;
+    ns.record.exec_start = ns.replica_exec_start;
+    ns.record.exec_ms = ns.replica_exec_ms;
+    ns.record.transfer_ms = ns.replica_transfer_ms;
+    ns.record.finish_time = ns.replica_finish;
+    ns.record.noise_mult = ns.replica_mult;
+    complete_kernel(node);
+  }
+
+  /// Advances the clock to the earliest pending event (completion,
+  /// replica race, hedge check, or release), processes everything sharing
+  /// that timestamp, then updates queue heads.
   void advance_to_next_event() {
     TimeMs t = std::numeric_limits<TimeMs>::infinity();
     if (!events_.empty()) t = std::min(t, events_.top().time);
@@ -479,9 +659,19 @@ class Engine::Context final : public SchedulerContext {
     if (tm_) t = std::min(t, tm_->next_event_ms());
     now_ = t;
     while (!events_.empty() && events_.top().time == t) {
-      const dag::NodeId node = events_.top().node;
+      const Completion ev = events_.top();
       events_.pop();
-      complete_kernel(node);
+      switch (ev.kind) {
+        case EventKind::kCompletion:
+          complete_primary(ev.node);
+          break;
+        case EventKind::kReplica:
+          complete_replica(ev.node);
+          break;
+        case EventKind::kHedgeCheck:
+          process_hedge_check(ev.node, t);
+          break;
+      }
     }
     if (tm_) {
       tm_->advance_to(t, deliveries_);  // reused buffer, no per-event alloc
@@ -503,6 +693,9 @@ class Engine::Context final : public SchedulerContext {
     ps.running.reset();
     idle_dirty_ = true;
     ps.exec_history.push_back(ns.record.exec_ms);
+    // Feed the hedging threshold: the winner's noise multiplier IS the
+    // realized/nominal inflation ratio of this completion.
+    if (hedging_.enabled) hedge_window_.add(ns.record.noise_mult);
     for (dag::NodeId succ : dag_.successors(node)) {
       NodeState& ss = node_state_[succ];
       if (--ss.remaining_preds == 0) {
@@ -515,10 +708,23 @@ class Engine::Context final : public SchedulerContext {
     }
   }
 
+  /// Noise instance of the closed engine: one DAG per run. A
+  /// single-instance stream run (arrival index 0) draws the same
+  /// multipliers from the same spec.
+  static constexpr std::uint64_t kNoiseInstance = 0;
+
   const dag::Dag& dag_;
   const System& system_;
   const CostModel& cost_;
   Policy& policy_;
+
+  /// Stochastic extensions (both disabled by default — see EngineOptions).
+  const NoiseSpec noise_;
+  const HedgeSpec hedging_;
+  /// Rolling realized/nominal inflation ratios of completed kernels — the
+  /// bounded-memory sample the hedging threshold quantile is drawn from.
+  util::RollingQuantile hedge_window_;
+  std::vector<HedgeRecord> hedges_;  ///< launch order
 
   /// Contended-topology comm phase (tm_ engaged only when contended_).
   const net::Topology& topology_;
@@ -562,7 +768,17 @@ Engine::Engine(const dag::Dag& dag, const System& system,
                const CostModel& cost)
     : dag_(dag), system_(system), cost_(cost) {}
 
+Engine::Engine(const dag::Dag& dag, const System& system,
+               const CostModel& cost, EngineOptions options)
+    : dag_(dag), system_(system), cost_(cost), options_(std::move(options)) {}
+
 SimResult Engine::run(Policy& policy) {
+  options_.noise.validate();
+  options_.hedging.validate();
+  if (options_.hedging.enabled && system_.topology().contended())
+    throw std::invalid_argument(
+        "Engine: straggler hedging requires an uncontended topology (a "
+        "replica's input transfers are not modelled as fabric messages)");
   // Densify the cost model once per run unless the caller already did.
   const auto* pre = dynamic_cast<const PrecomputedCostModel*>(&cost_);
   std::optional<PrecomputedCostModel> local;
@@ -578,7 +794,7 @@ SimResult Engine::run(Policy& policy) {
   // lifecycle regardless of input.
   policy.prepare(dag_, system_, *effective);
   if (dag_.empty()) return SimResult{};
-  Context ctx(dag_, system_, *effective, policy);
+  Context ctx(dag_, system_, *effective, policy, options_);
   return ctx.simulate();
 }
 

@@ -24,21 +24,39 @@
 
 #include "dag/graph.hpp"
 #include "sim/cost_model.hpp"
+#include "sim/noise.hpp"
 #include "sim/policy.hpp"
 #include "sim/schedule.hpp"
 #include "sim/system.hpp"
 
 namespace apt::sim {
 
+/// Optional stochastic extensions of one run. Defaults are all-off, which
+/// reproduces the deterministic timelines bit-for-bit.
+struct EngineOptions {
+  /// Service-time noise on realized execution times (policies keep seeing
+  /// nominal costs). The closed engine draws noise instance 0, so a
+  /// single-instance stream run sees the same multipliers.
+  NoiseSpec noise;
+  /// Straggler hedging (replica races). Requires an uncontended topology:
+  /// a replica's input transfers would need their own fabric messages,
+  /// which the comm phase does not model.
+  HedgeSpec hedging;
+};
+
 /// Runs one simulation. The referenced dag/system/cost model must outlive
 /// the call to run().
 class Engine {
  public:
   Engine(const dag::Dag& dag, const System& system, const CostModel& cost);
+  Engine(const dag::Dag& dag, const System& system, const CostModel& cost,
+         EngineOptions options);
 
   /// Simulates the policy to completion and returns the schedule.
   /// Throws std::logic_error if the policy stalls (makes no assignment
-  /// while work remains and all processors are idle).
+  /// while work remains and all processors are idle), and
+  /// std::invalid_argument on a bad options spec or on hedging over a
+  /// contended topology.
   SimResult run(Policy& policy);
 
  private:
@@ -47,6 +65,7 @@ class Engine {
   const dag::Dag& dag_;
   const System& system_;
   const CostModel& cost_;
+  EngineOptions options_;
 };
 
 }  // namespace apt::sim

@@ -149,11 +149,13 @@ void LevelTrace::observe(TimeMs now, std::size_t level) {
 }
 
 void LevelTrace::finish(TimeMs end) {
+  // account_segment already registers last_level_ in max_level_ whenever
+  // the closing segment overlaps the window; a level last reached before
+  // the window opened must NOT leak into the windowed maximum just because
+  // the trace ends at the boundary.
   account_segment(end);
   last_time_ = std::max(last_time_, end);
   end_ = std::max(end_, last_time_);
-  if (end_ >= window_start_ && last_level_ > 0)
-    max_level_ = std::max(max_level_, last_level_);
 }
 
 double LevelTrace::time_weighted_avg() const {
@@ -161,30 +163,19 @@ double LevelTrace::time_weighted_avg() const {
   return span > 0.0 ? integral_ / span : 0.0;
 }
 
-namespace {
-
-/// Nearest-rank percentile of a sorted, non-empty vector.
-double percentile(const std::vector<double>& sorted, double q) {
-  const std::size_t n = sorted.size();
-  const std::size_t rank = static_cast<std::size_t>(
-      std::ceil(q * static_cast<double>(n)));
-  return sorted[std::min(n - 1, rank == 0 ? 0 : rank - 1)];
-}
-
-DistSummary summarize(std::vector<double> values) {
+DistSummary DistSummary::summarize(std::vector<double> values) {
   DistSummary s;
   if (values.empty()) return s;
   double sum = 0.0;
   for (double v : values) sum += v;
   s.avg = sum / static_cast<double>(values.size());
   std::sort(values.begin(), values.end());
-  s.p50 = percentile(values, 0.50);
-  s.p95 = percentile(values, 0.95);
+  s.p50 = util::percentile_sorted(values, 50.0);
+  s.p95 = util::percentile_sorted(values, 95.0);
+  s.p99 = util::percentile_sorted(values, 99.0);
   s.max = values.back();
   return s;
 }
-
-}  // namespace
 
 StreamMetrics compute_stream_metrics(const System& system,
                                      const StreamObservation& observation) {
@@ -210,8 +201,8 @@ StreamMetrics compute_stream_metrics(const System& system,
     flows.push_back(app.flow_ms());
     slowdowns.push_back(app.slowdown());
   }
-  m.flow_ms = summarize(std::move(flows));
-  m.slowdown = summarize(std::move(slowdowns));
+  m.flow_ms = DistSummary::summarize(std::move(flows));
+  m.slowdown = DistSummary::summarize(std::move(slowdowns));
   if (m.observed_ms > 0.0)
     m.throughput_apps_per_s =
         static_cast<double>(m.apps_measured) / m.observed_ms * 1000.0;
@@ -257,6 +248,10 @@ StreamMetrics compute_stream_metrics(const System& system,
                     static_cast<double>(lb.transfer_count);
   }
   m.tm_solve_stats = observation.tm_solve_stats;
+
+  m.hedges_launched = observation.hedges_launched;
+  m.hedges_replica_won = observation.hedges_replica_won;
+  m.hedge_wasted_ms = observation.hedge_wasted_in_window_ms;
   return m;
 }
 

@@ -177,14 +177,28 @@ struct StreamObservation {
   /// Rate-solver counters of the run's TransferManager (all zero under the
   /// ideal topology, which simulates no fabric).
   net::SolveStats tm_solve_stats;
+
+  // --- straggler hedging (all zero when hedging is disabled) ---
+  std::size_t hedges_launched = 0;     ///< replicas launched, whole run
+  std::size_t hedges_replica_won = 0;  ///< races the replica won
+  /// Processor-time burned by losing attempts, clipped to the observation
+  /// window like busy_in_window_ms (wasted span ∩ [warmup, end]).
+  TimeMs hedge_wasted_in_window_ms = 0.0;
 };
 
-/// Average / median / tail summary of a per-app distribution.
+/// Average / median / tail summary of a per-app distribution. All
+/// percentiles use the project-wide definition (util::percentile_sorted,
+/// linear interpolation between order statistics) — the same numbers
+/// util::percentile_of reports over the same data.
 struct DistSummary {
   double avg = 0.0;
   double p50 = 0.0;
   double p95 = 0.0;
+  double p99 = 0.0;
   double max = 0.0;
+
+  /// Summary of `values` (need not be sorted); all-zero when empty.
+  static DistSummary summarize(std::vector<double> values);
 };
 
 /// Aggregate open-system metrics of one stream run.
@@ -219,6 +233,11 @@ struct StreamMetrics {
   /// How the fabric's max-min rates were re-solved (observability for the
   /// incremental solver; all zero under the ideal topology).
   net::SolveStats tm_solve_stats;
+
+  // --- straggler hedging (all zero when hedging is disabled) ---
+  std::size_t hedges_launched = 0;
+  std::size_t hedges_replica_won = 0;
+  TimeMs hedge_wasted_ms = 0.0;  ///< losing-attempt time ∩ the window
 };
 
 /// Aggregates a finished stream observation. Measured apps are those

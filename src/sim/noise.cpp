@@ -1,0 +1,64 @@
+#include "sim/noise.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace apt::sim {
+
+namespace {
+
+/// Salt decorrelating the noise seed family from every other stream_seed
+/// family derived from the same base seed (arrivals, instances, policies).
+constexpr std::uint64_t kNoiseSeedSalt = 0x5707CA571CA11D1EULL;
+
+}  // namespace
+
+void NoiseSpec::validate() const {
+  if (sigma < 0.0)
+    throw std::invalid_argument("NoiseSpec: sigma must be >= 0");
+  if (heavy_tail_prob < 0.0 || heavy_tail_prob > 1.0)
+    throw std::invalid_argument(
+        "NoiseSpec: heavy_tail_prob must be in [0,1]");
+  if (heavy_tail_multiplier < 1.0)
+    throw std::invalid_argument(
+        "NoiseSpec: heavy_tail_multiplier must be >= 1");
+}
+
+void HedgeSpec::validate() const {
+  if (quantile < 0.0 || quantile > 1.0)
+    throw std::invalid_argument("HedgeSpec: quantile must be in [0,1]");
+  if (threshold_factor < 1.0)
+    throw std::invalid_argument("HedgeSpec: threshold_factor must be >= 1");
+  if (window == 0)
+    throw std::invalid_argument("HedgeSpec: window must be >= 1");
+}
+
+double noise_multiplier(const NoiseSpec& spec, std::uint64_t instance,
+                        std::uint64_t node, std::uint64_t replica) {
+  if (!spec.enabled()) return 1.0;
+  // One substream per (instance, node, replica): nested stream_seed hops
+  // are each O(1), and the resulting draw is independent of the order in
+  // which the engine happens to start kernels.
+  util::Rng rng(util::stream_seed(
+      util::stream_seed(util::stream_seed(spec.seed ^ kNoiseSeedSalt,
+                                          instance),
+                        node),
+      replica));
+  double mult = 1.0;
+  if (spec.sigma > 0.0) {
+    // Box–Muller from two pinned uniform01 draws; the 1-u guards keep the
+    // log argument in (0,1]. Mean-preserving: E[exp(sigma z - sigma²/2)]=1.
+    const double u1 = 1.0 - rng.uniform01();
+    const double u2 = rng.uniform01();
+    const double z =
+        std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+    mult = std::exp(spec.sigma * z - 0.5 * spec.sigma * spec.sigma);
+  }
+  if (spec.heavy_tail_prob > 0.0 && rng.bernoulli(spec.heavy_tail_prob))
+    mult *= spec.heavy_tail_multiplier;
+  return mult;
+}
+
+}  // namespace apt::sim

@@ -72,6 +72,10 @@ class SchedulerContext {
   virtual TimeMs recent_avg_exec_ms(ProcId proc, std::size_t k) const = 0;
 
   /// Execution time of a ready kernel on a processor (lookup-table query).
+  /// Always the NOMINAL cost-model time: under service-time noise
+  /// (sim::NoiseSpec) the realized duration may deviate, but policies plan
+  /// against the estimate — exactly the information asymmetry a production
+  /// scheduler faces, and what straggler hedging compensates for.
   virtual TimeMs exec_time_ms(dag::NodeId node, ProcId proc) const = 0;
 
   /// Minimum execution time of `node` over every processor, and the lowest

@@ -30,6 +30,10 @@ struct ScheduledKernel {
   TimeMs finish_time = 0.0;  ///< exec_start + exec_ms
   TimeMs transfer_ms = 0.0;  ///< stall attributable to input-data movement
   bool alternative = false;  ///< APT: ran on a non-optimal processor
+  /// Realized/nominal execution-time ratio under service-time noise
+  /// (sim::NoiseSpec): exec_ms == nominal_exec_ms × noise_mult. Exactly
+  /// 1.0 when noise is disabled, so noise-free validation is unchanged.
+  double noise_mult = 1.0;
 
   TimeMs transfer_stall_ms() const noexcept { return transfer_ms; }
 
@@ -72,6 +76,27 @@ struct TransferRecord {
   std::size_t hops() const noexcept { return path.size(); }
 };
 
+/// One straggler-hedging episode: a kernel whose primary attempt ran past
+/// the hedging threshold, so a replica was launched on an idle processor.
+/// Exactly one attempt wins (first to complete); the loser is cancelled at
+/// the winner's finish instant and releases its processor immediately.
+/// The kernel's ScheduledKernel entry describes the WINNING attempt; this
+/// record preserves the losing side for validation and wasted-work
+/// accounting. Times are absolute simulation instants.
+struct HedgeRecord {
+  dag::NodeId node = dag::kInvalidNode;
+  ProcId primary_proc = kInvalidProc;  ///< where the original attempt ran
+  ProcId replica_proc = kInvalidProc;  ///< idle proc the replica went to
+  TimeMs launched_ms = 0.0;            ///< replica launch decision instant
+  TimeMs loser_start_ms = 0.0;   ///< losing attempt's occupied-from instant
+  TimeMs winner_finish_ms = 0.0; ///< == schedule[node].finish_time
+  TimeMs cancelled_ms = 0.0;     ///< loser cancelled (== winner_finish_ms)
+  bool replica_won = false;      ///< replica beat the straggling primary
+
+  /// Processor-time burned by the losing attempt before cancellation.
+  TimeMs wasted_ms() const noexcept { return cancelled_ms - loser_start_ms; }
+};
+
 /// Full result of one run, indexed by node id.
 struct SimResult {
   TimeMs makespan = 0.0;
@@ -79,6 +104,8 @@ struct SimResult {
   /// Simulated link messages in creation order; empty under an ideal
   /// topology (no contention phase ran).
   std::vector<TransferRecord> transfers;
+  /// Hedging episodes in launch order; empty when hedging is disabled.
+  std::vector<HedgeRecord> hedges;
 };
 
 }  // namespace apt::sim

@@ -95,6 +95,62 @@ auto exec_start_resolver(const SimResult& result) {
   };
 }
 
+/// Checks one run's hedge records against its schedule: at most one
+/// episode per kernel, valid distinct processors, the schedule entry is
+/// the winning attempt, and the losing attempt was cancelled exactly at
+/// the winner's finish. The loser's occupation span is handed to
+/// `add_loser_span(proc, from, to, node)` so the caller can pool it into
+/// its processor-exclusivity check — a cancelled attempt occupied real
+/// processor time and must not overlap anything else.
+template <typename AddLoserSpan>
+void check_hedges(const std::vector<HedgeRecord>& hedges,
+                  const SimResult& result, const System& system,
+                  const std::string& tag, const AddLoserSpan& add_loser_span,
+                  std::vector<Violation>& out) {
+  auto fail = [&](std::string msg) {
+    out.push_back(Violation{std::move(msg)});
+  };
+  std::vector<bool> hedged(result.schedule.size(), false);
+  for (std::size_t i = 0; i < hedges.size(); ++i) {
+    const HedgeRecord& h = hedges[i];
+    const std::string htag = tag + "hedge " + std::to_string(i);
+    if (h.node >= result.schedule.size()) {
+      fail(htag + ": invalid kernel id");
+      continue;
+    }
+    if (hedged[h.node])
+      fail(htag + ": kernel " + std::to_string(h.node) +
+           " hedged more than once");
+    hedged[h.node] = true;
+    if (h.primary_proc == kInvalidProc ||
+        h.primary_proc >= system.proc_count() ||
+        h.replica_proc == kInvalidProc ||
+        h.replica_proc >= system.proc_count()) {
+      fail(htag + ": invalid processor");
+      continue;
+    }
+    if (h.primary_proc == h.replica_proc)
+      fail(htag + ": replica raced on the primary's own processor");
+    const ScheduledKernel& k = result.schedule[h.node];
+    const ProcId winner_proc = h.replica_won ? h.replica_proc
+                                             : h.primary_proc;
+    if (k.proc != winner_proc)
+      fail(htag + ": schedule entry does not describe the winning attempt");
+    if (!close(h.winner_finish_ms, k.finish_time))
+      fail(htag + ": winner finish != the kernel's scheduled finish");
+    if (!close(h.cancelled_ms, h.winner_finish_ms))
+      fail(htag + ": loser not cancelled at the winner's finish (exactly "
+                  "one attempt may win)");
+    if (h.cancelled_ms + kTol < h.loser_start_ms)
+      fail(htag + ": negative wasted time (cancelled before the loser "
+                  "started)");
+    if (h.winner_finish_ms + kTol < h.launched_ms)
+      fail(htag + ": replica launched after the race resolved");
+    add_loser_span(h.replica_won ? h.primary_proc : h.replica_proc,
+                   h.loser_start_ms, h.cancelled_ms, h.node);
+  }
+}
+
 void check_link_capacity(const System& system, std::vector<LinkLoad>& loads,
                          std::vector<Violation>& out) {
   const net::Topology& topology = system.topology();
@@ -142,11 +198,16 @@ std::vector<Violation> validate_schedule(const dag::Dag& dag,
       fail(tag + ": execution before assignment");
     if (!close(k.finish_time, k.exec_start + k.exec_ms))
       fail(tag + ": finish != exec_start + exec_ms");
+    if (!(k.noise_mult > 0.0))
+      fail(tag + ": non-positive noise multiplier");
+    // Under service-time noise the realized duration is the cost model's
+    // nominal time scaled by the recorded multiplier; with noise off the
+    // multiplier is exactly 1.0 and this is the plain cost-model check.
     const TimeMs expected_exec =
-        cost.exec_time_ms(dag, n, system.processor(k.proc));
+        cost.exec_time_ms(dag, n, system.processor(k.proc)) * k.noise_mult;
     if (!close(k.exec_ms, expected_exec))
       fail(tag + ": exec_ms " + std::to_string(k.exec_ms) +
-           " != cost model " + std::to_string(expected_exec));
+           " != cost model × noise_mult " + std::to_string(expected_exec));
     for (dag::NodeId pred : dag.predecessors(n)) {
       const ScheduledKernel& pk = result.schedule[pred];
       if (k.exec_start + kTol < pk.finish_time)
@@ -160,21 +221,37 @@ std::vector<Violation> validate_schedule(const dag::Dag& dag,
   }
 
   // Processor exclusivity: the occupation intervals
-  // [occupied_from, finish) of kernels sharing a processor never overlap.
+  // [occupied_from, finish) of kernels sharing a processor never overlap —
+  // with the cancelled losing attempts of hedged kernels pooled in (they
+  // held their processor until the cancellation instant).
+  struct ProcSpan {
+    dag::NodeId node;
+    TimeMs from;
+    TimeMs to;
+  };
+  std::vector<std::vector<ProcSpan>> by_proc(system.proc_count());
+  for (const ScheduledKernel& k : result.schedule) {
+    if (k.proc != kInvalidProc && k.proc < system.proc_count())
+      by_proc[k.proc].push_back(ProcSpan{k.node, k.occupied_from(),
+                                         k.finish_time});
+  }
+  check_hedges(result.hedges, result, system, "",
+               [&](ProcId proc, TimeMs from, TimeMs to, dag::NodeId node) {
+                 by_proc[proc].push_back(ProcSpan{node, from, to});
+               },
+               out);
   for (ProcId p = 0; p < system.proc_count(); ++p) {
-    std::vector<const ScheduledKernel*> on_proc;
-    for (const ScheduledKernel& k : result.schedule) {
-      if (k.proc == p) on_proc.push_back(&k);
-    }
-    std::sort(on_proc.begin(), on_proc.end(),
-              [](const ScheduledKernel* a, const ScheduledKernel* b) {
-                return a->occupied_from() < b->occupied_from();
+    std::vector<ProcSpan>& spans = by_proc[p];
+    std::sort(spans.begin(), spans.end(),
+              [](const ProcSpan& a, const ProcSpan& b) {
+                if (a.from != b.from) return a.from < b.from;
+                return a.node < b.node;
               });
-    for (std::size_t i = 1; i < on_proc.size(); ++i) {
-      if (on_proc[i]->occupied_from() + kTol < on_proc[i - 1]->finish_time)
+    for (std::size_t i = 1; i < spans.size(); ++i) {
+      if (spans[i].from + kTol < spans[i - 1].to)
         fail("processor " + system.processor(p).name + ": kernels " +
-             std::to_string(on_proc[i - 1]->node) + " and " +
-             std::to_string(on_proc[i]->node) + " overlap");
+             std::to_string(spans[i - 1].node) + " and " +
+             std::to_string(spans[i].node) + " overlap");
     }
   }
 
@@ -254,6 +331,13 @@ std::vector<Violation> validate_stream_schedule(
     // shared as the processors).
     check_transfers(result.transfers, system, app_tag,
                     exec_start_resolver(result), link_loads, out);
+    // Per-app hedge-record coherence; the losing attempts' occupation
+    // spans join the cross-instance exclusivity pool below.
+    check_hedges(result.hedges, result, system, app_tag + " ",
+                 [&](ProcId proc, TimeMs from, TimeMs to, dag::NodeId node) {
+                   by_proc[proc].push_back(Span{a, node, from, to});
+                 },
+                 out);
   }
   check_link_capacity(system, link_loads, out);
 

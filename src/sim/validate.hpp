@@ -25,8 +25,16 @@ struct Violation {
 ///  * precedence: a kernel never starts executing before all predecessors
 ///    finished;
 ///  * exclusivity: occupation intervals [assign, finish) of kernels sharing
-///    a processor never overlap;
-///  * exec_ms matches the cost model;
+///    a processor never overlap — including the cancelled losing attempts
+///    of hedged kernels, whose processors are only free again after the
+///    cancellation instant;
+///  * exec_ms matches the cost model × the kernel's recorded noise
+///    multiplier (exactly the cost model when noise is off);
+///  * hedge records are coherent: at most one episode per kernel, valid
+///    distinct processors, the schedule entry describes the winning
+///    attempt, exactly one attempt wins (the loser is cancelled at the
+///    winner's finish — never after, so wasted time is non-negative and
+///    bounded);
 ///  * makespan equals the latest finish time.
 std::vector<Violation> validate_schedule(const dag::Dag& dag,
                                          const System& system,

@@ -23,8 +23,9 @@ ArrivalKind parse_arrival_kind(const std::string& name) {
   if (s == "poisson") return ArrivalKind::Poisson;
   if (s == "deterministic" || s == "uniform")
     return ArrivalKind::Deterministic;
+  if (s == "trace") return ArrivalKind::Trace;
   throw std::invalid_argument("unknown arrival process '" + name +
-                              "' (known: poisson, deterministic)");
+                              "' (known: poisson, deterministic, trace)");
 }
 
 ArrivalSpec ArrivalSpec::poisson(double rate_per_ms, std::uint64_t seed) {
@@ -81,8 +82,11 @@ std::optional<sim::TimeMs> ArrivalProcess::next() {
       clock_ += util::exponential_interval_ms(rng_, 1.0 / spec_.rate_per_ms);
       return clock_;
     case ArrivalKind::Deterministic:
-      clock_ += 1.0 / spec_.rate_per_ms;
-      return clock_;
+      // Derived from the arrival counter, not accumulated: k/rate is exact
+      // for every k, whereas += 1/rate compounds rounding error over long
+      // horizons.
+      ++count_;
+      return static_cast<double>(count_) / spec_.rate_per_ms;
     case ArrivalKind::Trace:
       if (trace_pos_ >= spec_.arrival_times_ms.size()) return std::nullopt;
       return spec_.arrival_times_ms[trace_pos_++];

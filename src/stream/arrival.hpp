@@ -33,9 +33,11 @@ enum class ArrivalKind { Poisson, Deterministic, Trace };
 
 const char* to_string(ArrivalKind kind) noexcept;
 
-/// Parses "poisson" / "deterministic" (case-insensitive, trimmed); throws
-/// std::invalid_argument otherwise. Traces have no spelling — they carry
-/// data, so they are built with ArrivalSpec::trace().
+/// Parses "poisson" / "deterministic" / "trace" (case-insensitive,
+/// trimmed); throws std::invalid_argument otherwise. Total round trip with
+/// to_string: parse_arrival_kind(to_string(k)) == k for every kind. A
+/// parsed Trace kind still needs its instants supplied (e.g. the stream
+/// CLI's --trace-file) before the spec validates.
 ArrivalKind parse_arrival_kind(const std::string& name);
 
 /// Declarative description of one arrival process.
@@ -77,7 +79,13 @@ class ArrivalProcess {
  private:
   ArrivalSpec spec_;
   util::Rng rng_;
-  sim::TimeMs clock_ = 0.0;
+  sim::TimeMs clock_ = 0.0;  ///< Poisson: running sum of random gaps
+  /// Deterministic arrivals completed so far. Arrival k is computed as
+  /// k/rate rather than by accumulating += 1/rate, whose rounding error
+  /// compounds over long horizons (arrival 10⁶ drifted ~1e-8 ms and, worse,
+  /// drifted DIFFERENTLY than a re-derived clock — breaking long-horizon
+  /// bit-identity between runs that replay different prefixes).
+  std::uint64_t count_ = 0;
   std::size_t trace_pos_ = 0;
 };
 

@@ -13,6 +13,7 @@
 #include "net/transfer_manager.hpp"
 #include "sim/precomputed_cost_model.hpp"
 #include "sim/validate.hpp"
+#include "util/rolling_quantile.hpp"
 
 namespace apt::stream {
 
@@ -28,18 +29,41 @@ void StreamOptions::validate() const {
         "StreamOptions: warmup/horizon must be >= 0");
   if (max_live_apps == 0)
     throw std::invalid_argument("StreamOptions: max_live_apps must be >= 1");
+  noise.validate();
+  hedging.validate();
 }
 
 namespace {
 
+/// What a popped event means. The numeric order is the processing order at
+/// equal timestamps: primary completions resolve races before replica
+/// completions (a tie goes to the primary), and hedge checks only fire
+/// after every completion at that instant has retired its kernel (a kernel
+/// finishing exactly at its threshold is never hedged).
+enum class EventKind : std::uint8_t {
+  kCompletion = 0,
+  kReplica = 1,
+  kHedgeCheck = 2,
+};
+
 /// Timestamped event keyed by global slot id; min-heap order (earliest
-/// first, ties by ascending slot).
+/// first, ties by kind then ascending slot).
+///
+/// `epoch` snapshots the slot's reuse generation at push time. Hedging
+/// leaves dead events in the heap (the cancelled loser's completion, hedge
+/// checks for already-finished kernels) that can outlive their instance;
+/// once the slot is recycled to a new application such an event must not
+/// touch the new tenant, so the pop loop discards any event whose epoch
+/// no longer matches the slot's.
 struct Event {
   sim::TimeMs time;
   dag::NodeId slot;
+  EventKind kind = EventKind::kCompletion;
+  std::uint32_t epoch = 0;
 
   bool operator>(const Event& other) const noexcept {
     if (time != other.time) return time > other.time;
+    if (kind != other.kind) return kind > other.kind;
     return slot > other.slot;
   }
 };
@@ -65,6 +89,7 @@ class StreamEngine::Context final : public sim::SchedulerContext {
         topology_(system.topology()),
         contended_(topology_.contended()),
         proc_count_(system.proc_count()),
+        hedge_window_(options.hedging.window),
         proc_state_(system.proc_count()) {
     if (contended_) {
       tm_.emplace(topology_);
@@ -283,8 +308,21 @@ class StreamEngine::Context final : public sim::SchedulerContext {
     bool assigned = false;
     bool done = false;
     std::uint32_t app = kNoApp;  ///< owning slot in apps_
+    std::uint32_t epoch = 0;     ///< slot reuse generation (see Event)
     std::size_t remaining_preds = 0;
     sim::TimeMs enqueued_at = std::numeric_limits<sim::TimeMs>::quiet_NaN();
+
+    // --- straggler hedging (unused when hedging is disabled) ---
+    sim::TimeMs nominal_exec_ms = 0.0;  ///< pre-noise exec on record.proc
+    bool hedged = false;           ///< a hedge decision was made (at most 1)
+    bool replica_outstanding = false;  ///< replica launched, race unresolved
+    std::size_t hedge_idx = kNoPos;    ///< index into the app's hedge log
+    sim::ProcId replica_proc = sim::kInvalidProc;
+    sim::TimeMs replica_exec_start = 0.0;
+    sim::TimeMs replica_exec_ms = 0.0;
+    sim::TimeMs replica_transfer_ms = 0.0;
+    sim::TimeMs replica_finish = 0.0;
+    double replica_mult = 1.0;
 
     // --- contended-topology comm phase (unused under ideal) ---
     bool exec_started = false;     ///< computation has begun
@@ -398,6 +436,10 @@ class StreamEngine::Context final : public sim::SchedulerContext {
     /// Only populated when StreamOptions::record_schedules (memory stays
     /// bounded by the live backlog otherwise).
     std::vector<sim::TransferRecord> transfers;
+    /// Hedging episodes of this instance (local node ids), launch order.
+    /// Always populated while live — the aggregate counters fold out of
+    /// it — but only retained into the outcome under record_schedules.
+    std::vector<sim::HedgeRecord> hedges;
   };
 
   const App& app_of(dag::NodeId slot) const {
@@ -541,7 +583,8 @@ class StreamEngine::Context final : public sim::SchedulerContext {
     ns.record.exec_start = at;
     ns.record.transfer_ms = at - ns.occupied_at;
     ns.record.finish_time = at + ns.record.exec_ms;
-    events_.push(Event{ns.record.finish_time, slot});
+    events_.push(
+        Event{ns.record.finish_time, slot, EventKind::kCompletion, ns.epoch});
   }
 
   void on_delivery(const net::Delivery& delivery) {
@@ -559,6 +602,23 @@ class StreamEngine::Context final : public sim::SchedulerContext {
       begin_exec(flight.slot, std::max(ns.occupied_at, ns.data_ready_at));
   }
 
+  /// Stamps the realized execution time of `slot` on its processor: the
+  /// nominal (SoA-baked) duration times the per-kernel noise multiplier.
+  /// The noise instance is the app's global arrival index and the node id
+  /// is local, so the draw matches sim::Engine's for the same DAG and is
+  /// independent of slot placement, scheduling order, and --jobs.
+  void stamp_exec_time(NodeState& ns, dag::NodeId slot, sim::TimeMs nominal) {
+    ns.nominal_exec_ms = nominal;
+    if (options_.noise.enabled()) {
+      const App& app = app_of(slot);
+      ns.record.noise_mult =
+          sim::noise_multiplier(options_.noise, app.index, slot - app.base, 0);
+    } else {
+      ns.record.noise_mult = 1.0;
+    }
+    ns.record.exec_ms = nominal * ns.record.noise_mult;
+  }
+
   void start_kernel(dag::NodeId slot, sim::ProcId proc, bool alternative) {
     NodeState& ns = node_state_[slot];
     const sim::SystemConfig& cfg = system_.config();
@@ -568,7 +628,7 @@ class StreamEngine::Context final : public sim::SchedulerContext {
     const sim::TimeMs dispatched =
         ns.record.assign_time + cfg.dispatch_overhead_ms;
     if (contended_) {
-      ns.record.exec_ms = exec_time_ms(slot, proc);
+      stamp_exec_time(ns, slot, exec_time_ms(slot, proc));
       ns.occupied_at = dispatched;
       ns.holds_proc = true;
       proc_state_[proc].running = slot;
@@ -579,12 +639,14 @@ class StreamEngine::Context final : public sim::SchedulerContext {
     }
     ns.record.transfer_ms = transfer_delay(slot, proc, dispatched);
     ns.record.exec_start = dispatched + ns.record.transfer_ms;
-    ns.record.exec_ms = exec_time_ms(slot, proc);
+    stamp_exec_time(ns, slot, exec_time_ms(slot, proc));
     ns.record.finish_time = ns.record.exec_start + ns.record.exec_ms;
     ns.exec_started = true;
     proc_state_[proc].running = slot;
     idle_dirty_ = true;
-    events_.push(Event{ns.record.finish_time, slot});
+    events_.push(
+        Event{ns.record.finish_time, slot, EventKind::kCompletion, ns.epoch});
+    if (options_.hedging.enabled) schedule_hedge_check(slot);
   }
 
   void drain_queues() {
@@ -604,7 +666,7 @@ class StreamEngine::Context final : public sim::SchedulerContext {
       // Messages have been in flight since the enqueue; the processor
       // picks the kernel up now and stalls until the last one lands.
       ns.record.proc = proc;
-      ns.record.exec_ms = queued.exec_ms;
+      stamp_exec_time(ns, queued.slot, queued.exec_ms);
       ns.occupied_at = now_;
       ns.holds_proc = true;
       proc_state_[proc].running = queued.slot;
@@ -616,15 +678,19 @@ class StreamEngine::Context final : public sim::SchedulerContext {
     const sim::TimeMs transfer = input_transfer_ms(queued.slot, proc);
     const sim::TimeMs data_ready = ns.enqueued_at + cfg.decision_overhead_ms +
                                    cfg.dispatch_overhead_ms + transfer;
+    // queued.exec_ms stayed nominal for the queue-estimate queries; the
+    // noise draw lands only now, on the realized duration.
     ns.record.proc = proc;
     ns.record.exec_start = std::max(now_, data_ready);
     ns.record.transfer_ms = std::max(0.0, data_ready - now_);
-    ns.record.exec_ms = queued.exec_ms;
+    stamp_exec_time(ns, queued.slot, queued.exec_ms);
     ns.record.finish_time = ns.record.exec_start + ns.record.exec_ms;
     ns.exec_started = true;
     proc_state_[proc].running = queued.slot;
     idle_dirty_ = true;
-    events_.push(Event{ns.record.finish_time, queued.slot});
+    events_.push(Event{ns.record.finish_time, queued.slot,
+                       EventKind::kCompletion, ns.epoch});
+    if (options_.hedging.enabled) schedule_hedge_check(queued.slot);
   }
 
   sim::TimeMs transfer_delay(dag::NodeId slot, sim::ProcId proc,
@@ -647,6 +713,162 @@ class StreamEngine::Context final : public sim::SchedulerContext {
     return data_ready - from_time;
   }
 
+  // --- straggler hedging ----------------------------------------------------
+
+  /// Elapsed primary runtime that triggers a hedge for a kernel with the
+  /// given nominal duration: nominal × (rolling tail inflation, once the
+  /// window is trustworthy) × the safety factor. Never below nominal ×
+  /// factor, so hedging only ever fires on kernels already running late.
+  sim::TimeMs hedge_threshold_ms(sim::TimeMs nominal) const {
+    double inflation = 1.0;
+    if (hedge_window_.count() >= options_.hedging.min_samples)
+      inflation =
+          std::max(1.0, hedge_window_.quantile(options_.hedging.quantile));
+    return nominal * inflation * options_.hedging.threshold_factor;
+  }
+
+  void schedule_hedge_check(dag::NodeId slot) {
+    const NodeState& ns = node_state_[slot];
+    events_.push(
+        Event{ns.record.exec_start + hedge_threshold_ms(ns.nominal_exec_ms),
+              slot, EventKind::kHedgeCheck, ns.epoch});
+  }
+
+  /// A hedge check came due at `t`. The threshold is re-derived from the
+  /// CURRENT rolling window (it may have grown since the check was armed);
+  /// if the kernel is not yet overdue under the fresh threshold the check
+  /// re-arms at the new instant, otherwise a replica launches — once per
+  /// kernel, and only if some processor is idle right now (hedging never
+  /// preempts or queues; a saturated platform has no spare capacity worth
+  /// burning on duplicates).
+  void process_hedge_check(dag::NodeId slot, sim::TimeMs t) {
+    NodeState& ns = node_state_[slot];
+    if (ns.done || ns.hedged || !ns.exec_started) return;
+    const sim::TimeMs due =
+        ns.record.exec_start + hedge_threshold_ms(ns.nominal_exec_ms);
+    if (due > t) {
+      events_.push(Event{due, slot, EventKind::kHedgeCheck, ns.epoch});
+      return;
+    }
+    ns.hedged = true;  // one decision per kernel, launched or dropped
+    const std::vector<sim::ProcId>& idle = idle_processors();
+    if (idle.empty()) return;
+    // Fastest idle destination by NOMINAL time; idle list ascends, so ties
+    // break to the lowest processor id.
+    sim::ProcId best = idle.front();
+    sim::TimeMs best_ms = exec_time_ms(slot, best);
+    for (std::size_t i = 1; i < idle.size(); ++i) {
+      const sim::TimeMs ms = exec_time_ms(slot, idle[i]);
+      if (ms < best_ms) {
+        best = idle[i];
+        best_ms = ms;
+      }
+    }
+    launch_replica(slot, best, best_ms, t);
+  }
+
+  /// Launches the hedged replica of `slot` on idle `proc` at time `t`. The
+  /// replica pays the full reactive path — decision + dispatch overheads
+  /// and its input transfers from scratch — and draws its own noise
+  /// substream (replica id 1).
+  void launch_replica(dag::NodeId slot, sim::ProcId proc, sim::TimeMs nominal,
+                      sim::TimeMs t) {
+    NodeState& ns = node_state_[slot];
+    App& app = apps_[ns.app];
+    const sim::SystemConfig& cfg = system_.config();
+    const sim::TimeMs dispatched =
+        t + cfg.decision_overhead_ms + cfg.dispatch_overhead_ms;
+    ns.replica_proc = proc;
+    ns.replica_transfer_ms = input_transfer_ms(slot, proc);
+    ns.replica_exec_start = dispatched + ns.replica_transfer_ms;
+    ns.replica_mult = options_.noise.enabled()
+                          ? sim::noise_multiplier(options_.noise, app.index,
+                                                  slot - app.base, 1)
+                          : 1.0;
+    ns.replica_exec_ms = nominal * ns.replica_mult;
+    ns.replica_finish = ns.replica_exec_start + ns.replica_exec_ms;
+    ns.replica_outstanding = true;
+    ns.hedge_idx = app.hedges.size();
+    sim::HedgeRecord record;
+    record.node = slot - app.base;
+    record.primary_proc = ns.record.proc;
+    record.replica_proc = proc;
+    record.launched_ms = t;
+    app.hedges.push_back(record);
+    ++observation_.hedges_launched;
+    proc_state_[proc].running = slot;
+    idle_dirty_ = true;
+    events_.push(
+        Event{ns.replica_finish, slot, EventKind::kReplica, ns.epoch});
+  }
+
+  /// Folds a resolved race's losing attempt into the window-clipped
+  /// aggregates: its compute span counts as processor busy time (the
+  /// processor really was occupied) and its whole occupied span as hedge
+  /// waste.
+  void account_loser(sim::ProcId proc, sim::TimeMs occupied_from,
+                     sim::TimeMs compute_from, sim::TimeMs cancelled) {
+    const sim::TimeMs busy_from =
+        std::max(compute_from, options_.warmup_ms);
+    if (cancelled > busy_from)
+      observation_.busy_in_window_ms[proc] += cancelled - busy_from;
+    const sim::TimeMs waste_from =
+        std::max(occupied_from, options_.warmup_ms);
+    if (cancelled > waste_from)
+      observation_.hedge_wasted_in_window_ms += cancelled - waste_from;
+  }
+
+  /// Primary completion event. Skipped when stale (the replica already won
+  /// and retired the kernel); otherwise the primary wins any outstanding
+  /// race — the replica is cancelled at this instant and its processor
+  /// freed.
+  void complete_primary(dag::NodeId slot) {
+    NodeState& ns = node_state_[slot];
+    if (ns.done) return;
+    if (ns.replica_outstanding) {
+      ns.replica_outstanding = false;
+      proc_state_[ns.replica_proc].running.reset();
+      idle_dirty_ = true;
+      sim::HedgeRecord& h = apps_[ns.app].hedges[ns.hedge_idx];
+      h.replica_won = false;
+      h.winner_finish_ms = ns.record.finish_time;
+      h.cancelled_ms = ns.record.finish_time;
+      h.loser_start_ms = ns.replica_exec_start - ns.replica_transfer_ms;
+      account_loser(ns.replica_proc, h.loser_start_ms, ns.replica_exec_start,
+                    h.cancelled_ms);
+    }
+    complete_kernel(slot);
+  }
+
+  /// Replica completion event. Skipped when stale (the primary won first);
+  /// otherwise the replica wins: the straggling primary is cancelled now,
+  /// its processor freed, and the schedule record rewritten to describe
+  /// the winning attempt (the loser survives in the HedgeRecord).
+  void complete_replica(dag::NodeId slot) {
+    NodeState& ns = node_state_[slot];
+    if (ns.done || !ns.replica_outstanding) return;
+    ns.replica_outstanding = false;
+    proc_state_[ns.record.proc].running.reset();
+    idle_dirty_ = true;
+    sim::HedgeRecord& h = apps_[ns.app].hedges[ns.hedge_idx];
+    h.replica_won = true;
+    h.winner_finish_ms = ns.replica_finish;
+    h.cancelled_ms = ns.replica_finish;
+    h.loser_start_ms = ns.record.occupied_from();
+    ++observation_.hedges_replica_won;
+    account_loser(ns.record.proc, h.loser_start_ms, ns.record.exec_start,
+                  h.cancelled_ms);
+    ns.record.proc = ns.replica_proc;
+    ns.record.assign_time =
+        h.launched_ms + system_.config().decision_overhead_ms;
+    ns.record.exec_start = ns.replica_exec_start;
+    ns.record.exec_ms = ns.replica_exec_ms;
+    ns.record.transfer_ms = ns.replica_transfer_ms;
+    ns.record.finish_time = ns.replica_finish;
+    ns.record.noise_mult = ns.replica_mult;
+    complete_kernel(slot);
+  }
+
   // --- event loop -----------------------------------------------------------
 
   void advance_to_next_event(ArrivalProcess& arrivals) {
@@ -657,9 +879,21 @@ class StreamEngine::Context final : public sim::SchedulerContext {
     if (tm_) t = std::min(t, tm_->next_event_ms());
     now_ = t;
     while (!events_.empty() && events_.top().time == t) {
-      const dag::NodeId slot = events_.top().slot;
+      const Event ev = events_.top();
       events_.pop();
-      complete_kernel(slot);
+      // A dead event whose slot was recycled must not touch the new tenant.
+      if (node_state_[ev.slot].epoch != ev.epoch) continue;
+      switch (ev.kind) {
+        case EventKind::kCompletion:
+          complete_primary(ev.slot);
+          break;
+        case EventKind::kReplica:
+          complete_replica(ev.slot);
+          break;
+        case EventKind::kHedgeCheck:
+          process_hedge_check(ev.slot, t);
+          break;
+      }
     }
     if (tm_) {
       tm_->advance_to(t, deliveries_);  // reused buffer, no per-event alloc
@@ -686,6 +920,9 @@ class StreamEngine::Context final : public sim::SchedulerContext {
     idle_dirty_ = true;
     ps.exec_history.push_back(ns.record.exec_ms);
     if (ps.exec_history.size() > kHistoryCap) ps.exec_history.pop_front();
+    // Feed the hedging threshold: the winner's noise multiplier IS the
+    // realized/nominal inflation ratio of this completion.
+    if (options_.hedging.enabled) hedge_window_.add(ns.record.noise_mult);
 
     // Window-clipped utilization accounting, folded in as kernels finish so
     // nothing per-kernel must be retained.
@@ -732,6 +969,7 @@ class StreamEngine::Context final : public sim::SchedulerContext {
       }
       schedule.result.makespan = last;
       schedule.result.transfers = std::move(app.transfers);
+      schedule.result.hedges = std::move(app.hedges);
       schedule.dag = app.shape->dag;  // the shape's canonical copy is shared
       schedules_.push_back(std::move(schedule));
     }
@@ -744,6 +982,7 @@ class StreamEngine::Context final : public sim::SchedulerContext {
     release_slots(app.base, app.remaining_total);
     app.shape.reset();  // may free the ShapeEntry if the pool let go
     app.transfers.clear();
+    app.hedges.clear();
     free_app_slots_.push_back(app_slot);
     --live_count_;
     observation_.live_apps.observe(now_, live_count_);
@@ -811,11 +1050,14 @@ class StreamEngine::Context final : public sim::SchedulerContext {
     app.remaining_total = n;
     app.base = allocate_slots(n);
     app.transfers.clear();
+    app.hedges.clear();
 
     for (dag::NodeId local = 0; local < n; ++local) {
       const dag::NodeId slot = app.base + local;
       NodeState& ns = node_state_[slot];
+      const std::uint32_t epoch = ns.epoch + 1;  // retire any dead events
       ns = NodeState{};
+      ns.epoch = epoch;
       ns.record.node = local;
       ns.app = app_slot;
       ns.remaining_preds = shape.dag.in_degree(local);
@@ -848,6 +1090,10 @@ class StreamEngine::Context final : public sim::SchedulerContext {
   const net::Topology& topology_;
   const bool contended_;
   const std::size_t proc_count_;
+  /// Rolling realized/nominal inflation ratios of completed kernels — the
+  /// bounded-memory sample the hedging threshold quantile is drawn from
+  /// (platform-wide, across application instances).
+  util::RollingQuantile hedge_window_;
   std::optional<net::TransferManager> tm_;
   std::optional<sim::TopologyCostModel> topo_cost_;
   static constexpr std::size_t kNoRecord = static_cast<std::size_t>(-1);
@@ -918,6 +1164,10 @@ StreamOutcome StreamEngine::run(sim::Policy& policy) {
         "StreamEngine: policy '" + policy.name() +
         "' plans statically from the whole DAG, which does not exist in an "
         "open system — use a dynamic policy");
+  if (options_.hedging.enabled && system_.topology().contended())
+    throw std::invalid_argument(
+        "StreamEngine: straggler hedging requires an uncontended topology "
+        "(a replica's input transfers are not modelled as fabric messages)");
   // The same lifecycle every policy sees in the closed-system engine; the
   // DAG is empty because instances only materialize as they arrive.
   // prepare() receives the context's own cost model (topology-priced

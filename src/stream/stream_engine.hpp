@@ -57,6 +57,7 @@
 #include "dag/graph.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/metrics.hpp"
+#include "sim/noise.hpp"
 #include "sim/policy.hpp"
 #include "sim/schedule.hpp"
 #include "sim/system.hpp"
@@ -91,6 +92,17 @@ struct StreamOptions {
   /// applications are live at once — an arrival rate beyond the platform's
   /// capacity would otherwise grow the backlog without bound.
   std::size_t max_live_apps = 100000;
+
+  /// Service-time noise on realized execution times (policies keep seeing
+  /// nominal costs). Instance i of the stream draws noise instance
+  /// `arrival index i`, so the draws are a pure function of the spec and
+  /// the arrival order — bit-identical across --jobs and engines. Disabled
+  /// by default, which reproduces noise-free timelines bit-for-bit.
+  sim::NoiseSpec noise;
+
+  /// Straggler hedging (replica races on idle processors). Requires an
+  /// uncontended topology — run() rejects the combination.
+  sim::HedgeSpec hedging;
 
   /// Throws std::invalid_argument when the spec is unbounded or malformed.
   void validate() const;

@@ -1,0 +1,40 @@
+#include "util/rolling_quantile.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace apt::util {
+
+RollingQuantile::RollingQuantile(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {
+  ring_.reserve(capacity_);
+}
+
+void RollingQuantile::add(double x) {
+  if (ring_.size() < capacity_) {
+    ring_.push_back(x);
+  } else {
+    ring_[head_] = x;
+    head_ = (head_ + 1) % capacity_;
+  }
+  ++count_;
+  dirty_ = true;
+}
+
+double RollingQuantile::quantile(double q) const {
+  if (ring_.empty())
+    throw std::invalid_argument("RollingQuantile::quantile: no observations");
+  if (q < 0.0 || q > 1.0)
+    throw std::invalid_argument(
+        "RollingQuantile::quantile: q must be in [0,1]");
+  if (dirty_) {
+    sorted_ = ring_;
+    std::sort(sorted_.begin(), sorted_.end());
+    dirty_ = false;
+  }
+  return percentile_sorted(sorted_, q * 100.0);
+}
+
+}  // namespace apt::util

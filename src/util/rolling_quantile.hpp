@@ -1,0 +1,53 @@
+// Bounded-memory quantile estimation over a sliding window of observations.
+//
+// The stream engine's straggler-hedging heuristic needs a running estimate
+// of the tail of the realized-execution-time distribution, but an open
+// system runs indefinitely — retaining every sample would grow without
+// bound. RollingQuantile keeps only the most recent `capacity`
+// observations in a ring buffer and answers quantile queries over that
+// window, so memory is O(capacity) regardless of run length and the
+// estimate tracks non-stationary workloads (old samples age out).
+//
+// Queries use the project-wide percentile definition
+// (util::percentile_sorted — linear interpolation between order
+// statistics), so a RollingQuantile over a window that still holds every
+// sample agrees exactly with util::percentile_of over the same data.
+//
+// Complexity: add() is O(1); quantile() sorts the window lazily — O(w log w)
+// after a batch of adds, O(1) for repeated queries with no interleaved add.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace apt::util {
+
+class RollingQuantile {
+ public:
+  /// `capacity` bounds the window (and the memory); raised to >= 1.
+  explicit RollingQuantile(std::size_t capacity = 256);
+
+  void add(double x);
+
+  /// Observations currently in the window (<= capacity()).
+  std::size_t size() const noexcept { return ring_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  /// Observations ever added (including those that have aged out).
+  std::size_t count() const noexcept { return count_; }
+  bool empty() const noexcept { return ring_.empty(); }
+
+  /// The q-quantile (q in [0,1]) of the current window, by
+  /// util::percentile_sorted. Throws std::invalid_argument when the window
+  /// is empty or q lies outside [0,1].
+  double quantile(double q) const;
+
+ private:
+  std::size_t capacity_;
+  std::size_t head_ = 0;  ///< next ring slot to overwrite once full
+  std::size_t count_ = 0;
+  std::vector<double> ring_;
+  mutable std::vector<double> sorted_;  ///< lazily rebuilt query scratch
+  mutable bool dirty_ = false;
+};
+
+}  // namespace apt::util

@@ -72,17 +72,23 @@ double stddev_about(const std::vector<double>& xs, double mean) noexcept {
   return std::sqrt(acc / static_cast<double>(xs.size()));
 }
 
+double percentile_sorted(const std::vector<double>& sorted, double pct) {
+  if (sorted.empty())
+    throw std::invalid_argument("percentile_sorted: empty input");
+  if (pct < 0.0 || pct > 100.0)
+    throw std::invalid_argument("percentile_sorted: pct must be in [0,100]");
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = pct / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
 double percentile_of(std::vector<double> xs, double pct) {
   if (xs.empty()) throw std::invalid_argument("percentile_of: empty input");
-  if (pct < 0.0 || pct > 100.0)
-    throw std::invalid_argument("percentile_of: pct must be in [0,100]");
   std::sort(xs.begin(), xs.end());
-  if (xs.size() == 1) return xs.front();
-  const double pos = pct / 100.0 * static_cast<double>(xs.size() - 1);
-  const auto lo = static_cast<std::size_t>(pos);
-  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
-  const double frac = pos - static_cast<double>(lo);
-  return xs[lo] + (xs[hi] - xs[lo]) * frac;
+  return percentile_sorted(xs, pct);
 }
 
 }  // namespace apt::util

@@ -45,7 +45,19 @@ double stddev_of(const std::vector<double>& xs) noexcept;
 /// Population standard deviation across an explicit mean (Eq. 12 form).
 double stddev_about(const std::vector<double>& xs, double mean) noexcept;
 
+/// THE project-wide percentile definition, over an ALREADY-SORTED,
+/// non-empty range: linear interpolation between the order statistics at
+/// positions floor(q) and ceil(q) of q = pct/100 * (n-1) (the "linear"
+/// a.k.a. type-7 estimator of Hyndman & Fan, numpy's default). Every
+/// percentile the project reports — util::percentile_of,
+/// sim::DistSummary::summarize's p50/p95/p99, util::RollingQuantile —
+/// routes through this one function, so percentiles computed by different
+/// subsystems over the same data always agree. Throws on empty input or
+/// pct outside [0,100].
+double percentile_sorted(const std::vector<double>& sorted, double pct);
+
 /// Linear-interpolated percentile in [0,100]; throws on empty input.
+/// Convenience wrapper: sorts a copy, then applies percentile_sorted.
 double percentile_of(std::vector<double> xs, double pct);
 
 }  // namespace apt::util

@@ -90,6 +90,35 @@ TEST(Arrivals, SpecValidation) {
             stream::ArrivalKind::Deterministic);
 }
 
+TEST(Arrivals, EveryKindRoundTripsThroughItsName) {
+  // parse(to_string(k)) == k — including "trace", which the parser used to
+  // reject even though to_string produced it.
+  for (stream::ArrivalKind kind :
+       {stream::ArrivalKind::Poisson, stream::ArrivalKind::Deterministic,
+        stream::ArrivalKind::Trace}) {
+    EXPECT_EQ(stream::parse_arrival_kind(stream::to_string(kind)), kind)
+        << stream::to_string(kind);
+  }
+}
+
+TEST(Arrivals, DeterministicClockIsExactOverLongHorizons) {
+  // Arrival k must be exactly k/rate: the old `clock_ += 1/rate`
+  // accumulator drifted by rounding over ~10^6 arrivals, breaking
+  // bit-identity between runs replaying different prefixes of the stream.
+  const double rate = 0.3;  // 1/0.3 is not exactly representable
+  stream::ArrivalProcess process(stream::ArrivalSpec::deterministic(rate));
+  constexpr std::uint64_t kArrivals = 1000000;
+  double last = 0.0;
+  for (std::uint64_t k = 1; k <= kArrivals; ++k) {
+    const auto t = process.next();
+    ASSERT_TRUE(t.has_value());
+    if (k == kArrivals || k == 1 || k == 999) last = *t;
+    if (k == 1) EXPECT_EQ(*t, 1.0 / rate);
+    if (k == 999) EXPECT_EQ(*t, 999.0 / rate);
+  }
+  EXPECT_EQ(last, static_cast<double>(kArrivals) / rate);  // bitwise
+}
+
 TEST(StreamOptions, RequiresABoundedRun) {
   stream::StreamOptions opts;  // poisson, no cap, no horizon
   EXPECT_THROW(opts.validate(), std::invalid_argument);
@@ -395,6 +424,26 @@ TEST(LevelTrace, ZeroDurationSpikesRegisterInMax) {
   warm.observe(5.0, 0);
   warm.finish(10.0);
   EXPECT_EQ(warm.max_level(), 0u);
+}
+
+TEST(LevelTrace, FinishDoesNotLeakPreWindowLevelsIntoTheWindowedMax) {
+  // Regression: finish() used to stamp max_level_ unconditionally, so a
+  // level last attained BEFORE the observation window opened leaked into
+  // the windowed maximum whenever the trace ended at the boundary.
+  sim::LevelTrace trace;
+  trace.set_window_start(100.0);
+  trace.observe(10.0, 7);  // entirely pre-window
+  trace.finish(100.0);     // zero-length window
+  EXPECT_EQ(trace.max_level(), 0u);
+  EXPECT_DOUBLE_EQ(trace.time_weighted_avg(), 0.0);
+
+  // The level genuinely persisting into the window still registers.
+  sim::LevelTrace held;
+  held.set_window_start(100.0);
+  held.observe(10.0, 7);  // level 7 over [10, 150) — overlaps [100, 150)
+  held.finish(150.0);
+  EXPECT_EQ(held.max_level(), 7u);
+  EXPECT_DOUBLE_EQ(held.time_weighted_avg(), 7.0);
 }
 
 TEST(LevelTrace, SampleBufferStaysBounded) {

@@ -139,5 +139,28 @@ TEST(Percentile, RejectsBadInput) {
   EXPECT_THROW(percentile_of({1.0}, 101.0), std::invalid_argument);
 }
 
+TEST(Percentile, SortedVariantIsTheSameDefinition) {
+  // percentile_sorted is THE project-wide percentile; percentile_of is the
+  // sort-then-delegate convenience over it.
+  const std::vector<double> sorted = {1.0, 2.0, 3.0, 4.0, 5.0};
+  std::vector<double> shuffled = {4.0, 1.0, 5.0, 3.0, 2.0};
+  for (double pct : {0.0, 12.5, 50.0, 95.0, 99.0, 100.0})
+    EXPECT_DOUBLE_EQ(percentile_sorted(sorted, pct),
+                     percentile_of(shuffled, pct))
+        << pct;
+}
+
+TEST(Percentile, TailInterpolatesLinearly) {
+  // 101 evenly spaced points make type-7 ranks land exactly on values:
+  // p99 of {0..100} is 99, and fractional ranks interpolate linearly.
+  std::vector<double> xs;
+  for (int i = 0; i <= 100; ++i) xs.push_back(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 99.0), 99.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 99.5), 99.5);
+  // Two points: p99 sits 99% of the way between them, not at the max —
+  // the interpolating definition, not nearest-rank.
+  EXPECT_DOUBLE_EQ(percentile_sorted({0.0, 10.0}, 99.0), 9.9);
+}
+
 }  // namespace
 }  // namespace apt::util
