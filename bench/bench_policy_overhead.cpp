@@ -5,9 +5,12 @@
 // the static ranking phases in isolation.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "core/policy_factory.hpp"
 #include "dag/generator.hpp"
 #include "lut/paper_data.hpp"
+#include "net/transfer_manager.hpp"
 #include "policies/heft.hpp"
 #include "policies/peft.hpp"
 #include "sim/engine.hpp"
@@ -62,6 +65,55 @@ APT_POLICY_BENCH(SS, "ss");
 APT_POLICY_BENCH(AG, "ag");
 APT_POLICY_BENCH(HEFT, "heft");
 APT_POLICY_BENCH(PEFT, "peft");
+
+// Comm-aware variants end to end (ideal fabric: measures the overhead the
+// estimator adds even when its backlog branch short-circuits).
+APT_POLICY_BENCH(APTC4, "apt-c:4");
+APT_POLICY_BENCH(AGNET, "ag-net");
+
+// The isolated comm-aware estimator: the TransferEstimate backlog scan —
+// max link_drain_ms over each candidate route — priced per on_event at a
+// fixed fabric occupancy. One "on_event" here evaluates every ordered
+// processor pair of a 16-way mesh (240 routes), the worst case a policy
+// pass can issue.
+void run_estimator_benchmark(benchmark::State& state, std::size_t in_flight) {
+  net::TopologySpec spec = net::parse_topology_spec("mesh:4x4");
+  spec.bandwidth_gbps = 4.0;
+  const net::Topology topo(spec, 16, 4.0);
+  net::TransferManager tm(topo);
+  for (std::size_t i = 0; i < in_flight; ++i) {
+    const auto from = static_cast<net::ProcId>(i % 16);
+    auto to = static_cast<net::ProcId>((i * 7 + 5) % 16);
+    if (to == from) to = static_cast<net::ProcId>((to + 1) % 16);
+    // Big enough that nothing drains away mid-benchmark (time is never
+    // advanced inside the loop, so the fabric state stays frozen).
+    tm.start(i, 1e9, from, to, 0.0);
+  }
+  tm.advance_to(0.0);  // activate every message
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (net::ProcId from = 0; from < 16; ++from) {
+      for (net::ProcId to = 0; to < 16; ++to) {
+        double worst = 0.0;
+        for (const net::LinkId l : topo.route(from, to))
+          worst = std::max(worst, tm.link_drain_ms(l));
+        acc += worst;
+      }
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 240);
+}
+
+void BM_CommEstimator_64InFlight(benchmark::State& state) {
+  run_estimator_benchmark(state, 64);
+}
+BENCHMARK(BM_CommEstimator_64InFlight);
+
+void BM_CommEstimator_512InFlight(benchmark::State& state) {
+  run_estimator_benchmark(state, 512);
+}
+BENCHMARK(BM_CommEstimator_512InFlight);
 
 // Static pre-computation phases in isolation (the thesis's argument for
 // dynamic policies is precisely the cost of this step).

@@ -89,6 +89,24 @@ net::TopologySpec topology_from_args(const Args& args) {
   return spec;
 }
 
+/// Sweep form of --topology: a comma list ("ideal,ring,mesh:2x2") becomes
+/// the plan's topology axis; --bandwidth/--latency apply to every entry.
+/// Always returns at least one spec (default ideal).
+std::vector<net::TopologySpec> topologies_from_args(const Args& args) {
+  std::vector<net::TopologySpec> specs;
+  for (const auto& token : util::split(args.get("topology", "ideal"), ',')) {
+    if (util::trim(token).empty()) continue;
+    net::TopologySpec spec = net::parse_topology_spec(util::trim(token));
+    spec.bandwidth_gbps = util::parse_double(args.get("bandwidth", "0"));
+    spec.latency_ms = util::parse_double(args.get("latency", "0"));
+    spec.validate();
+    specs.push_back(spec);
+  }
+  if (specs.empty())
+    throw std::invalid_argument("--topology: no topologies given");
+  return specs;
+}
+
 /// The synthetic platform described by --ccr / --hetero / --lut-seed,
 /// calibrated against the first of `rates_gbps`. The one parse both `gen`
 /// and `sweep` (and `run`) share, so identical flags always mean an
@@ -332,15 +350,16 @@ int cmd_compare(const Args& args) {
 
 using util::json_escape;
 
-/// Visits every cell of the result cube in task order with its axis
-/// coordinates — the one loop both exporters feed from.
+/// Visits every cell of the result cube in task order (topology outermost)
+/// with its axis coordinates — the one loop both exporters feed from.
 template <typename Fn>
 void for_each_sweep_cell(const core::BatchResult& result, Fn&& fn) {
-  for (std::size_t rep = 0; rep < result.replications; ++rep)
-    for (std::size_t r = 0; r < result.rate_count; ++r)
-      for (std::size_t g = 0; g < result.graph_count; ++g)
-        for (std::size_t p = 0; p < result.policy_count; ++p)
-          fn(rep, r, g, p, result.at(rep, r, g, p));
+  for (std::size_t t = 0; t < result.topology_count; ++t)
+    for (std::size_t rep = 0; rep < result.replications; ++rep)
+      for (std::size_t r = 0; r < result.rate_count; ++r)
+        for (std::size_t g = 0; g < result.graph_count; ++g)
+          for (std::size_t p = 0; p < result.policy_count; ++p)
+            fn(t, rep, r, g, p, result.at(t, rep, r, g, p));
 }
 
 /// Serialises a sweep result as one JSON object (hand-rolled: the cube is
@@ -349,11 +368,14 @@ void for_each_sweep_cell(const core::BatchResult& result, Fn&& fn) {
 /// knowing the plan's expansion order.
 std::string sweep_to_json(const core::BatchResult& result,
                           const std::string& type_name,
-                          const std::vector<std::string>& graph_labels,
-                          const std::string& topology_label) {
+                          const std::vector<std::string>& graph_labels) {
   std::string out = "{\n  \"workload\": \"" + json_escape(type_name) + "\",\n";
-  out += "  \"topology\": \"" + json_escape(topology_label) + "\",\n";
-  out += "  \"policies\": [";
+  out += "  \"topologies\": [";
+  for (std::size_t t = 0; t < result.topology_count; ++t) {
+    if (t) out += ", ";
+    out += "\"" + json_escape(result.topology_labels[t]) + "\"";
+  }
+  out += "],\n  \"policies\": [";
   for (std::size_t p = 0; p < result.policy_count; ++p) {
     if (p) out += ", ";
     out += "{\"name\": \"" + json_escape(result.policy_names[p]) +
@@ -366,12 +388,13 @@ std::string sweep_to_json(const core::BatchResult& result,
   }
   out += "],\n  \"cells\": [\n";
   bool first = true;
-  for_each_sweep_cell(result, [&](std::size_t rep, std::size_t r,
-                                  std::size_t g, std::size_t p,
+  for_each_sweep_cell(result, [&](std::size_t t, std::size_t rep,
+                                  std::size_t r, std::size_t g, std::size_t p,
                                   const core::Cell& cell) {
     if (!first) out += ",\n";
     first = false;
-    out += "    {\"replication\": " + std::to_string(rep) +
+    out += "    {\"topology\": \"" + json_escape(result.topology_labels[t]) +
+           "\", \"replication\": " + std::to_string(rep) +
            ", \"rate_gbps\": " + util::format_double(result.rates_gbps[r], 3) +
            ", \"graph\": " + std::to_string(g + 1) +  // 1-based, as CSV
            ", \"workload\": \"" + json_escape(graph_labels.at(g)) +
@@ -401,12 +424,12 @@ int cmd_sweep(const Args& args) {
   }
 
   // Columns: explicit policy specs plus one APT column per alpha. With
-  // neither option the sweep reproduces the thesis's alpha grid.
+  // neither option the sweep reproduces the thesis's alpha grid. Specs
+  // validate against the policy registry here, so a typo dies with a
+  // did-you-mean before any graph is generated.
   std::vector<std::string> specs;
-  if (args.has("policies")) {
-    for (const auto& s : util::split(args.get("policies", ""), ','))
-      if (!util::trim(s).empty()) specs.push_back(util::trim(s));
-  }
+  if (args.has("policies"))
+    specs = core::parse_policy_list(args.get("policies", ""));
   std::vector<double> alphas;
   if (args.has("alphas") || !args.has("policies")) {
     for (const auto& a : util::split(args.get("alphas", "1.5,2,4,8,16"), ','))
@@ -420,13 +443,15 @@ int cmd_sweep(const Args& args) {
     rates.push_back(util::parse_double(r));
 
   const std::uint64_t seed = util::parse_uint(args.get("seed", "0"));
-  const net::TopologySpec topology = topology_from_args(args);
+  // --topology takes a comma list in sweep: the plan's outermost axis.
+  const std::vector<net::TopologySpec> topologies = topologies_from_args(args);
   std::string workload_name;
   std::vector<std::string> graph_labels;  // per-graph, for the exporters
   core::ExperimentPlan plan;
   if (family_mode) {
     core::ScenarioSweepSpec spec;
-    spec.topology = topology;
+    spec.topology = topologies.front();
+    spec.topologies = topologies;
     spec.families.clear();
     for (const auto& f : util::split(args.get("family", ""), ','))
       if (!util::trim(f).empty()) spec.families.push_back(util::trim(f));
@@ -444,7 +469,8 @@ int cmd_sweep(const Args& args) {
     graph_labels = core::scenario_graph_labels(spec);
   } else {
     plan = core::ExperimentPlan::paper(dfg, specs, rates);
-    plan.base_system.topology = topology;
+    plan.base_system.topology = topologies.front();
+    plan.topologies = topologies;
     workload_name = dag::to_string(dfg);
     graph_labels.assign(plan.graphs.size(), workload_name);
   }
@@ -462,45 +488,48 @@ int cmd_sweep(const Args& args) {
           std::chrono::steady_clock::now() - t0)
           .count();
 
-  // One Grid per (replication, rate) slice; the summary averages over all
-  // replications and sums their wins, so stochastic sweeps (--reps > 1)
-  // are fully represented, not just replication 0.
-  std::vector<std::vector<core::Grid>> grids;
-  grids.reserve(result.replications);
-  for (std::size_t rep = 0; rep < result.replications; ++rep) {
-    grids.emplace_back();
-    grids.back().reserve(result.rate_count);
-    for (std::size_t r = 0; r < result.rate_count; ++r)
-      grids.back().push_back(result.grid(dfg, r, rep));
-  }
+  // One Grid per (topology, replication, rate) slice; the summary averages
+  // over all replications and sums their wins, so stochastic sweeps
+  // (--reps > 1) are fully represented, not just replication 0.
   const double reps = static_cast<double>(result.replications);
-  util::TablePrinter table({"policy", "rate GB/s", "avg makespan ms",
-                            "avg lambda ms", "wins"});
-  for (std::size_t p = 0; p < result.policy_count; ++p) {
-    for (std::size_t r = 0; r < result.rate_count; ++r) {
-      double makespan = 0.0;
-      double lambda = 0.0;
-      std::size_t wins = 0;
-      for (std::size_t rep = 0; rep < result.replications; ++rep) {
-        const core::Grid& grid = grids[rep][r];
-        makespan += grid.avg_makespan_ms(p);
-        lambda += grid.avg_lambda_ms(p);
-        wins += grid.wins(p);
+  util::TablePrinter table({"topology", "policy", "rate GB/s",
+                            "avg makespan ms", "avg lambda ms", "wins"});
+  for (std::size_t t = 0; t < result.topology_count; ++t) {
+    std::vector<std::vector<core::Grid>> grids;  // [rep][rate]
+    grids.reserve(result.replications);
+    for (std::size_t rep = 0; rep < result.replications; ++rep) {
+      grids.emplace_back();
+      grids.back().reserve(result.rate_count);
+      for (std::size_t r = 0; r < result.rate_count; ++r)
+        grids.back().push_back(result.grid(dfg, r, rep, t));
+    }
+    for (std::size_t p = 0; p < result.policy_count; ++p) {
+      for (std::size_t r = 0; r < result.rate_count; ++r) {
+        double makespan = 0.0;
+        double lambda = 0.0;
+        std::size_t wins = 0;
+        for (std::size_t rep = 0; rep < result.replications; ++rep) {
+          const core::Grid& grid = grids[rep][r];
+          makespan += grid.avg_makespan_ms(p);
+          lambda += grid.avg_lambda_ms(p);
+          wins += grid.wins(p);
+        }
+        table.add_row({result.topology_labels[t], result.policy_names[p],
+                       util::format_double(result.rates_gbps[r], 0),
+                       util::format_double(makespan / reps, 1),
+                       util::format_double(lambda / reps, 1),
+                       std::to_string(wins)});
       }
-      table.add_row({result.policy_names[p],
-                     util::format_double(result.rates_gbps[r], 0),
-                     util::format_double(makespan / reps, 1),
-                     util::format_double(lambda / reps, 1),
-                     std::to_string(wins)});
     }
   }
   std::cout << "sweep, " << workload_name << ", topology "
-            << topology.label() << ", " << result.graph_count << " graphs x "
-            << result.policy_count << " policies x " << result.rate_count
-            << " rates x " << result.replications << " reps = "
-            << result.cells.size() << " runs in "
-            << util::format_double(elapsed_ms, 1) << " ms (" << runner.jobs()
-            << " jobs)\n"
+            << util::join(result.topology_labels, "+") << ", "
+            << result.graph_count << " graphs x " << result.policy_count
+            << " policies x " << result.rate_count << " rates x "
+            << result.topology_count << " topologies x "
+            << result.replications << " reps = " << result.cells.size()
+            << " runs in " << util::format_double(elapsed_ms, 1) << " ms ("
+            << runner.jobs() << " jobs)\n"
             << table.to_string();
 
   if (args.has("csv")) {
@@ -508,12 +537,12 @@ int cmd_sweep(const Args& args) {
                         "workload", "policy", "spec", "makespan_ms",
                         "lambda_total_ms", "lambda_avg_ms",
                         "lambda_stddev_ms", "alternatives"});
-    for_each_sweep_cell(result, [&](std::size_t rep, std::size_t r,
-                                    std::size_t g, std::size_t p,
-                                    const core::Cell& cell) {
+    for_each_sweep_cell(result, [&](std::size_t t, std::size_t rep,
+                                    std::size_t r, std::size_t g,
+                                    std::size_t p, const core::Cell& cell) {
       csv.add_row({std::to_string(rep),
                    util::format_double(result.rates_gbps[r], 3),
-                   topology.label(), std::to_string(g + 1),
+                   result.topology_labels[t], std::to_string(g + 1),
                    graph_labels.at(g), result.policy_names[p],
                    result.policy_specs[p],
                    util::format_double(cell.makespan_ms, 6),
@@ -530,8 +559,7 @@ int cmd_sweep(const Args& args) {
     if (!out)
       throw std::runtime_error("sweep: cannot open '" +
                                args.get("json", "") + "'");
-    out << sweep_to_json(result, workload_name, graph_labels,
-                         topology.label());
+    out << sweep_to_json(result, workload_name, graph_labels);
     std::cout << "cells written to " << args.get("json", "") << "\n";
   }
   return 0;
@@ -566,13 +594,25 @@ std::vector<sim::TimeMs> read_trace_file(const std::string& path) {
   return out;
 }
 
-/// One (tail-probability × hedging-mode) slice of the stream ablation: the
-/// whole grid rerun under those noise/hedging settings.
+/// One (topology × tail-probability × hedging-mode) slice of the stream
+/// ablation: the whole grid rerun under those fabric/noise/hedging
+/// settings. Topology is the outermost axis, so a comm-aware vs comm-blind
+/// policy pair is compared across every routed fabric × arrival rate in a
+/// single CSV/JSON.
 struct StreamAblationRun {
+  std::string topology_label;
   double tail_prob = 0.0;
   bool hedging = false;
   core::StreamBatchResult result;
 };
+
+/// The comm_aware ablation column of a policy spec ("true"/"false" from
+/// the registry flag; unknown specs — impossible after parse_policy_list —
+/// report "false").
+const char* comm_aware_label(const std::string& spec) {
+  const core::PolicyInfo* info = core::find_policy_info(spec);
+  return info && info->comm_aware ? "true" : "false";
+}
 
 int cmd_stream(const Args& args) {
   core::StreamPlan plan;
@@ -580,7 +620,10 @@ int cmd_stream(const Args& args) {
   plan.rates_per_ms.clear();
   for (const auto& r : csv_tokens(args, "rate", "0.01"))
     plan.rates_per_ms.push_back(util::parse_double(r));
-  plan.policy_specs = csv_tokens(args, "policies", "apt:4,met,spn,ag");
+  // Registry-validated: a typo fails here with a did-you-mean instead of
+  // mid-run inside a worker.
+  plan.policy_specs =
+      core::parse_policy_list(args.get("policies", "apt:4,met,spn,ag"));
   plan.kernels =
       static_cast<std::size_t>(util::parse_uint(args.get("kernels", "46")));
   plan.arrival_kind =
@@ -602,9 +645,16 @@ int cmd_stream(const Args& args) {
   plan.base_seed = util::parse_uint(args.get("seed", "0"));
   const double link_rate = util::parse_double(args.get("link-rate", "4"));
   plan.base_system = sim::SystemConfig::paper_default(link_rate);
-  plan.base_system.topology = topology_from_args(args);
+  // --topology takes a comma list: each fabric reruns the whole grid as an
+  // ablation slice (workload seeds depend only on the plan's base seed, so
+  // every fabric faces the identical arrival sequence).
+  const std::vector<net::TopologySpec> topologies = topologies_from_args(args);
+  plan.base_system.topology = topologies.front();
   plan.table = table_from_args(args, {link_rate});
-  const std::string topology_label = plan.base_system.topology.label();
+  std::vector<std::string> topology_labels;
+  for (const net::TopologySpec& t : topologies)
+    topology_labels.push_back(t.label());
+  const std::string topology_label = util::join(topology_labels, "+");
 
   // Service-time noise + hedging ablation axes. All default to off, which
   // reproduces noise-free streams bit-for-bit.
@@ -635,12 +685,16 @@ int cmd_stream(const Args& args) {
   const core::BatchRunner runner(jobs);
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<StreamAblationRun> runs;
-  for (const double tail_prob : tail_probs) {
-    for (const bool hedging : hedging_modes) {
-      plan.noise.heavy_tail_prob = tail_prob;
-      plan.hedging.enabled = hedging;
-      runs.push_back(StreamAblationRun{
-          tail_prob, hedging, core::run_stream_plan(plan, runner)});
+  for (const net::TopologySpec& topo : topologies) {
+    plan.base_system.topology = topo;
+    for (const double tail_prob : tail_probs) {
+      for (const bool hedging : hedging_modes) {
+        plan.noise.heavy_tail_prob = tail_prob;
+        plan.hedging.enabled = hedging;
+        runs.push_back(StreamAblationRun{
+            topo.label(), tail_prob, hedging,
+            core::run_stream_plan(plan, runner)});
+      }
     }
   }
   const double elapsed_ms =
@@ -652,7 +706,7 @@ int cmd_stream(const Args& args) {
   std::cout << "stream, " << first.families.size() << " families x "
             << first.rates_per_ms.size() << " rates x "
             << first.policy_names.size() << " policies x " << runs.size()
-            << " noise/hedging slices = "
+            << " topology/noise/hedging slices = "
             << first.cells.size() * runs.size() << " cells in "
             << util::format_double(elapsed_ms, 1) << " ms (" << runner.jobs()
             << " jobs), arrivals " << stream::to_string(plan.arrival_kind)
@@ -660,16 +714,16 @@ int cmd_stream(const Args& args) {
             << util::format_double(plan.horizon_ms, 0) << " ms, warmup "
             << util::format_double(plan.warmup_ms, 0) << " ms, noise sigma "
             << util::format_double(plan.noise.sigma, 3) << "\n";
-  util::TablePrinter table({"family", "rate/ms", "policy", "tail", "hedge",
-                            "apps", "thrpt/s", "flow avg ms", "flow p95 ms",
-                            "flow p99 ms", "slowdown", "util %",
-                            "hedges w/l"});
+  util::TablePrinter table({"family", "rate/ms", "topology", "policy",
+                            "tail", "hedge", "apps", "thrpt/s",
+                            "flow avg ms", "flow p95 ms", "flow p99 ms",
+                            "slowdown", "util %", "hedges w/l"});
   for (const StreamAblationRun& run : runs) {
     for (const core::StreamCellResult& cell : run.result.cells) {
       const sim::StreamMetrics& m = cell.metrics;
       const std::size_t lost = m.hedges_launched - m.hedges_replica_won;
       table.add_row({cell.family, util::format_double(cell.rate_per_ms, 6),
-                     cell.policy_name,
+                     run.topology_label, cell.policy_name,
                      util::format_double(run.tail_prob, 3),
                      run.hedging ? "on" : "off",
                      std::to_string(m.apps_measured),
@@ -687,7 +741,7 @@ int cmd_stream(const Args& args) {
 
   if (args.has("csv")) {
     util::CsvTable csv(
-        {"family", "rate_per_ms", "topology", "policy", "spec",
+        {"family", "rate_per_ms", "topology", "policy", "spec", "comm_aware",
          "apps_arrived",
          "apps_completed", "apps_measured", "throughput_apps_per_s",
          "flow_avg_ms", "flow_p50_ms", "flow_p95_ms", "flow_p99_ms",
@@ -702,7 +756,8 @@ int cmd_stream(const Args& args) {
       for (const core::StreamCellResult& cell : run.result.cells) {
         const sim::StreamMetrics& m = cell.metrics;
         csv.add_row({cell.family, util::format_double(cell.rate_per_ms, 6),
-                     topology_label, cell.policy_name, cell.policy_spec,
+                     run.topology_label, cell.policy_name, cell.policy_spec,
+                     comm_aware_label(cell.policy_spec),
                      std::to_string(m.apps_arrived),
                      std::to_string(m.apps_completed),
                      std::to_string(m.apps_measured),
@@ -752,10 +807,13 @@ int cmd_stream(const Args& args) {
         const sim::StreamMetrics& m = cell.metrics;
         out << "    {\"family\": \"" << json_escape(cell.family)
             << "\", \"rate_per_ms\": "
-            << util::format_double(cell.rate_per_ms, 6) << ", \"policy\": \""
+            << util::format_double(cell.rate_per_ms, 6)
+            << ", \"topology\": \"" << json_escape(run.topology_label)
+            << "\", \"policy\": \""
             << json_escape(cell.policy_name) << "\", \"spec\": \""
-            << json_escape(cell.policy_spec)
-            << "\", \"tail_prob\": " << util::format_double(run.tail_prob, 6)
+            << json_escape(cell.policy_spec) << "\", \"comm_aware\": "
+            << comm_aware_label(cell.policy_spec)
+            << ", \"tail_prob\": " << util::format_double(run.tail_prob, 6)
             << ", \"hedging\": " << (run.hedging ? "true" : "false")
             << ", \"apps_measured\": " << m.apps_measured
             << ", \"throughput_apps_per_s\": "
@@ -829,9 +887,19 @@ int cmd_report(const Args& args) {
 }
 
 int cmd_policies() {
-  std::cout << "known policy specs:\n";
-  for (const auto& spec : core::known_policy_specs())
-    std::cout << "  " << spec << "\n";
+  // One row per registry entry: usage, dynamic/static, summary, aliases.
+  std::size_t width = 0;
+  for (const auto& info : core::policy_registry())
+    width = std::max(width, info.usage.size());
+  std::cout << "known policies (SPEC forms for --policy / --policies):\n";
+  for (const auto& info : core::policy_registry()) {
+    std::cout << "  " << info.usage
+              << std::string(width - info.usage.size() + 2, ' ')
+              << (info.dynamic ? "dynamic  " : "static   ") << info.summary;
+    if (!info.aliases.empty())
+      std::cout << " [aka " << util::join(info.aliases, ", ") << "]";
+    std::cout << "\n";
+  }
   return 0;
 }
 
@@ -873,8 +941,9 @@ void usage() {
       "               [--kernels N,...] [--ccr X] [--hetero H]\n"
       "               [--lut-seed S]] [--policies SPEC,...]\n"
       "               [--alphas 1.5,2,4] [--rates 4,8] [--jobs N] [--reps R]\n"
-      "               [--topology ideal|bus|crossbar|hier[:S]|\n"
-      "                  ring[:N]|mesh:RxC|fattree[:K]]\n"
+      "               [--topology KIND,...  (ideal|bus|crossbar|hier[:S]|\n"
+      "                  ring[:N]|mesh:RxC|fattree[:K]; a comma list sweeps\n"
+      "                  the topology axis)]\n"
       "               [--bandwidth GBPS] [--latency MS]\n"
       "               [--seed S] [--csv F] [--json F]\n"
       "  aptsim stream [--family NAME,...] [--rate L,... (apps/ms)]\n"
@@ -887,8 +956,8 @@ void usage() {
       "               [--noise-seed S] [--hedging on|off|both]\n"
       "               [--hedge-quantile Q] [--hedge-factor F]\n"
       "               [--lut F.csv | --ccr X --hetero H --lut-seed S]\n"
-      "               [--topology ideal|bus|crossbar|hier[:S]|\n"
-      "                  ring[:N]|mesh:RxC|fattree[:K]]\n"
+      "               [--topology KIND,...  (comma list reruns the grid per\n"
+      "                  fabric — the comm-aware ablation axis)]\n"
       "               [--bandwidth GBPS] [--latency MS]\n"
       "               [--jobs N] [--csv F] [--json F]\n"
       "  aptsim families\n"

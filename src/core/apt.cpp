@@ -12,13 +12,24 @@ namespace apt::core {
 Apt::Apt(AptOptions options) : options_(options) {
   if (!(options_.alpha >= 1.0))
     throw std::invalid_argument("Apt: alpha must be >= 1 (Eq. 8)");
+  if (options_.rank_quantile < 0.0 || options_.rank_quantile >= 1.0)
+    throw std::invalid_argument("Apt: rank_quantile must be in [0, 1)");
 }
 
 std::string Apt::name() const {
-  std::string n = "APT(alpha=" + util::format_double(options_.alpha, 2) + ")";
+  const char* head = options_.rank_quantile > 0.0 ? "APT-Q"
+                     : options_.comm_aware        ? "APT-C"
+                                                  : "APT";
+  std::string n = std::string(head) + "(alpha=" +
+                  util::format_double(options_.alpha, 2) + ")";
   if (!options_.transfer_aware) n += "[no-transfer]";
   if (options_.consider_remaining_time) n += "[remaining]";
   return n;
+}
+
+void Apt::prepare(const dag::Dag&, const sim::System&,
+                  const sim::CostModel&) {
+  quantile_mult_.reset();
 }
 
 void Apt::on_event(sim::SchedulerContext& ctx) {
@@ -39,15 +50,34 @@ void Apt::on_event(sim::SchedulerContext& ctx) {
       continue;
     }
 
-    // Line 10-14: the alternative processor within the threshold.
+    // Line 10-14: the alternative processor within the threshold. APT-Q
+    // scales BOTH sides by m_q: a uniform multiplier cancels in a pure
+    // argmin, so the quantile only bites through the mixed deterministic /
+    // noisy sum — exec and queueing widen with the tail, the unloaded
+    // stall does not.
+    if (!quantile_mult_) {
+      quantile_mult_ = options_.rank_quantile > 0.0
+                           ? sim::noise_quantile_multiplier(
+                                 ctx.noise(), options_.rank_quantile)
+                           : 1.0;
+    }
+    const double mq = *quantile_mult_;
     const sim::TimeMs x = policies::min_exec_time_ms(ctx, node);
-    const sim::TimeMs threshold = options_.alpha * x;
+    const sim::TimeMs threshold = options_.alpha * x * mq;
 
     std::optional<sim::ProcId> alt;
     sim::TimeMs alt_cost = std::numeric_limits<sim::TimeMs>::infinity();
     for (sim::ProcId proc : ctx.idle_processors()) {
-      sim::TimeMs cost = ctx.exec_time_ms(node, proc);
-      if (options_.transfer_aware) cost += ctx.input_transfer_ms(node, proc);
+      sim::TimeMs cost = ctx.exec_time_ms(node, proc) * mq;
+      if (options_.rank_quantile > 0.0) {
+        cost += ctx.transfer_estimate(node, proc)
+                    .quantile_ms(options_.rank_quantile);
+      } else if (options_.comm_aware) {
+        cost += ctx.transfer_estimate(node, proc).total_ms();
+      } else if (options_.transfer_aware) {
+        // The comm-blind reading: bit-identical to the legacy scalar.
+        cost += ctx.transfer_estimate(node, proc).stall_ms;
+      }
       if (cost <= threshold && cost < alt_cost) {
         alt = proc;
         alt_cost = cost;

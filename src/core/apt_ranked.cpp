@@ -43,8 +43,8 @@ void AptRanked::on_event(sim::SchedulerContext& ctx) {
     std::optional<sim::ProcId> alt;
     sim::TimeMs alt_cost = std::numeric_limits<sim::TimeMs>::infinity();
     for (sim::ProcId proc : ctx.idle_processors()) {
-      const sim::TimeMs cost =
-          ctx.exec_time_ms(node, proc) + ctx.input_transfer_ms(node, proc);
+      const sim::TimeMs cost = ctx.exec_time_ms(node, proc) +
+                               ctx.transfer_estimate(node, proc).stall_ms;
       if (cost <= threshold && cost < alt_cost) {
         alt = proc;
         alt_cost = cost;

@@ -60,6 +60,8 @@ ExperimentPlan make_scenario_plan(const ScenarioSweepSpec& spec,
   plan.rates_gbps = std::move(rates_gbps);
   spec.topology.validate();
   plan.base_system.topology = spec.topology;
+  for (const net::TopologySpec& t : spec.topologies) t.validate();
+  plan.topologies = spec.topologies;
   plan.table = spec.synthetic ? lut::synthetic_lookup_table(*spec.synthetic)
                               : lut::paper_lookup_table();
   const dag::KernelPool pool = dag::KernelPool::from_lookup_table(plan.table);
@@ -91,13 +93,15 @@ std::vector<std::string> scenario_graph_labels(const ScenarioSweepSpec& spec) {
 }
 
 std::size_t ExperimentPlan::task_count() const noexcept {
-  return replications * rates_gbps.size() * graphs.size() *
+  return topology_count() * replications * rates_gbps.size() * graphs.size() *
          policy_specs.size();
 }
 
 BatchTask ExperimentPlan::task(std::size_t flat_index) const {
-  // Row-major over (replication, rate, graph, policy), policy fastest —
-  // the nesting order of the serial experiment loops.
+  // Row-major over (topology, replication, rate, graph, policy), policy
+  // fastest — the nesting order of the serial experiment loops, with the
+  // topology axis OUTERMOST so single-topology plans keep their historical
+  // flat indices (and "{seed}" streams) bit for bit.
   BatchTask t;
   t.index = flat_index;
   t.policy = flat_index % policy_specs.size();
@@ -105,7 +109,9 @@ BatchTask ExperimentPlan::task(std::size_t flat_index) const {
   t.graph = flat_index % graphs.size();
   flat_index /= graphs.size();
   t.rate = flat_index % rates_gbps.size();
-  t.replication = flat_index / rates_gbps.size();
+  flat_index /= rates_gbps.size();
+  t.replication = flat_index % replications;
+  t.topology = flat_index / replications;
   t.seed = util::stream_seed(base_seed, t.index);
   return t;
 }
@@ -123,6 +129,7 @@ std::vector<std::string> ExperimentPlan::validate() const {
     if (!(rate > 0.0))
       throw std::invalid_argument("ExperimentPlan: link rate must be > 0");
   }
+  for (const net::TopologySpec& t : topologies) t.validate();
   // Fail fast on malformed specs (before any worker is spawned). Column p's
   // first task is (replication 0, rate 0, graph 0, policy p) — flat index p
   // — so seeded specs resolve here exactly as that task will, and the
@@ -149,18 +156,21 @@ std::string resolve_policy_spec(const std::string& spec, std::uint64_t seed) {
   return out;
 }
 
-const Cell& BatchResult::at(std::size_t replication, std::size_t rate,
-                            std::size_t graph, std::size_t policy) const {
-  if (replication >= replications || rate >= rate_count ||
-      graph >= graph_count || policy >= policy_count)
+const Cell& BatchResult::at(std::size_t topology, std::size_t replication,
+                            std::size_t rate, std::size_t graph,
+                            std::size_t policy) const {
+  if (topology >= topology_count || replication >= replications ||
+      rate >= rate_count || graph >= graph_count || policy >= policy_count)
     throw std::out_of_range("BatchResult::at: index outside the result cube");
-  return cells[((replication * rate_count + rate) * graph_count + graph) *
+  return cells[(((topology * replications + replication) * rate_count + rate) *
+                    graph_count +
+                graph) *
                    policy_count +
                policy];
 }
 
 Grid BatchResult::grid(dag::DfgType type, std::size_t rate,
-                       std::size_t replication) const {
+                       std::size_t replication, std::size_t topology) const {
   Grid grid;
   grid.type = type;
   grid.rate_gbps = rates_gbps.at(rate);
@@ -170,7 +180,7 @@ Grid BatchResult::grid(dag::DfgType type, std::size_t rate,
   for (std::size_t g = 0; g < graph_count; ++g) {
     grid.cells[g].reserve(policy_count);
     for (std::size_t p = 0; p < policy_count; ++p)
-      grid.cells[g].push_back(at(replication, rate, g, p));
+      grid.cells[g].push_back(at(topology, replication, rate, g, p));
   }
   return grid;
 }
@@ -183,30 +193,38 @@ BatchRunner::~BatchRunner() = default;
 namespace {
 
 /// Shared read-only simulation inputs, built once per plan: one system per
-/// link rate and one densified cost model per (rate, graph), so the tasks
-/// of every policy column and replication reuse the same tables instead of
-/// re-densifying them (Engine::run detects the pre-wrapped model and skips
-/// its own wrapping pass).
+/// (topology, link rate) and one densified cost model per (topology, rate,
+/// graph), so the tasks of every policy column and replication reuse the
+/// same tables instead of re-densifying them (Engine::run detects the
+/// pre-wrapped model and skips its own wrapping pass).
 struct SharedInputs {
-  std::vector<sim::System> systems;                 ///< [rate]
-  std::vector<sim::LutCostModel> lut_models;        ///< [rate]
-  std::vector<std::vector<sim::PrecomputedCostModel>> cost;  ///< [rate][graph]
+  std::vector<std::vector<sim::System>> systems;           ///< [topo][rate]
+  std::vector<std::vector<sim::LutCostModel>> lut_models;  ///< [topo][rate]
+  /// [topo][rate][graph]
+  std::vector<std::vector<std::vector<sim::PrecomputedCostModel>>> cost;
 
   SharedInputs(const ExperimentPlan& plan, const lut::LookupTable& table) {
-    systems.reserve(plan.rates_gbps.size());
-    lut_models.reserve(plan.rates_gbps.size());
-    cost.reserve(plan.rates_gbps.size());
-    for (double rate : plan.rates_gbps) {
-      sim::SystemConfig cfg = plan.base_system;
-      cfg.link_rate_gbps = rate;
-      systems.emplace_back(cfg);
-      lut_models.emplace_back(table, systems.back());
-    }
-    for (std::size_t r = 0; r < plan.rates_gbps.size(); ++r) {
-      cost.emplace_back();
-      cost.back().reserve(plan.graphs.size());
-      for (const dag::Dag& graph : plan.graphs)
-        cost.back().emplace_back(graph, systems[r], lut_models[r]);
+    const std::size_t topo_count = plan.topology_count();
+    systems.resize(topo_count);
+    lut_models.resize(topo_count);
+    cost.resize(topo_count);
+    for (std::size_t t = 0; t < topo_count; ++t) {
+      systems[t].reserve(plan.rates_gbps.size());
+      lut_models[t].reserve(plan.rates_gbps.size());
+      cost[t].reserve(plan.rates_gbps.size());
+      for (double rate : plan.rates_gbps) {
+        sim::SystemConfig cfg = plan.base_system;
+        cfg.link_rate_gbps = rate;
+        cfg.topology = plan.topology_spec(t);
+        systems[t].emplace_back(cfg);
+        lut_models[t].emplace_back(table, systems[t].back());
+      }
+      for (std::size_t r = 0; r < plan.rates_gbps.size(); ++r) {
+        cost[t].emplace_back();
+        cost[t].back().reserve(plan.graphs.size());
+        for (const dag::Dag& graph : plan.graphs)
+          cost[t].back().emplace_back(graph, systems[t][r], lut_models[t][r]);
+      }
     }
   }
 };
@@ -216,9 +234,10 @@ Cell run_single_task(const ExperimentPlan& plan, const SharedInputs& shared,
                      const BatchTask& task) {
   const auto policy = make_policy(
       resolve_policy_spec(plan.policy_specs[task.policy], task.seed));
-  return cell_from_outcome(run_policy(*policy, plan.graphs[task.graph],
-                                      shared.systems[task.rate],
-                                      shared.cost[task.rate][task.graph]));
+  return cell_from_outcome(
+      run_policy(*policy, plan.graphs[task.graph],
+                 shared.systems[task.topology][task.rate],
+                 shared.cost[task.topology][task.rate][task.graph]));
 }
 
 }  // namespace
@@ -231,6 +250,7 @@ BatchResult BatchRunner::run(const ExperimentPlan& plan) const {
       plan.table.empty() ? paper_fallback : plan.table;
 
   BatchResult result;
+  result.topology_count = plan.topology_count();
   result.replications = plan.replications;
   result.rate_count = plan.rates_gbps.size();
   result.graph_count = plan.graphs.size();
@@ -238,6 +258,9 @@ BatchResult BatchRunner::run(const ExperimentPlan& plan) const {
   result.policy_specs = plan.policy_specs;
   result.rates_gbps = plan.rates_gbps;
   result.policy_names = std::move(policy_names);
+  result.topology_labels.reserve(result.topology_count);
+  for (std::size_t t = 0; t < result.topology_count; ++t)
+    result.topology_labels.push_back(plan.topology_spec(t).label());
 
   const SharedInputs shared(plan, table);
   result.cells.resize(plan.task_count());

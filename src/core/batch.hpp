@@ -36,6 +36,7 @@ namespace apt::core {
 
 /// Coordinates of one simulation task inside a plan.
 struct BatchTask {
+  std::size_t topology = 0;  ///< index into the plan's topology axis
   std::size_t replication = 0;
   std::size_t rate = 0;    ///< index into ExperimentPlan::rates_gbps
   std::size_t graph = 0;   ///< index into ExperimentPlan::graphs
@@ -45,16 +46,26 @@ struct BatchTask {
 };
 
 /// Declarative sweep specification. The task order (and therefore the RNG
-/// stream assignment) is row-major over replication, rate, graph, policy —
-/// the same nesting the serial experiment loops use.
+/// stream assignment) is row-major over topology, replication, rate,
+/// graph, policy — topology OUTERMOST so a single-topology plan's flat
+/// indices (and therefore its "{seed}" policy streams) are identical to
+/// the historical four-axis layout, and adding topologies appends whole
+/// blocks without renumbering existing cells.
 struct ExperimentPlan {
   std::vector<dag::Dag> graphs;
   std::vector<std::string> policy_specs;
   std::vector<double> rates_gbps = {4.0};
+
+  /// Interconnect topology axis. Empty (the default) means one implicit
+  /// topology — base_system.topology — which keeps every pre-axis plan
+  /// seed-stable; non-empty overrides base_system.topology per task.
+  std::vector<net::TopologySpec> topologies;
+
   std::size_t replications = 1;
   std::uint64_t base_seed = 0;
 
-  /// Platform template; link_rate_gbps is overridden by the rate axis.
+  /// Platform template; link_rate_gbps is overridden by the rate axis and
+  /// topology by the topology axis (when non-empty).
   sim::SystemConfig base_system = sim::SystemConfig::paper_default();
 
   /// Cost table; defaults to the paper's lookup table.
@@ -64,6 +75,18 @@ struct ExperimentPlan {
   static ExperimentPlan paper(dag::DfgType type,
                               std::vector<std::string> policy_specs,
                               std::vector<double> rates_gbps = {4.0});
+
+  /// Size of the topology axis (>= 1: the implicit base_system topology
+  /// counts when `topologies` is empty).
+  std::size_t topology_count() const noexcept {
+    return topologies.empty() ? 1 : topologies.size();
+  }
+
+  /// The spec of topology-axis index `t` (base_system.topology when the
+  /// axis is implicit).
+  const net::TopologySpec& topology_spec(std::size_t t) const {
+    return topologies.empty() ? base_system.topology : topologies.at(t);
+  }
 
   std::size_t task_count() const noexcept;
   BatchTask task(std::size_t flat_index) const;
@@ -77,21 +100,32 @@ struct ExperimentPlan {
 
 /// Dense result cube addressed by the plan's axes.
 struct BatchResult {
+  std::size_t topology_count = 1;
   std::size_t replications = 0;
   std::size_t rate_count = 0;
   std::size_t graph_count = 0;
   std::size_t policy_count = 0;
+  std::vector<std::string> topology_labels;  ///< [topology] display labels
   std::vector<std::string> policy_names;  ///< resolved display names
   std::vector<std::string> policy_specs;
   std::vector<double> rates_gbps;
   std::vector<Cell> cells;  ///< flat, in plan task order
 
-  const Cell& at(std::size_t replication, std::size_t rate, std::size_t graph,
+  /// Full five-axis lookup (topology outermost, matching task order).
+  const Cell& at(std::size_t topology, std::size_t replication,
+                 std::size_t rate, std::size_t graph,
                  std::size_t policy) const;
 
-  /// One (rate, replication) slice as the classic Grid.
+  /// Four-axis convenience: topology 0 — exact historical behaviour for
+  /// single-topology plans.
+  const Cell& at(std::size_t replication, std::size_t rate, std::size_t graph,
+                 std::size_t policy) const {
+    return at(0, replication, rate, graph, policy);
+  }
+
+  /// One (topology, rate, replication) slice as the classic Grid.
   Grid grid(dag::DfgType type, std::size_t rate = 0,
-            std::size_t replication = 0) const;
+            std::size_t replication = 0, std::size_t topology = 0) const;
 };
 
 /// Axes of a scenario-cube sweep: workload families × seeded graphs ×
@@ -122,6 +156,11 @@ struct ScenarioSweepSpec {
   /// into family × CCR × heterogeneity × topology, with the plan's rate
   /// axis sweeping the fabric bandwidth when the spec's own bandwidth is 0.
   net::TopologySpec topology;
+
+  /// Multi-topology axis: when non-empty, the plan sweeps these specs as
+  /// its outermost axis (ExperimentPlan::topologies) and `topology` above
+  /// is ignored. Single-element lists behave exactly like `topology`.
+  std::vector<net::TopologySpec> topologies;
 };
 
 /// Expands a scenario spec into a plan with graphs and table filled in.

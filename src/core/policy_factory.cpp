@@ -1,5 +1,7 @@
 #include "core/policy_factory.hpp"
 
+#include <algorithm>
+#include <functional>
 #include <stdexcept>
 
 #include "core/apt.hpp"
@@ -18,6 +20,268 @@
 
 namespace apt::core {
 
+namespace {
+
+/// A registry row plus what the header-visible PolicyInfo omits: the
+/// factory itself, the placeholder name of the optional argument (for
+/// known_policy_specs), and concrete advertised variants ("ag:recent").
+struct Entry {
+  PolicyInfo info;
+  std::string param;  ///< "<param>" placeholder name; empty = no argument
+  std::vector<std::string> advertised;  ///< extra concrete specs to list
+  std::function<std::unique_ptr<sim::Policy>(const std::string& arg)> make;
+};
+
+std::unique_ptr<sim::Policy> make_ag(policies::AgQueueEstimate estimate,
+                                     bool comm_aware) {
+  policies::AgOptions options;
+  options.estimate = estimate;
+  options.comm_aware = comm_aware;
+  return std::make_unique<policies::AdaptiveGreedy>(options);
+}
+
+/// APT-Q's planning quantile. Fixed rather than spec-settable: the point of
+/// the variant is one canonical tail-aware column next to APT/APT-C in
+/// every ablation, not another free parameter to sweep.
+constexpr double kAptQQuantile = 0.95;
+
+const std::vector<Entry>& registry() {
+  static const std::vector<Entry> table = [] {
+    std::vector<Entry> t;
+    const auto alpha_of = [](const std::string& arg) {
+      return arg.empty() ? 4.0 : util::parse_double(arg);
+    };
+    t.push_back({{"apt", {}, "apt[:alpha]",
+                  "Alternative Processor within Threshold (the paper's "
+                  "policy; alpha >= 1, default 4)",
+                  true},
+                 "alpha",
+                 {},
+                 [alpha_of](const std::string& arg) {
+                   return std::make_unique<Apt>(alpha_of(arg));
+                 }});
+    t.push_back({{"apt-c", {"aptc"}, "apt-c[:alpha]",
+                  "APT pricing transfers with predicted link backlog "
+                  "(TransferEstimate::total_ms); == APT on ideal fabrics",
+                  true, true},
+                 "alpha",
+                 {},
+                 [alpha_of](const std::string& arg) {
+                   AptOptions options;
+                   options.alpha = alpha_of(arg);
+                   options.comm_aware = true;
+                   return std::make_unique<Apt>(options);
+                 }});
+    t.push_back({{"apt-q", {"aptq"}, "apt-q[:alpha]",
+                  "APT ranking by the p95 cost quantile under the run's "
+                  "noise spec; == APT-C when noise is off",
+                  true, true},
+                 "alpha",
+                 {},
+                 [alpha_of](const std::string& arg) {
+                   AptOptions options;
+                   options.alpha = alpha_of(arg);
+                   options.comm_aware = true;
+                   options.rank_quantile = kAptQQuantile;
+                   return std::make_unique<Apt>(options);
+                 }});
+    t.push_back({{"apt-r", {"aptr"}, "apt-r[:alpha]",
+                  "APT with the remaining-time extension (waits when "
+                  "draining p_min beats the alternative)",
+                  true},
+                 "alpha",
+                 {},
+                 [alpha_of](const std::string& arg) {
+                   return std::make_unique<AptRemaining>(alpha_of(arg));
+                 }});
+    t.push_back({{"apt-ranked", {"aptranked"}, "apt-ranked[:alpha]",
+                  "APT serving the ready set in HEFT upward-rank order",
+                  true},
+                 "alpha",
+                 {},
+                 [alpha_of](const std::string& arg) {
+                   return std::make_unique<AptRanked>(alpha_of(arg));
+                 }});
+    t.push_back({{"met", {}, "met",
+                  "Minimum Execution Time (waits for the best processor)",
+                  true},
+                 "",
+                 {},
+                 [](const std::string&) {
+                   return std::make_unique<policies::Met>();
+                 }});
+    t.push_back({{"spn", {}, "spn", "Shortest Process Next", true},
+                 "",
+                 {},
+                 [](const std::string&) {
+                   return std::make_unique<policies::Spn>();
+                 }});
+    t.push_back({{"ss", {}, "ss", "Serial Scheduling (one processor)", true},
+                 "",
+                 {},
+                 [](const std::string&) {
+                   return std::make_unique<policies::SerialScheduling>();
+                 }});
+    t.push_back({{"ag", {}, "ag[:recent]",
+                  "Adaptive Greedy FIFO queues (sum-of-queued estimator; "
+                  ":recent for the Eq. (2) rolling average)",
+                  true},
+                 "",
+                 {"ag:recent"},
+                 [](const std::string& arg) {
+                   if (arg.empty())
+                     return make_ag(policies::AgQueueEstimate::SumOfQueued,
+                                    false);
+                   if (arg == "recent")
+                     return make_ag(policies::AgQueueEstimate::RecentAverage,
+                                    false);
+                   throw std::invalid_argument(
+                       "make_policy: unknown AG variant '" + arg + "'");
+                 }});
+    t.push_back({{"ag-net", {"agnet"}, "ag-net[:recent]",
+                  "Adaptive Greedy with fabric-backlog-aware transfer "
+                  "delay (TransferEstimate::total_ms); == AG on ideal "
+                  "fabrics",
+                  true, true},
+                 "",
+                 {},
+                 [](const std::string& arg) {
+                   if (arg.empty())
+                     return make_ag(policies::AgQueueEstimate::SumOfQueued,
+                                    true);
+                   if (arg == "recent")
+                     return make_ag(policies::AgQueueEstimate::RecentAverage,
+                                    true);
+                   throw std::invalid_argument(
+                       "make_policy: unknown AG variant '" + arg + "'");
+                 }});
+    t.push_back({{"olb", {}, "olb", "Opportunistic Load Balancing", true},
+                 "",
+                 {},
+                 [](const std::string&) {
+                   return std::make_unique<policies::Olb>();
+                 }});
+    t.push_back({{"minmin", {"min-min"}, "minmin",
+                  "Min-Min batch heuristic (Braun et al.)", true},
+                 "",
+                 {},
+                 [](const std::string&) {
+                   return std::make_unique<policies::BatchMode>(
+                       policies::BatchRule::MinMin);
+                 }});
+    t.push_back({{"maxmin", {"max-min"}, "maxmin",
+                  "Max-Min batch heuristic (Braun et al.)", true},
+                 "",
+                 {},
+                 [](const std::string&) {
+                   return std::make_unique<policies::BatchMode>(
+                       policies::BatchRule::MaxMin);
+                 }});
+    t.push_back({{"sufferage", {}, "sufferage",
+                  "Sufferage batch heuristic (Braun et al.)", true},
+                 "",
+                 {},
+                 [](const std::string&) {
+                   return std::make_unique<policies::BatchMode>(
+                       policies::BatchRule::Sufferage);
+                 }});
+    t.push_back({{"heft", {}, "heft",
+                  "Heterogeneous Earliest Finish Time (static list "
+                  "schedule)",
+                  false},
+                 "",
+                 {},
+                 [](const std::string&) {
+                   return std::make_unique<policies::Heft>();
+                 }});
+    t.push_back({{"peft", {}, "peft",
+                  "Predict Earliest Finish Time (static, OCT table)",
+                  false},
+                 "",
+                 {},
+                 [](const std::string&) {
+                   return std::make_unique<policies::Peft>();
+                 }});
+    t.push_back({{"random", {}, "random[:seed]",
+                  "Uniform random assignment (seeded; default 42)", true},
+                 "seed",
+                 {},
+                 [](const std::string& arg) {
+                   const std::uint64_t seed =
+                       arg.empty() ? 42 : util::parse_uint(arg);
+                   return std::make_unique<policies::RandomPolicy>(seed);
+                 }});
+    return t;
+  }();
+  return table;
+}
+
+const Entry* find_entry(const std::string& head) {
+  for (const Entry& e : registry()) {
+    if (e.info.head == head) return &e;
+    for (const std::string& alias : e.info.aliases)
+      if (alias == head) return &e;
+  }
+  return nullptr;
+}
+
+/// Classic two-row Levenshtein distance (specs are short; no need for
+/// anything cleverer).
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+/// The registered head closest to `head`, when within edit distance 2 —
+/// typos, not arbitrary words, get a suggestion.
+std::string did_you_mean(const std::string& head) {
+  std::string best;
+  std::size_t best_dist = 3;
+  for (const Entry& e : registry()) {
+    const std::size_t d = edit_distance(head, e.info.head);
+    if (d < best_dist) {
+      best = e.info.head;
+      best_dist = d;
+    }
+    for (const std::string& alias : e.info.aliases) {
+      const std::size_t da = edit_distance(head, alias);
+      if (da < best_dist) {
+        best = e.info.head;  // suggest the canonical form, not the alias
+        best_dist = da;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+const std::vector<PolicyInfo>& policy_registry() {
+  static const std::vector<PolicyInfo> infos = [] {
+    std::vector<PolicyInfo> v;
+    for (const Entry& e : registry()) v.push_back(e.info);
+    return v;
+  }();
+  return infos;
+}
+
+const PolicyInfo* find_policy_info(const std::string& spec) {
+  std::string head = util::to_lower(util::trim(spec));
+  if (const auto colon = head.find(':'); colon != std::string::npos)
+    head.resize(colon);
+  const Entry* e = find_entry(head);
+  return e ? &e->info : nullptr;
+}
+
 std::unique_ptr<sim::Policy> make_policy(const std::string& spec) {
   const std::string lowered = util::to_lower(util::trim(spec));
   std::string head = lowered;
@@ -26,54 +290,43 @@ std::unique_ptr<sim::Policy> make_policy(const std::string& spec) {
     head = lowered.substr(0, colon);
     arg = lowered.substr(colon + 1);
   }
-
-  if (head == "apt") {
-    const double alpha = arg.empty() ? 4.0 : util::parse_double(arg);
-    return std::make_unique<Apt>(alpha);
-  }
-  if (head == "apt-r" || head == "aptr") {
-    const double alpha = arg.empty() ? 4.0 : util::parse_double(arg);
-    return std::make_unique<AptRemaining>(alpha);
-  }
-  if (head == "apt-ranked" || head == "aptranked") {
-    const double alpha = arg.empty() ? 4.0 : util::parse_double(arg);
-    return std::make_unique<AptRanked>(alpha);
-  }
-  if (head == "met") return std::make_unique<policies::Met>();
-  if (head == "spn") return std::make_unique<policies::Spn>();
-  if (head == "ss") return std::make_unique<policies::SerialScheduling>();
-  if (head == "ag") {
-    policies::AgOptions options;
-    if (arg == "recent")
-      options.estimate = policies::AgQueueEstimate::RecentAverage;
-    else if (!arg.empty())
-      throw std::invalid_argument("make_policy: unknown AG variant '" + arg + "'");
-    return std::make_unique<policies::AdaptiveGreedy>(options);
-  }
-  if (head == "olb") return std::make_unique<policies::Olb>();
-  if (head == "minmin" || head == "min-min")
-    return std::make_unique<policies::BatchMode>(policies::BatchRule::MinMin);
-  if (head == "maxmin" || head == "max-min")
-    return std::make_unique<policies::BatchMode>(policies::BatchRule::MaxMin);
-  if (head == "sufferage")
-    return std::make_unique<policies::BatchMode>(
-        policies::BatchRule::Sufferage);
-  if (head == "heft") return std::make_unique<policies::Heft>();
-  if (head == "peft") return std::make_unique<policies::Peft>();
-  if (head == "random") {
-    const std::uint64_t seed = arg.empty() ? 42 : util::parse_uint(arg);
-    return std::make_unique<policies::RandomPolicy>(seed);
-  }
-  throw std::invalid_argument("make_policy: unknown policy spec '" + spec + "'");
+  if (const Entry* e = find_entry(head)) return e->make(arg);
+  std::string msg = "make_policy: unknown policy spec '" + spec + "'";
+  if (const std::string suggestion = did_you_mean(head); !suggestion.empty())
+    msg += " (did you mean '" + suggestion + "'?)";
+  msg += "; run 'aptsim policies' for the full list";
+  throw std::invalid_argument(msg);
 }
 
 std::vector<std::string> known_policy_specs() {
-  return {"apt",    "apt:<alpha>", "apt-r",     "apt-r:<alpha>",
-          "apt-ranked", "apt-ranked:<alpha>",
-          "met",    "spn",         "ss",        "ag",
-          "ag:recent", "olb",      "minmin",    "maxmin",
-          "sufferage", "heft",     "peft",      "random",
-          "random:<seed>"};
+  std::vector<std::string> specs;
+  for (const Entry& e : registry()) {
+    specs.push_back(e.info.head);
+    if (!e.param.empty()) specs.push_back(e.info.head + ":<" + e.param + ">");
+    for (const std::string& extra : e.advertised) specs.push_back(extra);
+  }
+  return specs;
+}
+
+std::vector<std::string> parse_policy_list(const std::string& csv) {
+  std::vector<std::string> specs;
+  for (const auto& token : util::split(csv, ',')) {
+    const std::string spec = util::trim(token);
+    if (spec.empty()) continue;
+    // "{seed}" placeholders resolve per cell later (resolve_policy_spec);
+    // validate with a stand-in value so "random:{seed}" passes here while
+    // a typo'd head still dies with the did-you-mean message.
+    std::string probe = spec;
+    static const std::string kPlaceholder = "{seed}";
+    for (std::size_t at = probe.find(kPlaceholder); at != std::string::npos;
+         at = probe.find(kPlaceholder, at)) {
+      probe.replace(at, kPlaceholder.size(), "0");
+      ++at;
+    }
+    make_policy(probe);  // throws with did-you-mean on typos
+    specs.push_back(spec);
+  }
+  return specs;
 }
 
 std::vector<std::unique_ptr<sim::Policy>> paper_policy_set(double apt_alpha) {

@@ -491,6 +491,17 @@ TimeMs Topology::route_latency_ms(ProcId from, ProcId to) const {
   return latency;
 }
 
+LinkId Topology::bottleneck_link(ProcId from, ProcId to) const {
+  const Route r = route(from, to);
+  if (r.empty()) return kNoLink;
+  // Same convention as transfer_time_ms: minimum-bandwidth hop, earliest
+  // in traversal order on ties.
+  LinkId best = r[0];
+  for (const LinkId l : r)
+    if (bandwidth_gbps(l) < bandwidth_gbps(best)) best = l;
+  return best;
+}
+
 TimeMs Topology::transfer_time_ms(double bytes, ProcId from, ProcId to) const {
   if (bytes < 0.0)
     throw std::invalid_argument("Topology: negative byte count");

@@ -160,6 +160,11 @@ class Topology {
   /// local).
   TimeMs route_latency_ms(ProcId from, ProcId to) const;
 
+  /// The from -> to route's bottleneck link: the minimum-bandwidth hop,
+  /// earliest in traversal order on ties — the link transfer_time_ms
+  /// prices the payload against. kNoLink when the pair is local.
+  LinkId bottleneck_link(ProcId from, ProcId to) const;
+
   /// Uncontended transfer estimate: route head latency + bytes over the
   /// route's bottleneck bandwidth, 0 when the pair is local. The figure
   /// policies plan with; actual transfers can only be slower (max-min fair

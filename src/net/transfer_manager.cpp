@@ -375,6 +375,19 @@ void TransferManager::verify_incremental_solve(TimeMs at) {
 }
 #endif
 
+TimeMs TransferManager::link_drain_ms(LinkId link) const {
+  TimeMs drain = 0.0;
+  for (const std::size_t slot : link_flows_.at(link)) {
+    const Message& m = messages_[slot];
+    if (!(m.rate_ms > 0.0)) continue;
+    // The same piecewise-linear projection freeze_flow pushed on the heap;
+    // clamped because a ripe-within-tolerance flow can project at now_.
+    const TimeMs remaining_ms = m.anchor_ms + m.remaining / m.rate_ms - now_;
+    if (remaining_ms > drain) drain = remaining_ms;
+  }
+  return drain;
+}
+
 std::vector<Delivery> TransferManager::advance_to(TimeMs t) {
   std::vector<Delivery> out;
   advance_to(t, out);

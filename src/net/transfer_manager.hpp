@@ -133,6 +133,29 @@ class TransferManager {
   /// Cumulative rate-solver counters for this manager (never reset).
   const SolveStats& solve_stats() const noexcept { return solve_stats_; }
 
+  // --- backlog prediction (the policy-facing estimation surface) -------------
+  //
+  // These queries feed sim::TransferEstimate: the schedulers ask "if I sent
+  // one more message over this route now, how long until the traffic already
+  // occupying it gets out of the way?" under the CURRENT max-min allocation.
+
+  /// Predicted time (ms from the last advance_to instant) until every
+  /// message currently draining over `link` finishes, at today's rates: the
+  /// max over the link's active flows of their projected remaining time
+  /// (anchor + remaining/rate − now, the exact projection the delivery heap
+  /// holds). 0 for an idle link. Messages still inside their route head
+  /// latency (scheduled but not yet activated) are not counted — they exist
+  /// only within that latency window and hold no link share yet.
+  TimeMs link_drain_ms(LinkId link) const;
+
+  /// Active (draining) messages currently occupying `link`.
+  std::size_t link_flow_count(LinkId link) const {
+    return link_flows_.at(link).size();
+  }
+
+  /// Messages pending activation or draining anywhere in the fabric.
+  std::size_t live_count() const noexcept { return live_count_; }
+
   // --- per-link accounting (for metrics) -------------------------------------
   //
   // A multi-hop message counts fully against every link of its route (it

@@ -33,8 +33,13 @@ void AdaptiveGreedy::on_event(sim::SchedulerContext& ctx) {
     sim::ProcId best = 0;
     sim::TimeMs best_tau = 0.0;
     for (sim::ProcId proc = 0; proc < ctx.system().proc_count(); ++proc) {
+      // τ_g^d: comm-blind AG plans against the unloaded route (stall_ms,
+      // the legacy scalar); AG-net adds the predicted link backlog — the
+      // fabric analogue of τ_g^q.
+      const sim::TransferEstimate est = ctx.transfer_estimate(node, proc);
       const sim::TimeMs tau =
-          queue_delay_ms(ctx, proc) + ctx.input_transfer_ms(node, proc);
+          queue_delay_ms(ctx, proc) +
+          (options_.comm_aware ? est.total_ms() : est.stall_ms);
       if (proc == 0 || tau < best_tau) {
         best = proc;
         best_tau = tau;

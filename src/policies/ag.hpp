@@ -10,6 +10,13 @@
 //    the queue".
 //  * RecentAverage: N_g · τ_g^k, the paper's Eq. (2) with τ_g^k the mean
 //    execution time of the last k completions on that processor.
+//
+// The comm_aware variant ("AG-net") extends τ_g^d from the unloaded route
+// estimate to TransferEstimate::total_ms(): the processor backlog PLUS the
+// predicted drain of the route links' in-flight traffic at current max-min
+// rates — AG's queue-length idea applied to the fabric as well as the
+// processors. On an ideal topology the queueing term is always 0, so
+// AG-net degenerates to AG bit-for-bit.
 #pragma once
 
 #include <cstddef>
@@ -23,6 +30,10 @@ enum class AgQueueEstimate { SumOfQueued, RecentAverage };
 struct AgOptions {
   AgQueueEstimate estimate = AgQueueEstimate::SumOfQueued;
   std::size_t history_window = 5;  ///< the k of Eq. (2)
+
+  /// Rank with the backlog-aware transfer reading (total_ms()) instead of
+  /// the unloaded stall. Names the policy "AG-net".
+  bool comm_aware = false;
 };
 
 class AdaptiveGreedy final : public sim::Policy {
@@ -30,7 +41,9 @@ class AdaptiveGreedy final : public sim::Policy {
   AdaptiveGreedy() = default;
   explicit AdaptiveGreedy(AgOptions options);
 
-  std::string name() const override { return "AG"; }
+  std::string name() const override {
+    return options_.comm_aware ? "AG-net" : "AG";
+  }
   bool is_dynamic() const override { return true; }
   void on_event(sim::SchedulerContext& ctx) override;
 

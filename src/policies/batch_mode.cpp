@@ -32,8 +32,8 @@ Candidate evaluate(const sim::SchedulerContext& ctx, dag::NodeId node,
                    const std::vector<sim::ProcId>& idle) {
   Candidate c;
   for (sim::ProcId proc : idle) {
-    const sim::TimeMs cost =
-        ctx.exec_time_ms(node, proc) + ctx.input_transfer_ms(node, proc);
+    const sim::TimeMs cost = ctx.exec_time_ms(node, proc) +
+                             ctx.transfer_estimate(node, proc).stall_ms;
     if (cost < c.best_cost) {
       c.second_cost = c.best_cost;
       c.best_cost = cost;

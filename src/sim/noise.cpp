@@ -61,4 +61,59 @@ double noise_multiplier(const NoiseSpec& spec, std::uint64_t instance,
   return mult;
 }
 
+namespace {
+
+/// Standard normal CDF via erfc (numerically stable in both tails).
+double normal_cdf(double z) {
+  return 0.5 * std::erfc(-z / 1.4142135623730951);
+}
+
+/// CDF of the multiplier mixture: with probability 1−p a mean-preserving
+/// lognormal L = exp(sigma·z − sigma²/2); with probability p the same L
+/// times the heavy-tail factor M.
+double mixture_cdf(const NoiseSpec& spec, double x) {
+  if (!(x > 0.0)) return 0.0;
+  const double s = spec.sigma;
+  const double p =
+      spec.heavy_tail_multiplier != 1.0 ? spec.heavy_tail_prob : 0.0;
+  const double mu = -0.5 * s * s;
+  const double base = normal_cdf((std::log(x) - mu) / s);
+  if (p <= 0.0) return base;
+  const double tail =
+      normal_cdf((std::log(x / spec.heavy_tail_multiplier) - mu) / s);
+  return (1.0 - p) * base + p * tail;
+}
+
+}  // namespace
+
+double noise_quantile_multiplier(const NoiseSpec& spec, double q) {
+  if (!(q > 0.0) || !(q < 1.0))
+    throw std::invalid_argument(
+        "noise_quantile_multiplier: q must be in (0, 1)");
+  if (!spec.enabled()) return 1.0;
+  const double p =
+      spec.heavy_tail_multiplier != 1.0 ? spec.heavy_tail_prob : 0.0;
+  if (spec.sigma == 0.0) {
+    // Two-point distribution {1 w.p. 1−p, M w.p. p}: the quantile steps at
+    // 1−p. P(X <= 1) = 1−p, so q <= 1−p maps to the unit mass.
+    return q <= 1.0 - p ? 1.0 : spec.heavy_tail_multiplier;
+  }
+  // Bisection on ln x. The mixture CDF is strictly increasing for
+  // sigma > 0, so the bracket below (10 sigma beyond each component's
+  // median, on both sides) always contains the root.
+  const double s = spec.sigma;
+  double lo = -0.5 * s * s - 10.0 * s;
+  double hi = -0.5 * s * s + 10.0 * s +
+              (p > 0.0 ? std::log(spec.heavy_tail_multiplier) : 0.0);
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (mixture_cdf(spec, std::exp(mid)) < q) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return std::exp(0.5 * (lo + hi));
+}
+
 }  // namespace apt::sim

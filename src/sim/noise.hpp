@@ -112,4 +112,18 @@ struct HedgeSpec {
 double noise_multiplier(const NoiseSpec& spec, std::uint64_t instance,
                         std::uint64_t node, std::uint64_t replica = 0);
 
+/// The q-quantile of the noise-multiplier distribution itself (the mixture
+/// a single noise_multiplier draw follows): lognormal(−sigma²/2, sigma)
+/// times an independent {1, heavy_tail_multiplier} Bernoulli factor. This
+/// is the planning-side dual of noise_multiplier — quantile-ranking
+/// policies (APT-Q) scale nominal estimates by it to price tail risk
+/// without peeking at any realized draw. Deterministic and
+/// seed-independent; returns exactly 1.0 when the spec is disabled, so
+/// quantile-planning policies degenerate to their mean counterparts
+/// bit-for-bit on noise-off runs. Closed form when sigma == 0 (a two-point
+/// distribution); otherwise the mixture CDF is inverted by bisection to
+/// ~1e-12 relative precision. Throws std::invalid_argument when q is
+/// outside (0, 1).
+double noise_quantile_multiplier(const NoiseSpec& spec, double q);
+
 }  // namespace apt::sim

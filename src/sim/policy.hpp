@@ -16,7 +16,9 @@
 
 #include "dag/graph.hpp"
 #include "sim/cost_model.hpp"
+#include "sim/noise.hpp"
 #include "sim/system.hpp"
+#include "sim/transfer_estimate.hpp"
 
 namespace apt::sim {
 
@@ -97,10 +99,36 @@ class SchedulerContext {
     return best;
   }
 
-  /// Worst-case input-transfer stall if `node` were assigned to `proc` now:
-  /// max over predecessors of the edge transfer time from the predecessor's
-  /// actual processor.
-  virtual TimeMs input_transfer_ms(dag::NodeId node, ProcId proc) const = 0;
+  /// Structured input-transfer estimate if `node` were assigned to `proc`
+  /// now (see sim/transfer_estimate.hpp). stall_ms is the worst-case
+  /// unloaded stall — max over predecessors of the edge transfer time from
+  /// the predecessor's actual processor, exactly the value the legacy
+  /// scalar contract returned. Under a contended topology the engines
+  /// additionally fill link_queueing_ms / bottleneck_link from the live
+  /// TransferManager backlog (predicted drain of each route link's
+  /// in-flight bytes at current max-min rates), and the run's NoiseSpec
+  /// feeds quantile_ms. On an ideal topology only stall_ms is non-trivial.
+  virtual TransferEstimate transfer_estimate(dag::NodeId node,
+                                             ProcId proc) const = 0;
+
+  /// DEPRECATED scalar form of the estimation contract, kept as a thin
+  /// wrapper for source compatibility: exactly
+  /// transfer_estimate(node, proc).stall_ms. New code (and all in-tree
+  /// policies) should call transfer_estimate() and pick the reading it
+  /// wants — stall_ms (comm-blind), total_ms() (backlog-aware), or
+  /// quantile_ms(q) (tail-aware).
+  virtual TimeMs input_transfer_ms(dag::NodeId node, ProcId proc) const {
+    return transfer_estimate(node, proc).stall_ms;
+  }
+
+  /// The run's service-time noise spec (a disabled spec when the run is
+  /// noise-free). Quantile-planning policies combine it with
+  /// noise_quantile_multiplier to price tail risk; it is the same spec
+  /// transfer_estimate() embeds.
+  virtual const NoiseSpec& noise() const {
+    static const NoiseSpec kDisabled;
+    return kDisabled;
+  }
 
   /// Commits `node` to the *idle* processor `proc`, starting immediately.
   /// Throws std::logic_error if the processor is not idle or the node is

@@ -272,6 +272,54 @@ class StreamEngine::Context final : public sim::SchedulerContext {
     return worst;
   }
 
+  sim::TransferEstimate transfer_estimate(dag::NodeId slot,
+                                          sim::ProcId proc) const override {
+    sim::TransferEstimate est;
+    est.noise = options_.noise;
+    if (!contended_) {
+      // Ideal topology: only the unloaded stall is non-trivial, and the
+      // ideal fast path above is the bit-identical source for it.
+      est.stall_ms = input_transfer_ms(slot, proc);
+      return est;
+    }
+    const App& app = app_of(slot);
+    const ShapeEntry& shape = *app.shape;
+    const dag::NodeId local = slot - app.base;
+    sim::ProcId worst_from = proc;  // local: contributes no link
+    for (dag::NodeId pred : shape.dag.predecessors(local)) {
+      const sim::ScheduledKernel& rec = node_state_[app.base + pred].record;
+      if (rec.proc == sim::kInvalidProc)
+        throw std::logic_error("StreamEngine: predecessor not yet scheduled");
+      // Same call, same order, same std::max as input_transfer_ms above —
+      // stall_ms stays bit-identical to the legacy scalar.
+      const sim::TimeMs edge =
+          topology_.transfer_time_ms(edge_bytes(app, pred), rec.proc, proc);
+      if (edge > est.stall_ms) {
+        est.stall_ms = edge;
+        worst_from = rec.proc;
+      }
+      if (!tm_) continue;
+      // Backlog scan: predicted drain of each route link's in-flight
+      // traffic at the current max-min rates (tm_ is advanced to now_
+      // before every policy pass). The most backlogged link across the
+      // predecessor routes pins the estimate.
+      for (const net::LinkId l : topology_.route(rec.proc, proc)) {
+        const sim::TimeMs drain = tm_->link_drain_ms(l);
+        if (drain > est.link_queueing_ms) {
+          est.link_queueing_ms = drain;
+          est.bottleneck_link = l;
+        }
+      }
+    }
+    // Idle fabric: pin the estimate to the unloaded bottleneck of the
+    // worst predecessor's route, kNoLink when every input is local.
+    if (est.bottleneck_link == net::kNoLink && worst_from != proc)
+      est.bottleneck_link = topology_.bottleneck_link(worst_from, proc);
+    return est;
+  }
+
+  const sim::NoiseSpec& noise() const override { return options_.noise; }
+
   void assign(dag::NodeId slot, sim::ProcId proc, bool alternative) override {
     if (!is_idle(proc))
       throw std::logic_error("StreamEngine::assign: processor " +

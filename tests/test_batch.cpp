@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "net/topology.hpp"
 #include "util/rng.hpp"
 
 namespace apt::core {
@@ -130,6 +131,78 @@ TEST(Batch, GridSliceMatchesDirectGrid) {
   const Grid direct = run_paper_grid(dag::DfgType::Type2, specs, 4.0);
   EXPECT_EQ(slice.rate_gbps, 4.0);
   expect_grids_identical(slice, direct);
+}
+
+// --- the topology axis -------------------------------------------------------
+
+TEST(Batch, TopologyAxisDecodesOutermost) {
+  ExperimentPlan plan = ExperimentPlan::paper(dag::DfgType::Type1,
+                                              {"met", "spn"}, {4.0, 8.0});
+  plan.replications = 2;
+  plan.topologies = {net::parse_topology_spec("ideal"),
+                     net::parse_topology_spec("bus"),
+                     net::parse_topology_spec("ring")};
+  ASSERT_EQ(plan.task_count(), 3u * 2u * 2u * 10u * 2u);
+  for (std::size_t i = 0; i < plan.task_count(); ++i) {
+    const BatchTask t = plan.task(i);
+    EXPECT_EQ(t.index, i);
+    EXPECT_LT(t.topology, 3u);
+    EXPECT_EQ(((((t.topology * 2 + t.replication) * 2 + t.rate) * 10 +
+                t.graph) *
+                   2 +
+               t.policy),
+              i);
+    EXPECT_EQ(t.seed, util::stream_seed(plan.base_seed, i));
+  }
+  // Topology is the OUTERMOST axis: the first topology's block decodes to
+  // exactly the flat indices a single-topology plan would assign, so the
+  // "{seed}" streams of pre-axis sweeps are unchanged.
+  ExperimentPlan single = plan;
+  single.topologies.clear();
+  for (std::size_t i = 0; i < single.task_count(); ++i) {
+    const BatchTask multi = plan.task(i);
+    const BatchTask solo = single.task(i);
+    EXPECT_EQ(multi.topology, 0u);
+    EXPECT_EQ(solo.replication, multi.replication);
+    EXPECT_EQ(solo.rate, multi.rate);
+    EXPECT_EQ(solo.graph, multi.graph);
+    EXPECT_EQ(solo.policy, multi.policy);
+    EXPECT_EQ(solo.seed, multi.seed);
+  }
+}
+
+TEST(Batch, TopologyAxisCubeMatchesPerTopologyPlans) {
+  // One multi-topology run == the concatenation of per-topology runs:
+  // every cell of the 5-axis cube is bit-identical to the same cell of a
+  // plan pinned to that topology alone (workload seeds are topology-
+  // independent by construction).
+  ExperimentPlan plan = ExperimentPlan::paper(dag::DfgType::Type1,
+                                              {"apt:4", "ag"}, {1.0});
+  plan.graphs.resize(3);  // trim the paper workload for speed
+  net::TopologySpec bus = net::parse_topology_spec("bus");
+  bus.latency_ms = 0.05;
+  net::TopologySpec ring = net::parse_topology_spec("ring");
+  ring.latency_ms = 0.05;
+  plan.topologies = {bus, ring};
+  const BatchResult cube = BatchRunner(4).run(plan);
+  ASSERT_EQ(cube.topology_count, 2u);
+  ASSERT_EQ(cube.topology_labels,
+            (std::vector<std::string>{"bus", "ring"}));
+  for (std::size_t t = 0; t < 2; ++t) {
+    ExperimentPlan pinned = plan;
+    pinned.topologies.clear();
+    pinned.base_system.topology = plan.topologies[t];
+    const BatchResult solo = BatchRunner(1).run(pinned);
+    for (std::size_t g = 0; g < cube.graph_count; ++g)
+      for (std::size_t p = 0; p < cube.policy_count; ++p)
+        expect_cells_identical(cube.at(t, 0, 0, g, p), solo.at(0, 0, g, p));
+  }
+  // The fabric axis is real: bus and ring cells differ somewhere.
+  bool differs = false;
+  for (std::size_t g = 0; g < cube.graph_count && !differs; ++g)
+    differs = cube.at(0, 0, 0, g, 0).makespan_ms !=
+              cube.at(1, 0, 0, g, 0).makespan_ms;
+  EXPECT_TRUE(differs);
 }
 
 // --- per-task RNG streams ----------------------------------------------------

@@ -322,8 +322,25 @@ TEST(Cli, PoliciesListsSpecs) {
   const std::string out = ::testing::TempDir() + "/aptsim_policies.txt";
   ASSERT_EQ(run_cli("policies", out), 0);
   const std::string text = slurp(out);
-  EXPECT_NE(text.find("apt:<alpha>"), std::string::npos);
+  EXPECT_NE(text.find("apt[:alpha]"), std::string::npos);
   EXPECT_NE(text.find("sufferage"), std::string::npos);
+  // The comm-aware variants are registered and advertised.
+  EXPECT_NE(text.find("ag-net"), std::string::npos);
+  EXPECT_NE(text.find("apt-c[:alpha]"), std::string::npos);
+  EXPECT_NE(text.find("apt-q[:alpha]"), std::string::npos);
+  std::filesystem::remove(out);
+}
+
+TEST(Cli, PoliciesTypoGetsDidYouMean) {
+  // run_cli silences stderr, where the error lands — capture it directly.
+  const std::string out = ::testing::TempDir() + "/aptsim_typo.txt";
+  const std::string cmd = std::string(APTSIM_PATH) +
+                          " stream --family type1 --policies apt-cc"
+                          " --duration 500 >/dev/null 2> " +
+                          quoted(out);
+  EXPECT_NE(std::system(cmd.c_str()), 0);
+  const std::string text = slurp(out);
+  EXPECT_NE(text.find("did you mean 'apt-c'"), std::string::npos);
   std::filesystem::remove(out);
 }
 

@@ -288,7 +288,10 @@ TEST(NetIntegration, RoutedSchedulesAreValidatorCleanAcrossScenarioCube) {
                                              "type2"};
   const std::vector<std::string> topologies = {"ring:5", "mesh:2x2",
                                                "fattree:2"};
-  const std::vector<std::string> specs = {"apt:4", "ag", "heft"};
+  // The comm-aware variants ride the same cube: backlog-priced choices
+  // must still produce validator-clean schedules on every routed fabric.
+  const std::vector<std::string> specs = {"apt:4", "apt-c:4", "apt-q:4",
+                                          "ag", "ag-net", "heft"};
   std::size_t scenarios = 0;
   std::size_t transfers_seen = 0;
   std::size_t multi_hop_seen = 0;

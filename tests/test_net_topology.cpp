@@ -275,6 +275,36 @@ TEST(Topology, FatTreeClimbsToTheLowestCommonAncestor) {
   EXPECT_EQ(flat.diameter_hops(), 2u);
 }
 
+TEST(Topology, BottleneckLinkFollowsTheTransferTimeConvention) {
+  // Uniform bandwidths: the minimum-bandwidth hop is a tie, and the
+  // convention (matching transfer_time_ms) picks the earliest hop in
+  // traversal order — the first route link.
+  TopologySpec spec = parse_topology_spec("ring");
+  spec.bandwidth_gbps = 4.0;
+  spec.latency_ms = 0.5;
+  const Topology topo(spec, 6, 4.0);
+  for (ProcId from = 0; from < 6; ++from) {
+    for (ProcId to = 0; to < 6; ++to) {
+      const LinkId b = topo.bottleneck_link(from, to);
+      const Topology::Route r = topo.route(from, to);
+      if (r.empty()) {
+        EXPECT_EQ(b, kNoLink);
+        continue;
+      }
+      EXPECT_EQ(b, r[0]);
+      // Consistency with the pricing convention: the uncontended estimate
+      // is route latency + bytes over the bottleneck link's bandwidth.
+      const double bytes = 8e6;
+      EXPECT_DOUBLE_EQ(topo.transfer_time_ms(bytes, from, to),
+                       topo.route_latency_ms(from, to) +
+                           bytes / (topo.bandwidth_gbps(b) * 1e6));
+    }
+  }
+  // Ideal topologies have no links at all.
+  const Topology ideal(TopologySpec{}, 4, 4.0);
+  EXPECT_EQ(ideal.bottleneck_link(0, 1), kNoLink);
+}
+
 TEST(Topology, RoutedTransferEstimateUsesPathLatencyAndBottleneck) {
   // 2 hops on a 4-ring: head latency accrues per hop, bytes at the (here
   // uniform) bottleneck rate. 8e6 bytes at 4e6 bytes/ms + 2 x 0.5 ms.

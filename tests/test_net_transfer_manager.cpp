@@ -264,6 +264,78 @@ TEST(TransferManager, ZeroByteMessagesDeliverOnceAtActivation) {
   EXPECT_EQ(tm.delivered_count(), 2u);
 }
 
+// --- backlog prediction (link_drain_ms, the TransferEstimate feed) -----------
+
+// The drain prediction is the max over a link's active flows of their
+// projected remaining time at the CURRENT max-min rates — hand-computed
+// here against the equal-split allocation on one shared link.
+TEST(TransferManager, LinkDrainProjectsRemainingTimeAtCurrentRates) {
+  const Topology topo = bus_topology(4.0);  // 4e6 bytes/ms
+  TransferManager tm(topo);
+  tm.start(0, 8e6, 0, 1, 0.0);
+  tm.start(1, 4e6, 2, 1, 0.0);
+  tm.advance_to(0.0);  // activate both: equal split, 2e6 bytes/ms each
+  EXPECT_EQ(tm.link_flow_count(0), 2u);
+  // max(8e6 / 2e6, 4e6 / 2e6) = 4 ms — message 0's projection at today's
+  // rate, even though it will actually speed up once message 1 leaves.
+  EXPECT_DOUBLE_EQ(tm.link_drain_ms(0), 4.0);
+  auto deliveries = tm.advance_to(2.0);  // message 1 done, 0 owns the link
+  ASSERT_EQ(deliveries.size(), 1u);
+  EXPECT_EQ(tm.link_flow_count(0), 1u);
+  EXPECT_DOUBLE_EQ(tm.link_drain_ms(0), 1.0);  // 4e6 left at 4e6 bytes/ms
+  tm.advance_to(3.0);
+  EXPECT_DOUBLE_EQ(tm.link_drain_ms(0), 0.0);  // idle link
+}
+
+// Messages still inside their route head latency hold no link share, so
+// they must not count toward the drain prediction.
+TEST(TransferManager, LinkDrainIgnoresPendingActivations) {
+  const Topology topo = bus_topology(4.0, /*latency_ms=*/0.5);
+  TransferManager tm(topo);
+  tm.start(0, 4e6, 0, 1, 0.0);  // activates at 0.5
+  tm.advance_to(0.25);
+  EXPECT_EQ(tm.live_count(), 1u);
+  EXPECT_EQ(tm.link_flow_count(0), 0u);
+  EXPECT_DOUBLE_EQ(tm.link_drain_ms(0), 0.0);
+  tm.advance_to(0.5);
+  EXPECT_DOUBLE_EQ(tm.link_drain_ms(0), 1.0);  // now draining at 4e6/ms
+}
+
+// Two-hop path with a mid-flight arrival: the most-backlogged link of the
+// shared route shifts from the first hop to the second as a competing flow
+// joins, and back toward idle as flows complete. This is exactly the
+// max-over-route scan transfer_estimate's link_queueing_ms performs.
+TEST(TransferManager, LinkDrainBottleneckShiftsMidFlight) {
+  const Topology topo = line_topology(4.0);  // mesh:1x3, two east links
+  const LinkId first = topo.route(0, 1)[0];
+  const LinkId second = topo.route(1, 2)[0];
+  TransferManager tm(topo);
+  tm.start(0, 8e6, 0, 2, 0.0);   // A: spans both links
+  tm.start(1, 16e6, 0, 1, 0.0);  // B: first link only
+  tm.advance_to(0.0);
+  // Level 2e6 on the first link freezes A and B; the second link's slack
+  // goes unused (A is its only flow). First hop is the bottleneck:
+  // drain(first) = 16e6 / 2e6 = 8, drain(second) = 8e6 / 2e6 = 4.
+  EXPECT_DOUBLE_EQ(tm.link_drain_ms(first), 8.0);
+  EXPECT_DOUBLE_EQ(tm.link_drain_ms(second), 4.0);
+
+  tm.start(2, 24e6, 1, 2, 2.0);  // C joins the second link mid-flight
+  tm.advance_to(2.0);
+  // Both links now carry two flows and saturate at the same 2e6 level:
+  // remaining A = 4e6, B = 12e6, C = 24e6. The bottleneck link shifted:
+  // drain(first) = 12e6 / 2e6 = 6, drain(second) = 24e6 / 2e6 = 12.
+  EXPECT_DOUBLE_EQ(tm.link_drain_ms(first), 6.0);
+  EXPECT_DOUBLE_EQ(tm.link_drain_ms(second), 12.0);
+
+  auto deliveries = tm.advance_to(4.0);  // A (4e6 at 2e6/ms) delivers
+  ASSERT_EQ(deliveries.size(), 1u);
+  EXPECT_EQ(deliveries[0].tag, 0u);
+  // Each survivor now owns its link at the full 4e6 bytes/ms:
+  // B has 8e6 left, C has 20e6 left.
+  EXPECT_DOUBLE_EQ(tm.link_drain_ms(first), 2.0);
+  EXPECT_DOUBLE_EQ(tm.link_drain_ms(second), 5.0);
+}
+
 // --- observation-window clipping ---------------------------------------------
 
 // The steady-state accessors must exclude warmup traffic: busy time is

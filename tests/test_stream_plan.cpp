@@ -163,6 +163,50 @@ TEST(StreamPlan, BitIdenticalAcrossJobCountsAtBurstRate) {
   }
 }
 
+// The comm-aware policy family queries the live TransferManager backlog at
+// every decision — those reads must not leak any cross-cell state, so the
+// grid stays bit-identical for any worker count.
+TEST(StreamPlan, CommAwarePoliciesBitIdenticalAcrossJobCounts) {
+  core::StreamPlan plan;
+  plan.families = {"layered"};
+  plan.rates_per_ms = {0.02};
+  plan.policy_specs = {"ag-net", "apt-c:4", "apt-q:4"};
+  plan.kernels = 24;
+  plan.max_apps = 25;
+  plan.horizon_ms = 0.0;
+  plan.warmup_ms = 0.0;
+  plan.base_seed = 7;
+  plan.base_system = sim::SystemConfig::paper_default(1.0);
+  plan.base_system.topology = net::parse_topology_spec("ring");
+  plan.base_system.topology.latency_ms = 0.05;
+  plan.noise.sigma = 0.25;  // so APT-Q's quantile path is genuinely live
+  plan.noise.heavy_tail_prob = 0.05;
+  plan.noise.seed = 3;
+
+  const core::BatchRunner serial(1);
+  const core::BatchRunner parallel(8);
+  const core::StreamBatchResult a = core::run_stream_plan(plan, serial);
+  const core::StreamBatchResult b = core::run_stream_plan(plan, parallel);
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    const sim::StreamMetrics& ma = a.cells[i].metrics;
+    const sim::StreamMetrics& mb = b.cells[i].metrics;
+    EXPECT_EQ(a.cells[i].policy_name, b.cells[i].policy_name);
+    EXPECT_EQ(ma.apps_completed, mb.apps_completed);
+    // Bitwise double equality — not NEAR: the cells must be identical.
+    EXPECT_EQ(ma.end_ms, mb.end_ms) << i;
+    EXPECT_EQ(ma.flow_ms.avg, mb.flow_ms.avg) << i;
+    EXPECT_EQ(ma.flow_ms.max, mb.flow_ms.max) << i;
+    EXPECT_EQ(ma.slowdown.avg, mb.slowdown.avg) << i;
+    EXPECT_EQ(ma.avg_utilization, mb.avg_utilization) << i;
+    ASSERT_EQ(ma.per_link.size(), mb.per_link.size());
+    for (std::size_t l = 0; l < ma.per_link.size(); ++l) {
+      EXPECT_EQ(ma.per_link[l].busy_ms, mb.per_link[l].busy_ms) << i;
+      EXPECT_EQ(ma.per_link[l].bytes, mb.per_link[l].bytes) << i;
+    }
+  }
+}
+
 TEST(StreamPlan, SeededPolicySpecsResolvePerCell) {
   core::StreamPlan plan = small_plan();
   plan.policy_specs = {"random:{seed}", "met"};
