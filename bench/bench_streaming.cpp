@@ -18,6 +18,7 @@
 #include "bench_common.hpp"
 
 #include "core/stream_plan.hpp"
+#include "obs/trace_sink.hpp"
 
 using namespace apt;
 
@@ -156,6 +157,41 @@ int main(int argc, char** argv) {
                              "/hedging=" + (hedging ? "on" : "off"),
                          wall, result.cells});
     }
+  }
+  // Traced tier: the 10× type1 burst again with the Chrome-trace sink and
+  // the profiling registry attached. Prices the observability layer's
+  // enabled path (span rendering at emission, counter/timer bumps); the
+  // gated rows above all run with sink/profile null, so any cost leaking
+  // into the disabled path shows up there instead.
+  {
+    core::StreamPlan plan;
+    plan.families = {"type1"};
+    plan.rates_per_ms = {0.005};
+    plan.policy_specs = policies;
+    plan.kernels = 46;
+    plan.max_apps = 120;
+    plan.horizon_ms = 0.0;
+    plan.warmup_ms = 0.0;
+    plan.base_seed = 2024;
+    plan.profile = true;
+    obs::ChromeTraceWriter writer{sim::System(plan.base_system)};
+    plan.trace_sink = &writer;
+
+    const bench::Stopwatch row_clock;
+    const core::StreamBatchResult result = core::run_stream_plan(plan, runner);
+    const double wall = row_clock.elapsed_ms();
+
+    for (const core::StreamCellResult& cell : result.cells) {
+      const sim::StreamMetrics& m = cell.metrics;
+      table.add_row({"type1 traced", util::format_double(1.0 / 0.005, 0),
+                     cell.policy_name, std::to_string(m.apps_measured),
+                     util::format_double(m.throughput_apps_per_s, 3),
+                     util::format_double(m.flow_ms.avg / 1000.0, 2),
+                     util::format_double(m.slowdown.avg, 2),
+                     util::format_double(m.avg_utilization * 100.0, 1)});
+    }
+    rows.push_back(Row{"stream/traced/type1/rate=0.00500", wall,
+                       result.cells});
   }
   const double total_ms = total.elapsed_ms();
   std::cout << table.to_string();

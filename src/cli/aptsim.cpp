@@ -30,11 +30,14 @@
 #include "lut/paper_data.hpp"
 #include "lut/synthetic.hpp"
 #include "net/topology.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace_sink.hpp"
 #include "scenario/scenario.hpp"
 #include "sim/analysis.hpp"
 #include "sim/gantt.hpp"
 #include "sim/trace.hpp"
 #include "util/csv.hpp"
+#include "util/logging.hpp"
 #include "util/string_utils.hpp"
 #include "util/table_printer.hpp"
 
@@ -63,7 +66,8 @@ Args parse_args(int argc, char** argv) {
     }
     const std::string key = token.substr(2);
     // Flags without values.
-    if (key == "trace" || key == "gantt" || key == "analyze") {
+    if (key == "trace" || key == "gantt" || key == "analyze" ||
+        key == "profile") {
       args.options[key] = "1";
       continue;
     }
@@ -168,6 +172,71 @@ dag::Dag graph_from_args(const Args& args, const dag::KernelPool& pool) {
   return graph;
 }
 
+/// --trace-out writer knobs shared by `run` and `stream`: an event cap and
+/// a per-category decimation stride (metadata is always kept, so tracks
+/// stay named even when spans are dropped).
+obs::ChromeTraceWriter::Options trace_options_from_args(const Args& args) {
+  obs::ChromeTraceWriter::Options opt;
+  opt.max_events = static_cast<std::size_t>(
+      util::parse_uint(args.get("trace-max-events", "1048576")));
+  opt.every = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             util::parse_uint(args.get("trace-every", "1"))));
+  return opt;
+}
+
+/// Serialises a profiling snapshot as `{"counters": {...}, "timers":
+/// {...}}` — the object the stream JSON exporter places next to
+/// "tm_solver".
+std::string profile_to_json(const obs::ProfileSnapshot& p) {
+  std::string out = "{\"counters\": {";
+  for (std::size_t i = 0; i < p.counters.size(); ++i) {
+    if (i) out += ", ";
+    out += "\"" + util::json_escape(p.counters[i].name) +
+           "\": " + std::to_string(p.counters[i].count);
+  }
+  out += "}, \"timers\": {";
+  for (std::size_t i = 0; i < p.timers.size(); ++i) {
+    if (i) out += ", ";
+    const auto& t = p.timers[i];
+    out += "\"" + util::json_escape(t.name) +
+           "\": {\"count\": " + std::to_string(t.count) +
+           ", \"total_ms\": " + util::format_double(t.total_ms, 3) +
+           ", \"max_ms\": " + util::format_double(t.max_ms, 3) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+/// Prints a profiling snapshot as one stdout table (counters first, then
+/// timers with their accumulated wall-clock time).
+void print_profile(const obs::ProfileSnapshot& p, const std::string& title) {
+  std::cout << title << "\n";
+  if (p.empty()) {
+    std::cout << "  (no samples recorded)\n";
+    return;
+  }
+  util::TablePrinter table({"hot-path metric", "count", "total ms", "max ms"});
+  for (const auto& c : p.counters)
+    table.add_row({c.name, std::to_string(c.count), "", ""});
+  for (const auto& t : p.timers)
+    table.add_row({t.name, std::to_string(t.count),
+                   util::format_double(t.total_ms, 3),
+                   util::format_double(t.max_ms, 3)});
+  std::cout << table.to_string();
+}
+
+/// Writes a finished trace and reports where it went (and what the cap or
+/// decimation dropped).
+void finish_trace(const obs::ChromeTraceWriter& tracer,
+                  const std::string& path) {
+  tracer.write_file(path);
+  std::cout << "trace written to " << path << " (" << tracer.event_count()
+            << " events";
+  if (tracer.dropped() > 0) std::cout << ", " << tracer.dropped() << " dropped";
+  std::cout << ")\n";
+}
+
 int cmd_gen(const Args& args) {
   // Same table derivation as `run` — --lut CSV, the synthetic platform
   // flags (calibrated at --rate, default 4 GB/s), or the paper table — so
@@ -183,9 +252,9 @@ int cmd_gen(const Args& args) {
   // platform file behind for scripts to pick up.
   if (args.has("lut-out")) {
     table.save_csv_file(args.get("lut-out", ""));
-    // stderr: stdout may be carrying the serialised graph.
-    std::cerr << "lookup table written to " << args.get("lut-out", "")
-              << "\n";
+    // Logged (default sink: stderr): stdout may be carrying the serialised
+    // graph, and --log-level off silences the notice for scripts.
+    APT_LOG_INFO << "lookup table written to " << args.get("lut-out", "");
   }
   const std::string label =
       args.has("family")
@@ -228,7 +297,21 @@ int cmd_run(const Args& args) {
   config.topology = topology_from_args(args);
   const sim::System system(config);
   const auto policy = core::make_policy(spec);
-  const auto outcome = core::run_policy(*policy, graph, system, table);
+  const sim::LutCostModel cost(table, system);
+
+  // Observability taps (src/obs): both inert — attaching them cannot
+  // change a simulated bit, so a traced run reproduces an untraced one.
+  sim::EngineOptions engine_options;
+  obs::Profile profile;
+  std::optional<obs::ChromeTraceWriter> tracer;
+  if (args.has("trace-out")) {
+    tracer.emplace(system, trace_options_from_args(args));
+    engine_options.sink = &*tracer;
+  }
+  if (args.has("profile")) engine_options.profile = &profile;
+
+  const auto outcome =
+      core::run_policy(*policy, graph, system, cost, engine_options);
 
   std::cout << "policy:    " << outcome.policy_name << "\n";
   std::cout << "topology:  " << system.topology().spec().label() << "\n";
@@ -289,11 +372,13 @@ int cmd_run(const Args& args) {
     std::cout << "\n" << sim::ascii_gantt(graph, system, outcome.result);
   }
   if (args.has("analyze")) {
-    const sim::LutCostModel cost(table, system);
     std::cout << "\n"
               << sim::format_analysis(sim::analyze_schedule(
                      graph, system, cost, outcome.result));
   }
+  if (tracer) finish_trace(*tracer, args.get("trace-out", ""));
+  if (args.has("profile"))
+    print_profile(profile.snapshot(), "profile (hot-path counters/timers):");
   if (args.has("csv")) {
     util::CsvTable csv({"node", "kernel", "data_size", "proc", "ready_ms",
                         "assign_ms", "exec_start_ms", "finish_ms",
@@ -680,6 +765,20 @@ int cmd_stream(const Args& args) {
   plan.hedging.threshold_factor =
       util::parse_double(args.get("hedge-factor", "1.5"));
 
+  // Observability (src/obs): --profile attaches a per-cell profile (each
+  // snapshot lands in its cell's metrics and the JSON export); --trace-out
+  // captures the timeline of flat cell 0 — the grid's first family/rate/
+  // policy cell — of the FIRST ablation slice, so the sink never sees
+  // interleaved cells.
+  plan.profile = args.has("profile");
+  const sim::System trace_system(plan.base_system);
+  std::optional<obs::ChromeTraceWriter> tracer;
+  if (args.has("trace-out")) {
+    tracer.emplace(trace_system, trace_options_from_args(args));
+    plan.trace_sink = &*tracer;
+    plan.trace_cell = 0;
+  }
+
   const std::size_t jobs =
       static_cast<std::size_t>(util::parse_uint(args.get("jobs", "1")));
   const core::BatchRunner runner(jobs);
@@ -694,6 +793,7 @@ int cmd_stream(const Args& args) {
         runs.push_back(StreamAblationRun{
             topo.label(), tail_prob, hedging,
             core::run_stream_plan(plan, runner)});
+        plan.trace_sink = nullptr;  // only the first slice is traced
       }
     }
   }
@@ -738,6 +838,44 @@ int cmd_stream(const Args& args) {
     }
   }
   std::cout << table.to_string();
+
+  if (tracer) {
+    std::cout << "traced cell: family " << first.families.front() << ", rate "
+              << util::format_double(first.rates_per_ms.front(), 6)
+              << "/ms, policy " << first.policy_names.front() << ", topology "
+              << runs.front().topology_label << "\n";
+    finish_trace(*tracer, args.get("trace-out", ""));
+  }
+  if (plan.profile) {
+    // Aggregate the per-cell snapshots for the console (sums over all
+    // cells and slices; timer max is the max across cells). The JSON
+    // export below keeps them per cell.
+    std::map<std::string, std::uint64_t> counters;
+    struct TimerTotal {
+      std::uint64_t count = 0;
+      double total_ms = 0.0;
+      double max_ms = 0.0;
+    };
+    std::map<std::string, TimerTotal> timers;
+    for (const StreamAblationRun& run : runs) {
+      for (const core::StreamCellResult& cell : run.result.cells) {
+        for (const auto& c : cell.metrics.profile.counters)
+          counters[c.name] += c.count;
+        for (const auto& t : cell.metrics.profile.timers) {
+          TimerTotal& tot = timers[t.name];
+          tot.count += t.count;
+          tot.total_ms += t.total_ms;
+          tot.max_ms = std::max(tot.max_ms, t.max_ms);
+        }
+      }
+    }
+    obs::ProfileSnapshot aggregate;
+    for (const auto& [name, count] : counters)
+      aggregate.counters.push_back({name, count});
+    for (const auto& [name, t] : timers)
+      aggregate.timers.push_back({name, t.count, t.total_ms, t.max_ms});
+    print_profile(aggregate, "profile (summed over all cells/slices):");
+  }
 
   if (args.has("csv")) {
     util::CsvTable csv(
@@ -839,7 +977,10 @@ int cmd_stream(const Args& args) {
             << ", \"fallback\": " << m.tm_solve_stats.fallback_solves
             << ", \"flows_resolved\": " << m.tm_solve_stats.flows_resolved
             << ", \"flows_active\": " << m.tm_solve_stats.flows_active
-            << "}, \"queue_depth_samples\": [";
+            << "}";
+        if (!m.profile.empty())
+          out << ", \"profile\": " << profile_to_json(m.profile);
+        out << ", \"queue_depth_samples\": [";
         for (std::size_t s = 0; s < m.queue_depth_samples.size(); ++s) {
           if (s) out << ", ";
           out << "["
@@ -935,7 +1076,8 @@ void usage() {
       "                  ring[:N]|mesh:RxC|fattree[:K]]\n"
       "             [--bandwidth GBPS] [--latency MS]\n"
       "             [--arrivals MEAN_MS] [--trace] [--gantt] [--analyze]\n"
-      "             [--csv F]\n"
+      "             [--csv F] [--trace-out F.json] [--trace-max-events N]\n"
+      "             [--trace-every K] [--profile]\n"
       "  aptsim compare [--type T] [--alpha A] [--rate GBPS]\n"
       "  aptsim sweep [--type T | --family NAME,... [--graphs G]\n"
       "               [--kernels N,...] [--ccr X] [--hetero H]\n"
@@ -960,11 +1102,21 @@ void usage() {
       "                  fabric — the comm-aware ablation axis)]\n"
       "               [--bandwidth GBPS] [--latency MS]\n"
       "               [--jobs N] [--csv F] [--json F]\n"
+      "               [--trace-out F.json] [--trace-max-events N]\n"
+      "               [--trace-every K] [--profile]\n"
       "  aptsim families\n"
       "  aptsim lut [--csv F]\n"
       "  aptsim report [--out-dir D] [--alpha A]\n"
       "  aptsim policies\n"
-      "  aptsim version | --version\n";
+      "  aptsim version | --version\n"
+      "\n"
+      "global: --log-level debug|info|warn|error|off   (default info)\n"
+      "\n"
+      "--trace-out writes a Chrome-trace/Perfetto-loadable JSON timeline\n"
+      "(load it at https://ui.perfetto.dev): one track per processor, one\n"
+      "per link, plus arrival/decision/hedge/retirement instants. --profile\n"
+      "prints hot-path counters/timers (and lands them in stream --json).\n"
+      "Both are inert: the simulated timeline is bit-identical on or off.\n";
 }
 
 }  // namespace
@@ -972,6 +1124,10 @@ void usage() {
 int main(int argc, char** argv) {
   try {
     const Args args = parse_args(argc, argv);
+    // The CLI defaults to info (the library default is warn) so one-shot
+    // notices stay visible; --log-level off silences them for scripts.
+    util::Logger::instance().set_level(
+        util::parse_log_level(args.get("log-level", "info")));
     // "generate" is the legacy spelling of "gen"; both take the same flags.
     if (args.command == "gen" || args.command == "generate")
       return cmd_gen(args);

@@ -8,7 +8,13 @@ namespace apt::core {
 
 RunOutcome run_policy(sim::Policy& policy, const dag::Dag& dag,
                       const sim::System& system, const sim::CostModel& cost) {
-  sim::Engine engine(dag, system, cost);
+  return run_policy(policy, dag, system, cost, sim::EngineOptions{});
+}
+
+RunOutcome run_policy(sim::Policy& policy, const dag::Dag& dag,
+                      const sim::System& system, const sim::CostModel& cost,
+                      const sim::EngineOptions& options) {
+  sim::Engine engine(dag, system, cost, options);
   RunOutcome outcome;
   outcome.policy_name = policy.name();
   outcome.result = engine.run(policy);

@@ -9,6 +9,7 @@
 #include "dag/graph.hpp"
 #include "lut/lookup_table.hpp"
 #include "sim/cost_model.hpp"
+#include "sim/engine.hpp"
 #include "sim/metrics.hpp"
 #include "sim/policy.hpp"
 #include "sim/schedule.hpp"
@@ -26,6 +27,11 @@ struct RunOutcome {
 /// Runs `policy` over `dag` with an explicit cost model.
 RunOutcome run_policy(sim::Policy& policy, const dag::Dag& dag,
                       const sim::System& system, const sim::CostModel& cost);
+
+/// Runs with explicit engine options (noise, hedging, observability taps).
+RunOutcome run_policy(sim::Policy& policy, const dag::Dag& dag,
+                      const sim::System& system, const sim::CostModel& cost,
+                      const sim::EngineOptions& options);
 
 /// Runs with the paper's cost model (lookup table + system interconnect).
 RunOutcome run_policy(sim::Policy& policy, const dag::Dag& dag,

@@ -5,6 +5,7 @@
 
 #include "core/policy_factory.hpp"
 #include "dag/generator.hpp"
+#include "obs/profile.hpp"
 #include "lut/paper_data.hpp"
 #include "scenario/scenario.hpp"
 #include "sim/cost_model.hpp"
@@ -153,6 +154,15 @@ StreamBatchResult run_stream_plan(const StreamPlan& plan,
     options.noise.seed =
         util::stream_seed(cell.workload_seed ^ kNoiseSeedSalt,
                           plan.noise.seed);
+
+    // Observability taps: a per-cell profile (stack-local — its snapshot is
+    // folded into the cell's metrics before it goes out of scope), and the
+    // plan's trace sink attached to exactly one cell so concurrent workers
+    // never interleave events into it.
+    obs::Profile profile;
+    if (plan.profile) options.profile = &profile;
+    if (plan.trace_sink && i == plan.trace_cell)
+      options.sink = plan.trace_sink;
 
     // Instance k of the row is fully named by (workload seed, k): the same
     // coordinates regenerate the same application stream on any worker, and

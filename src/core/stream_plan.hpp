@@ -21,6 +21,10 @@
 #include "sim/system.hpp"
 #include "stream/arrival.hpp"
 
+namespace apt::obs {
+class TraceSink;
+}  // namespace apt::obs
+
 namespace apt::core {
 
 /// Axes of an open-system sweep.
@@ -72,6 +76,21 @@ struct StreamPlan {
   /// Platform template and cost table (empty table = the paper's).
   sim::SystemConfig base_system = sim::SystemConfig::paper_default();
   lut::LookupTable table;
+
+  /// Observability (src/obs). Plan-level settings, NOT grid axes — axes
+  /// shift flat cell indices and therefore per-cell seeds, so they would
+  /// silently change the workloads of existing sweeps. Both are provably
+  /// inert (see stream::StreamOptions): enabling them cannot change a
+  /// simulated bit or a metric other than StreamMetrics::profile.
+  ///
+  /// `profile` attaches a per-cell obs::Profile whose snapshot lands in
+  /// that cell's metrics. `trace_sink` (when non-null; must outlive
+  /// run_stream_plan) receives the timeline of exactly ONE cell —
+  /// `trace_cell` in flat order — so a multi-worker sweep never interleaves
+  /// writes from concurrent cells into one sink.
+  bool profile = false;
+  obs::TraceSink* trace_sink = nullptr;
+  std::size_t trace_cell = 0;
 
   std::size_t cell_count() const noexcept {
     return families.size() * rates_per_ms.size() * policy_specs.size();

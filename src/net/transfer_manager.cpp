@@ -3,13 +3,23 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <chrono>
 #include <limits>
 #include <stdexcept>
+
+#include "obs/profile.hpp"
 
 namespace apt::net {
 
 namespace {
 constexpr TimeMs kInf = std::numeric_limits<TimeMs>::infinity();
+
+/// Wall-clock milliseconds since `start` (profiling only).
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
 
 std::atomic<TransferManager::SolveMode> g_default_solve_mode{
     TransferManager::SolveMode::Auto};
@@ -222,12 +232,21 @@ void TransferManager::resolve_rates(TimeMs at) {
     return;
   }
   solve_stats_.flows_active += active_flow_count_;
+  // Timed by hand rather than with ScopedTimer: which bucket a solve
+  // lands in (full vs incremental) is only known at the exit taken, and
+  // the fallback's closure work belongs to the full-solve bucket it pays
+  // for. No clock read when no profile is attached.
+  const auto solve_start = profile_
+                               ? std::chrono::steady_clock::now()
+                               : std::chrono::steady_clock::time_point{};
   if (solve_mode_ == SolveMode::FullAlways ||
       active_flow_count_ < kSmallSolve) {
     dirty_links_.clear();
     resolve_rates_full(at);
     ++solve_stats_.full_solves;
     solve_stats_.flows_resolved += active_flow_count_;
+    if (profile_)
+      profile_->record(obs::Timer::kTmSolveFull, ms_since(solve_start));
     return;
   }
 
@@ -267,6 +286,8 @@ void TransferManager::resolve_rates(TimeMs at) {
     ++solve_stats_.full_solves;
     ++solve_stats_.fallback_solves;
     solve_stats_.flows_resolved += active_flow_count_;
+    if (profile_)
+      profile_->record(obs::Timer::kTmSolveFull, ms_since(solve_start));
     return;
   }
 
@@ -303,6 +324,10 @@ void TransferManager::resolve_rates(TimeMs at) {
   }
   ++solve_stats_.incremental_solves;
   solve_stats_.flows_resolved += component_flows;
+  // Recorded before the debug cross-check: the verify pass is a test
+  // artifact, not solver cost.
+  if (profile_)
+    profile_->record(obs::Timer::kTmSolveIncremental, ms_since(solve_start));
 #ifndef NDEBUG
   verify_incremental_solve(at);
 #endif

@@ -45,6 +45,10 @@
 
 #include "net/topology.hpp"
 
+namespace apt::obs {
+class Profile;
+}  // namespace apt::obs
+
 namespace apt::net {
 
 /// Completion tolerance of the drain loop: a message is deliverable once
@@ -132,6 +136,12 @@ class TransferManager {
 
   /// Cumulative rate-solver counters for this manager (never reset).
   const SolveStats& solve_stats() const noexcept { return solve_stats_; }
+
+  /// Attaches a hot-path profile (src/obs) that the rate solver stamps
+  /// with its full/incremental wall-clock split. Null (the default)
+  /// disables the clock reads entirely; simulation results are unaffected
+  /// either way. The profile must outlive the manager.
+  void set_profile(obs::Profile* profile) noexcept { profile_ = profile; }
 
   // --- backlog prediction (the policy-facing estimation surface) -------------
   //
@@ -264,6 +274,7 @@ class TransferManager {
   std::vector<LinkId> solve_links_;        ///< dirty component, ascending
   std::vector<LinkId> closure_stack_;
   SolveStats solve_stats_;
+  obs::Profile* profile_ = nullptr;  ///< optional solver wall-clock timing
 
   // Busy intervals fold as link occupancy transitions 0 <-> >0.
   std::vector<std::size_t> link_active_count_;

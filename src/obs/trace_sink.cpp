@@ -1,0 +1,261 @@
+#include "obs/trace_sink.hpp"
+
+#include <fstream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+#include "util/string_utils.hpp"
+
+namespace apt::obs {
+namespace {
+
+// Chrome trace-event pids: one synthetic "process" per track group.
+constexpr int kPidProcessors = 1;
+constexpr int kPidLinks = 2;
+constexpr int kPidEvents = 3;
+
+// pid 3 thread ids, one lifecycle lane per instant kind.
+constexpr int kTidArrivals = 0;
+constexpr int kTidDecisions = 1;
+constexpr int kTidHedges = 2;
+constexpr int kTidRetirements = 3;
+
+// Trace-event timestamps are microseconds; simulation times are ms.
+std::string us(sim::TimeMs ms) { return util::format_double(ms * 1000.0, 3); }
+
+std::string quoted(const std::string& s) {
+  return "\"" + util::json_escape(s) + "\"";
+}
+
+const char* role_name(SpanRole role) {
+  switch (role) {
+    case SpanRole::kSolo:
+      return "solo";
+    case SpanRole::kHedgePrimary:
+      return "primary";
+    case SpanRole::kHedgeReplica:
+      return "replica";
+  }
+  return "solo";
+}
+
+const char* instant_name(InstantKind kind) {
+  switch (kind) {
+    case InstantKind::kArrival:
+      return "arrival";
+    case InstantKind::kDecision:
+      return "decision";
+    case InstantKind::kHedgeLaunch:
+      return "hedge_launch";
+    case InstantKind::kRetirement:
+      return "retirement";
+  }
+  return "instant";
+}
+
+int instant_tid(InstantKind kind) {
+  switch (kind) {
+    case InstantKind::kArrival:
+      return kTidArrivals;
+    case InstantKind::kDecision:
+      return kTidDecisions;
+    case InstantKind::kHedgeLaunch:
+      return kTidHedges;
+    case InstantKind::kRetirement:
+      return kTidRetirements;
+  }
+  return kTidDecisions;
+}
+
+std::string meta_process(int pid, const std::string& name) {
+  return "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+         std::to_string(pid) + ",\"tid\":0,\"args\":{\"name\":" +
+         quoted(name) + "}}";
+}
+
+std::string meta_thread(int pid, int tid, const std::string& name) {
+  return "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" +
+         std::to_string(pid) + ",\"tid\":" + std::to_string(tid) +
+         ",\"args\":{\"name\":" + quoted(name) + "}}";
+}
+
+}  // namespace
+
+ChromeTraceWriter::ChromeTraceWriter(const sim::System& system)
+    : ChromeTraceWriter(system, Options()) {}
+
+ChromeTraceWriter::ChromeTraceWriter(const sim::System& system,
+                                     Options options)
+    : options_(options) {
+  if (options_.every == 0) options_.every = 1;
+
+  // Copy every name/rate we will ever need: the writer must not dangle if
+  // it outlives the System (e.g. a CLI writing the file after the run).
+  proc_names_.reserve(system.proc_count());
+  for (const sim::Processor& proc : system.processors()) {
+    proc_names_.push_back(proc.name);
+  }
+  const net::Topology& topology = system.topology();
+  link_names_.reserve(topology.link_count());
+  link_gbps_.reserve(topology.link_count());
+  for (net::LinkId link = 0; link < topology.link_count(); ++link) {
+    link_names_.push_back(topology.link_name(link));
+    link_gbps_.push_back(topology.bandwidth_gbps(link));
+  }
+
+  meta_.push_back(meta_process(kPidProcessors, "processors"));
+  for (std::size_t p = 0; p < proc_names_.size(); ++p) {
+    meta_.push_back(
+        meta_thread(kPidProcessors, static_cast<int>(p), proc_names_[p]));
+  }
+  if (!link_names_.empty()) {
+    meta_.push_back(meta_process(kPidLinks, "links"));
+    for (std::size_t l = 0; l < link_names_.size(); ++l) {
+      meta_.push_back(
+          meta_thread(kPidLinks, static_cast<int>(l), link_names_[l]));
+    }
+  }
+  meta_.push_back(meta_process(kPidEvents, "events"));
+  meta_.push_back(meta_thread(kPidEvents, kTidArrivals, "arrivals"));
+  meta_.push_back(meta_thread(kPidEvents, kTidDecisions, "decisions"));
+  meta_.push_back(meta_thread(kPidEvents, kTidHedges, "hedge_launches"));
+  meta_.push_back(meta_thread(kPidEvents, kTidRetirements, "retirements"));
+}
+
+bool ChromeTraceWriter::admit(std::size_t& seen) {
+  const bool keep =
+      (seen++ % options_.every) == 0 && events_.size() < options_.max_events;
+  if (!keep) ++dropped_;
+  return keep;
+}
+
+void ChromeTraceWriter::push(std::string json) {
+  events_.push_back(std::move(json));
+}
+
+void ChromeTraceWriter::kernel_span(const KernelSpan& span) {
+  if (!admit(seen_spans_)) return;
+
+  std::string name = (span.kernel != nullptr && span.kernel[0] != '\0')
+                         ? std::string(span.kernel)
+                         : "n" + std::to_string(span.node);
+  if (span.cancelled) name += ":cancelled";
+
+  std::string json = "{\"name\":" + quoted(name) +
+                     ",\"ph\":\"X\",\"ts\":" + us(span.occupied_from) +
+                     ",\"dur\":" + us(span.finish - span.occupied_from) +
+                     ",\"pid\":" + std::to_string(kPidProcessors) +
+                     ",\"tid\":" + std::to_string(span.proc) +
+                     ",\"args\":{\"instance\":" +
+                     std::to_string(span.instance) +
+                     ",\"node\":" + std::to_string(span.node) +
+                     ",\"exec_start_ms\":" +
+                     util::format_double(span.exec_start, 6) +
+                     ",\"stall_ms\":" +
+                     util::format_double(span.exec_start - span.occupied_from,
+                                         6) +
+                     ",\"noise_mult\":" +
+                     util::format_double(span.noise_mult, 6) +
+                     ",\"alternative\":" +
+                     (span.alternative ? "true" : "false") +
+                     ",\"role\":\"" + role_name(span.role) +
+                     "\",\"cancelled\":" + (span.cancelled ? "true" : "false") +
+                     "}}";
+  push(std::move(json));
+}
+
+void ChromeTraceWriter::transfer_span(const TransferSpan& span) {
+  if (!admit(seen_transfers_)) return;
+
+  // Render the route once: "L0>L3>L7" plus its min-bandwidth bottleneck.
+  std::string route;
+  net::LinkId bottleneck = span.hops > 0 ? span.path[0] : 0;
+  double bottleneck_gbps = std::numeric_limits<double>::infinity();
+  for (std::size_t h = 0; h < span.hops; ++h) {
+    const net::LinkId link = span.path[h];
+    if (h > 0) route += '>';
+    route += link < link_names_.size() ? link_names_[link]
+                                       : "L" + std::to_string(link);
+    const double gbps =
+        link < link_gbps_.size() ? link_gbps_[link] : 0.0;
+    if (gbps < bottleneck_gbps) {
+      bottleneck_gbps = gbps;
+      bottleneck = link;
+    }
+  }
+  const std::string bottleneck_name =
+      bottleneck < link_names_.size() ? link_names_[bottleneck]
+                                      : "L" + std::to_string(bottleneck);
+
+  const std::string name =
+      "n" + std::to_string(span.src) + ">n" + std::to_string(span.dst);
+  const std::string args =
+      "{\"instance\":" + std::to_string(span.instance) +
+      ",\"from\":" + std::to_string(span.from) +
+      ",\"to\":" + std::to_string(span.to) +
+      ",\"bytes\":" + util::format_double(span.bytes, 1) +
+      ",\"route\":" + quoted(route) +
+      ",\"bottleneck\":" + quoted(bottleneck_name) +
+      ",\"start_ms\":" + util::format_double(span.start, 6) + "}";
+
+  // The message occupies every route link while draining: one span per
+  // hop so each link track shows its true occupancy.
+  const std::string ts = us(span.drain_start);
+  const std::string dur = us(span.finish - span.drain_start);
+  for (std::size_t h = 0; h < span.hops; ++h) {
+    push("{\"name\":" + quoted(name) + ",\"ph\":\"X\",\"ts\":" + ts +
+         ",\"dur\":" + dur + ",\"pid\":" + std::to_string(kPidLinks) +
+         ",\"tid\":" + std::to_string(span.path[h]) + ",\"args\":" + args +
+         "}");
+  }
+}
+
+void ChromeTraceWriter::instant(const InstantEvent& event) {
+  if (!admit(seen_instants_)) return;
+
+  std::string args = "{\"instance\":" + std::to_string(event.instance);
+  if (event.node != dag::kInvalidNode) {
+    args += ",\"node\":" + std::to_string(event.node);
+  }
+  if (event.proc != sim::kInvalidProc) {
+    args += ",\"proc\":" + std::to_string(event.proc);
+  }
+  if (event.detail != nullptr && event.detail[0] != '\0') {
+    args += ",\"detail\":" + quoted(event.detail);
+  }
+  args += "}";
+
+  push("{\"name\":\"" + std::string(instant_name(event.kind)) +
+       "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" + us(event.time) +
+       ",\"pid\":" + std::to_string(kPidEvents) +
+       ",\"tid\":" + std::to_string(instant_tid(event.kind)) +
+       ",\"args\":" + args + "}");
+}
+
+void ChromeTraceWriter::write(std::ostream& out) const {
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  for (const std::string& event : meta_) {
+    if (!first) out << ",\n";
+    first = false;
+    out << event;
+  }
+  for (const std::string& event : events_) {
+    if (!first) out << ",\n";
+    first = false;
+    out << event;
+  }
+  out << "\n]}\n";
+}
+
+void ChromeTraceWriter::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open trace output file: " + path);
+  }
+  write(out);
+}
+
+}  // namespace apt::obs

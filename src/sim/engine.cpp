@@ -8,6 +8,8 @@
 #include <utility>
 
 #include "net/transfer_manager.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace_sink.hpp"
 #include "sim/precomputed_cost_model.hpp"
 #include "util/rolling_quantile.hpp"
 
@@ -65,17 +67,26 @@ class Engine::Context final : public SchedulerContext {
         hedge_window_(options.hedging.window),
         topology_(system.topology()),
         contended_(topology_.contended()),
+        sink_(options.sink),
+        profile_(options.profile),
         node_state_(dag.node_count()),
         proc_state_(system.proc_count()),
         ready_pos_(dag.node_count(), kNoPos) {
     idle_cache_.reserve(system.proc_count());
-    if (contended_) tm_.emplace(topology_);
+    if (contended_) {
+      tm_.emplace(topology_);
+      tm_->set_profile(profile_);
+    }
   }
 
   SimResult simulate() {
     seed_ready_set();
     for (;;) {
-      policy_.on_event(*this);
+      {
+        obs::ScopedTimer timer(profile_, obs::Timer::kPolicyPass);
+        policy_.on_event(*this);
+      }
+      if (profile_) profile_->add(obs::Counter::kPolicyPasses);
       drain_queues();
       if (done_count_ == dag_.node_count()) break;
       if (events_.empty() && releases_.empty() && !(tm_ && tm_->busy())) {
@@ -250,11 +261,13 @@ class Engine::Context final : public SchedulerContext {
       throw std::logic_error("Engine::assign: processor " +
                              system_.processor(proc).name + " is not idle");
     take_from_ready(node);
+    note_decision(node, proc, "assign");
     start_kernel(node, proc, alternative);
   }
 
   void enqueue(dag::NodeId node, ProcId proc, bool alternative) override {
     take_from_ready(node);
+    note_decision(node, proc, "enqueue");
     NodeState& ns = node_state_[node];
     ns.record.assign_time = now_ + system_.config().decision_overhead_ms;
     ns.record.alternative = alternative;
@@ -356,6 +369,7 @@ class Engine::Context final : public SchedulerContext {
   }
 
   void mark_ready(dag::NodeId node) {
+    if (profile_) profile_->add(obs::Counter::kReadyMarked);
     NodeState& ns = node_state_[node];
     ns.ready = true;
     ns.record.ready_time = now_;
@@ -378,6 +392,7 @@ class Engine::Context final : public SchedulerContext {
 
   /// Removes tombstones in one pass, keeping arrival order.
   void compact_ready() const {
+    if (profile_) profile_->add(obs::Counter::kReadyCompactions);
     std::size_t out = 0;
     for (std::size_t i = 0; i < ready_.size(); ++i) {
       const dag::NodeId node = ready_[i];
@@ -387,6 +402,73 @@ class Engine::Context final : public SchedulerContext {
     }
     ready_.resize(out);
     ready_tombstones_ = 0;
+  }
+
+  // --- observability (src/obs) ---------------------------------------------
+  // Every site is a null-guarded read of already-committed facts; with no
+  // sink/profile attached each collapses to one branch.
+
+  void note_decision(dag::NodeId node, ProcId proc, const char* detail) {
+    if (profile_) profile_->add(obs::Counter::kPolicyDecisions);
+    if (!sink_) return;
+    obs::InstantEvent ev;
+    ev.kind = obs::InstantKind::kDecision;
+    ev.node = node;
+    ev.proc = proc;
+    ev.time = now_;
+    ev.detail = detail;
+    sink_->instant(ev);
+  }
+
+  /// Winner span of a retiring kernel (sink_ checked by the caller).
+  void emit_kernel_span(const NodeState& ns, dag::NodeId node) {
+    obs::KernelSpan span;
+    span.node = node;
+    span.kernel = dag_.node(node).kernel.c_str();
+    span.proc = ns.record.proc;
+    span.occupied_from = ns.record.occupied_from();
+    span.exec_start = ns.record.exec_start;
+    span.finish = ns.record.finish_time;
+    span.noise_mult = ns.record.noise_mult;
+    span.alternative = ns.record.alternative;
+    if (ns.hedge_idx != kNoPos)
+      span.role = hedges_[ns.hedge_idx].replica_won
+                      ? obs::SpanRole::kHedgeReplica
+                      : obs::SpanRole::kHedgePrimary;
+    sink_->kernel_span(span);
+  }
+
+  /// Cancelled losing attempt of a hedge race (sink_ checked by caller).
+  void emit_loser_span(dag::NodeId node, ProcId proc, TimeMs occupied_from,
+                       TimeMs exec_start, TimeMs cancelled, double mult,
+                       obs::SpanRole role) {
+    obs::KernelSpan span;
+    span.node = node;
+    span.kernel = dag_.node(node).kernel.c_str();
+    span.proc = proc;
+    span.occupied_from = occupied_from;
+    span.exec_start = exec_start;
+    span.finish = cancelled;
+    span.noise_mult = mult;
+    span.role = role;
+    span.cancelled = true;
+    sink_->kernel_span(span);
+  }
+
+  /// Completed fabric message (sink_ checked by the caller).
+  void emit_transfer_span(const TransferRecord& record) {
+    obs::TransferSpan span;
+    span.src = record.src;
+    span.dst = record.dst;
+    span.from = record.from;
+    span.to = record.to;
+    span.path = record.path.data();
+    span.hops = record.path.size();
+    span.bytes = record.bytes;
+    span.start = record.start;
+    span.drain_start = record.drain_start;
+    span.finish = record.finish;
+    sink_->transfer_span(span);
   }
 
   /// Payload of the edge out of `pred`: its output in bytes.
@@ -421,6 +503,7 @@ class Engine::Context final : public SchedulerContext {
       transfer_records_.push_back(std::move(record));
       tm_->start(tag, bytes, rec.proc, proc, dispatched);
       ++ns.pending_msgs;
+      if (profile_) profile_->add(obs::Counter::kTransfersStarted);
     }
   }
 
@@ -439,6 +522,7 @@ class Engine::Context final : public SchedulerContext {
   void on_delivery(const net::Delivery& delivery) {
     TransferRecord& record = transfer_records_[delivery.tag];
     record.finish = now_;
+    if (sink_) emit_transfer_span(record);
     NodeState& ns = node_state_[record.dst];
     --ns.pending_msgs;
     ns.data_ready_at = std::max(ns.data_ready_at, now_);
@@ -490,8 +574,10 @@ class Engine::Context final : public SchedulerContext {
     if (hedging_.enabled) schedule_hedge_check(node);
   }
 
-  /// Pops queue heads onto idle processors.
+  /// Pops queue heads onto idle processors. (Profiled as its own phase;
+  /// the calls from advance_to_next_event nest inside that timer.)
   void drain_queues() {
+    obs::ScopedTimer timer(profile_, obs::Timer::kDrainQueues);
     for (ProcId p = 0; p < proc_state_.size(); ++p) {
       ProcState& ps = proc_state_[p];
       if (ps.running.has_value() || ps.queue.empty()) continue;
@@ -642,6 +728,14 @@ class Engine::Context final : public SchedulerContext {
     proc_state_[proc].running = node;
     idle_dirty_ = true;
     events_.push(Completion{ns.replica_finish, node, EventKind::kReplica});
+    if (sink_) {
+      obs::InstantEvent ev;
+      ev.kind = obs::InstantKind::kHedgeLaunch;
+      ev.node = node;
+      ev.proc = proc;
+      ev.time = t;
+      sink_->instant(ev);
+    }
   }
 
   /// Primary completion event. Skipped when stale (the replica already won
@@ -660,6 +754,10 @@ class Engine::Context final : public SchedulerContext {
       h.winner_finish_ms = ns.record.finish_time;
       h.cancelled_ms = ns.record.finish_time;
       h.loser_start_ms = ns.replica_exec_start - ns.replica_transfer_ms;
+      if (sink_)
+        emit_loser_span(node, ns.replica_proc, h.loser_start_ms,
+                        ns.replica_exec_start, h.cancelled_ms,
+                        ns.replica_mult, obs::SpanRole::kHedgeReplica);
     }
     complete_kernel(node);
   }
@@ -679,6 +777,12 @@ class Engine::Context final : public SchedulerContext {
     h.winner_finish_ms = ns.replica_finish;
     h.cancelled_ms = ns.replica_finish;
     h.loser_start_ms = ns.record.occupied_from();
+    // The record is about to be rewritten to the winning replica; the
+    // losing primary's facts only exist here.
+    if (sink_)
+      emit_loser_span(node, ns.record.proc, h.loser_start_ms,
+                      ns.record.exec_start, h.cancelled_ms,
+                      ns.record.noise_mult, obs::SpanRole::kHedgePrimary);
     ns.record.proc = ns.replica_proc;
     ns.record.assign_time =
         h.launched_ms + system_.config().decision_overhead_ms;
@@ -694,6 +798,7 @@ class Engine::Context final : public SchedulerContext {
   /// replica race, hedge check, or release), processes everything sharing
   /// that timestamp, then updates queue heads.
   void advance_to_next_event() {
+    obs::ScopedTimer timer(profile_, obs::Timer::kEventLoopAdvance);
     TimeMs t = std::numeric_limits<TimeMs>::infinity();
     if (!events_.empty()) t = std::min(t, events_.top().time);
     if (!releases_.empty()) t = std::min(t, releases_.top().time);
@@ -702,6 +807,11 @@ class Engine::Context final : public SchedulerContext {
     while (!events_.empty() && events_.top().time == t) {
       const Completion ev = events_.top();
       events_.pop();
+      if (profile_) {
+        profile_->add(obs::Counter::kEventsProcessed);
+        if (ev.kind == EventKind::kHedgeCheck)
+          profile_->add(obs::Counter::kHedgeChecks);
+      }
       switch (ev.kind) {
         case EventKind::kCompletion:
           complete_primary(ev.node);
@@ -730,6 +840,7 @@ class Engine::Context final : public SchedulerContext {
     NodeState& ns = node_state_[node];
     ns.done = true;
     ++done_count_;
+    if (sink_) emit_kernel_span(ns, node);
     ProcState& ps = proc_state_[ns.record.proc];
     ps.running.reset();
     idle_dirty_ = true;
@@ -770,6 +881,10 @@ class Engine::Context final : public SchedulerContext {
   /// Contended-topology comm phase (tm_ engaged only when contended_).
   const net::Topology& topology_;
   const bool contended_;
+
+  /// Observability sinks (null = disabled; see EngineOptions).
+  obs::TraceSink* const sink_;
+  obs::Profile* const profile_;
   std::optional<net::TransferManager> tm_;
   /// Message log in creation order; index == TransferManager tag.
   std::vector<TransferRecord> transfer_records_;

@@ -29,6 +29,11 @@
 #include "sim/schedule.hpp"
 #include "sim/system.hpp"
 
+namespace apt::obs {
+class Profile;
+class TraceSink;
+}  // namespace apt::obs
+
 namespace apt::sim {
 
 /// Optional stochastic extensions of one run. Defaults are all-off, which
@@ -42,6 +47,13 @@ struct EngineOptions {
   /// a replica's input transfers would need their own fabric messages,
   /// which the comm phase does not model.
   HedgeSpec hedging;
+
+  /// Observability (src/obs), both null by default and provably inert:
+  /// every emission site is a null-guarded read of already-committed
+  /// simulation facts, so attaching either cannot change a simulated bit
+  /// or consume an RNG draw. The pointees must outlive run().
+  obs::TraceSink* sink = nullptr;
+  obs::Profile* profile = nullptr;
 };
 
 /// Runs one simulation. The referenced dag/system/cost model must outlive

@@ -252,6 +252,7 @@ StreamMetrics compute_stream_metrics(const System& system,
   m.hedges_launched = observation.hedges_launched;
   m.hedges_replica_won = observation.hedges_replica_won;
   m.hedge_wasted_ms = observation.hedge_wasted_in_window_ms;
+  m.profile = observation.profile;
   return m;
 }
 

@@ -11,6 +11,7 @@
 
 #include "dag/graph.hpp"
 #include "net/transfer_manager.hpp"
+#include "obs/profile.hpp"
 #include "sim/schedule.hpp"
 #include "sim/system.hpp"
 
@@ -184,6 +185,10 @@ struct StreamObservation {
   /// Processor-time burned by losing attempts, clipped to the observation
   /// window like busy_in_window_ms (wasted span ∩ [warmup, end]).
   TimeMs hedge_wasted_in_window_ms = 0.0;
+
+  /// Hot-path profiling snapshot (src/obs); empty unless a Profile was
+  /// attached via StreamOptions::profile.
+  obs::ProfileSnapshot profile;
 };
 
 /// Average / median / tail summary of a per-app distribution. All
@@ -238,6 +243,10 @@ struct StreamMetrics {
   std::size_t hedges_launched = 0;
   std::size_t hedges_replica_won = 0;
   TimeMs hedge_wasted_ms = 0.0;  ///< losing-attempt time ∩ the window
+
+  /// Hot-path profiling snapshot (src/obs); empty unless profiling was
+  /// enabled for the run.
+  obs::ProfileSnapshot profile;
 };
 
 /// Aggregates a finished stream observation. Measured apps are those

@@ -19,6 +19,17 @@ Trace build_trace(const dag::Dag& dag, const System& system,
   for (const ScheduledKernel& k : result.schedule) {
     raw.insert(k.exec_start);
     if (k.finish_time < result.makespan) raw.insert(k.finish_time);
+    // A comm-stall window starts where the processor becomes occupied but
+    // is still waiting on input transfers; its end (exec_start) is already
+    // an instant. No-op on uncontended/prefetched runs (transfer_ms == 0).
+    if (k.transfer_stall_ms() > 0.0) raw.insert(k.occupied_from());
+  }
+  // Hedge races: the losing attempt occupies its processor from its own
+  // start until the winner's finish — both are state changes on that
+  // processor even though the schedule row only describes the winner.
+  for (const HedgeRecord& h : result.hedges) {
+    raw.insert(h.loser_start_ms);
+    if (h.cancelled_ms < result.makespan) raw.insert(h.cancelled_ms);
   }
   // Coalesce instants separated by less than a microsecond (numerical dust
   // from transfer times), keeping the later one so a start immediately
@@ -40,6 +51,20 @@ Trace build_trace(const dag::Dag& dag, const System& system,
       if (k.exec_start <= t && t < k.finish_time) {
         row.proc_activity.at(k.proc) =
             std::to_string(k.node) + "-" + dag.node(k.node).kernel;
+      } else if (k.transfer_stall_ms() > 0.0 && k.occupied_from() <= t &&
+                 t < k.exec_start) {
+        // Occupied but stalled on input data — the ":comm" window.
+        row.proc_activity.at(k.proc) =
+            std::to_string(k.node) + "-" + dag.node(k.node).kernel + ":comm";
+      }
+    }
+    // Losing hedge attempts run on a different processor than the winner's
+    // schedule row, so they can only fill cells the loop above left idle.
+    for (const HedgeRecord& h : result.hedges) {
+      const ProcId loser = h.replica_won ? h.primary_proc : h.replica_proc;
+      if (h.loser_start_ms <= t && t < h.cancelled_ms) {
+        row.proc_activity.at(loser) =
+            std::to_string(h.node) + "-" + dag.node(h.node).kernel + ":x";
       }
     }
     trace.rows.push_back(std::move(row));

@@ -19,7 +19,11 @@ namespace apt::sim {
 /// One snapshot of all processors at an event time.
 struct TraceRow {
   TimeMs time = 0.0;
-  /// Per processor: "<node-id>-<kernel>" or "idle".
+  /// Per processor: "<node-id>-<kernel>" while executing, with two
+  /// annotated states — "<node-id>-<kernel>:comm" while the processor is
+  /// held stalled on the kernel's input transfers (occupied but not yet
+  /// computing), and "<node-id>-<kernel>:x" while it runs the eventually-
+  /// cancelled losing attempt of a hedge race — or "idle".
   std::vector<std::string> proc_activity;
 };
 

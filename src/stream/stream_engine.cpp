@@ -11,6 +11,8 @@
 #include <unordered_map>
 
 #include "net/transfer_manager.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace_sink.hpp"
 #include "sim/precomputed_cost_model.hpp"
 #include "sim/validate.hpp"
 #include "util/rolling_quantile.hpp"
@@ -90,6 +92,8 @@ class StreamEngine::Context final : public sim::SchedulerContext {
         contended_(topology_.contended()),
         proc_count_(system.proc_count()),
         hedge_window_(options.hedging.window),
+        sink_(options.sink),
+        profile_(options.profile),
         proc_state_(system.proc_count()) {
     if (contended_) {
       tm_.emplace(topology_);
@@ -97,6 +101,7 @@ class StreamEngine::Context final : public sim::SchedulerContext {
       // processor busy time, so steady-state link utilization is unbiased
       // by warmup traffic.
       tm_->set_window_start(options.warmup_ms);
+      tm_->set_profile(profile_);
       topo_cost_.emplace(base_cost_, system_);
     }
     observation_.warmup_ms = options.warmup_ms;
@@ -112,7 +117,11 @@ class StreamEngine::Context final : public sim::SchedulerContext {
     pull_next_arrival(arrivals);
     process_arrivals(arrivals);  // a trace may start at t = 0
     for (;;) {
-      policy_.on_event(*this);
+      {
+        obs::ScopedTimer timer(profile_, obs::Timer::kPolicyPass);
+        policy_.on_event(*this);
+      }
+      if (profile_) profile_->add(obs::Counter::kPolicyPasses);
       drain_queues();
       const bool quiescent = events_.empty() && releases_.empty() &&
                              !next_arrival_ && !(tm_ && tm_->busy());
@@ -137,6 +146,7 @@ class StreamEngine::Context final : public sim::SchedulerContext {
         observation_.link_names.push_back(topology_.link_name(l));
       observation_.tm_solve_stats = tm_->solve_stats();
     }
+    if (profile_) observation_.profile = profile_->snapshot();
     StreamOutcome outcome;
     outcome.metrics = sim::compute_stream_metrics(system_, observation_);
     outcome.schedules = std::move(schedules_);
@@ -325,11 +335,13 @@ class StreamEngine::Context final : public sim::SchedulerContext {
       throw std::logic_error("StreamEngine::assign: processor " +
                              system_.processor(proc).name + " is not idle");
     take_from_ready(slot);
+    note_decision(slot, proc, "assign");
     start_kernel(slot, proc, alternative);
   }
 
   void enqueue(dag::NodeId slot, sim::ProcId proc, bool alternative) override {
     take_from_ready(slot);
+    note_decision(slot, proc, "enqueue");
     NodeState& ns = node_state_[slot];
     ns.record.assign_time = now_ + system_.config().decision_overhead_ms;
     ns.record.alternative = alternative;
@@ -544,6 +556,7 @@ class StreamEngine::Context final : public sim::SchedulerContext {
   // --- ready-set bookkeeping (sim::Engine's tombstone scheme) ---------------
 
   void mark_ready(dag::NodeId slot) {
+    if (profile_) profile_->add(obs::Counter::kReadyMarked);
     NodeState& ns = node_state_[slot];
     ns.ready = true;
     ns.record.ready_time = now_;
@@ -567,6 +580,7 @@ class StreamEngine::Context final : public sim::SchedulerContext {
   }
 
   void compact_ready() const {
+    if (profile_) profile_->add(obs::Counter::kReadyCompactions);
     std::size_t out = 0;
     for (std::size_t i = 0; i < ready_.size(); ++i) {
       const dag::NodeId slot = ready_[i];
@@ -576,6 +590,94 @@ class StreamEngine::Context final : public sim::SchedulerContext {
     }
     ready_.resize(out);
     ready_tombstones_ = 0;
+  }
+
+  // --- observability (src/obs) ----------------------------------------------
+  // Every site is a null-guarded read of already-committed facts; with no
+  // sink/profile attached each collapses to one branch.
+
+  void note_decision(dag::NodeId slot, sim::ProcId proc, const char* detail) {
+    if (profile_) profile_->add(obs::Counter::kPolicyDecisions);
+    if (!sink_) return;
+    const App& app = app_of(slot);
+    obs::InstantEvent ev;
+    ev.kind = obs::InstantKind::kDecision;
+    ev.instance = app.index;
+    ev.node = slot - app.base;
+    ev.proc = proc;
+    ev.time = now_;
+    ev.detail = detail;
+    sink_->instant(ev);
+  }
+
+  /// App-level lifecycle marker (sink_ checked by the caller).
+  void emit_lifecycle(obs::InstantKind kind, std::uint64_t instance,
+                      sim::TimeMs time) {
+    obs::InstantEvent ev;
+    ev.kind = kind;
+    ev.instance = instance;
+    ev.time = time;
+    sink_->instant(ev);
+  }
+
+  /// Winner span of a retiring kernel (sink_ checked by the caller).
+  void emit_kernel_span(const NodeState& ns, dag::NodeId slot) {
+    const App& app = apps_[ns.app];
+    const dag::NodeId local = slot - app.base;
+    obs::KernelSpan span;
+    span.instance = app.index;
+    span.node = local;
+    span.kernel = app.shape->dag.node(local).kernel.c_str();
+    span.proc = ns.record.proc;
+    span.occupied_from = ns.record.occupied_from();
+    span.exec_start = ns.record.exec_start;
+    span.finish = ns.record.finish_time;
+    span.noise_mult = ns.record.noise_mult;
+    span.alternative = ns.record.alternative;
+    if (ns.hedge_idx != kNoPos)
+      span.role = app.hedges[ns.hedge_idx].replica_won
+                      ? obs::SpanRole::kHedgeReplica
+                      : obs::SpanRole::kHedgePrimary;
+    sink_->kernel_span(span);
+  }
+
+  /// Cancelled losing attempt of a hedge race (sink_ checked by caller).
+  void emit_loser_span(dag::NodeId slot, sim::ProcId proc,
+                       sim::TimeMs occupied_from, sim::TimeMs exec_start,
+                       sim::TimeMs cancelled, double mult,
+                       obs::SpanRole role) {
+    const App& app = apps_[node_state_[slot].app];
+    const dag::NodeId local = slot - app.base;
+    obs::KernelSpan span;
+    span.instance = app.index;
+    span.node = local;
+    span.kernel = app.shape->dag.node(local).kernel.c_str();
+    span.proc = proc;
+    span.occupied_from = occupied_from;
+    span.exec_start = exec_start;
+    span.finish = cancelled;
+    span.noise_mult = mult;
+    span.role = role;
+    span.cancelled = true;
+    sink_->kernel_span(span);
+  }
+
+  /// Completed fabric message (sink_ checked by the caller).
+  void emit_transfer_span(const sim::TransferRecord& record,
+                          std::uint64_t instance) {
+    obs::TransferSpan span;
+    span.instance = instance;
+    span.src = record.src;
+    span.dst = record.dst;
+    span.from = record.from;
+    span.to = record.to;
+    span.path = record.path.data();
+    span.hops = record.path.size();
+    span.bytes = record.bytes;
+    span.start = record.start;
+    span.drain_start = record.drain_start;
+    span.finish = record.finish;
+    sink_->transfer_span(span);
   }
 
   // --- kernel lifecycle (mirrors sim::Engine) -------------------------------
@@ -603,7 +705,11 @@ class StreamEngine::Context final : public sim::SchedulerContext {
       if (route.empty()) continue;  // same processor, socket, or cell
       const double bytes = edge_bytes(app, pred);
       const std::uint64_t tag = next_transfer_tag_++;
-      if (options_.record_schedules) {
+      // A trace sink needs the full message record at delivery time, so
+      // tracing also populates the app's transfer log; retire() still
+      // clears it when schedules are not recorded, keeping memory bounded
+      // by the live backlog.
+      if (options_.record_schedules || sink_) {
         sim::TransferRecord record;
         record.src = pred;
         record.dst = local;
@@ -621,6 +727,7 @@ class StreamEngine::Context final : public sim::SchedulerContext {
       }
       tm_->start(tag, bytes, rec.proc, proc, dispatched);
       ++ns.pending_msgs;
+      if (profile_) profile_->add(obs::Counter::kTransfersStarted);
     }
   }
 
@@ -642,8 +749,11 @@ class StreamEngine::Context final : public sim::SchedulerContext {
     const InFlight flight = it->second;
     inflight_.erase(it);
     NodeState& ns = node_state_[flight.slot];
-    if (flight.record != kNoRecord)
-      apps_[ns.app].transfers[flight.record].finish = now_;
+    if (flight.record != kNoRecord) {
+      sim::TransferRecord& record = apps_[ns.app].transfers[flight.record];
+      record.finish = now_;
+      if (sink_) emit_transfer_span(record, apps_[ns.app].index);
+    }
     --ns.pending_msgs;
     ns.data_ready_at = std::max(ns.data_ready_at, now_);
     if (ns.pending_msgs == 0 && ns.holds_proc)
@@ -697,7 +807,10 @@ class StreamEngine::Context final : public sim::SchedulerContext {
     if (options_.hedging.enabled) schedule_hedge_check(slot);
   }
 
+  /// Pops queue heads onto idle processors. (Profiled as its own phase;
+  /// the calls from advance_to_next_event nest inside that timer.)
   void drain_queues() {
+    obs::ScopedTimer timer(profile_, obs::Timer::kDrainQueues);
     for (sim::ProcId p = 0; p < proc_state_.size(); ++p) {
       ProcState& ps = proc_state_[p];
       if (ps.running.has_value() || ps.queue.empty()) continue;
@@ -848,6 +961,15 @@ class StreamEngine::Context final : public sim::SchedulerContext {
     idle_dirty_ = true;
     events_.push(
         Event{ns.replica_finish, slot, EventKind::kReplica, ns.epoch});
+    if (sink_) {
+      obs::InstantEvent ev;
+      ev.kind = obs::InstantKind::kHedgeLaunch;
+      ev.instance = app.index;
+      ev.node = slot - app.base;
+      ev.proc = proc;
+      ev.time = t;
+      sink_->instant(ev);
+    }
   }
 
   /// Folds a resolved race's losing attempt into the window-clipped
@@ -884,6 +1006,10 @@ class StreamEngine::Context final : public sim::SchedulerContext {
       h.loser_start_ms = ns.replica_exec_start - ns.replica_transfer_ms;
       account_loser(ns.replica_proc, h.loser_start_ms, ns.replica_exec_start,
                     h.cancelled_ms);
+      if (sink_)
+        emit_loser_span(slot, ns.replica_proc, h.loser_start_ms,
+                        ns.replica_exec_start, h.cancelled_ms,
+                        ns.replica_mult, obs::SpanRole::kHedgeReplica);
     }
     complete_kernel(slot);
   }
@@ -906,6 +1032,12 @@ class StreamEngine::Context final : public sim::SchedulerContext {
     ++observation_.hedges_replica_won;
     account_loser(ns.record.proc, h.loser_start_ms, ns.record.exec_start,
                   h.cancelled_ms);
+    // The record is about to be rewritten to the winning replica; the
+    // losing primary's facts only exist here.
+    if (sink_)
+      emit_loser_span(slot, ns.record.proc, h.loser_start_ms,
+                      ns.record.exec_start, h.cancelled_ms,
+                      ns.record.noise_mult, obs::SpanRole::kHedgePrimary);
     ns.record.proc = ns.replica_proc;
     ns.record.assign_time =
         h.launched_ms + system_.config().decision_overhead_ms;
@@ -920,6 +1052,7 @@ class StreamEngine::Context final : public sim::SchedulerContext {
   // --- event loop -----------------------------------------------------------
 
   void advance_to_next_event(ArrivalProcess& arrivals) {
+    obs::ScopedTimer timer(profile_, obs::Timer::kEventLoopAdvance);
     sim::TimeMs t = std::numeric_limits<sim::TimeMs>::infinity();
     if (!events_.empty()) t = std::min(t, events_.top().time);
     if (!releases_.empty()) t = std::min(t, releases_.top().time);
@@ -929,6 +1062,11 @@ class StreamEngine::Context final : public sim::SchedulerContext {
     while (!events_.empty() && events_.top().time == t) {
       const Event ev = events_.top();
       events_.pop();
+      if (profile_) {
+        profile_->add(obs::Counter::kEventsProcessed);
+        if (ev.kind == EventKind::kHedgeCheck)
+          profile_->add(obs::Counter::kHedgeChecks);
+      }
       // A dead event whose slot was recycled must not touch the new tenant.
       if (node_state_[ev.slot].epoch != ev.epoch) continue;
       switch (ev.kind) {
@@ -959,6 +1097,7 @@ class StreamEngine::Context final : public sim::SchedulerContext {
   void complete_kernel(dag::NodeId slot) {
     NodeState& ns = node_state_[slot];
     ns.done = true;
+    if (sink_) emit_kernel_span(ns, slot);
     const std::uint32_t app_slot = ns.app;
     App& app = apps_[app_slot];
     --app.remaining;
@@ -1001,6 +1140,8 @@ class StreamEngine::Context final : public sim::SchedulerContext {
 
   void retire(std::uint32_t app_slot) {
     App& app = apps_[app_slot];
+    if (profile_) profile_->add(obs::Counter::kRetirements);
+    if (sink_) emit_lifecycle(obs::InstantKind::kRetirement, app.index, now_);
     observation_.completed.push_back(sim::StreamAppStats{
         app.index, app.arrival_ms, now_, app.shape->lower_bound_ms,
         app.shape->dag.node_count()});
@@ -1059,10 +1200,15 @@ class StreamEngine::Context final : public sim::SchedulerContext {
 
   void admit(sim::TimeMs arrival_ms) {
     const std::size_t index = observation_.apps_arrived++;
+    if (profile_) profile_->add(obs::Counter::kArrivals);
+    if (sink_) emit_lifecycle(obs::InstantKind::kArrival, index, arrival_ms);
     dag::Dag dag = source_(index);
 
     if (dag.empty()) {
       // A zero-kernel application completes the instant it arrives.
+      if (profile_) profile_->add(obs::Counter::kRetirements);
+      if (sink_)
+        emit_lifecycle(obs::InstantKind::kRetirement, index, arrival_ms);
       observation_.completed.push_back(
           sim::StreamAppStats{index, arrival_ms, arrival_ms, 0.0, 0});
       if (options_.record_schedules) {
@@ -1142,6 +1288,9 @@ class StreamEngine::Context final : public sim::SchedulerContext {
   /// bounded-memory sample the hedging threshold quantile is drawn from
   /// (platform-wide, across application instances).
   util::RollingQuantile hedge_window_;
+  /// Observability taps (null = disabled; every use is null-guarded).
+  obs::TraceSink* const sink_;
+  obs::Profile* const profile_;
   std::optional<net::TransferManager> tm_;
   std::optional<sim::TopologyCostModel> topo_cost_;
   static constexpr std::size_t kNoRecord = static_cast<std::size_t>(-1);

@@ -63,6 +63,11 @@
 #include "sim/system.hpp"
 #include "stream/arrival.hpp"
 
+namespace apt::obs {
+class Profile;
+class TraceSink;
+}  // namespace apt::obs
+
 namespace apt::stream {
 
 /// Produces the i-th application instance of the stream (deterministic in
@@ -103,6 +108,14 @@ struct StreamOptions {
   /// Straggler hedging (replica races on idle processors). Requires an
   /// uncontended topology — run() rejects the combination.
   sim::HedgeSpec hedging;
+
+  /// Observability (src/obs), both null by default and provably inert:
+  /// every emission site is a null-guarded read of already-committed
+  /// simulation facts, so attaching either cannot change a simulated bit
+  /// or consume an RNG draw. The pointees must outlive run(). The
+  /// profile's post-run snapshot lands in StreamMetrics::profile.
+  obs::TraceSink* sink = nullptr;
+  obs::Profile* profile = nullptr;
 
   /// Throws std::invalid_argument when the spec is unbounded or malformed.
   void validate() const;

@@ -1,6 +1,9 @@
 #include "util/logging.hpp"
 
+#include <algorithm>
+#include <cctype>
 #include <cstdio>
+#include <stdexcept>
 
 namespace apt::util {
 
@@ -13,6 +16,19 @@ const char* to_string(LogLevel level) noexcept {
     case LogLevel::Off: return "OFF";
   }
   return "?";
+}
+
+LogLevel parse_log_level(const std::string& token) {
+  std::string t = token;
+  std::transform(t.begin(), t.end(), t.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (t == "debug") return LogLevel::Debug;
+  if (t == "info") return LogLevel::Info;
+  if (t == "warn" || t == "warning") return LogLevel::Warn;
+  if (t == "error") return LogLevel::Error;
+  if (t == "off" || t == "none") return LogLevel::Off;
+  throw std::invalid_argument("unknown log level '" + token +
+                              "' (expected debug, info, warn, error, or off)");
 }
 
 Logger& Logger::instance() {

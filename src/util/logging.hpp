@@ -13,6 +13,10 @@ enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 
 const char* to_string(LogLevel level) noexcept;
 
+/// Parses a CLI token ("debug", "info", "warn", "error", "off"; case
+/// insensitive). Throws std::invalid_argument naming the valid levels.
+LogLevel parse_log_level(const std::string& token);
+
 /// Global logger configuration.
 class Logger {
  public:

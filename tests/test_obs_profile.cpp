@@ -1,0 +1,202 @@
+// src/obs profiling: registry behaviour, scoped timers, and — the contract
+// that matters — inertness: attaching a Profile (or a TraceSink) to either
+// engine leaves every simulated bit identical.
+#include "obs/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/batch.hpp"
+#include "core/policy_factory.hpp"
+#include "core/stream_plan.hpp"
+#include "dag/generator.hpp"
+#include "lut/paper_data.hpp"
+#include "obs/trace_sink.hpp"
+#include "sim/engine.hpp"
+#include "sim/policy.hpp"
+#include "test_helpers.hpp"
+
+namespace apt {
+namespace {
+
+TEST(Profile, CountersAccumulateAndSnapshotOmitsZeros) {
+  obs::Profile p;
+  p.add(obs::Counter::kArrivals);
+  p.add(obs::Counter::kArrivals, 4);
+  p.add(obs::Counter::kEventsProcessed, 7);
+  EXPECT_EQ(p.count(obs::Counter::kArrivals), 5u);
+  EXPECT_EQ(p.count(obs::Counter::kEventsProcessed), 7u);
+  EXPECT_EQ(p.count(obs::Counter::kRetirements), 0u);
+
+  const obs::ProfileSnapshot snap = p.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);  // zero entries omitted, enum order
+  EXPECT_EQ(snap.counters[0].name, "events_processed");
+  EXPECT_EQ(snap.counters[0].count, 7u);
+  EXPECT_EQ(snap.counters[1].name, "arrivals");
+  EXPECT_EQ(snap.counters[1].count, 5u);
+  EXPECT_TRUE(snap.timers.empty());
+}
+
+TEST(Profile, TimersRecordCountTotalAndMax) {
+  obs::Profile p;
+  p.record(obs::Timer::kPolicyPass, 1.5);
+  p.record(obs::Timer::kPolicyPass, 0.5);
+  EXPECT_EQ(p.timer_count(obs::Timer::kPolicyPass), 2u);
+  EXPECT_DOUBLE_EQ(p.timer_total_ms(obs::Timer::kPolicyPass), 2.0);
+  EXPECT_DOUBLE_EQ(p.timer_max_ms(obs::Timer::kPolicyPass), 1.5);
+
+  const obs::ProfileSnapshot snap = p.snapshot();
+  ASSERT_EQ(snap.timers.size(), 1u);
+  EXPECT_EQ(snap.timers[0].name, "policy_pass");
+  EXPECT_EQ(snap.timers[0].count, 2u);
+}
+
+TEST(Profile, ScopedTimerNullProfileIsANoOp) {
+  // Must not crash or read the clock; nothing to observe beyond surviving.
+  obs::ScopedTimer timer(nullptr, obs::Timer::kPolicyPass);
+}
+
+TEST(Profile, ScopedTimerRecordsOneSample) {
+  obs::Profile p;
+  { obs::ScopedTimer timer(&p, obs::Timer::kDrainQueues); }
+  EXPECT_EQ(p.timer_count(obs::Timer::kDrainQueues), 1u);
+  EXPECT_GE(p.timer_total_ms(obs::Timer::kDrainQueues), 0.0);
+}
+
+TEST(Profile, EveryEnumHasAName) {
+  for (std::size_t i = 0; i < static_cast<std::size_t>(obs::Counter::kCount);
+       ++i)
+    EXPECT_STRNE(obs::to_string(static_cast<obs::Counter>(i)), "?");
+  for (std::size_t i = 0; i < static_cast<std::size_t>(obs::Timer::kCount);
+       ++i)
+    EXPECT_STRNE(obs::to_string(static_cast<obs::Timer>(i)), "?");
+}
+
+// --- closed-system engine ----------------------------------------------------
+
+sim::SimResult run_closed(sim::EngineOptions options) {
+  const lut::LookupTable table = lut::paper_lookup_table();
+  const dag::Dag dag = dag::generate(dag::DfgType::Type1, 24, 3,
+                                     dag::KernelPool::from_lookup_table(table));
+  sim::SystemConfig cfg = sim::SystemConfig::paper_default();
+  cfg.topology = net::parse_topology_spec("mesh:2x2");
+  const sim::System system(cfg);
+  const sim::LutCostModel cost(table, system);
+  const auto policy = core::make_policy("apt:4");
+  sim::Engine engine(dag, system, cost, options);
+  return engine.run(*policy);
+}
+
+void expect_identical(const sim::SimResult& a, const sim::SimResult& b) {
+  ASSERT_EQ(a.schedule.size(), b.schedule.size());
+  EXPECT_EQ(a.makespan, b.makespan);  // bitwise, not approximate
+  for (std::size_t i = 0; i < a.schedule.size(); ++i) {
+    EXPECT_EQ(a.schedule[i].proc, b.schedule[i].proc);
+    EXPECT_EQ(a.schedule[i].exec_start, b.schedule[i].exec_start);
+    EXPECT_EQ(a.schedule[i].finish_time, b.schedule[i].finish_time);
+    EXPECT_EQ(a.schedule[i].transfer_ms, b.schedule[i].transfer_ms);
+    EXPECT_EQ(a.schedule[i].noise_mult, b.schedule[i].noise_mult);
+  }
+  ASSERT_EQ(a.transfers.size(), b.transfers.size());
+  for (std::size_t i = 0; i < a.transfers.size(); ++i) {
+    EXPECT_EQ(a.transfers[i].start, b.transfers[i].start);
+    EXPECT_EQ(a.transfers[i].finish, b.transfers[i].finish);
+  }
+}
+
+TEST(Profile, ClosedRunBitIdenticalWithObservabilityAttached) {
+  const sim::SimResult bare = run_closed(sim::EngineOptions{});
+
+  obs::Profile profile;
+  sim::SystemConfig cfg = sim::SystemConfig::paper_default();
+  cfg.topology = net::parse_topology_spec("mesh:2x2");
+  obs::ChromeTraceWriter writer{sim::System(cfg)};
+  sim::EngineOptions options;
+  options.profile = &profile;
+  options.sink = &writer;
+  const sim::SimResult observed = run_closed(options);
+
+  expect_identical(bare, observed);
+  EXPECT_GT(writer.event_count(), 0u);
+  EXPECT_FALSE(profile.snapshot().empty());
+}
+
+TEST(Profile, ClosedRunCountersMatchTheSchedule) {
+  obs::Profile profile;
+  sim::EngineOptions options;
+  options.profile = &profile;
+  const sim::SimResult result = run_closed(options);
+
+  // One decision and one completion event per kernel, at least one policy
+  // pass, and a timed pass per policy invocation.
+  EXPECT_EQ(profile.count(obs::Counter::kPolicyDecisions),
+            result.schedule.size());
+  EXPECT_EQ(profile.count(obs::Counter::kReadyMarked), result.schedule.size());
+  EXPECT_GE(profile.count(obs::Counter::kEventsProcessed),
+            result.schedule.size());
+  EXPECT_GT(profile.count(obs::Counter::kTransfersStarted), 0u);
+  EXPECT_EQ(profile.timer_count(obs::Timer::kPolicyPass),
+            profile.count(obs::Counter::kPolicyPasses));
+  // Contended topology: the TransferManager's solves were timed.
+  EXPECT_GT(profile.timer_count(obs::Timer::kTmSolveFull), 0u);
+}
+
+// --- open-system sweep -------------------------------------------------------
+
+core::StreamPlan profiled_plan() {
+  core::StreamPlan plan;
+  plan.families = {"type1"};
+  plan.rates_per_ms = {0.004};
+  plan.policy_specs = {"apt:4", "met"};
+  plan.kernels = 20;
+  plan.horizon_ms = 4000.0;
+  plan.warmup_ms = 400.0;
+  plan.base_seed = 42;
+  plan.base_system.topology = net::parse_topology_spec("mesh:2x2");
+  return plan;
+}
+
+TEST(Profile, StreamPlanBitIdenticalWithProfilingOn) {
+  const core::BatchRunner runner(1);
+  core::StreamPlan plan = profiled_plan();
+  const core::StreamBatchResult bare = core::run_stream_plan(plan, runner);
+  plan.profile = true;
+  const core::StreamBatchResult profiled = core::run_stream_plan(plan, runner);
+
+  ASSERT_EQ(bare.cells.size(), profiled.cells.size());
+  for (std::size_t i = 0; i < bare.cells.size(); ++i) {
+    const sim::StreamMetrics& a = bare.cells[i].metrics;
+    const sim::StreamMetrics& b = profiled.cells[i].metrics;
+    EXPECT_EQ(a.apps_arrived, b.apps_arrived);
+    EXPECT_EQ(a.apps_completed, b.apps_completed);
+    EXPECT_EQ(a.flow_ms.avg, b.flow_ms.avg);  // bitwise
+    EXPECT_EQ(a.flow_ms.p99, b.flow_ms.p99);
+    EXPECT_EQ(a.slowdown.avg, b.slowdown.avg);
+    EXPECT_EQ(a.end_ms, b.end_ms);
+    EXPECT_EQ(a.queue_depth_avg, b.queue_depth_avg);
+    // The only permitted difference: the profile snapshot itself.
+    EXPECT_TRUE(a.profile.empty());
+    EXPECT_FALSE(b.profile.empty());
+  }
+}
+
+TEST(Profile, StreamSnapshotLandsInEveryCellsMetrics) {
+  const core::BatchRunner runner(2);
+  core::StreamPlan plan = profiled_plan();
+  plan.profile = true;
+  const core::StreamBatchResult result = core::run_stream_plan(plan, runner);
+  for (const core::StreamCellResult& cell : result.cells) {
+    const obs::ProfileSnapshot& snap = cell.metrics.profile;
+    ASSERT_FALSE(snap.empty());
+    std::uint64_t arrivals = 0;
+    std::uint64_t retirements = 0;
+    for (const auto& c : snap.counters) {
+      if (c.name == "arrivals") arrivals = c.count;
+      if (c.name == "retirements") retirements = c.count;
+    }
+    EXPECT_EQ(arrivals, cell.metrics.apps_arrived);
+    EXPECT_EQ(retirements, cell.metrics.apps_completed);
+  }
+}
+
+}  // namespace
+}  // namespace apt

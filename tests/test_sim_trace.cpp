@@ -99,6 +99,51 @@ TEST(Trace, FormatAlignsColumnsAndPrintsEndTime) {
   EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
 }
 
+TEST(Trace, CommStallWindowsAreAnnotated) {
+  // Node 1's processor is occupied from t=2 but stalls on input transfers
+  // until t=4: the trace must open a ":comm" window at 2 and flip to plain
+  // execution at 4.
+  SimResult r = two_kernel_result();
+  r.schedule[1].exec_start = 4.0;
+  r.schedule[1].transfer_ms = 2.0;  // occupied_from() == 2.0
+  r.schedule[1].finish_time = 8.0;
+  r.makespan = 8.0;
+  const dag::Dag d = two_kernel_dag();
+  const System sys = test::generic_system(2);
+  const Trace trace = build_trace(d, sys, r);
+  // Instants: 0, 2 (stall opens), 4 (exec starts), 5 (node 0 finishes).
+  ASSERT_EQ(trace.rows.size(), 4u);
+  EXPECT_EQ(trace.rows[1].proc_activity[1], "1-bfs:comm");
+  EXPECT_EQ(trace.rows[2].proc_activity[1], "1-bfs");
+  const std::string text = format_trace(sys, trace);
+  EXPECT_NE(text.find("CPU1:1-bfs:comm"), std::string::npos);
+}
+
+TEST(Trace, HedgeLoserOccupiesItsProcessorAsCancelled) {
+  // Node 0 wins on p0; its losing replica burned p1 during [1, 5).
+  SimResult r = two_kernel_result();
+  r.schedule.pop_back();  // only node 0, so p1 is free for the replica
+  HedgeRecord h;
+  h.node = 0;
+  h.primary_proc = 0;
+  h.replica_proc = 1;
+  h.launched_ms = 1.0;
+  h.loser_start_ms = 1.0;
+  h.winner_finish_ms = 5.0;
+  h.cancelled_ms = 5.0;
+  h.replica_won = false;
+  r.hedges.push_back(h);
+  r.makespan = 5.0;
+  const dag::Dag d = two_kernel_dag();
+  const System sys = test::generic_system(2);
+  const Trace trace = build_trace(d, sys, r);
+  // Instants: 0 (primary starts), 1 (replica starts).
+  ASSERT_EQ(trace.rows.size(), 2u);
+  EXPECT_EQ(trace.rows[0].proc_activity[1], "idle");
+  EXPECT_EQ(trace.rows[1].proc_activity[0], "0-nw");
+  EXPECT_EQ(trace.rows[1].proc_activity[1], "0-nw:x");
+}
+
 TEST(Trace, EmptyScheduleHasNoRows) {
   dag::Dag d;
   const System sys = test::generic_system(1);
