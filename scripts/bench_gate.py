@@ -44,7 +44,7 @@ _UNIT_TO_MS = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
 
 def load_median_times(path):
     """Maps benchmark name -> median real_time in ms."""
-    with open(path, "r", encoding="utf-8") as fh:
+    with open(path, encoding="utf-8") as fh:
         doc = json.load(fh)
     samples = {}
     has_aggregates = any(

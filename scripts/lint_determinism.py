@@ -1,0 +1,453 @@
+#!/usr/bin/env python3
+"""Determinism lint: machine-checks the invariants behind bit-identical runs.
+
+The simulator's headline guarantee — every engine is bit-identical across
+--jobs, noise seeds, and incremental TM re-solves — rests on a handful of
+source-level invariants that golden tests can only observe indirectly. This
+linter enforces them directly over ``src/`` and ``tests/``:
+
+``nondeterministic-random``
+    All randomness flows through ``util::Rng`` / ``util::stream_seed``
+    (implementation-pinned xoshiro256**). ``std::rand``, ``srand``,
+    ``std::random_device``, and the standard ``<random>`` engines and
+    distributions (whose algorithms the standard does not pin down) are
+    banned outside ``src/util/rng.hpp``.
+
+``wall-clock``
+    Simulated time never reads the host clock. ``time(nullptr)``,
+    ``std::chrono::system_clock``, ``gettimeofday``, ``CLOCK_REALTIME``,
+    and ``localtime``/``gmtime`` are banned outside ``src/obs/`` (trace
+    timestamps are presentation, not simulation). The monotonic
+    ``steady_clock`` stays legal everywhere: it only feeds profiling.
+
+``adhoc-percentile``
+    Every reported percentile routes through ``util::percentile_sorted``
+    (the type-7 estimator) so subsystems agree to the bit. Hand-rolled
+    order-statistic math — ``std::nth_element``, or subscripts built from
+    ``0.95 * size()`` / ``... / 100`` index arithmetic — is banned outside
+    ``src/util/stats.*``.
+
+``unordered-iteration`` / ``unordered-member``
+    Iterating a ``std::unordered_map``/``set`` makes event or output order
+    depend on hash-table layout. Range-for or iterator loops over unordered
+    containers are banned, and every unordered member declared in ``src/``
+    must carry a ``// lint:unordered-ok(reason)`` annotation (same line or
+    the line above) stating why hash order cannot reach results.
+
+``raw-stdio``
+    Library code logs through ``util::logging``; direct ``std::cout`` /
+    ``std::cerr`` / ``printf`` / ``fprintf`` / ``puts`` are banned in
+    ``src/`` outside the CLI (``src/cli/``), the logging backend itself,
+    and the assertion reporter (``src/util/contracts.cpp``). ``snprintf``
+    into a buffer is formatting, not output, and stays legal.
+
+``float-timeline``
+    Timeline arithmetic is ``double`` (``sim::TimeMs``) end to end; a
+    single ``float`` truncation desynchronises replicas. The ``float``
+    type is banned in ``src/`` (``// lint:float-ok(reason)`` escapes).
+
+Escape hatches are deliberate and auditable: ``lint:unordered-ok(...)`` and
+``lint:float-ok(...)`` must carry a non-empty reason.
+
+Usage:
+    lint_determinism.py [--root DIR]            # lint src/ and tests/
+    lint_determinism.py [--root DIR] FILE...    # lint specific files
+    lint_determinism.py --self-test             # run the fixture suite
+
+Self-test: ``tests/lint_fixtures/`` holds deliberate violations, one file
+per rule class, each tagged with ``// expect-lint: <rule>`` on the
+offending line; ``clean_annotated.cpp`` exercises every escape hatch and
+must produce zero findings. The self-test fails on any missed or spurious
+finding, so the linter is itself regression-tested in CI.
+
+Exit status: 0 clean, 1 findings (or self-test mismatch), 2 usage error.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+FIXTURE_DIR = Path("tests") / "lint_fixtures"
+SOURCE_GLOBS = ("src/**/*.hpp", "src/**/*.cpp", "tests/**/*.hpp", "tests/**/*.cpp")
+
+ANNOTATION_RE = re.compile(r"lint:(unordered-ok|float-ok)\(\s*(\S[^)]*)")
+EXPECT_RE = re.compile(r"//\s*expect-lint:\s*([a-z-]+(?:\s*,\s*[a-z-]+)*)")
+
+
+class Finding:
+    """One rule violation at file:line."""
+
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text):
+    """Blanks comments and string/char literals, preserving line structure.
+
+    Replaces every character of a comment or literal with a space (newlines
+    survive) so rule regexes can use line numbers from the stripped text
+    without matching documentation or message strings.
+    """
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                out.append(" ")
+                i += 1
+        elif c == "/" and nxt == "*":
+            out.append("  ")
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n and text[i + 1] == "/"):
+                out.append("\n" if text[i] == "\n" else " ")
+                i += 1
+            if i < n:
+                out.append("  ")
+                i += 2
+        elif c in "\"'":
+            quote = c
+            out.append(" ")
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\" and i + 1 < n:
+                    out.append("  ")
+                    i += 2
+                else:
+                    out.append("\n" if text[i] == "\n" else " ")
+                    i += 1
+            if i < n:
+                out.append(" ")
+                i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def _matches(path, *parts):
+    """True when `path` (relative, POSIX) starts with or equals the parts."""
+    rel = path.as_posix()
+    probe = "/".join(parts)
+    return rel == probe or rel.startswith(probe + "/") or rel.endswith("/" + probe)
+
+
+# --- rule implementations ---------------------------------------------------
+# Each rule is (name, token regex over stripped source, exemption predicate,
+# message). Tokens are matched per line of the *stripped* text, so comments
+# and strings never trigger them.
+
+RANDOM_TOKENS = re.compile(
+    r"std\s*::\s*rand\b|\bsrand\s*\(|std\s*::\s*random_device\b"
+    r"|\brandom_device\b|\bmt19937(_64)?\b|\bminstd_rand0?\b"
+    r"|\bdefault_random_engine\b|\branlux(24|48)(_base)?\b|\bknuth_b\b"
+    r"|\buniform_(int|real)_distribution\b|\bnormal_distribution\b"
+    r"|\blognormal_distribution\b|\bbernoulli_distribution\b"
+    r"|\bexponential_distribution\b|\bpoisson_distribution\b"
+    r"|\bdiscrete_distribution\b"
+)
+
+CLOCK_TOKENS = re.compile(
+    r"\bsystem_clock\b|\btime\s*\(\s*(nullptr|NULL|0)\s*\)"
+    r"|\bgettimeofday\s*\(|\bCLOCK_REALTIME\b"
+    r"|\blocaltime(_r)?\s*\(|\bgmtime(_r)?\s*\(|\bstd\s*::\s*time\s*\("
+)
+
+NTH_ELEMENT = re.compile(r"\bnth_element\s*[<(]")
+# Subscript whose index multiplies a container size by a fractional literal
+# (sorted[0.95 * n], xs[n * 0.5]) or divides a percent product (v[p*95/100]).
+PCTL_SUBSCRIPT = re.compile(
+    r"\[[^\][]*(?:0?\.\d+\s*\*|\*\s*0?\.\d+|/\s*100(?:\.0*)?\b)[^\][]*\]"
+)
+
+STDIO_TOKENS = re.compile(
+    r"std\s*::\s*(cout|cerr|clog)\b|(?<![\w:])(printf|fprintf|puts|putchar)\s*\("
+)
+
+FLOAT_TYPE = re.compile(r"(?<![\w.])float\b(?!\s*\.)")
+
+UNORDERED_DECL = re.compile(
+    r"\bstd\s*::\s*unordered_(?:flat_)?(?:multi)?(?:map|set)\s*<"
+)
+UNORDERED_RANGE_FOR = re.compile(r"\bfor\s*\([^;()]*:\s*([^)]+)\)")
+UNORDERED_ITER_LOOP = re.compile(r"=\s*([A-Za-z_][\w.\->]*)\s*\.\s*c?begin\s*\(")
+DECL_NAME = re.compile(r">\s*&?\s*([A-Za-z_]\w*)\s*[;={(),]")
+
+
+def is_random_exempt(path):
+    return _matches(path, "src", "util", "rng.hpp")
+
+
+def is_clock_exempt(path):
+    return _matches(path, "src", "obs")
+
+
+def is_percentile_exempt(path):
+    return _matches(path, "src", "util", "stats.cpp") or _matches(
+        path, "src", "util", "stats.hpp"
+    )
+
+
+def is_stdio_exempt(path):
+    return (
+        _matches(path, "src", "cli")
+        or _matches(path, "src", "util", "logging.cpp")
+        or _matches(path, "src", "util", "contracts.cpp")
+        or not _matches(path, "src")  # library rule: src/ only
+    )
+
+
+def is_src_library(path):
+    return _matches(path, "src")
+
+
+def lint_file(path, rel, text):
+    """Returns the Findings for one file. `rel` is repo-relative."""
+    raw_lines = text.splitlines()
+    stripped = strip_comments_and_strings(text).splitlines()
+
+    # Escape-hatch annotations live in comments: collect from the raw text.
+    # An annotation covers its own line, the rest of its comment block, and
+    # the first two code lines after it (declarations may wrap once).
+    covered = {}  # line number -> (kind, reason)
+    for ln, raw in enumerate(raw_lines, 1):
+        m = ANNOTATION_RE.search(raw)
+        if not m:
+            continue
+        entry = (m.group(1), m.group(2).strip())
+        end = ln
+        while end < len(raw_lines) and raw_lines[end].lstrip().startswith("//"):
+            end += 1
+        for covered_ln in range(ln, min(end + 2, len(raw_lines)) + 1):
+            covered.setdefault(covered_ln, entry)
+
+    def escape(ln, kind):
+        ent = covered.get(ln)
+        return ent is not None and ent[0] == kind and ent[1] != ""
+
+    findings = []
+
+    def add(ln, rule, message):
+        findings.append(Finding(rel, ln, rule, message))
+
+    # Track names declared as unordered containers in this file so loops
+    # over them are caught even when the type is not on the loop line.
+    unordered_names = set()
+    for ln, line in enumerate(stripped, 1):
+        if UNORDERED_DECL.search(line):
+            for probe in (line, stripped[ln] if ln < len(stripped) else ""):
+                m = DECL_NAME.search(probe)
+                if m:
+                    unordered_names.add(m.group(1))
+                    break
+
+    for ln, line in enumerate(stripped, 1):
+        if not is_random_exempt(rel) and RANDOM_TOKENS.search(line):
+            add(
+                ln,
+                "nondeterministic-random",
+                "randomness outside util::Rng/util::stream_seed "
+                "(std <random> engines are not implementation-pinned)",
+            )
+        if not is_clock_exempt(rel) and CLOCK_TOKENS.search(line):
+            add(
+                ln,
+                "wall-clock",
+                "wall-clock read in simulation code (use simulated TimeMs; "
+                "steady_clock is allowed for profiling only)",
+            )
+        if not is_percentile_exempt(rel):
+            if NTH_ELEMENT.search(line):
+                add(
+                    ln,
+                    "adhoc-percentile",
+                    "nth_element order statistic — route through "
+                    "util::percentile_sorted",
+                )
+            if PCTL_SUBSCRIPT.search(line):
+                add(
+                    ln,
+                    "adhoc-percentile",
+                    "hand-rolled percentile index arithmetic — route "
+                    "through util::percentile_sorted",
+                )
+        if not is_stdio_exempt(rel) and STDIO_TOKENS.search(line):
+            add(
+                ln,
+                "raw-stdio",
+                "direct console I/O in library code — use util::logging "
+                "(APT_LOG_*) or take a std::ostream&",
+            )
+        if (
+            is_src_library(rel)
+            and FLOAT_TYPE.search(line)
+            and not escape(ln, "float-ok")
+        ):
+            add(
+                ln,
+                "float-timeline",
+                "float type in library code — timeline arithmetic is "
+                "double (sim::TimeMs) end to end",
+            )
+
+        # Unordered-container iteration: range-for over an unordered name
+        # or an inline unordered type, and iterator loops over them.
+        m = UNORDERED_RANGE_FOR.search(line)
+        if m and not escape(ln, "unordered-ok"):
+            range_expr = m.group(1)
+            ids = set(re.findall(r"[A-Za-z_]\w*", range_expr))
+            if "unordered_map" in range_expr or "unordered_set" in range_expr or (
+                ids & unordered_names
+            ):
+                add(
+                    ln,
+                    "unordered-iteration",
+                    "iteration over an unordered container — order depends "
+                    "on hash layout; use a sorted/indexed container or "
+                    "annotate lint:unordered-ok(reason)",
+                )
+        m = UNORDERED_ITER_LOOP.search(line)
+        if m and not escape(ln, "unordered-ok"):
+            base = m.group(1).split("->")[-1].split(".")[-1]
+            if base in unordered_names:
+                add(
+                    ln,
+                    "unordered-iteration",
+                    "iterator walk over an unordered container — order "
+                    "depends on hash layout",
+                )
+
+        # Every unordered member in library code states its invariant.
+        if (
+            is_src_library(rel)
+            and UNORDERED_DECL.search(line)
+            and not escape(ln, "unordered-ok")
+            and "#include" not in line
+        ):
+            add(
+                ln,
+                "unordered-member",
+                "unordered container declared in src/ without a "
+                "lint:unordered-ok(reason) annotation stating why hash "
+                "order cannot affect results",
+            )
+
+    return findings
+
+
+def collect_files(root, explicit):
+    if explicit:
+        return [Path(p) for p in explicit]
+    files = []
+    for pattern in SOURCE_GLOBS:
+        files.extend(sorted(root.glob(pattern)))
+    return [f for f in files if FIXTURE_DIR not in f.relative_to(root).parents]
+
+
+def run_lint(root, explicit_files):
+    findings = []
+    for path in collect_files(root, explicit_files):
+        rel = path.relative_to(root) if path.is_absolute() else path
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as err:
+            print(f"lint_determinism: cannot read {path}: {err}", file=sys.stderr)
+            return None
+        findings.extend(lint_file(path, rel, text))
+    return findings
+
+
+def run_self_test(root):
+    """Checks the fixture expectations exactly; returns the exit status."""
+    fixture_root = root / FIXTURE_DIR
+    fixtures = sorted(fixture_root.glob("*.cpp")) + sorted(fixture_root.glob("*.hpp"))
+    if not fixtures:
+        print(f"self-test: no fixtures under {fixture_root}", file=sys.stderr)
+        return 2
+
+    failures = 0
+    total_expected = 0
+    for path in fixtures:
+        text = path.read_text(encoding="utf-8")
+        # Fixture names encode a pretend repo location with "__" as the
+        # path separator (src__fixture__bad_float.cpp lints as
+        # src/fixture/bad_float.cpp), so src/-only rules and per-directory
+        # exemptions are exercisable from the fixture directory.
+        rel = Path(path.name.replace("__", "/"))
+        expected = {}  # (line, rule) from // expect-lint: tags
+        for ln, raw in enumerate(text.splitlines(), 1):
+            m = EXPECT_RE.search(raw)
+            if m:
+                for rule in re.split(r"\s*,\s*", m.group(1)):
+                    expected[(ln, rule)] = expected.get((ln, rule), 0) + 1
+        total_expected += sum(expected.values())
+
+        actual = {}
+        for f in lint_file(path, rel, text):
+            actual[(f.line, f.rule)] = actual.get((f.line, f.rule), 0) + 1
+
+        for key in sorted(set(expected) | set(actual)):
+            want, got = expected.get(key, 0), actual.get(key, 0)
+            if want != got:
+                failures += 1
+                ln, rule = key
+                print(
+                    f"self-test MISMATCH {rel}:{ln} [{rule}]: "
+                    f"expected {want} finding(s), got {got}"
+                )
+
+    if failures:
+        print(f"self-test FAILED: {failures} mismatch(es)")
+        return 1
+    print(
+        f"self-test OK: {len(fixtures)} fixtures, "
+        f"{total_expected} expected findings all matched"
+    )
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent,
+        help="repository root (default: the checkout containing this script)",
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="lint tests/lint_fixtures/ and check the expect-lint tags",
+    )
+    parser.add_argument("files", nargs="*", help="specific files (default: src+tests)")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return run_self_test(args.root)
+
+    findings = run_lint(args.root, args.files)
+    if findings is None:
+        return 2
+    for f in findings:
+        print(f)
+    if findings:
+        rules = sorted({f.rule for f in findings})
+        print(
+            f"determinism lint FAILED: {len(findings)} finding(s) "
+            f"across rules: {', '.join(rules)}"
+        )
+        return 1
+    print("determinism lint OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# clang-tidy over the library and CLI with the checked-in .clang-tidy
+# profile (warnings-as-errors: any finding fails).
+#
+# Usage:
+#   scripts/run_tidy.sh                  # configure (if needed) and lint src/
+#   BUILD_DIR=build-tidy scripts/run_tidy.sh
+#   CLANG_TIDY=clang-tidy-18 scripts/run_tidy.sh src/sim/engine.cpp
+#
+# Environment:
+#   BUILD_DIR    compilation-database dir (default: build; configured with
+#                CMAKE_EXPORT_COMPILE_COMMANDS, which the project always sets)
+#   CLANG_TIDY   clang-tidy binary (default: clang-tidy)
+#   TIDY_JOBS    parallel tidy processes (default: nproc)
+#   TIDY_REPORT  also append all findings to this file (used by CI to
+#                upload the report as an artifact on failure)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+CLANG_TIDY=${CLANG_TIDY:-clang-tidy}
+TIDY_JOBS=${TIDY_JOBS:-$(nproc)}
+TIDY_REPORT=${TIDY_REPORT:-}
+
+if ! command -v "$CLANG_TIDY" >/dev/null 2>&1; then
+  echo "run_tidy.sh: $CLANG_TIDY not found (set CLANG_TIDY=...)" >&2
+  exit 2
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "run_tidy.sh: no $BUILD_DIR/compile_commands.json — configuring..." >&2
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+fi
+
+# All translation units under src/ (headers are covered transitively via
+# HeaderFilterRegex in .clang-tidy).
+if [ "$#" -gt 0 ]; then
+  FILES=("$@")
+else
+  mapfile -t FILES < <(git ls-files 'src/*.cpp' 'src/**/*.cpp')
+fi
+
+echo "clang-tidy ($($CLANG_TIDY --version | head -n 1 | tr -s ' ')) over" \
+  "${#FILES[@]} files, $TIDY_JOBS jobs"
+
+status=0
+out=$(printf '%s\n' "${FILES[@]}" |
+  xargs -P "$TIDY_JOBS" -n 1 "$CLANG_TIDY" -p "$BUILD_DIR" --quiet \
+    2>/dev/null) || status=$?
+
+if [ -n "$out" ]; then
+  printf '%s\n' "$out"
+  if [ -n "$TIDY_REPORT" ]; then
+    printf '%s\n' "$out" >>"$TIDY_REPORT"
+  fi
+fi
+
+if [ "$status" -ne 0 ]; then
+  echo "clang-tidy FAILED (warnings-as-errors)" >&2
+  exit 1
+fi
+echo "clang-tidy OK"

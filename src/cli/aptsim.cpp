@@ -519,7 +519,7 @@ int cmd_sweep(const Args& args) {
   if (args.has("alphas") || !args.has("policies")) {
     for (const auto& a : util::split(args.get("alphas", "1.5,2,4,8,16"), ','))
       alphas.push_back(util::parse_double(a));
-    for (double alpha : alphas)
+    for (const double alpha : alphas)
       specs.push_back("apt:" + util::format_double(alpha, 3));
   }
 

@@ -42,7 +42,7 @@ void Apt::on_event(sim::SchedulerContext& ctx) {
   // Snapshot: assign() mutates the ready list; one pass suffices because
   // assignments never free a processor.
   const std::vector<dag::NodeId> ready = ctx.ready();
-  for (dag::NodeId node : ready) {
+  for (const dag::NodeId node : ready) {
     if (ctx.idle_processors().empty()) break;
     // Line 5-8 of Algorithm 1: the best processor, taken when available.
     if (const auto pmin = policies::idle_optimal_proc(ctx, node)) {
@@ -67,7 +67,7 @@ void Apt::on_event(sim::SchedulerContext& ctx) {
 
     std::optional<sim::ProcId> alt;
     sim::TimeMs alt_cost = std::numeric_limits<sim::TimeMs>::infinity();
-    for (sim::ProcId proc : ctx.idle_processors()) {
+    for (const sim::ProcId proc : ctx.idle_processors()) {
       sim::TimeMs cost = ctx.exec_time_ms(node, proc) * mq;
       if (options_.rank_quantile > 0.0) {
         cost += ctx.transfer_estimate(node, proc)

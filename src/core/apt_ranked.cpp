@@ -33,7 +33,7 @@ void AptRanked::on_event(sim::SchedulerContext& ctx) {
                    [this](dag::NodeId a, dag::NodeId b) {
                      return rank_.at(a) > rank_.at(b);
                    });
-  for (dag::NodeId node : ready) {
+  for (const dag::NodeId node : ready) {
     if (const auto pmin = policies::idle_optimal_proc(ctx, node)) {
       ctx.assign(node, *pmin);
       continue;
@@ -42,7 +42,7 @@ void AptRanked::on_event(sim::SchedulerContext& ctx) {
     const sim::TimeMs threshold = alpha_ * x;
     std::optional<sim::ProcId> alt;
     sim::TimeMs alt_cost = std::numeric_limits<sim::TimeMs>::infinity();
-    for (sim::ProcId proc : ctx.idle_processors()) {
+    for (const sim::ProcId proc : ctx.idle_processors()) {
       const sim::TimeMs cost = ctx.exec_time_ms(node, proc) +
                                ctx.transfer_estimate(node, proc).stall_ms;
       if (cost <= threshold && cost < alt_cost) {

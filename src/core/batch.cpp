@@ -125,7 +125,7 @@ std::vector<std::string> ExperimentPlan::validate() const {
     throw std::invalid_argument("ExperimentPlan: no link rates");
   if (replications == 0)
     throw std::invalid_argument("ExperimentPlan: replications must be >= 1");
-  for (double rate : rates_gbps) {
+  for (const double rate : rates_gbps) {
     if (!(rate > 0.0))
       throw std::invalid_argument("ExperimentPlan: link rate must be > 0");
   }
@@ -212,7 +212,7 @@ struct SharedInputs {
       systems[t].reserve(plan.rates_gbps.size());
       lut_models[t].reserve(plan.rates_gbps.size());
       cost[t].reserve(plan.rates_gbps.size());
-      for (double rate : plan.rates_gbps) {
+      for (const double rate : plan.rates_gbps) {
         sim::SystemConfig cfg = plan.base_system;
         cfg.link_rate_gbps = rate;
         cfg.topology = plan.topology_spec(t);

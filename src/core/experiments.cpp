@@ -127,7 +127,7 @@ std::vector<AlphaSweepPoint> apt_alpha_sweep(
   // the policy columns, so every cell is an independent task.
   std::vector<std::string> specs;
   specs.reserve(alphas.size());
-  for (double alpha : alphas)
+  for (const double alpha : alphas)
     specs.push_back("apt:" + util::format_double(alpha, 3));
 
   const BatchResult result =

@@ -48,7 +48,7 @@ std::vector<std::string> StreamPlan::validate() const {
           "StreamPlan: trace arrivals need trace_arrivals instants");
     stream::ArrivalSpec::trace(trace_arrivals).validate();
   } else {
-    for (double rate : rates_per_ms) {
+    for (const double rate : rates_per_ms) {
       if (!(rate > 0.0))
         throw std::invalid_argument(
             "StreamPlan: arrival rates must be > 0 apps/ms");

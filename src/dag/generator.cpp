@@ -94,7 +94,7 @@ Dag make_type2(const std::vector<Node>& series) {
     mids.reserve(widths[b]);
     for (std::size_t i = 0; i < widths[b]; ++i) mids.push_back(take());
     const NodeId bottom = take();
-    for (NodeId mid : mids) {
+    for (const NodeId mid : mids) {
       dag.add_edge(top, mid);
       dag.add_edge(mid, bottom);
     }
@@ -109,7 +109,7 @@ Dag make_type2(const std::vector<Node>& series) {
   // Final join kernel: depends on the last block and every singleton.
   const NodeId join = take();
   dag.add_edge(bottoms[2], join);
-  for (NodeId s : singles) dag.add_edge(s, join);
+  for (const NodeId s : singles) dag.add_edge(s, join);
 
   if (next != series.size())
     throw std::logic_error("make_type2: internal kernel accounting error");
@@ -161,7 +161,7 @@ void apply_poisson_arrivals(Dag& dag, double mean_interarrival_ms,
   // touches the generator. Same seed, same arrival sequence, everywhere.
   util::Rng rng(seed);
   double clock = 0.0;
-  for (NodeId entry : dag.entry_nodes()) {
+  for (const NodeId entry : dag.entry_nodes()) {
     clock += util::exponential_interval_ms(rng, mean_interarrival_ms);
     dag.set_release_ms(entry, clock);
   }
@@ -185,7 +185,7 @@ Dag random_layered_dag(std::size_t n, std::size_t layers, double edge_prob,
     by_layer[static_cast<std::size_t>(i) * layers / n].push_back(i);
 
   for (std::size_t l = 1; l < layers; ++l) {
-    for (NodeId node : by_layer[l]) {
+    for (const NodeId node : by_layer[l]) {
       // Guarantee connectivity with one mandatory parent from layer l-1.
       const auto& prev = by_layer[l - 1];
       const NodeId parent = prev[static_cast<std::size_t>(
@@ -193,7 +193,7 @@ Dag random_layered_dag(std::size_t n, std::size_t layers, double edge_prob,
       dag.add_edge(parent, node);
       // Extra edges from any earlier layer.
       for (std::size_t pl = 0; pl < l; ++pl) {
-        for (NodeId cand : by_layer[pl]) {
+        for (const NodeId cand : by_layer[pl]) {
           if (cand != parent && !dag.has_edge(cand, node) &&
               rng.bernoulli(edge_prob))
             dag.add_edge(cand, node);
@@ -234,7 +234,7 @@ Dag make_fork_join(const std::vector<Node>& series, std::uint64_t seed) {
       dag.add_edge(head, mids.back());
     }
     const NodeId join = take();
-    for (NodeId mid : mids) dag.add_edge(mid, join);
+    for (const NodeId mid : mids) dag.add_edge(mid, join);
     head = join;
   }
   return dag;

@@ -63,7 +63,7 @@ bool Dag::creates_cycle(NodeId src, NodeId dst) const {
     const NodeId n = stack.back();
     stack.pop_back();
     if (n == src) return true;
-    for (NodeId s : succs_[n]) {
+    for (const NodeId s : succs_[n]) {
       if (!seen[s]) {
         seen[s] = true;
         stack.push_back(s);
@@ -102,7 +102,7 @@ std::vector<NodeId> Dag::topological_order() const {
     const NodeId n = frontier.back();
     frontier.pop_back();
     order.push_back(n);
-    for (NodeId s : succs_[n]) {
+    for (const NodeId s : succs_[n]) {
       if (--indeg[s] == 0) {
         frontier.push_back(s);
         std::push_heap(frontier.begin(), frontier.end(), std::greater<>{});
@@ -117,8 +117,8 @@ std::vector<NodeId> Dag::topological_order() const {
 std::size_t Dag::depth() const {
   if (nodes_.empty()) return 0;
   std::vector<std::size_t> level(nodes_.size(), 1);
-  for (NodeId n : topological_order()) {
-    for (NodeId s : succs_[n]) level[s] = std::max(level[s], level[n] + 1);
+  for (const NodeId n : topological_order()) {
+    for (const NodeId s : succs_[n]) level[s] = std::max(level[s], level[n] + 1);
   }
   return *std::max_element(level.begin(), level.end());
 }
@@ -139,8 +139,8 @@ bool Dag::is_weakly_connected() const {
         stack.push_back(m);
       }
     };
-    for (NodeId s : succs_[n]) push(s);
-    for (NodeId p : preds_[n]) push(p);
+    for (const NodeId s : succs_[n]) push(s);
+    for (const NodeId p : preds_[n]) push(p);
   }
   return visited == nodes_.size();
 }
@@ -180,7 +180,7 @@ std::uint64_t structure_hash(const Dag& dag) {
     mix_u64(h, release_bits);
   }
   for (NodeId i = 0; i < dag.node_count(); ++i) {
-    for (NodeId s : dag.successors(i)) {
+    for (const NodeId s : dag.successors(i)) {
       mix_u64(h, i);
       mix_u64(h, s);
     }

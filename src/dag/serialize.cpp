@@ -21,7 +21,7 @@ std::string to_text(const Dag& dag) {
     out += "\n";
   }
   for (NodeId i = 0; i < dag.node_count(); ++i) {
-    for (NodeId s : dag.successors(i))
+    for (const NodeId s : dag.successors(i))
       out += "edge " + std::to_string(i) + " " + std::to_string(s) + "\n";
   }
   return out;
@@ -88,7 +88,7 @@ std::string to_dot(const Dag& dag, const std::string& graph_name) {
            n.kernel + "\\n" + std::to_string(n.data_size) + "\"];\n";
   }
   for (NodeId i = 0; i < dag.node_count(); ++i) {
-    for (NodeId s : dag.successors(i))
+    for (const NodeId s : dag.successors(i))
       out += "  n" + std::to_string(i) + " -> n" + std::to_string(s) + ";\n";
   }
   out += "}\n";

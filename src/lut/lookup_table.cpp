@@ -46,7 +46,7 @@ void LookupTable::add(Entry entry) {
   entry.kernel = canonical_kernel_name(entry.kernel);
   if (entry.kernel.empty())
     throw std::invalid_argument("LookupTable::add: empty kernel name");
-  for (double t : entry.time_ms) {
+  for (const double t : entry.time_ms) {
     if (!(t > 0.0) || !std::isfinite(t))
       throw std::invalid_argument(
           "LookupTable::add: times must be positive and finite (kernel '" +

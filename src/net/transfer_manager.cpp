@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cassert>
 #include <chrono>
 #include <limits>
 #include <stdexcept>
 
 #include "obs/profile.hpp"
+#include "util/contracts.hpp"
 
 namespace apt::net {
 
@@ -392,10 +392,11 @@ void TransferManager::verify_incremental_solve(TimeMs at) {
   ++solve_round_;
   resolve_rates_full(at);
   for (const auto& [slot, rate] : before) {
-    (void)slot;
-    (void)rate;
-    assert(messages_[slot].rate_ms == rate &&
-           "incremental max-min solve diverged from the full solve");
+    APT_ASSERT(messages_[slot].rate_ms == rate,
+               "incremental max-min solve diverged from the full solve: "
+               "flow slot %zu re-solved to %.17g MB/ms at t=%.17g, "
+               "incremental had %.17g",
+               slot, messages_[slot].rate_ms, at, rate);
   }
 }
 #endif

@@ -29,7 +29,7 @@ void AdaptiveGreedy::on_event(sim::SchedulerContext& ctx) {
   // it never leaves work unqueued (thesis Table 2: "never waits" = No, but
   // the *scheduler* always acts; waiting happens inside the queues).
   const std::vector<dag::NodeId> ready = ctx.ready();
-  for (dag::NodeId node : ready) {
+  for (const dag::NodeId node : ready) {
     sim::ProcId best = 0;
     sim::TimeMs best_tau = 0.0;
     for (sim::ProcId proc = 0; proc < ctx.system().proc_count(); ++proc) {

@@ -31,7 +31,7 @@ struct Candidate {
 Candidate evaluate(const sim::SchedulerContext& ctx, dag::NodeId node,
                    const std::vector<sim::ProcId>& idle) {
   Candidate c;
-  for (sim::ProcId proc : idle) {
+  for (const sim::ProcId proc : idle) {
     const sim::TimeMs cost = ctx.exec_time_ms(node, proc) +
                              ctx.transfer_estimate(node, proc).stall_ms;
     if (cost < c.best_cost) {
@@ -57,7 +57,7 @@ void BatchMode::on_event(sim::SchedulerContext& ctx) {
     Candidate chosen_cand;
     double chosen_key = 0.0;
     bool first = true;
-    for (dag::NodeId node : ready) {
+    for (const dag::NodeId node : ready) {
       const Candidate cand = evaluate(ctx, node, idle);
       double key = 0.0;
       bool better = false;

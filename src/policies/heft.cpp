@@ -12,7 +12,7 @@ std::vector<double> heft_upward_ranks(const dag::Dag& dag,
   for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
     const dag::NodeId n = *it;
     double tail = 0.0;
-    for (dag::NodeId s : dag.successors(n)) {
+    for (const dag::NodeId s : dag.successors(n)) {
       tail = std::max(tail,
                       cost.average_transfer_time_ms(dag, n, s, system) + rank[s]);
     }
@@ -25,8 +25,8 @@ std::vector<double> heft_downward_ranks(const dag::Dag& dag,
                                         const sim::System& system,
                                         const sim::CostModel& cost) {
   std::vector<double> rank(dag.node_count(), 0.0);
-  for (dag::NodeId n : dag.topological_order()) {
-    for (dag::NodeId p : dag.predecessors(n)) {
+  for (const dag::NodeId n : dag.topological_order()) {
+    for (const dag::NodeId p : dag.predecessors(n)) {
       rank[n] = std::max(
           rank[n], rank[p] + cost.average_exec_time_ms(dag, p, system) +
                        cost.average_transfer_time_ms(dag, p, n, system));

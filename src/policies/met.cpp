@@ -12,7 +12,7 @@ void Met::on_event(sim::SchedulerContext& ctx) {
   // Snapshot: assign() mutates the ready list. A single pass suffices —
   // assignments only consume idle processors, never create them.
   const std::vector<dag::NodeId> ready = ctx.ready();
-  for (dag::NodeId node : ready) {
+  for (const dag::NodeId node : ready) {
     if (ctx.idle_processors().empty()) break;
     if (const auto proc = idle_optimal_proc(ctx, node)) {
       ctx.assign(node, *proc);

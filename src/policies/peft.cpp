@@ -16,7 +16,7 @@ std::vector<std::vector<double>> peft_oct(const dag::Dag& dag,
     const dag::NodeId t = *it;
     for (sim::ProcId pk = 0; pk < procs; ++pk) {
       double worst_child = 0.0;
-      for (dag::NodeId tj : dag.successors(t)) {
+      for (const dag::NodeId tj : dag.successors(t)) {
         double best_pw = std::numeric_limits<double>::infinity();
         const double avg_comm =
             cost.average_transfer_time_ms(dag, t, tj, system);
@@ -39,7 +39,7 @@ std::vector<double> peft_rank_oct(
   std::vector<double> rank(oct.size(), 0.0);
   for (std::size_t i = 0; i < oct.size(); ++i) {
     double sum = 0.0;
-    for (double v : oct[i]) sum += v;
+    for (const double v : oct[i]) sum += v;
     rank[i] = oct[i].empty() ? 0.0 : sum / static_cast<double>(oct[i].size());
   }
   return rank;

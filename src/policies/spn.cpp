@@ -12,8 +12,8 @@ void Spn::on_event(sim::SchedulerContext& ctx) {
     sim::ProcId best_proc = sim::kInvalidProc;
     sim::TimeMs best_time = 0.0;
     // Ties resolve to the earliest-arrived kernel and lowest processor id.
-    for (dag::NodeId node : ready) {
-      for (sim::ProcId proc : idle) {
+    for (const dag::NodeId node : ready) {
+      for (const sim::ProcId proc : idle) {
         const sim::TimeMs t = ctx.exec_time_ms(node, proc);
         if (best_node == dag::kInvalidNode || t < best_time) {
           best_node = node;

@@ -14,9 +14,9 @@ void SerialScheduling::on_event(sim::SchedulerContext& ctx) {
     // processors wins; FIFO order breaks ties.
     dag::NodeId best_node = dag::kInvalidNode;
     double best_stddev = -1.0;
-    for (dag::NodeId node : ready) {
+    for (const dag::NodeId node : ready) {
       util::RunningStats stats;
-      for (sim::ProcId proc : idle) stats.add(ctx.exec_time_ms(node, proc));
+      for (const sim::ProcId proc : idle) stats.add(ctx.exec_time_ms(node, proc));
       if (stats.stddev() > best_stddev) {
         best_stddev = stats.stddev();
         best_node = node;
@@ -24,7 +24,7 @@ void SerialScheduling::on_event(sim::SchedulerContext& ctx) {
     }
 
     sim::ProcId best_proc = idle.front();
-    for (sim::ProcId proc : idle) {
+    for (const sim::ProcId proc : idle) {
       if (ctx.exec_time_ms(best_node, proc) <
           ctx.exec_time_ms(best_node, best_proc))
         best_proc = proc;

@@ -23,7 +23,7 @@ std::vector<std::vector<dag::NodeId>> StaticPlan::per_proc_order(
                 return tasks[a].start < tasks[b].start;
               return a < b;
             });
-  for (dag::NodeId n : by_start) {
+  for (const dag::NodeId n : by_start) {
     const PlannedTask& t = tasks[n];
     if (t.proc >= proc_count)
       throw std::logic_error("StaticPlan: task assigned to unknown processor");
@@ -105,7 +105,7 @@ StaticPlan list_schedule(const dag::Dag& dag, const sim::System& system,
     for (const sim::Processor& proc : system.processors()) {
       // Data-ready time with prefetched transfers (classic HEFT semantics).
       sim::TimeMs drt = 0.0;
-      for (dag::NodeId pred : dag.predecessors(node)) {
+      for (const dag::NodeId pred : dag.predecessors(node)) {
         const PlannedTask& pt = plan.tasks[pred];
         drt = std::max(drt, pt.finish + cost.transfer_time_ms(
                                             dag, pred, node,
@@ -135,7 +135,7 @@ StaticPlan list_schedule(const dag::Dag& dag, const sim::System& system,
                          std::pair<sim::TimeMs, sim::TimeMs>(best_est, best_eft)),
         {best_est, best_eft});
 
-    for (dag::NodeId succ : dag.successors(node)) {
+    for (const dag::NodeId succ : dag.successors(node)) {
       if (--unscheduled_preds[succ] == 0) candidates.push_back(succ);
     }
   }

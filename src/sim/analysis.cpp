@@ -57,11 +57,11 @@ ScheduleAnalysis analyze_schedule(const dag::Dag& dag, const System& system,
 
   // Realised critical path: longest dependency chain of actual intervals.
   std::vector<TimeMs> chain(dag.node_count(), 0.0);
-  for (dag::NodeId n : dag.topological_order()) {
+  for (const dag::NodeId n : dag.topological_order()) {
     chain[n] += result.schedule[n].finish_time - result.schedule[n].exec_start;
     a.realised_critical_path_ms =
         std::max(a.realised_critical_path_ms, chain[n]);
-    for (dag::NodeId s : dag.successors(n))
+    for (const dag::NodeId s : dag.successors(n))
       chain[s] = std::max(chain[s], chain[n]);
   }
   return a;

@@ -11,6 +11,7 @@
 #include "obs/profile.hpp"
 #include "obs/trace_sink.hpp"
 #include "sim/precomputed_cost_model.hpp"
+#include "util/contracts.hpp"
 #include "util/rolling_quantile.hpp"
 
 namespace apt::sim {
@@ -204,10 +205,12 @@ class Engine::Context final : public SchedulerContext {
     // be slower under contention).
     TimeMs worst = 0.0;
     const Processor& to = system_.processor(proc);
-    for (dag::NodeId pred : dag_.predecessors(node)) {
+    for (const dag::NodeId pred : dag_.predecessors(node)) {
       const ScheduledKernel& rec = node_state_[pred].record;
-      if (rec.proc == kInvalidProc)
-        throw std::logic_error("Engine: predecessor not yet scheduled");
+      // Internal invariant (not policy-misuse validation): the engine only
+      // offers nodes whose predecessors were all scheduled.
+      APT_ASSERT(rec.proc != kInvalidProc,
+                 "predecessor %u of node %u not yet scheduled", pred, node);
       worst = std::max(worst, cost_.transfer_time_ms(
                                   dag_, pred, node, system_.processor(rec.proc),
                                   to));
@@ -221,10 +224,10 @@ class Engine::Context final : public SchedulerContext {
     est.noise = noise_;
     const Processor& to = system_.processor(proc);
     ProcId worst_from = proc;  // local: contributes no link
-    for (dag::NodeId pred : dag_.predecessors(node)) {
+    for (const dag::NodeId pred : dag_.predecessors(node)) {
       const ScheduledKernel& rec = node_state_[pred].record;
-      if (rec.proc == kInvalidProc)
-        throw std::logic_error("Engine: predecessor not yet scheduled");
+      APT_ASSERT(rec.proc != kInvalidProc,
+                 "predecessor %u of node %u not yet scheduled", pred, node);
       // Same call, same order, same std::max as input_transfer_ms above —
       // stall_ms is bit-identical to the legacy scalar.
       const TimeMs edge = cost_.transfer_time_ms(
@@ -484,7 +487,7 @@ class Engine::Context final : public SchedulerContext {
   void begin_comm(dag::NodeId node, ProcId proc, TimeMs dispatched) {
     NodeState& ns = node_state_[node];
     ns.data_ready_at = dispatched;
-    for (dag::NodeId pred : dag_.predecessors(node)) {
+    for (const dag::NodeId pred : dag_.predecessors(node)) {
       const ScheduledKernel& rec = node_state_[pred].record;
       const net::Topology::Route route = topology_.route(rec.proc, proc);
       if (route.empty()) continue;  // same processor, socket, or cell
@@ -634,7 +637,7 @@ class Engine::Context final : public SchedulerContext {
     // finished; the kernel only stalls for whatever is still in flight.
     TimeMs data_ready = from_time;
     const Processor& to = system_.processor(proc);
-    for (dag::NodeId pred : dag_.predecessors(node)) {
+    for (const dag::NodeId pred : dag_.predecessors(node)) {
       const ScheduledKernel& rec = node_state_[pred].record;
       const TimeMs arrival =
           rec.finish_time + cost_.transfer_time_ms(
@@ -848,7 +851,7 @@ class Engine::Context final : public SchedulerContext {
     // Feed the hedging threshold: the winner's noise multiplier IS the
     // realized/nominal inflation ratio of this completion.
     if (hedging_.enabled) hedge_window_.add(ns.record.noise_mult);
-    for (dag::NodeId succ : dag_.successors(node)) {
+    for (const dag::NodeId succ : dag_.successors(node)) {
       NodeState& ss = node_state_[succ];
       if (--ss.remaining_preds == 0) {
         if (dag_.node(succ).release_ms <= now_) {

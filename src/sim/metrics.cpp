@@ -167,7 +167,7 @@ DistSummary DistSummary::summarize(std::vector<double> values) {
   DistSummary s;
   if (values.empty()) return s;
   double sum = 0.0;
-  for (double v : values) sum += v;
+  for (const double v : values) sum += v;
   s.avg = sum / static_cast<double>(values.size());
   std::sort(values.begin(), values.end());
   s.p50 = util::percentile_sorted(values, 50.0);

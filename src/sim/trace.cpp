@@ -36,14 +36,14 @@ Trace build_trace(const dag::Dag& dag, const System& system,
   // following a finish shows the newly started kernel.
   std::vector<TimeMs> instants;
   constexpr TimeMs kCoalesce = 1e-6;
-  for (TimeMs t : raw) {
+  for (const TimeMs t : raw) {
     if (!instants.empty() && t - instants.back() < kCoalesce)
       instants.back() = t;
     else
       instants.push_back(t);
   }
 
-  for (TimeMs t : instants) {
+  for (const TimeMs t : instants) {
     TraceRow row;
     row.time = t;
     row.proc_activity.assign(system.proc_count(), "idle");

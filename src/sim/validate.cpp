@@ -208,7 +208,7 @@ std::vector<Violation> validate_schedule(const dag::Dag& dag,
     if (!close(k.exec_ms, expected_exec))
       fail(tag + ": exec_ms " + std::to_string(k.exec_ms) +
            " != cost model × noise_mult " + std::to_string(expected_exec));
-    for (dag::NodeId pred : dag.predecessors(n)) {
+    for (const dag::NodeId pred : dag.predecessors(n)) {
       const ScheduledKernel& pk = result.schedule[pred];
       if (k.exec_start + kTol < pk.finish_time)
         fail(tag + ": starts before predecessor " + std::to_string(pred) +
@@ -316,7 +316,7 @@ std::vector<Violation> validate_stream_schedule(
         fail(tag + ": execution before assignment");
       if (!close(k.finish_time, k.exec_start + k.exec_ms))
         fail(tag + ": finish != exec_start + exec_ms");
-      for (dag::NodeId pred : dag.predecessors(n)) {
+      for (const dag::NodeId pred : dag.predecessors(n)) {
         const ScheduledKernel& pk = result.schedule[pred];
         if (k.exec_start + kTol < pk.finish_time)
           fail(tag + ": starts before predecessor " + std::to_string(pred) +
@@ -374,10 +374,10 @@ TimeMs critical_path_lower_bound_ms(const dag::Dag& dag, const System& system,
   }
   std::vector<TimeMs> longest(dag.node_count(), 0.0);
   TimeMs bound = 0.0;
-  for (dag::NodeId n : dag.topological_order()) {
+  for (const dag::NodeId n : dag.topological_order()) {
     longest[n] += best[n];
     bound = std::max(bound, longest[n]);
-    for (dag::NodeId s : dag.successors(n))
+    for (const dag::NodeId s : dag.successors(n))
       longest[s] = std::max(longest[s], longest[n]);
   }
   return bound;

@@ -56,7 +56,7 @@ ArrivalSpec ArrivalSpec::trace(std::vector<sim::TimeMs> arrival_times_ms) {
 void ArrivalSpec::validate() const {
   if (kind == ArrivalKind::Trace) {
     sim::TimeMs prev = 0.0;
-    for (sim::TimeMs t : arrival_times_ms) {
+    for (const sim::TimeMs t : arrival_times_ms) {
       if (t < prev)
         throw std::invalid_argument(
             "ArrivalSpec: trace times must be non-decreasing and >= 0");

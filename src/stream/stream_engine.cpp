@@ -15,6 +15,7 @@
 #include "obs/trace_sink.hpp"
 #include "sim/precomputed_cost_model.hpp"
 #include "sim/validate.hpp"
+#include "util/contracts.hpp"
 #include "util/rolling_quantile.hpp"
 
 namespace apt::stream {
@@ -258,11 +259,12 @@ class StreamEngine::Context final : public sim::SchedulerContext {
     const dag::NodeId local = slot - app.base;
     sim::TimeMs worst = 0.0;
     if (contended_) {
-      for (dag::NodeId pred : shape.dag.predecessors(local)) {
+      for (const dag::NodeId pred : shape.dag.predecessors(local)) {
         const sim::ScheduledKernel& rec = node_state_[app.base + pred].record;
-        if (rec.proc == sim::kInvalidProc)
-          throw std::logic_error(
-              "StreamEngine: predecessor not yet scheduled");
+        // Internal invariant (not policy-misuse validation): ready slots
+        // only surface once every predecessor was scheduled.
+        APT_ASSERT(rec.proc != sim::kInvalidProc,
+                   "predecessor %u of slot %u not yet scheduled", pred, slot);
         // Comm-adjusted estimate from the topology (uncontended share).
         worst = std::max(worst, topology_.transfer_time_ms(
                                     edge_bytes(app, pred), rec.proc, proc));
@@ -275,8 +277,8 @@ class StreamEngine::Context final : public sim::SchedulerContext {
          i < shape.pred_offset[local + 1]; ++i) {
       const ShapeEntry::PredEdge& e = shape.pred_edges[i];
       const sim::ScheduledKernel& rec = node_state_[app.base + e.pred].record;
-      if (rec.proc == sim::kInvalidProc)
-        throw std::logic_error("StreamEngine: predecessor not yet scheduled");
+      APT_ASSERT(rec.proc != sim::kInvalidProc,
+                 "predecessor %u of slot %u not yet scheduled", e.pred, slot);
       worst = std::max(worst, e.row[rec.proc * proc_count_ + proc]);
     }
     return worst;
@@ -296,10 +298,10 @@ class StreamEngine::Context final : public sim::SchedulerContext {
     const ShapeEntry& shape = *app.shape;
     const dag::NodeId local = slot - app.base;
     sim::ProcId worst_from = proc;  // local: contributes no link
-    for (dag::NodeId pred : shape.dag.predecessors(local)) {
+    for (const dag::NodeId pred : shape.dag.predecessors(local)) {
       const sim::ScheduledKernel& rec = node_state_[app.base + pred].record;
-      if (rec.proc == sim::kInvalidProc)
-        throw std::logic_error("StreamEngine: predecessor not yet scheduled");
+      APT_ASSERT(rec.proc != sim::kInvalidProc,
+                 "predecessor %u of slot %u not yet scheduled", pred, slot);
       // Same call, same order, same std::max as input_transfer_ms above —
       // stall_ms stays bit-identical to the legacy scalar.
       const sim::TimeMs edge =
@@ -469,7 +471,7 @@ class StreamEngine::Context final : public sim::SchedulerContext {
     entry->pred_offset.assign(n + 1, 0);
     entry->pred_edges.reserve(entry->dag.edge_count());
     for (dag::NodeId local = 0; local < n; ++local) {
-      for (dag::NodeId pred : entry->dag.predecessors(local)) {
+      for (const dag::NodeId pred : entry->dag.predecessors(local)) {
         const auto& succs = entry->dag.successors(pred);
         std::size_t k = 0;
         while (succs[k] != local) ++k;
@@ -699,7 +701,7 @@ class StreamEngine::Context final : public sim::SchedulerContext {
     App& app = apps_[ns.app];
     const dag::NodeId local = slot - app.base;
     ns.data_ready_at = dispatched;
-    for (dag::NodeId pred : app.shape->dag.predecessors(local)) {
+    for (const dag::NodeId pred : app.shape->dag.predecessors(local)) {
       const sim::ScheduledKernel& rec = node_state_[app.base + pred].record;
       const net::Topology::Route route = topology_.route(rec.proc, proc);
       if (route.empty()) continue;  // same processor, socket, or cell
@@ -863,7 +865,7 @@ class StreamEngine::Context final : public sim::SchedulerContext {
     const dag::NodeId local = slot - app.base;
     sim::TimeMs data_ready = from_time;
     const sim::Processor& to = system_.processor(proc);
-    for (dag::NodeId pred : dag.predecessors(local)) {
+    for (const dag::NodeId pred : dag.predecessors(local)) {
       const sim::ScheduledKernel& rec = node_state_[app.base + pred].record;
       const sim::TimeMs arrival =
           rec.finish_time +
@@ -1122,7 +1124,7 @@ class StreamEngine::Context final : public sim::SchedulerContext {
     if (ns.record.finish_time >= options_.warmup_ms)
       ++observation_.kernels_in_window[ns.record.proc];
 
-    for (dag::NodeId succ : app.shape->dag.successors(slot - app.base)) {
+    for (const dag::NodeId succ : app.shape->dag.successors(slot - app.base)) {
       const dag::NodeId succ_slot = app.base + succ;
       NodeState& ss = node_state_[succ_slot];
       if (--ss.remaining_preds == 0) {
@@ -1300,6 +1302,8 @@ class StreamEngine::Context final : public sim::SchedulerContext {
     dag::NodeId slot = dag::kInvalidNode;
     std::size_t record = kNoRecord;
   };
+  // lint:unordered-ok(keyed lookup only — found/inserted/erased by transfer
+  // tag, never iterated, so hash order cannot reach event or output order)
   std::unordered_map<std::uint64_t, InFlight> inflight_;
   std::uint64_t next_transfer_tag_ = 0;
   std::vector<net::Delivery> deliveries_;  ///< advance_to out-buffer, reused
@@ -1323,6 +1327,9 @@ class StreamEngine::Context final : public sim::SchedulerContext {
 
   /// Shape pool: structure hash -> confirmed-identical entries.
   static constexpr std::size_t kShapePoolCap = 128;
+  // lint:unordered-ok(keyed lookup only — probed/inserted by structure hash
+  // and wholesale clear()ed at the cap; the map itself is never iterated,
+  // and the per-hash bucket vector scans in deterministic insertion order)
   std::unordered_map<std::uint64_t, std::vector<std::shared_ptr<ShapeEntry>>>
       shape_pool_;
   std::size_t shape_pool_size_ = 0;

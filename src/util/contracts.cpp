@@ -1,0 +1,24 @@
+#include "util/contracts.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace apt::util::detail {
+
+// The assertion reporter writes straight to stderr (not util::logging):
+// it must work even when the failure is inside the logging sink, and the
+// process aborts immediately after, so sink redirection is moot.
+[[noreturn]] void assert_fail(const char* file, int line, const char* cond,
+                              const char* fmt, ...) {
+  std::fprintf(stderr, "%s:%d: assertion `%s` failed: ", file, line, cond);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace apt::util::detail

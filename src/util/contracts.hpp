@@ -1,0 +1,35 @@
+// Project-wide invariant assertions with formatted context.
+//
+// APT_ASSERT(cond, fmt, ...) is the determinism-critical replacement for
+// bare <cassert> assert(): on failure it reports file:line, the failed
+// condition text, and a printf-formatted context message (the slot, rate,
+// node id, ... that makes the report actionable) before aborting. Like
+// assert(), it is NDEBUG-gated — Release builds compile it away entirely,
+// so it must only guard *internal* invariants whose violation is an engine
+// bug, never user-input validation (those stay as thrown exceptions so the
+// tested error paths survive in Release).
+#pragma once
+
+#include <cstdarg>
+
+namespace apt::util::detail {
+
+/// Prints "file:line: assertion `cond` failed: <formatted message>" to
+/// stderr and aborts. Out-of-line so the macro expansion stays small.
+[[noreturn]] void assert_fail(const char* file, int line, const char* cond,
+                              const char* fmt, ...)
+#if defined(__GNUC__) || defined(__clang__)
+    __attribute__((format(printf, 4, 5)))
+#endif
+    ;
+
+}  // namespace apt::util::detail
+
+#ifdef NDEBUG
+#define APT_ASSERT(cond, ...) ((void)0)
+#else
+#define APT_ASSERT(cond, ...)                                         \
+  ((cond) ? (void)0                                                   \
+          : ::apt::util::detail::assert_fail(__FILE__, __LINE__, #cond, \
+                                             __VA_ARGS__))
+#endif

@@ -57,7 +57,7 @@ double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
 double mean_of(const std::vector<double>& xs) noexcept {
   if (xs.empty()) return 0.0;
   double sum = 0.0;
-  for (double x : xs) sum += x;
+  for (const double x : xs) sum += x;
   return sum / static_cast<double>(xs.size());
 }
 
@@ -68,7 +68,7 @@ double stddev_of(const std::vector<double>& xs) noexcept {
 double stddev_about(const std::vector<double>& xs, double mean) noexcept {
   if (xs.empty()) return 0.0;
   double acc = 0.0;
-  for (double x : xs) acc += (x - mean) * (x - mean);
+  for (const double x : xs) acc += (x - mean) * (x - mean);
   return std::sqrt(acc / static_cast<double>(xs.size()));
 }
 

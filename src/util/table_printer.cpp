@@ -37,7 +37,7 @@ std::string TablePrinter::to_string() const {
 
   auto rule = [&] {
     std::string line = "+";
-    for (std::size_t w : widths) line += std::string(w + 2, '-') + "+";
+    for (const std::size_t w : widths) line += std::string(w + 2, '-') + "+";
     line += "\n";
     return line;
   };

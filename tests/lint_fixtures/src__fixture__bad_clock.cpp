@@ -1,0 +1,29 @@
+// Deliberate determinism-lint violations: wall-clock reads in simulation
+// code. NOT compiled — linted by `scripts/lint_determinism.py --self-test`.
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+double bad_wall_now_ms() {
+  const auto now = std::chrono::system_clock::now();  // expect-lint: wall-clock
+  return std::chrono::duration<double, std::milli>(now.time_since_epoch())
+      .count();
+}
+
+long bad_epoch_seconds() {
+  return time(nullptr);  // expect-lint: wall-clock
+}
+
+long bad_std_time() {
+  return std::time(nullptr);  // expect-lint: wall-clock
+}
+
+// The monotonic clock is profiling-only and stays legal everywhere.
+double ok_profiling_anchor_ms() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  return std::chrono::duration<double, std::milli>(dt).count();
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Deliberate determinism-lint violations: single-precision floats in
+// library code — timeline arithmetic is double (sim::TimeMs) end to end.
+// NOT compiled — linted by lint_determinism.py --self-test.
+
+namespace fixture {
+
+double bad_truncating_accumulator(double start_ms, double exec_ms) {
+  float finish = static_cast<float>(start_ms);  // expect-lint: float-timeline
+  finish += static_cast<float>(exec_ms);        // expect-lint: float-timeline
+  return finish;
+}
+
+float bad_return_type(double t_ms);  // expect-lint: float-timeline
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Deliberate determinism-lint violations: ad-hoc percentile math instead
+// of util::percentile_sorted (the single type-7 estimator every subsystem
+// shares). NOT compiled — linted by lint_determinism.py --self-test.
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+double bad_nth_element_median(std::vector<double> xs) {
+  const auto mid = xs.begin() + static_cast<long>(xs.size() / 2);
+  std::nth_element(xs.begin(), mid, xs.end());  // expect-lint: adhoc-percentile
+  return *mid;
+}
+
+double bad_p95_truncating(const std::vector<double>& sorted) {
+  return sorted[static_cast<std::size_t>(0.95 * sorted.size())];  // expect-lint: adhoc-percentile
+}
+
+double bad_integer_percent(const std::vector<double>& sorted, std::size_t pct) {
+  return sorted[sorted.size() * pct / 100];  // expect-lint: adhoc-percentile
+}
+
+}  // namespace fixture

@@ -1,0 +1,29 @@
+// Deliberate determinism-lint violations: nondeterministic randomness.
+// NOT compiled — consumed by `scripts/lint_determinism.py --self-test`,
+// which checks that every `// expect-lint:` tag is matched exactly.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+int bad_libc_rand() {
+  return std::rand();  // expect-lint: nondeterministic-random
+}
+
+void bad_libc_seed() {
+  srand(42);  // expect-lint: nondeterministic-random
+}
+
+unsigned bad_std_random() {
+  std::random_device rd;   // expect-lint: nondeterministic-random
+  std::mt19937 gen(rd());  // expect-lint: nondeterministic-random
+  std::uniform_int_distribution<int> dist(0, 9);  // expect-lint: nondeterministic-random
+  return static_cast<unsigned>(dist(gen));
+}
+
+double bad_distribution(std::mt19937_64& gen) {  // expect-lint: nondeterministic-random
+  std::normal_distribution<double> dist(0.0, 1.0);  // expect-lint: nondeterministic-random
+  return dist(gen);
+}
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Deliberate determinism-lint violations: direct console I/O in library
+// code (library output goes through util::logging or a std::ostream&).
+// NOT compiled — linted by lint_determinism.py --self-test.
+#include <cstdio>
+#include <iostream>
+
+namespace fixture {
+
+void bad_console_logging(const char* msg) {
+  std::cout << msg << "\n";       // expect-lint: raw-stdio
+  std::cerr << "warn: " << msg;   // expect-lint: raw-stdio
+  printf("%s\n", msg);            // expect-lint: raw-stdio
+  fprintf(stderr, "%s\n", msg);   // expect-lint: raw-stdio
+  puts(msg);                      // expect-lint: raw-stdio
+}
+
+// snprintf into a caller buffer is formatting, not console output.
+void ok_buffer_format(char* buf, double value) {
+  std::snprintf(buf, 32, "%.3f", value);
+}
+
+}  // namespace fixture

@@ -1,0 +1,38 @@
+// Deliberate determinism-lint violations: unordered-container iteration
+// (hash order leaking into results) and unannotated unordered members in
+// library code. NOT compiled — linted by lint_determinism.py --self-test.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+struct Registry {
+  std::unordered_map<std::uint64_t, int> by_tag;  // expect-lint: unordered-member
+};
+
+inline int bad_range_for(const Registry& r) {
+  int total = 0;
+  for (const auto& [tag, value] : r.by_tag) {  // expect-lint: unordered-iteration
+    total += value + static_cast<int>(tag);
+  }
+  return total;
+}
+
+inline int bad_iterator_walk(const Registry& r) {
+  int total = 0;
+  for (auto it = r.by_tag.begin(); it != r.by_tag.end(); ++it) {  // expect-lint: unordered-iteration
+    total += it->second;
+  }
+  return total;
+}
+
+inline int bad_inline_type(const std::unordered_set<int>& seen) {  // expect-lint: unordered-member
+  int total = 0;
+  for (const int v : seen) {  // expect-lint: unordered-iteration
+    total += v;
+  }
+  return total;
+}
+
+}  // namespace fixture

@@ -1,0 +1,41 @@
+// The clean fixture: every escape hatch and allowed pattern in one file.
+// Must produce ZERO findings — lint_determinism.py --self-test fails on
+// any spurious hit here. NOT compiled.
+//
+// Comments may freely name std::rand, std::mt19937, system_clock,
+// time(nullptr), std::cout, or float: comments and string literals are
+// stripped before any rule matches.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+// Monotonic clock: profiling-only, allowed everywhere.
+inline double ok_profiling_ms() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  return std::chrono::duration<double, std::milli>(dt).count();
+}
+
+struct Pool {
+  // lint:unordered-ok(keyed lookup only — probed and erased by tag, never
+  // iterated, so hash-table layout cannot reach event or output order)
+  std::unordered_map<std::uint64_t, int> by_tag;
+};
+
+// lint:float-ok(interop with an external single-precision API surface)
+inline float ok_annotated_float(float x) { return x; }
+
+// snprintf formats into a buffer; it is not console output.
+inline void ok_buffer_format(char* buf, double value) {
+  std::snprintf(buf, 32, "%.3f", value);
+}
+
+inline const char* ok_string_literal() {
+  return "std::cout << system_clock is only text inside this literal";
+}
+
+}  // namespace fixture
